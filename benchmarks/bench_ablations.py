@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **A1 look-ahead** -- OSDC vs. plain DC.  The single-point pruning of
+  lines 13-15 is the entire output-sensitivity device; on small-output
+  workloads OSDC should beat DC clearly.
+* **A2 LESS filter size** -- the paper sweeps the elimination-filter
+  threshold between 50 and 10,000 and keeps the best; this sweep exposes
+  the trade-off.
+* **A3 presort** -- SFS (``≻ext``-sorted scan) vs. the unsorted
+  single-pass window scan (BNL): Theorem 3's practical value.
+* **A4 linear average-case pre-scan** -- OSDC with/without the Section 5
+  virtual-tuple phase on CI data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import measure
+from repro.bench.workloads import scaling_tasks
+from repro.data.classic import independent
+from repro.sampling.random_pexpr import PExpressionSampler
+
+import random
+
+
+@pytest.fixture(scope="module")
+def small_output_pool(gaussian_pool, gaussian_sizes):
+    ranked = sorted(zip(gaussian_sizes, range(len(gaussian_pool))))
+    picks = [gaussian_pool[i] for _, i in ranked[: max(3, len(ranked) // 3)]]
+    return picks
+
+
+@pytest.mark.parametrize("algorithm", ["osdc", "dc"])
+def test_a1_lookahead(benchmark, small_output_pool, algorithm):
+    benchmark.group = "A1 look-ahead (small outputs)"
+    measure(benchmark, algorithm, small_output_pool)
+
+
+@pytest.mark.parametrize("filter_size", [50, 200, 1000, 5000])
+def test_a2_less_filter(benchmark, gaussian_pool, filter_size):
+    benchmark.group = "A2 LESS filter size"
+    measure(benchmark, "less", gaussian_pool, filter_size=filter_size)
+
+
+@pytest.mark.parametrize("presort", [True, False])
+def test_a3_presort(benchmark, gaussian_pool, presort):
+    benchmark.group = "A3 SFS presort"
+    measure(benchmark, "sfs", gaussian_pool, presort=presort)
+
+
+@pytest.fixture(scope="module")
+def ci_pool():
+    rng = random.Random(99)
+    data_rng = np.random.default_rng(99)
+    sampler = PExpressionSampler([f"A{i}" for i in range(5)])
+    data = independent(30_000, 5, data_rng)
+    return [(data, sampler.sample_graph(rng), {}) for _ in range(4)]
+
+
+@pytest.mark.parametrize("algorithm", ["osdc", "osdc-linear"])
+def test_a4_linear_prescan(benchmark, ci_pool, algorithm):
+    benchmark.group = "A4 linear average-case pre-scan (CI data)"
+    measure(benchmark, algorithm, ci_pool)
+
+
+@pytest.mark.parametrize("select", ["first", "rotate", "widest"])
+def test_a6_attribute_selection(benchmark, gaussian_pool, select):
+    """A6: split-attribute selection strategy for OSDC (the paper leaves
+    the choice open -- 'select an attribute from C')."""
+    benchmark.group = "A6 OSDC split-attribute selection"
+    measure(benchmark, "osdc", gaussian_pool, select=select)
+
+
+@pytest.mark.parametrize("n", [2_000, 8_000, 32_000])
+def test_a5_scaling(benchmark, n):
+    """A5: near-linear growth of OSDC on CI data (Section 5)."""
+    tasks = [t for t in scaling_tasks((n,))]
+    benchmark.group = "A5 OSDC scaling on CI data"
+    measure(benchmark, "osdc-linear", tasks)

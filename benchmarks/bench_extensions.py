@@ -1,0 +1,64 @@
+"""Benchmarks for the extension algorithms (not in the paper's Figure set).
+
+* BBS over an STR R-tree vs. OSDC vs. SALSA -- index-based and
+  sort-and-limit evaluation against the paper's winner;
+* incremental maintenance throughput vs. recomputation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from conftest import measure
+from repro.algorithms.incremental import PSkylineMaintainer
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.sampling.random_pexpr import PExpressionSampler
+
+
+@pytest.mark.parametrize("algorithm", ["osdc", "bbs", "salsa"])
+def test_extension_algorithms(benchmark, gaussian_pool, algorithm):
+    benchmark.group = "extensions: osdc vs bbs vs salsa"
+    measure(benchmark, algorithm, gaussian_pool)
+
+
+def test_incremental_insert_stream(benchmark):
+    rng = random.Random(3)
+    nrng = np.random.default_rng(3)
+    sampler = PExpressionSampler([f"A{i}" for i in range(5)])
+    graph = sampler.sample_graph(rng)
+    stream = nrng.random((5_000, 5))
+
+    def run() -> int:
+        maintainer = PSkylineMaintainer(graph, capacity=8192)
+        for row in stream:
+            maintainer.insert(row)
+        return maintainer.skyline_ids().size
+
+    benchmark.group = "incremental maintenance"
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    benchmark.extra_info["final_skyline"] = result
+
+
+def test_incremental_vs_recompute(benchmark):
+    """Recomputing with OSDC after every insert -- the naive alternative
+    the maintainer replaces."""
+    from repro.algorithms import osdc
+    rng = random.Random(3)
+    nrng = np.random.default_rng(3)
+    sampler = PExpressionSampler([f"A{i}" for i in range(5)])
+    graph = sampler.sample_graph(rng)
+    stream = nrng.random((400, 5))  # far fewer inserts: this is O(n^2)
+
+    def run() -> int:
+        size = 0
+        for stop in range(1, stream.shape[0] + 1):
+            size = osdc(stream[:stop], graph).size
+        return size
+
+    benchmark.group = "incremental maintenance"
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,61 @@
+"""Benchmarks for the external-memory algorithms (page I/O substrate).
+
+Compares the scan-based external operators (Section 6) against the
+external-memory OSDC built for the paper's Section 8 future-work
+question, on both wall-clock and page I/O (reported via ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Stats, get_algorithm
+from repro.sampling.random_pexpr import PExpressionSampler
+
+_EXTERNAL = ["external-bnl", "external-sfs", "external-osdc"]
+
+
+@pytest.fixture(scope="module")
+def external_problem():
+    rng = random.Random(23)
+    data_rng = np.random.default_rng(23)
+    sampler = PExpressionSampler([f"A{i}" for i in range(6)])
+    graph = sampler.sample_graph(rng)
+    ranks = np.round(data_rng.normal(size=(30_000, 6)), 2)
+    return ranks, graph
+
+
+@pytest.mark.parametrize("algorithm", _EXTERNAL)
+def test_external_algorithms(benchmark, external_problem, algorithm):
+    ranks, graph = external_problem
+    function = get_algorithm(algorithm)
+    benchmark.group = "external memory 30k rows"
+    stats_box = {}
+
+    def run() -> int:
+        stats = Stats()
+        result = function(ranks, graph, stats=stats, page_size=512)
+        stats_box["io"] = stats.io_reads + stats.io_writes
+        return int(result.size)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    benchmark.extra_info["output"] = result
+    benchmark.extra_info["page_io"] = stats_box["io"]
+
+
+@pytest.mark.parametrize("budget", [1024, 4096, 16384])
+def test_external_osdc_memory_budget(benchmark, external_problem, budget):
+    """Smaller budgets force deeper external recursion: the I/O cost of
+    running truly out-of-core."""
+    ranks, graph = external_problem
+    function = get_algorithm("external-osdc")
+    benchmark.group = "external-osdc memory budget"
+    benchmark.pedantic(
+        lambda: int(function(ranks, graph, page_size=512,
+                             memory_budget=budget).size),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

@@ -1,0 +1,32 @@
+"""Figure 4 (left): response time vs. data correlation [E1].
+
+The paper plots the mean response time of OSDC / LESS / BNL over random
+p-expressions against the measured pairwise Pearson correlation of the
+equicorrelated Gaussian data.  Expected shape: BNL and LESS are
+competitive under positive correlation and degrade sharply on
+anti-correlated data; OSDC stays nearly flat.
+
+Each benchmark here times one algorithm over the expression pool of one
+correlation level.  ``examples/reproduce_figures.py`` prints the full
+series at larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure, tasks_by
+from repro.bench.workloads import PAPER_ALGORITHMS, QUICK
+
+_LEVELS = [round(rho, 2) for rho in QUICK.correlation_targets]
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("rho", _LEVELS)
+def test_correlation_level(benchmark, gaussian_pool, algorithm, rho):
+    tasks = tasks_by(
+        gaussian_pool,
+        lambda task: round(task[2]["target_correlation"], 2) == rho,
+    )
+    benchmark.group = f"fig4-left rho={rho:+.2f}"
+    measure(benchmark, algorithm, tasks)

@@ -1,0 +1,27 @@
+"""Figure 4 (right): response time vs. output size [E2].
+
+The paper regroups the correlation runs by the size ``v`` of the query
+result and fits a 2nd-order polynomial per algorithm.  Expected shape:
+OSDC and LESS win for large outputs, BNL is competitive only for queries
+returning very few tuples; all grow with ``v``.
+
+Benchmarks time each algorithm separately on the small-output and the
+large-output halves of the Gaussian pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure, split_by_median
+from repro.bench.workloads import PAPER_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("half", ["small-v", "large-v"])
+def test_output_size_half(benchmark, gaussian_pool, gaussian_sizes,
+                          algorithm, half):
+    small, large = split_by_median(gaussian_pool, gaussian_sizes)
+    tasks = small if half == "small-v" else large
+    benchmark.group = f"fig4-right {half}"
+    measure(benchmark, algorithm, tasks)

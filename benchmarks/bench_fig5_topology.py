@@ -1,0 +1,49 @@
+"""Figure 5: response time vs. p-graph topology [E3, E4].
+
+The paper groups queries by the number of attributes (top) and by the
+number of p-graph roots (bottom), per correlation level.  Expected shape:
+OSDC's advantage grows with ``d`` (clear beyond ~10 attributes) and with
+the number of roots (clear beyond ~5); BNL is competitive mostly on
+queries with few roots (highly prioritized expressions produce small
+outputs, which favours the scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import measure, tasks_by
+from repro.bench.workloads import PAPER_ALGORITHMS
+
+
+def _median_attributes(pool) -> float:
+    return float(np.median([graph.d for _, graph, _ in pool]))
+
+
+def _median_roots(pool) -> float:
+    return float(np.median([graph.num_roots for _, graph, _ in pool]))
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("bucket", ["few-attrs", "many-attrs"])
+def test_by_num_attributes(benchmark, gaussian_pool, algorithm, bucket):
+    pivot = _median_attributes(gaussian_pool)
+    if bucket == "few-attrs":
+        tasks = tasks_by(gaussian_pool, lambda t: t[1].d <= pivot)
+    else:
+        tasks = tasks_by(gaussian_pool, lambda t: t[1].d >= pivot)
+    benchmark.group = f"fig5-top {bucket}"
+    measure(benchmark, algorithm, tasks)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("bucket", ["few-roots", "many-roots"])
+def test_by_num_roots(benchmark, gaussian_pool, algorithm, bucket):
+    pivot = _median_roots(gaussian_pool)
+    if bucket == "few-roots":
+        tasks = tasks_by(gaussian_pool, lambda t: t[1].num_roots <= pivot)
+    else:
+        tasks = tasks_by(gaussian_pool, lambda t: t[1].num_roots >= pivot)
+    benchmark.group = f"fig5-bottom {bucket}"
+    measure(benchmark, algorithm, tasks)

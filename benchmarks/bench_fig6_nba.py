@@ -1,0 +1,42 @@
+"""Figure 6: the NBA workload [E5, E6].
+
+21,959 player-season rows over 14 attributes (here: the statistical
+simulation of :mod:`repro.data.nba`; larger values preferred), random
+p-expressions with d in 7..14.  The paper reports time grouped by d
+(left) and by output size (right); expected shape: OSDC outperforms LESS
+and BNL, most clearly when the output exceeds ~1% of the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import measure, output_sizes, split_by_median, tasks_by
+from repro.bench.workloads import PAPER_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def nba_sizes(nba_pool):
+    return output_sizes(nba_pool)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("bucket", ["low-d", "high-d"])
+def test_nba_by_attributes(benchmark, nba_pool, algorithm, bucket):
+    pivot = float(np.median([graph.d for _, graph, _ in nba_pool]))
+    if bucket == "low-d":
+        tasks = tasks_by(nba_pool, lambda t: t[1].d <= pivot)
+    else:
+        tasks = tasks_by(nba_pool, lambda t: t[1].d >= pivot)
+    benchmark.group = f"fig6-left {bucket}"
+    measure(benchmark, algorithm, tasks)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("half", ["small-v", "large-v"])
+def test_nba_by_output(benchmark, nba_pool, nba_sizes, algorithm, half):
+    small, large = split_by_median(nba_pool, nba_sizes)
+    tasks = small if half == "small-v" else large
+    benchmark.group = f"fig6-right {half}"
+    measure(benchmark, algorithm, tasks)

@@ -1,0 +1,43 @@
+"""Figure 7: the CoverType workload [E7, E8].
+
+Cartographic rows over 10 quantitative attributes (here: the statistical
+simulation of :mod:`repro.data.covertype`; smaller values preferred),
+random p-expressions with d in 5..10.  Expected shape as in Figure 6:
+OSDC ahead of LESS and BNL, with the gap widening for larger outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import measure, output_sizes, split_by_median, tasks_by
+from repro.bench.workloads import PAPER_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def covertype_sizes(covertype_pool):
+    return output_sizes(covertype_pool)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("bucket", ["low-d", "high-d"])
+def test_covertype_by_attributes(benchmark, covertype_pool, algorithm,
+                                 bucket):
+    pivot = float(np.median([graph.d for _, graph, _ in covertype_pool]))
+    if bucket == "low-d":
+        tasks = tasks_by(covertype_pool, lambda t: t[1].d <= pivot)
+    else:
+        tasks = tasks_by(covertype_pool, lambda t: t[1].d >= pivot)
+    benchmark.group = f"fig7-left {bucket}"
+    measure(benchmark, algorithm, tasks)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("half", ["small-v", "large-v"])
+def test_covertype_by_output(benchmark, covertype_pool, covertype_sizes,
+                             algorithm, half):
+    small, large = split_by_median(covertype_pool, covertype_sizes)
+    tasks = small if half == "small-v" else large
+    benchmark.group = f"fig7-right {half}"
+    measure(benchmark, algorithm, tasks)

@@ -1,0 +1,76 @@
+"""Benchmarks for the specialised evaluators and adversarial data shapes.
+
+* LAYERED vs. OSDC on weak-order p-graphs (the planner's rule 2);
+* duplicate-heavy Zipfian data, stressing the constant-promotion and
+  ``SplitByValue`` equal-value branches;
+* the exactly-uniform counting sampler vs. SampleSAT (workload
+  generation throughput at d = 12).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.layered import layered
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.data.classic import zipfian
+from repro.sampling.random_pexpr import PExpressionSampler
+
+WEAK_ORDER = "A0 & (A1 * A2) & (A3 * A4 * A5)"
+
+
+@pytest.fixture(scope="module")
+def weak_order_problem():
+    nrng = np.random.default_rng(31)
+    graph = PGraph.from_expression(parse(WEAK_ORDER),
+                                   names=[f"A{i}" for i in range(6)])
+    ranks = nrng.integers(0, 40, size=(40_000, 6)).astype(float)
+    return ranks, graph
+
+
+@pytest.mark.parametrize("evaluator", ["layered", "osdc"])
+def test_weak_order_evaluators(benchmark, weak_order_problem, evaluator):
+    ranks, graph = weak_order_problem
+    function = layered if evaluator == "layered" else \
+        get_algorithm("osdc")
+    benchmark.group = "weak-order evaluation 40k rows"
+    result = benchmark.pedantic(lambda: int(function(ranks, graph).size),
+                                rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["output"] = result
+
+
+@pytest.fixture(scope="module")
+def zipf_problem():
+    rng = random.Random(37)
+    nrng = np.random.default_rng(37)
+    sampler = PExpressionSampler([f"A{i}" for i in range(5)])
+    graph = sampler.sample_graph(rng)
+    ranks = zipfian(30_000, 5, nrng)
+    return ranks, graph
+
+
+@pytest.mark.parametrize("algorithm", ["osdc", "less", "bnl"])
+def test_duplicate_heavy_zipf(benchmark, zipf_problem, algorithm):
+    ranks, graph = zipf_problem
+    function = get_algorithm(algorithm)
+    benchmark.group = "zipfian duplicates 30k rows"
+    result = benchmark.pedantic(lambda: int(function(ranks, graph).size),
+                                rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["output"] = result
+
+
+@pytest.mark.parametrize("method", ["counting", "samplesat"])
+def test_sampler_throughput(benchmark, method):
+    sampler = PExpressionSampler([f"A{i}" for i in range(12)],
+                                 method=method)
+    rng = random.Random(41)
+    benchmark.group = "uniform p-graph sampling d=12"
+    benchmark.pedantic(
+        lambda: [sampler.sample_graph(rng) for _ in range(20)],
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

@@ -1,0 +1,78 @@
+"""Shared fixtures for the figure benchmarks.
+
+All benchmarks run at the ``QUICK`` scale so the whole suite finishes in
+minutes; the same workload builders accept ``DEFAULT``/``FULL`` scales for
+paper-sized runs (see ``examples/reproduce_figures.py`` and
+EXPERIMENTS.md).  Each benchmark executes one algorithm over one
+representative pool of tasks with ``benchmark.pedantic`` (few rounds, one
+iteration) -- these are macro-benchmarks, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.bench.workloads import (QUICK, covertype_tasks, gaussian_tasks,
+                                   nba_tasks)
+
+
+@pytest.fixture(scope="session")
+def gaussian_pool():
+    return gaussian_tasks(QUICK)
+
+
+@pytest.fixture(scope="session")
+def nba_pool():
+    return nba_tasks(QUICK)
+
+
+@pytest.fixture(scope="session")
+def covertype_pool():
+    return covertype_tasks(QUICK)
+
+
+def run_tasks(algorithm: str, tasks, **options) -> int:
+    """Run one algorithm over a task list; returns total output size (so
+    the work cannot be optimised away)."""
+    function = get_algorithm(algorithm)
+    total = 0
+    for ranks, graph, _ in tasks:
+        total += int(function(ranks, graph, **options).size)
+    return total
+
+
+def measure(benchmark, algorithm: str, tasks, rounds: int = 3,
+            **options) -> None:
+    result = benchmark.pedantic(
+        lambda: run_tasks(algorithm, tasks, **options),
+        rounds=rounds, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["total_output"] = result
+    benchmark.extra_info["num_tasks"] = len(tasks)
+
+
+def tasks_by(pool, predicate):
+    selected = [task for task in pool if predicate(task)]
+    assert selected, "workload selection is empty; widen the predicate"
+    return selected
+
+
+def output_sizes(pool) -> list[int]:
+    """Precomputed p-skyline sizes of a pool (via OSDC)."""
+    function = get_algorithm("osdc")
+    return [int(function(ranks, graph).size) for ranks, graph, _ in pool]
+
+
+@pytest.fixture(scope="session")
+def gaussian_sizes(gaussian_pool):
+    return output_sizes(gaussian_pool)
+
+
+def split_by_median(pool, sizes):
+    """Partition a pool into (small-output, large-output) halves."""
+    median = float(np.median(sizes))
+    small = [t for t, v in zip(pool, sizes) if v <= median]
+    large = [t for t, v in zip(pool, sizes) if v > median]
+    return small or pool[:1], large or pool[-1:]

@@ -1,0 +1,57 @@
+"""Out-of-core p-skylines: the paper's Section 8 future-work question.
+
+Runs the same query through the three external-memory operators over
+simulated paged storage and reports wall-clock plus *page I/O* -- the
+metric that matters when the input does not fit in RAM.  The external
+OSDC keeps the output-sensitive behaviour: tiny answers cost a handful
+of passes regardless of n.
+
+Usage::
+
+    python examples/external_memory.py [rows]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import PGraph, Stats, parse
+from repro.algorithms import external_bnl, external_osdc, external_sfs
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    rng = np.random.default_rng(3)
+    data = np.round(rng.normal(size=(rows, 6)), 2)
+    graph = PGraph.from_expression(
+        parse("(A0 & A1) * A2 * (A3 & (A4 * A5))"),
+        names=[f"A{i}" for i in range(6)])
+    page_size = 512
+    pages = (rows + page_size - 1) // page_size
+    print(f"input: {rows} tuples over 6 attributes = {pages} pages of "
+          f"{page_size}\npreference: (A0 & A1) * A2 * (A3 & (A4 * A5))\n")
+    print(f"{'operator':15s} {'time':>9s} {'page reads':>11s} "
+          f"{'page writes':>12s} {'v':>6s}")
+    for name, function, options in [
+        ("external-bnl", external_bnl, {"window_pages": 8}),
+        ("external-sfs", external_sfs, {"buffer_pages": 16}),
+        ("external-osdc", external_osdc, {"memory_budget": 4096}),
+    ]:
+        stats = Stats()
+        start = time.perf_counter()
+        result = function(data, graph, stats=stats, page_size=page_size,
+                          **options)
+        elapsed = time.perf_counter() - start
+        print(f"{name:15s} {elapsed*1000:7.1f}ms {stats.io_reads:11d} "
+              f"{stats.io_writes:12d} {result.size:6d}")
+    print("\nSame answer from all three. BNL reads the fewest pages when "
+          "the answer fits its window\nbut pays a tuple-at-a-time CPU "
+          "cost; the external OSDC stays output-sensitive:\ntry a "
+          "lexicographic preference (tiny v) or a skyline over "
+          "anti-correlated data (huge v)\nand watch its page counts "
+          "track the output.")
+
+
+if __name__ == "__main__":
+    main()

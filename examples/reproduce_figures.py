@@ -1,0 +1,171 @@
+"""Regenerate every figure of the paper's evaluation (Section 7).
+
+Runs the full benchmark harness and prints one text table per figure
+series -- the same rows the paper plots:
+
+* E1  Figure 4 (left):  mean time vs. measured data correlation
+* E2  Figure 4 (right): mean time vs. output size + polynomial fits
+* E3  Figure 5 (top):   mean time by number of attributes
+* E4  Figure 5 (bottom): mean time by number of p-graph roots
+* E5/E6  Figure 6: NBA workload by d and by output size
+* E7/E8  Figure 7: CoverType workload by d and by output size
+* A5  scaling sanity: OSDC on growing CI inputs
+
+Usage::
+
+    python examples/reproduce_figures.py [quick|default|full] [--out FILE]
+
+``quick`` takes seconds, ``default`` (used for EXPERIMENTS.md) takes
+minutes, ``full`` is the paper's scale (hours in pure Python).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.ascii_plot import line_plot, series_from_grouped
+from repro.bench.harness import (geometric_buckets, group_records, run_pool,
+                                 time_algorithm)
+from repro.bench.regression import fit_polynomial
+from repro.bench.report import format_series, format_table
+from repro.bench.workloads import (DEFAULT, FULL, PAPER_ALGORITHMS, QUICK,
+                                   covertype_tasks, gaussian_tasks,
+                                   nba_tasks, scaling_tasks)
+
+SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+def emit(text: str, sink) -> None:
+    print(text)
+    if sink is not None:
+        sink.write(text + "\n")
+
+
+def figure4_and_5(scale, sink) -> None:
+    start = time.time()
+    tasks = gaussian_tasks(scale)
+    records = run_pool(PAPER_ALGORITHMS, tasks, repeats=scale.repeats)
+    emit(f"\n[gaussian workload: {len(tasks)} tasks x "
+         f"{len(PAPER_ALGORITHMS)} algorithms in {time.time() - start:.1f}s]",
+         sink)
+
+    grouped = group_records(
+        records, key=lambda r: round(r.metadata["measured_correlation"], 2))
+    emit(format_series("E1 / Figure 4 (left): time vs. data correlation",
+                       grouped, PAPER_ALGORITHMS, "corr"), sink)
+
+    buckets = geometric_buckets(records)
+    grouped_v = group_records(records, key=buckets)
+    emit(format_series("E2 / Figure 4 (right): time vs. output size "
+                       "(geometric buckets)",
+                       grouped_v, PAPER_ALGORITHMS, "v-bucket"), sink)
+    emit(line_plot(series_from_grouped(grouped_v, PAPER_ALGORITHMS),
+                   log_x=True, log_y=True, x_label="v",
+                   y_label="seconds", width=56, height=12), sink)
+    rows = []
+    for algorithm in PAPER_ALGORITHMS:
+        points = [(r.output_size, r.seconds) for r in records
+                  if r.algorithm == algorithm]
+        if len(points) >= 3:
+            fit = fit_polynomial([p[0] for p in points],
+                                 [p[1] for p in points], degree=2)
+            rows.append([algorithm] + [f"{c:+.3e}" for c in
+                                       fit.coefficients]
+                        + [f"{fit.r_squared:.3f}"])
+    emit("\n2nd-order polynomial fits time(v) [seconds]:", sink)
+    emit(format_table(["algorithm", "c0", "c1", "c2", "R^2"], rows), sink)
+
+    grouped_d = group_records(records, key=lambda r: r.num_attributes)
+    emit(format_series("E3 / Figure 5 (top): time vs. number of attributes",
+                       grouped_d, PAPER_ALGORITHMS, "d"), sink)
+
+    grouped_roots = group_records(records, key=lambda r: r.num_roots)
+    emit(format_series("E4 / Figure 5 (bottom): time vs. number of roots",
+                       grouped_roots, PAPER_ALGORITHMS, "roots"), sink)
+
+    sizes_by_roots = group_records(
+        [r for r in records if r.algorithm == "osdc"],
+        key=lambda r: r.num_roots)
+    rows = [[roots, np.mean([r.output_size for r in records
+                             if r.num_roots == roots])]
+            for roots in sorted(sizes_by_roots)]
+    emit("\nmean output size by number of roots "
+         "(the Section 7.2 observation):", sink)
+    emit(format_table(["roots", "mean v"], rows), sink)
+
+
+def figure6(scale, sink) -> None:
+    start = time.time()
+    tasks = nba_tasks(scale)
+    records = run_pool(PAPER_ALGORITHMS, tasks, repeats=scale.repeats)
+    emit(f"\n[nba workload: {len(tasks)} tasks in "
+         f"{time.time() - start:.1f}s]", sink)
+    grouped_d = group_records(records, key=lambda r: r.num_attributes)
+    emit(format_series("E5 / Figure 6 (left): NBA, time vs. d",
+                       grouped_d, PAPER_ALGORITHMS, "d"), sink)
+    grouped_v = group_records(records, key=geometric_buckets(records))
+    emit(format_series("E6 / Figure 6 (right): NBA, time vs. output size",
+                       grouped_v, PAPER_ALGORITHMS, "v-bucket"), sink)
+
+
+def figure7(scale, sink) -> None:
+    start = time.time()
+    tasks = covertype_tasks(scale)
+    records = run_pool(PAPER_ALGORITHMS, tasks, repeats=scale.repeats)
+    emit(f"\n[covertype workload: {len(tasks)} tasks in "
+         f"{time.time() - start:.1f}s]", sink)
+    grouped_d = group_records(records, key=lambda r: r.num_attributes)
+    emit(format_series("E7 / Figure 7 (left): CoverType, time vs. d",
+                       grouped_d, PAPER_ALGORITHMS, "d"), sink)
+    grouped_v = group_records(records, key=geometric_buckets(records))
+    emit(format_series("E8 / Figure 7 (right): CoverType, time vs. "
+                       "output size", grouped_v, PAPER_ALGORITHMS,
+                       "v-bucket"), sink)
+
+
+def scaling(sink) -> None:
+    rows = []
+    for n in (5_000, 20_000, 80_000):
+        for ranks, graph, _ in scaling_tasks((n,), d=6):
+            record = time_algorithm("osdc-linear", ranks, graph)
+            rows.append([n, record.output_size,
+                         record.seconds * 1000,
+                         record.seconds * 1e9 / n])
+    emit("\n== A5: OSDC-linear scaling on CI data "
+         "(ns/tuple should stay ~flat) ==", sink)
+    emit(format_table(["n", "v", "time [ms]", "ns/tuple"], rows), sink)
+
+
+def main() -> None:
+    scale_name = "quick"
+    out_path = None
+    arguments = sys.argv[1:]
+    while arguments:
+        argument = arguments.pop(0)
+        if argument == "--out":
+            out_path = arguments.pop(0)
+        elif argument in SCALES:
+            scale_name = argument
+        else:
+            raise SystemExit(f"unknown argument {argument!r}; "
+                             f"use one of {sorted(SCALES)} or --out FILE")
+    scale = SCALES[scale_name]
+    sink = open(out_path, "w") if out_path else None
+    emit(f"# p-skyline figure reproduction -- scale: {scale.name}", sink)
+    emit(f"# gaussian: n={scale.gaussian_rows} cols="
+         f"{scale.gaussian_columns}; nba: n={scale.nba_rows}; "
+         f"covertype: n={scale.covertype_rows}", sink)
+    figure4_and_5(scale, sink)
+    figure6(scale, sink)
+    figure7(scale, sink)
+    scaling(sink)
+    if sink is not None:
+        sink.close()
+        print(f"\n(series also written to {out_path})")
+
+
+if __name__ == "__main__":
+    main()

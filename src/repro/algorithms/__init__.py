@@ -1,0 +1,76 @@
+"""P-skyline evaluation algorithms.
+
+Importing this package populates :data:`repro.algorithms.base.REGISTRY`
+with every available algorithm:
+
+========  ==========================================================
+name      algorithm
+========  ==========================================================
+naive     exhaustive pairwise dominance (the correctness oracle)
+bnl       block-nested-loop window algorithm
+bbs       branch-and-bound over an STR R-tree (extension)
+sfs       sort-filter-skyline with the ``≻ext`` presort (Section 6)
+less      elimination filter + SFS (Section 6)
+salsa     minC sort-and-limit with early stop (extension)
+dc        divide and conquer, ``O(n log^{d-2} n)`` (Section 3)
+osdc      output-sensitive divide and conquer, ``O(n log^{d-2} v)``
+osdc-linear  OSDC with the Section 5 linear average-case pre-scan
+========  ==========================================================
+"""
+
+from .base import REGISTRY, Algorithm, Stats, get_algorithm, register
+from .bbs import bbs, bbs_iter
+from .bnl import bnl
+from .incremental import PSkylineMaintainer
+from .layered import NotAWeakOrderError, layered, weak_order_layers
+from .dc import dc
+from .external import external_bnl, external_sfs, external_sort
+from .external_osdc import external_osdc
+from .less import less
+from .linear_avg import osdc_linear, virtual_tuple
+from .naive import naive
+from .osdc import osdc
+from .parallel import parallel_osdc
+from .sliding import SlidingWindowPSkyline
+from .pscreen import PScreener, pscreen, split_threshold
+from .ranked import peel_layers, top_k
+from .salsa import salsa
+from .sfs import sfs, sfs_iter
+from .special import pscreen_single_point, pskyline_single_point
+
+__all__ = [
+    "REGISTRY",
+    "Algorithm",
+    "Stats",
+    "get_algorithm",
+    "register",
+    "naive",
+    "bbs",
+    "bbs_iter",
+    "PSkylineMaintainer",
+    "layered",
+    "weak_order_layers",
+    "NotAWeakOrderError",
+    "bnl",
+    "sfs",
+    "sfs_iter",
+    "less",
+    "salsa",
+    "dc",
+    "osdc",
+    "external_bnl",
+    "external_sfs",
+    "external_sort",
+    "external_osdc",
+    "osdc_linear",
+    "parallel_osdc",
+    "SlidingWindowPSkyline",
+    "virtual_tuple",
+    "pscreen",
+    "top_k",
+    "peel_layers",
+    "PScreener",
+    "split_threshold",
+    "pskyline_single_point",
+    "pscreen_single_point",
+]

@@ -1,0 +1,113 @@
+"""Shared infrastructure for the p-skyline algorithms.
+
+Every algorithm in this package has the uniform signature::
+
+    algorithm(ranks, graph, *, stats=None, **options) -> np.ndarray
+
+where ``ranks`` is an ``(n, d)`` float64 matrix with *smaller is better*
+semantics, ``graph`` the :class:`~repro.core.pgraph.PGraph` over exactly the
+``d`` columns, and the return value the sorted row indices of the p-skyline
+``M_pi(D)``.  Algorithms register themselves by name in :data:`REGISTRY` so
+the query layer and the benchmark harness can enumerate them.
+
+:class:`Stats` counts structural work (dominance tests, splits, passes, ...)
+so the output-sensitivity claims can be verified independently of
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..core.pgraph import PGraph
+
+__all__ = ["Stats", "Algorithm", "REGISTRY", "register", "get_algorithm",
+           "check_input"]
+
+
+@dataclass
+class Stats:
+    """Structural work counters, filled in by the algorithms.
+
+    ``dominance_tests`` counts *tuple-vs-tuple* dominance evaluations, also
+    when they are performed inside a vectorised kernel (each row of a
+    one-vs-many comparison counts as one test).
+    """
+
+    dominance_tests: int = 0
+    comparisons: int = 0
+    splits: int = 0
+    recursive_calls: int = 0
+    max_depth: int = 0
+    passes: int = 0
+    window_peak: int = 0
+    pruned_by_lookahead: int = 0
+    pruned_by_filter: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "Stats") -> None:
+        self.dominance_tests += other.dominance_tests
+        self.comparisons += other.comparisons
+        self.splits += other.splits
+        self.recursive_calls += other.recursive_calls
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.passes += other.passes
+        self.window_peak = max(self.window_peak, other.window_peak)
+        self.pruned_by_lookahead += other.pruned_by_lookahead
+        self.pruned_by_filter += other.pruned_by_filter
+        self.io_reads += other.io_reads
+        self.io_writes += other.io_writes
+
+
+class Algorithm(Protocol):
+    """The callable protocol all registered algorithms satisfy."""
+
+    def __call__(self, ranks: np.ndarray, graph: PGraph, *,
+                 stats: Stats | None = None, **options) -> np.ndarray:
+        ...  # pragma: no cover
+
+
+REGISTRY: dict[str, Algorithm] = {}
+
+
+def register(name: str) -> Callable[[Algorithm], Algorithm]:
+    """Decorator adding an algorithm to :data:`REGISTRY` under ``name``."""
+
+    def decorator(function: Algorithm) -> Algorithm:
+        if name in REGISTRY:
+            raise ValueError(f"algorithm {name!r} registered twice")
+        REGISTRY[name] = function
+        return function
+
+    return decorator
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Look up an algorithm by registry name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {known}"
+        ) from None
+
+
+def check_input(ranks: np.ndarray, graph: PGraph) -> np.ndarray:
+    """Validate and normalise an input rank matrix against its p-graph."""
+    ranks = np.ascontiguousarray(ranks, dtype=np.float64)
+    if ranks.ndim != 2:
+        raise ValueError("expected a 2-d rank matrix")
+    if ranks.shape[1] != graph.d:
+        raise ValueError(
+            f"rank matrix has {ranks.shape[1]} columns but the p-graph has "
+            f"{graph.d} attributes"
+        )
+    if np.isnan(ranks).any():
+        raise ValueError("rank matrix contains NaNs")
+    return ranks

@@ -1,0 +1,118 @@
+"""BBS (branch-and-bound skyline) generalised to p-skyline queries.
+
+Papadias et al.'s BBS explores an R-tree best-first, ordered by a
+*mindist* that is monotone with respect to dominance, pruning every entry
+whose lower corner is already dominated.  Two observations carry it over
+to prioritized preferences:
+
+* the lexicographic ``≻ext`` key of an entry's lower corner is a valid
+  mindist: the corner is coordinate-wise no worse than any contained
+  point, per-depth sums are monotone in the coordinates, and Theorem 3
+  guarantees ``p ≻_pi q  =>  key(p) <lex key(q)`` -- so every possible
+  dominator of a point is popped (and reported) before the point itself;
+* if a result tuple ``r`` p-dominates an entry's lower corner ``c``, then
+  for any point ``q`` inside the entry ``c ⪰_pi q`` (the corner is no
+  worse everywhere), hence ``r ≻_pi q`` by transitivity -- the whole
+  entry can be pruned.
+
+BBS is *progressive*: p-skyline tuples are emitted in ``≻ext`` order, and
+it inspects only the R-tree nodes not dominated by the answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.extension import ExtensionOrder
+from ..core.pgraph import PGraph
+from ..index.rtree import RTree
+from .base import Stats, check_input, register
+
+__all__ = ["bbs", "bbs_iter"]
+
+
+def _corner_key(extension: ExtensionOrder, point: np.ndarray) -> tuple:
+    return tuple(extension.keys(point.reshape(1, -1))[0])
+
+
+def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
+             stats: Stats | None = None, fanout: int = 32,
+             tree: RTree | None = None) -> Iterator[int]:
+    """Yield p-skyline row indices progressively, best (``≻ext``) first."""
+    ranks = check_input(ranks, graph)
+    if ranks.shape[0] == 0:
+        return
+    dominance = Dominance(graph)
+    extension = ExtensionOrder(graph)
+    if tree is None:
+        tree = RTree(ranks, fanout=fanout)
+    assert tree.root is not None
+    result_rows: list[int] = []
+    result_block = np.empty((0, ranks.shape[1]))
+    tiebreak = itertools.count()
+    heap: list[tuple] = []
+
+    def push_node(node) -> None:
+        heapq.heappush(
+            heap,
+            (_corner_key(extension, node.low), next(tiebreak), node, -1),
+        )
+
+    def push_point(row: int) -> None:
+        heapq.heappush(
+            heap,
+            (_corner_key(extension, ranks[row]), next(tiebreak), None,
+             int(row)),
+        )
+
+    def dominated(point: np.ndarray) -> bool:
+        nonlocal result_block
+        if not result_rows:
+            return False
+        if stats is not None:
+            stats.dominance_tests += result_block.shape[0]
+        return bool(dominance.dominators_mask(result_block, point).any())
+
+    push_node(tree.root)
+    while heap:
+        _, _, node, row = heapq.heappop(heap)
+        if node is None:
+            point = ranks[row]
+            if dominated(point):
+                continue
+            result_rows.append(row)
+            result_block = np.vstack([result_block,
+                                      point.reshape(1, -1)])
+            if stats is not None:
+                stats.window_peak = max(stats.window_peak,
+                                        len(result_rows))
+            yield row
+        else:
+            if dominated(node.low):
+                if stats is not None:
+                    stats.pruned_by_filter += 1
+                continue
+            if node.is_leaf:
+                for leaf_row in node.rows:
+                    push_point(int(leaf_row))
+            else:
+                for child in node.children:
+                    push_node(child)
+
+
+@register("bbs")
+def bbs(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
+        fanout: int = 32, tree: RTree | None = None) -> np.ndarray:
+    """Compute ``M_pi(D)`` with branch-and-bound over an R-tree.
+
+    Returns sorted row indices.  Pass a prebuilt ``tree`` to amortise the
+    index across queries (it must index exactly ``ranks``).
+    """
+    rows = list(bbs_iter(ranks, graph, stats=stats, fanout=fanout,
+                         tree=tree))
+    return np.sort(np.asarray(rows, dtype=np.intp))

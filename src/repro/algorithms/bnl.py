@@ -1,0 +1,174 @@
+"""BNL (block-nested-loop) adapted to p-skyline queries.
+
+The classic window algorithm of Börzsönyi, Kossmann and Stocker, with
+dominance tests generalised to ``≻_pi`` (Proposition 1).  Two variants:
+
+* the paper's experimental setting -- an in-memory BNL whose window is
+  large enough for the whole input (``window_size=None``), so a single
+  pass suffices.  The scan is chunked: each chunk is screened against the
+  window, self-screened, and the window is purged of evicted tuples.  The
+  result (the window is always the set of maxima of the processed prefix)
+  is identical to the tuple-at-a-time algorithm.
+* the classic bounded-window multi-pass BNL (``window_size=k``): overflow
+  tuples go to a temporary list and are reprocessed in later passes, with
+  the timestamp bookkeeping needed to emit window tuples as soon as every
+  potential dominator has been compared against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.pgraph import PGraph
+from .base import Stats, check_input, register
+
+__all__ = ["bnl"]
+
+
+def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
+                   stats: Stats | None, chunk_size: int) -> np.ndarray:
+    """Single-pass in-memory BNL with a chunked, vectorised window."""
+    n = ranks.shape[0]
+    window_rows: list[np.ndarray] = []
+    window_parts: list[np.ndarray] = []
+    window_size = 0
+    for start in range(0, n, chunk_size):
+        chunk_rows = np.arange(start, min(start + chunk_size, n),
+                               dtype=np.intp)
+        chunk = ranks[chunk_rows]
+        alive = np.ones(chunk_rows.size, dtype=bool)
+        for part in window_parts:
+            if stats is not None:
+                stats.dominance_tests += int(alive.sum()) * part.shape[0]
+            alive[alive] = dominance.screen_block(chunk[alive], part)
+            if not alive.any():
+                break
+        if alive.any():
+            if stats is not None:
+                stats.dominance_tests += int(alive.sum()) ** 2
+            alive[alive] = dominance.screen_block(chunk[alive], chunk[alive])
+        if not alive.any():
+            continue
+        new_rows = chunk_rows[alive]
+        new_block = ranks[new_rows]
+        # evict window tuples dominated by the new arrivals
+        for index in range(len(window_parts)):
+            part = window_parts[index]
+            if stats is not None:
+                stats.dominance_tests += part.shape[0] * new_block.shape[0]
+            keep = dominance.screen_block(part, new_block)
+            if not keep.all():
+                window_size -= int((~keep).sum())
+                window_parts[index] = part[keep]
+                window_rows[index] = window_rows[index][keep]
+        window_parts.append(new_block)
+        window_rows.append(new_rows)
+        window_size += new_rows.size
+        if stats is not None:
+            stats.window_peak = max(stats.window_peak, window_size)
+    if not window_rows:
+        return np.empty(0, dtype=np.intp)
+    return np.sort(np.concatenate(window_rows))
+
+
+def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
+                 stats: Stats | None, window_size: int,
+                 policy: str = "append") -> np.ndarray:
+    """Classic multi-pass BNL with a window of at most ``window_size``.
+
+    ``policy="move-to-front"`` enables the original paper's
+    self-organising window: a window tuple that eliminates an incoming
+    tuple is moved to the front, so frequent dominators are met first on
+    subsequent tests (fewer comparisons on skewed inputs).
+    """
+    n = ranks.shape[0]
+    result: list[int] = []
+    window: list[int] = []
+    window_entry: list[int] = []  # overflow size when the tuple entered
+    pending = list(range(n))
+    while pending:
+        if stats is not None:
+            stats.passes += 1
+        overflow: list[int] = []
+        for row in pending:
+            tuple_ranks = ranks[row]
+            if window:
+                # scan the window front-to-back in small blocks with an
+                # early exit, so the window organisation policy matters
+                dominated = False
+                dominator = -1
+                for start in range(0, len(window), 32):
+                    part = window[start:start + 32]
+                    block = ranks[np.asarray(part, dtype=np.intp)]
+                    if stats is not None:
+                        stats.dominance_tests += len(part)
+                    hits = dominance.dominators_mask(block, tuple_ranks)
+                    if hits.any():
+                        dominated = True
+                        dominator = start + int(np.argmax(hits))
+                        break
+                if dominated:
+                    if policy == "move-to-front" and dominator > 0:
+                        window.insert(0, window.pop(dominator))
+                        window_entry.insert(0,
+                                            window_entry.pop(dominator))
+                    continue  # dominated: discard immediately
+                block = ranks[np.asarray(window, dtype=np.intp)]
+                if stats is not None:
+                    stats.dominance_tests += len(window)
+                beaten = dominance.dominated_mask(block, tuple_ranks)
+                if beaten.any():
+                    keep = ~beaten
+                    window = [w for w, k in zip(window, keep) if k]
+                    window_entry = [e for e, k in zip(window_entry, keep)
+                                    if k]
+            if len(window) < window_size:
+                window.append(row)
+                window_entry.append(len(overflow))
+                if stats is not None:
+                    stats.window_peak = max(stats.window_peak, len(window))
+            else:
+                overflow.append(row)
+                if stats is not None:
+                    stats.io_writes += 1
+        # Window tuples that entered while this pass's overflow was still
+        # empty have been compared against every possible dominator.
+        carried: list[int] = []
+        for row, entry in zip(window, window_entry):
+            if entry == 0 or not overflow:
+                result.append(row)
+            else:
+                carried.append(row)
+        window = carried
+        window_entry = [0] * len(carried)
+        pending = overflow
+        if stats is not None:
+            stats.io_reads += len(overflow)
+    return np.sort(np.asarray(result, dtype=np.intp))
+
+
+@register("bnl")
+def bnl(ranks: np.ndarray, graph: PGraph, *,
+        stats: Stats | None = None, window_size: int | None = None,
+        chunk_size: int = 256, policy: str = "append") -> np.ndarray:
+    """Compute ``M_pi(D)`` with a (possibly bounded) BNL window.
+
+    Returns sorted row indices.  ``window_size=None`` keeps every
+    incomparable tuple in the window (single pass, the paper's setup);
+    with a bounded window, ``policy`` selects the window organisation
+    (``"append"`` or the self-organising ``"move-to-front"``).
+    """
+    ranks = check_input(ranks, graph)
+    dominance = Dominance(graph)
+    if ranks.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    if policy not in ("append", "move-to-front"):
+        raise ValueError(f"unknown window policy {policy!r}")
+    if window_size is None:
+        if stats is not None:
+            stats.passes += 1
+        return _bnl_unbounded(ranks, dominance, stats, max(1, chunk_size))
+    if window_size < 1:
+        raise ValueError("window_size must be at least 1")
+    return _bnl_bounded(ranks, dominance, stats, window_size, policy)

@@ -1,0 +1,147 @@
+"""DC: the basic divide-and-conquer p-skyline algorithm (Section 3).
+
+DC splits the input at the median of a carefully chosen attribute ``A``
+(all ancestors of ``A`` must be constant over the current sub-problem, so
+the preference on ``A`` cannot be overridden), recursively computes the
+p-skyline of the better half ``B``, p-screens the worse half ``W`` against
+it, and recurses on the survivors.  Worst case ``O(n log^{d-2} n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitsets import iter_bits
+from ..core.pgraph import PGraph
+from .base import Stats, check_input, register
+from .naive import maximal_mask
+from .pscreen import PScreener, split_threshold
+
+__all__ = ["dc"]
+
+
+#: Candidate-attribute selection strategies for the split step.  The
+#: paper's pseudocode says only "select an attribute from C"; the choice
+#: affects balance, not correctness (see the selection ablation bench).
+SELECT_STRATEGIES = ("first", "rotate", "widest")
+
+
+class _DivideAndConquer:
+    """Shared recursion driver for DC (and subclassed by OSDC)."""
+
+    def __init__(self, ranks: np.ndarray, graph: PGraph,
+                 screener: PScreener, stats: Stats | None,
+                 leaf_size: int, select: str = "first"):
+        if select not in SELECT_STRATEGIES:
+            raise ValueError(
+                f"unknown selection strategy {select!r}; "
+                f"choose from {SELECT_STRATEGIES}"
+            )
+        self.ranks = ranks
+        self.graph = graph
+        self.screener = screener
+        self.stats = stats
+        self.leaf_size = max(1, leaf_size)
+        self.select = select
+
+    def run(self) -> np.ndarray:
+        indices = np.arange(self.ranks.shape[0], dtype=np.intp)
+        result = self.rec(indices, self.graph.roots, 0, 0)
+        return np.sort(result)
+
+    def rec(self, idx: np.ndarray, cand: int, equal: int,
+            depth: int) -> np.ndarray:
+        if self.stats is not None:
+            self.stats.recursive_calls += 1
+            self.stats.max_depth = max(self.stats.max_depth, depth)
+        if idx.size <= 1 or cand == 0:
+            return idx
+        if idx.size <= self.leaf_size:
+            if self.stats is not None:
+                self.stats.dominance_tests += idx.size * (idx.size - 1)
+            keep = maximal_mask(self.ranks[idx], self.screener.dominance)
+            return idx[keep]
+        # pick a candidate attribute; promote constant ones into E
+        attribute = None
+        while cand:
+            attribute = self._choose(idx, cand, depth)
+            if attribute is not None:
+                break
+            # every candidate is constant over D: move them to E and pull
+            # in the successors whose predecessors are now all equal
+            a = next(iter_bits(cand))
+            cand &= ~(1 << a)
+            equal |= 1 << a
+            for successor in iter_bits(self.graph.successors(a)):
+                if (self.graph.predecessors(successor) & ~equal) == 0:
+                    cand |= 1 << successor
+        if attribute is None:
+            return idx  # all relevant attributes equal: all maximal
+        return self.split(idx, attribute, cand, equal, depth)
+
+    def _choose(self, idx: np.ndarray, cand: int, depth: int) -> int | None:
+        """Pick a non-constant candidate attribute, or None if all are
+        constant over the current sub-problem."""
+        usable: list[int] = []
+        for a in iter_bits(cand):
+            column = self.ranks[idx, a]
+            if column.min() != column.max():
+                if self.select == "first":
+                    return a
+                usable.append(a)
+        if not usable:
+            return None
+        if self.select == "rotate":
+            return usable[depth % len(usable)]
+        # "widest": the attribute whose values spread the most, after
+        # normalising by the sub-problem's scale -- a cheap balance proxy
+        best = usable[0]
+        best_spread = -1.0
+        for a in usable:
+            column = self.ranks[idx, a]
+            low = float(column.min())
+            high = float(column.max())
+            spread = (high - low) / (abs(high) + abs(low) + 1.0)
+            if spread > best_spread:
+                best_spread = spread
+                best = a
+        return best
+
+    def split(self, idx: np.ndarray, attribute: int, cand: int, equal: int,
+              depth: int) -> np.ndarray:
+        """One divide-and-conquer step of plain DC (lines 12-16)."""
+        if self.stats is not None:
+            self.stats.splits += 1
+        column = self.ranks[idx, attribute]
+        tau = split_threshold(column)
+        better = idx[column < tau]
+        worse = idx[column >= tau]
+        better_sky = self.rec(better, cand, equal, depth + 1)
+        survivors = self.screener.screen(
+            self.ranks, better_sky, worse,
+            candidates=cand & ~(1 << attribute), equal=equal,
+            dropped=1 << attribute, stats=self.stats,
+        )
+        worse_sky = self.rec(survivors, cand, equal, depth + 1)
+        return np.concatenate([better_sky, worse_sky])
+
+
+@register("dc")
+def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
+       leaf_size: int = 16, use_lowdim: bool = True,
+       dense_cutoff: int = 4096, select: str = "first") -> np.ndarray:
+    """Compute ``M_pi(D)`` with the paper's Algorithm DC.
+
+    Returns sorted row indices.  ``leaf_size`` switches to the quadratic
+    vectorised kernel for tiny sub-problems (``leaf_size=1`` matches the
+    paper's pseudocode exactly); ``select`` picks the split-attribute
+    strategy (:data:`SELECT_STRATEGIES`).
+    """
+    ranks = check_input(ranks, graph)
+    if ranks.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    screener = PScreener(graph, use_lowdim=use_lowdim,
+                         dense_cutoff=dense_cutoff)
+    driver = _DivideAndConquer(ranks, graph, screener, stats, leaf_size,
+                               select)
+    return driver.run()

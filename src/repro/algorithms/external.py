@@ -1,0 +1,241 @@
+"""External-memory p-skyline execution (Section 6's motivation).
+
+Scan-based algorithms are attractive because they run in external memory;
+this module provides page-level implementations on top of the simulated
+storage of :mod:`repro.storage.blocks`:
+
+* :func:`external_bnl` -- multi-pass BNL whose window is limited to a
+  budget of *pages*; overflow tuples spill to a temporary paged file;
+* :func:`external_sort` -- classic run-generation + k-way-merge external
+  merge sort, ordering tuples by the ``≻ext`` keys (Theorem 3);
+* :func:`external_sfs` -- external sort followed by a single filtering
+  scan (the window holds only p-skyline tuples and stays in memory).
+
+Rows travel through the files with their original row id appended as a
+trailing column, so results are reported as input indices; the
+``Stats.io_reads`` / ``Stats.io_writes`` counters expose the page traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.extension import ExtensionOrder
+from ..core.pgraph import PGraph
+from ..storage.blocks import PagedFile, StorageManager
+from .base import Stats, check_input, register
+
+__all__ = ["external_bnl", "external_sfs", "external_sort"]
+
+
+def _attach_ids(ranks: np.ndarray) -> np.ndarray:
+    ids = np.arange(ranks.shape[0], dtype=np.float64).reshape(-1, 1)
+    return np.hstack([ranks, ids])
+
+
+@register("external-bnl")
+def external_bnl(ranks: np.ndarray, graph: PGraph, *,
+                 stats: Stats | None = None, page_size: int = 256,
+                 window_pages: int = 16) -> np.ndarray:
+    """Multi-pass BNL over paged storage with a bounded window.
+
+    The window holds at most ``window_pages * page_size`` tuples.  Window
+    tuples that entered while the current pass's overflow file was still
+    empty are emitted at the end of the pass (they have met every possible
+    dominator); the rest carry over.
+    """
+    ranks = check_input(ranks, graph)
+    dominance = Dominance(graph)
+    storage = StorageManager(page_size)
+    if ranks.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    window_capacity = window_pages * page_size
+    current = storage.from_matrix(_attach_ids(ranks), "input")
+
+    result: list[int] = []
+    window = np.empty((0, ranks.shape[1] + 1))
+    window_entry: list[int] = []
+    while True:
+        if stats is not None:
+            stats.passes += 1
+        overflow = storage.create(ranks.shape[1] + 1)
+        overflow_rows = 0
+        for page in current.scan():
+            for row in page:
+                body = row[:-1]
+                if window.shape[0]:
+                    if stats is not None:
+                        stats.dominance_tests += 2 * window.shape[0]
+                    if dominance.dominators_mask(window[:, :-1], body).any():
+                        continue
+                    beaten = dominance.dominated_mask(window[:, :-1], body)
+                    if beaten.any():
+                        keep = ~beaten
+                        window = window[keep]
+                        window_entry = [e for e, k in zip(window_entry, keep)
+                                        if k]
+                if window.shape[0] < window_capacity:
+                    window = np.vstack([window, row.reshape(1, -1)])
+                    window_entry.append(overflow_rows)
+                else:
+                    overflow.append_rows(row)
+                    overflow_rows += 1
+        overflow.close_writes()
+        carried_rows: list[np.ndarray] = []
+        for row, entry in zip(window, window_entry):
+            if entry == 0 or overflow_rows == 0:
+                result.append(int(row[-1]))
+            else:
+                carried_rows.append(row)
+        window = (np.vstack(carried_rows) if carried_rows
+                  else np.empty((0, ranks.shape[1] + 1)))
+        window_entry = [0] * window.shape[0]
+        if overflow_rows == 0:
+            break
+        current = overflow
+    if stats is not None:
+        stats.io_reads += storage.counter.reads
+        stats.io_writes += storage.counter.writes
+    return np.sort(np.asarray(result, dtype=np.intp))
+
+
+def external_sort(source: PagedFile, keys: np.ndarray,
+                  storage: StorageManager,
+                  buffer_pages: int = 16) -> PagedFile:
+    """External merge sort of ``source`` by the given per-row key matrix.
+
+    ``keys[i]`` are the sort keys of input row ``i`` (rows carry their id
+    in the trailing column, which is how keys are looked up after the
+    first pass).  Runs of ``buffer_pages`` pages are sorted in memory and
+    merged ``buffer_pages - 1`` ways per level.
+    """
+    if buffer_pages < 2:
+        raise ValueError("need at least two buffer pages")
+
+    def key_of(row: np.ndarray) -> tuple[float, ...]:
+        return tuple(keys[int(row[-1])])
+
+    # -- run generation ---------------------------------------------------------
+    runs: list[PagedFile] = []
+    batch: list[np.ndarray] = []
+
+    def flush_batch() -> None:
+        if not batch:
+            return
+        block = np.vstack(batch)
+        order = np.lexsort(tuple(
+            keys[block[:, -1].astype(np.intp), level]
+            for level in range(keys.shape[1] - 1, -1, -1)
+        )) if keys.shape[1] else np.arange(block.shape[0])
+        run = storage.create(source.arity)
+        run.append_rows(block[order])
+        run.close_writes()
+        runs.append(run)
+        batch.clear()
+
+    pages_in_batch = 0
+    for page in source.scan():
+        batch.append(page)
+        pages_in_batch += 1
+        if pages_in_batch == buffer_pages:
+            flush_batch()
+            pages_in_batch = 0
+    flush_batch()
+    if not runs:
+        empty = storage.create(source.arity)
+        empty.close_writes()
+        return empty
+
+    # -- merge levels ----------------------------------------------------------
+    fan_in = buffer_pages - 1
+    while len(runs) > 1:
+        merged_level: list[PagedFile] = []
+        for start in range(0, len(runs), fan_in):
+            group = runs[start:start + fan_in]
+            if len(group) == 1:
+                merged_level.append(group[0])
+                continue
+            merged_level.append(_merge_runs(group, key_of, storage))
+        runs = merged_level
+    return runs[0]
+
+
+def _merge_runs(group: list[PagedFile], key_of, storage: StorageManager
+                ) -> PagedFile:
+    output = storage.create(group[0].arity)
+    heap: list[tuple[tuple[float, ...], int, int, int]] = []
+    buffers: list[np.ndarray] = []
+    positions: list[tuple[int, int]] = []  # (page index, row index)
+    for run_index, run in enumerate(group):
+        page = run.read_page(0) if run.num_pages else None
+        buffers.append(page if page is not None else np.empty((0, 0)))
+        positions.append((0, 0))
+        if page is not None and page.shape[0]:
+            heapq.heappush(heap, (key_of(page[0]), run_index, 0, 0))
+    while heap:
+        _, run_index, page_index, row_index = heapq.heappop(heap)
+        row = buffers[run_index][row_index]
+        output.append_rows(row)
+        next_row = row_index + 1
+        next_page = page_index
+        if next_row >= buffers[run_index].shape[0]:
+            next_page += 1
+            next_row = 0
+            if next_page >= group[run_index].num_pages:
+                continue
+            buffers[run_index] = group[run_index].read_page(next_page)
+        heapq.heappush(
+            heap,
+            (key_of(buffers[run_index][next_row]), run_index, next_page,
+             next_row),
+        )
+    output.close_writes()
+    return output
+
+
+@register("external-sfs")
+def external_sfs(ranks: np.ndarray, graph: PGraph, *,
+                 stats: Stats | None = None, page_size: int = 256,
+                 buffer_pages: int = 16) -> np.ndarray:
+    """External SFS: external ``≻ext`` sort plus a single filtering scan.
+
+    The filter window holds only p-skyline tuples and is assumed to fit in
+    memory, as is standard for SFS.
+    """
+    ranks = check_input(ranks, graph)
+    if ranks.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    dominance = Dominance(graph)
+    extension = ExtensionOrder(graph)
+    keys = extension.keys(ranks)
+    storage = StorageManager(page_size)
+    source = storage.from_matrix(_attach_ids(ranks), "input")
+    sorted_file = external_sort(source, keys, storage,
+                                buffer_pages=buffer_pages)
+    if stats is not None:
+        stats.passes += 1
+    survivors: list[int] = []
+    window_parts: list[np.ndarray] = []
+    for page in sorted_file.scan():
+        body = page[:, :-1]
+        alive = np.ones(page.shape[0], dtype=bool)
+        for part in window_parts:
+            if stats is not None:
+                stats.dominance_tests += int(alive.sum()) * part.shape[0]
+            alive[alive] = dominance.screen_block(body[alive], part)
+            if not alive.any():
+                break
+        if alive.any():
+            if stats is not None:
+                stats.dominance_tests += int(alive.sum()) ** 2
+            alive[alive] = dominance.screen_block(body[alive], body[alive])
+        if alive.any():
+            window_parts.append(body[alive])
+            survivors.extend(int(i) for i in page[alive, -1])
+    if stats is not None:
+        stats.io_reads += storage.counter.reads
+        stats.io_writes += storage.counter.writes
+    return np.sort(np.asarray(survivors, dtype=np.intp))

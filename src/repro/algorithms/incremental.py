@@ -1,0 +1,122 @@
+"""Incremental p-skyline maintenance under insertions and deletions.
+
+The paper evaluates one-shot queries; a library user often needs to keep
+``M_pi(D)`` up to date while ``D`` changes.  :class:`PSkylineMaintainer`
+supports:
+
+* ``insert(tuple)`` -- one vectorised comparison against the current
+  p-skyline: the new tuple is discarded if dominated, otherwise it joins
+  the p-skyline and evicts what it dominates.  Evicted and shadowed
+  tuples are *retained* (they may resurface after deletions).
+* ``delete(tuple_id)`` -- deleting a non-skyline tuple is O(1); deleting
+  a p-skyline member promotes exactly the retained tuples that were
+  dominated by it and by no other survivor (computed with one screening
+  pass over the retained set).
+
+The maintained set always equals ``M_pi`` of the alive tuples -- verified
+in the tests against recomputation from scratch after every operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.pgraph import PGraph
+from .osdc import osdc
+
+__all__ = ["PSkylineMaintainer"]
+
+
+class PSkylineMaintainer:
+    """Maintains ``M_pi`` of a dynamic set of tuples.
+
+    Tuples are identified by the integer id returned from :meth:`insert`.
+    """
+
+    def __init__(self, graph: PGraph, capacity: int = 1024):
+        self.graph = graph
+        self.dominance = Dominance(graph)
+        self._ranks = np.empty((capacity, graph.d), dtype=np.float64)
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._in_skyline = np.zeros(capacity, dtype=bool)
+        self._size = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def num_alive(self) -> int:
+        return int(self._alive[: self._size].sum())
+
+    def skyline_ids(self) -> np.ndarray:
+        """The current p-skyline, as sorted tuple ids."""
+        return np.flatnonzero(self._in_skyline[: self._size])
+
+    def skyline_ranks(self) -> np.ndarray:
+        return self._ranks[self.skyline_ids()]
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return (0 <= tuple_id < self._size
+                and bool(self._alive[tuple_id]))
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, values) -> int:
+        """Insert a tuple (length-``d`` ranks, smaller better); returns its
+        id.  Cost: one comparison against the current p-skyline."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.graph.d,):
+            raise ValueError(
+                f"expected a rank vector of length {self.graph.d}"
+            )
+        if np.isnan(values).any():
+            raise ValueError("NaN ranks are not allowed")
+        tuple_id = self._append(values)
+        skyline = self.skyline_ids()
+        # the new tuple id is already stored but not yet in the skyline
+        if skyline.size:
+            block = self._ranks[skyline]
+            if self.dominance.dominators_mask(block, values).any():
+                return tuple_id  # shadowed: retained but not maximal
+            beaten = self.dominance.dominated_mask(block, values)
+            if beaten.any():
+                self._in_skyline[skyline[beaten]] = False
+        self._in_skyline[tuple_id] = True
+        return tuple_id
+
+    def delete(self, tuple_id: int) -> None:
+        """Delete a tuple by id.  Promotes retained tuples if needed."""
+        if tuple_id not in self:
+            raise KeyError(f"tuple {tuple_id} is not alive")
+        was_maximal = bool(self._in_skyline[tuple_id])
+        self._alive[tuple_id] = False
+        self._in_skyline[tuple_id] = False
+        if not was_maximal:
+            return
+        # candidates: alive non-skyline tuples not dominated by the
+        # remaining skyline; their maxima join the skyline
+        alive = np.flatnonzero(self._alive[: self._size])
+        shadowed = alive[~self._in_skyline[alive]]
+        if shadowed.size == 0:
+            return
+        survivors_mask = self.dominance.screen_block(
+            self._ranks[shadowed], self.skyline_ranks())
+        candidates = shadowed[survivors_mask]
+        if candidates.size == 0:
+            return
+        local = osdc(self._ranks[candidates], self.graph)
+        self._in_skyline[candidates[local]] = True
+
+    # -- internals -------------------------------------------------------------
+    def _append(self, values: np.ndarray) -> int:
+        if self._size == self._ranks.shape[0]:
+            grown = np.empty((2 * self._size, self.graph.d))
+            grown[: self._size] = self._ranks
+            self._ranks = grown
+            self._alive = np.concatenate(
+                [self._alive, np.zeros(self._size, dtype=bool)])
+            self._in_skyline = np.concatenate(
+                [self._in_skyline, np.zeros(self._size, dtype=bool)])
+        tuple_id = self._size
+        self._ranks[tuple_id] = values
+        self._alive[tuple_id] = True
+        self._size += 1
+        return tuple_id

@@ -1,0 +1,303 @@
+"""Low-dimensional p-screening: Lemmas 3 and 4 of the paper.
+
+These procedures screen ``W`` against ``B`` when at most three attributes
+remain relevant, in ``O((b + w) log b)``.  They are the base cases of
+:mod:`repro.algorithms.pscreen`.
+
+A subtlety that the paper's pseudocode leaves implicit: when PSCREEN
+recurses it may *drop* an attribute ``A`` on which every tuple of ``B`` is
+strictly better than every tuple of ``W``.  In such branches a ``W`` tuple
+that is *equal* to some ``B`` tuple on all remaining relevant attributes is
+still dominated (the dropped attribute breaks the tie in ``B``'s favour).
+All routines therefore take a ``prune_equal`` flag: when set, restricted
+indistinguishability counts as dominance.
+
+All functions return a boolean *survivors* mask over the rows of ``W``.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from ..core.bitsets import indices_of
+from ..core.pgraph import PGraph
+
+__all__ = ["screen_small", "screen_1d", "screen_lex", "screen_pareto2",
+           "screen_pareto3"]
+
+_INF = np.inf
+
+
+def screen_1d(b_vals: np.ndarray, w_vals: np.ndarray,
+              prune_equal: bool) -> np.ndarray:
+    """Screen on a single attribute: ``w`` survives iff nothing in ``B`` is
+    better (or equal, when ``prune_equal``)."""
+    if b_vals.size == 0:
+        return np.ones(w_vals.shape[0], dtype=bool)
+    best = b_vals.min()
+    if prune_equal:
+        return w_vals < best
+    return w_vals <= best
+
+
+def screen_lex(b_block: np.ndarray, w_block: np.ndarray,
+               prune_equal: bool) -> np.ndarray:
+    """Screen under a total lexicographic order (columns by priority).
+
+    A lexicographic preference is a weak order, so ``w`` is dominated by
+    some ``b`` iff it is dominated by the lexicographically best ``b``.
+    """
+    if b_block.shape[0] == 0:
+        return np.ones(w_block.shape[0], dtype=bool)
+    best = b_block[0]
+    for row in b_block[1:]:
+        for level in range(b_block.shape[1]):
+            if row[level] < best[level]:
+                best = row
+                break
+            if row[level] > best[level]:
+                break
+    # state: -1 best < w so far decided, 0 equal so far, +1 best > w decided
+    n = w_block.shape[0]
+    state = np.zeros(n, dtype=np.int8)
+    for level in range(w_block.shape[1]):
+        undecided = state == 0
+        if not undecided.any():
+            break
+        column = w_block[:, level]
+        state[undecided & (column > best[level])] = -1  # best wins
+        state[undecided & (column < best[level])] = 1   # w wins
+    dominated = state == -1
+    if prune_equal:
+        dominated |= state == 0
+    return ~dominated
+
+
+def screen_pareto2(bx: np.ndarray, by: np.ndarray,
+                   wx: np.ndarray, wy: np.ndarray,
+                   prune_equal: bool) -> np.ndarray:
+    """Two-dimensional Pareto screening by sorting and prefix minima.
+
+    ``w`` is dominated iff some ``b`` is no worse on both coordinates and
+    strictly better somewhere (or merely equal, when ``prune_equal``).
+    """
+    if bx.size == 0:
+        return np.ones(wx.shape[0], dtype=bool)
+    order = np.lexsort((by, bx))
+    bx_sorted = bx[order]
+    by_sorted = by[order]
+    prefix_min = np.minimum.accumulate(by_sorted)
+    # b with bx < wx
+    k = np.searchsorted(bx_sorted, wx, side="left")
+    min_y_lt = np.where(k > 0, prefix_min[np.maximum(k - 1, 0)], _INF)
+    # b with bx == wx: first of the equal group has the minimal y
+    k2 = np.searchsorted(bx_sorted, wx, side="right")
+    has_equal = k2 > k
+    min_y_eq = np.where(has_equal,
+                        by_sorted[np.minimum(k, bx_sorted.size - 1)], _INF)
+    dominated = min_y_lt <= wy
+    if prune_equal:
+        dominated |= min_y_eq <= wy
+    else:
+        dominated |= min_y_eq < wy
+    return ~dominated
+
+
+class _Staircase:
+    """Minimal (x, y) envelope: x strictly increasing, y strictly decreasing.
+
+    ``query(x)`` returns the minimum ``y`` over entries with key ``<= x``.
+    """
+
+    __slots__ = ("xs", "ys")
+
+    def __init__(self) -> None:
+        self.xs: list[float] = []
+        self.ys: list[float] = []
+
+    def insert(self, x: float, y: float) -> None:
+        position = bisect.bisect_right(self.xs, x)
+        if position > 0 and self.ys[position - 1] <= y:
+            return  # an existing entry already covers (x, y)
+        # remove entries made redundant by the new point
+        cut = position
+        while cut < len(self.xs) and self.ys[cut] >= y:
+            cut += 1
+        self.xs[position:cut] = [x]
+        self.ys[position:cut] = [y]
+
+    def query(self, x: float) -> float:
+        position = bisect.bisect_right(self.xs, x)
+        if position == 0:
+            return _INF
+        return self.ys[position - 1]
+
+
+def screen_pareto3(b_block: np.ndarray, w_block: np.ndarray,
+                   prune_equal: bool) -> np.ndarray:
+    """Three-dimensional Pareto screening: plane sweep over the first
+    coordinate with a 2-d staircase, Kung–Luccio–Preparata style."""
+    b = b_block.shape[0]
+    w = w_block.shape[0]
+    survivors = np.ones(w, dtype=bool)
+    if b == 0 or w == 0:
+        return survivors
+    b_order = np.lexsort((b_block[:, 2], b_block[:, 1], b_block[:, 0]))
+    b_sorted = b_block[b_order]
+    w_order = np.argsort(w_block[:, 0], kind="stable")
+    staircase = _Staircase()
+    b_position = 0
+    bx = b_sorted[:, 0]
+    index = 0
+    while index < w:
+        # group W rows sharing the same first coordinate
+        group_start = index
+        x_value = w_block[w_order[index], 0]
+        while index < w and w_block[w_order[index], 0] == x_value:
+            index += 1
+        group = w_order[group_start:index]
+        # feed the staircase with every b strictly better on the first axis
+        while b_position < b and bx[b_position] < x_value:
+            staircase.insert(b_sorted[b_position, 1], b_sorted[b_position, 2])
+            b_position += 1
+        for row in group:
+            if staircase.query(w_block[row, 1]) <= w_block[row, 2]:
+                survivors[row] = False
+        # b rows equal on the first axis: a 2-d sub-problem on (y, z)
+        eq_start = np.searchsorted(bx, x_value, side="left")
+        eq_stop = np.searchsorted(bx, x_value, side="right")
+        if eq_stop > eq_start:
+            alive = group[survivors[group]]
+            if alive.size:
+                sub = screen_pareto2(
+                    b_sorted[eq_start:eq_stop, 1],
+                    b_sorted[eq_start:eq_stop, 2],
+                    w_block[alive, 1],
+                    w_block[alive, 2],
+                    prune_equal,
+                )
+                survivors[alive[~sub]] = False
+    return survivors
+
+
+def _pair_lex_ids(b_pairs: np.ndarray, w_pairs: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Map the rows of two 2-column blocks to their joint lexicographic
+    ranks (equal pairs get equal ids)."""
+    stacked = np.vstack([b_pairs, w_pairs])
+    # lexicographic order: primary = column 0, secondary = column 1
+    order = np.lexsort((stacked[:, 1], stacked[:, 0]))
+    sorted_rows = stacked[order]
+    new_group = np.ones(stacked.shape[0], dtype=bool)
+    if stacked.shape[0] > 1:
+        new_group[1:] = (sorted_rows[1:] != sorted_rows[:-1]).any(axis=1)
+    ranks_sorted = np.cumsum(new_group) - 1
+    ids = np.empty(stacked.shape[0], dtype=np.int64)
+    ids[order] = ranks_sorted
+    return ids[: b_pairs.shape[0]], ids[b_pairs.shape[0]:]
+
+
+def _screen_case3(b_block: np.ndarray, w_block: np.ndarray,
+                  prune_equal: bool) -> np.ndarray:
+    """Lemma 4, case 3: ``A1 & (A2 ⊗ A3)`` -- columns (root, child, child)."""
+    best_root = b_block[:, 0].min()
+    w_root = w_block[:, 0]
+    survivors = w_root < best_root
+    equal = w_root == best_root
+    if equal.any():
+        roots_best = b_block[:, 0] == best_root
+        survivors_eq = screen_pareto2(
+            b_block[roots_best, 1], b_block[roots_best, 2],
+            w_block[equal, 1], w_block[equal, 2], prune_equal,
+        )
+        survivors[np.flatnonzero(equal)[survivors_eq]] = True
+    return survivors
+
+
+def _screen_case4(b_block: np.ndarray, w_block: np.ndarray,
+                  prune_equal: bool) -> np.ndarray:
+    """Lemma 4, case 4: ``(A1 ⊗ A2) & A3`` -- columns (root, root, sink)."""
+    survivors = screen_pareto2(b_block[:, 0], b_block[:, 1],
+                               w_block[:, 0], w_block[:, 1],
+                               prune_equal=False)
+    # Among tuples with an *identical* (A1, A2) pair in B, the sink decides.
+    b_ids, w_ids = _pair_lex_ids(b_block[:, :2], w_block[:, :2])
+    num_ids = int(max(b_ids.max(initial=-1), w_ids.max(initial=-1))) + 1
+    best_sink = np.full(num_ids, _INF)
+    np.minimum.at(best_sink, b_ids, b_block[:, 2])
+    if prune_equal:
+        tie_dominated = best_sink[w_ids] <= w_block[:, 2]
+    else:
+        tie_dominated = best_sink[w_ids] < w_block[:, 2]
+    return survivors & ~tie_dominated
+
+
+def _screen_case5(b_block: np.ndarray, w_block: np.ndarray,
+                  prune_equal: bool) -> np.ndarray:
+    """Lemma 4, case 5: ``(A1 & A2) ⊗ A3`` -- columns (upper, lower, free).
+
+    The lexicographic bundle ``(A1 & A2)`` is a total order over pairs, so
+    mapping pairs to their lexicographic ranks reduces the problem to a 2-d
+    Pareto screening over (pair-rank, A3).
+    """
+    b_ids, w_ids = _pair_lex_ids(b_block[:, :2], w_block[:, :2])
+    return screen_pareto2(b_ids.astype(np.float64), b_block[:, 2],
+                          w_ids.astype(np.float64), w_block[:, 2],
+                          prune_equal)
+
+
+def screen_small(b_block: np.ndarray, w_block: np.ndarray,
+                 sub_graph: PGraph, prune_equal: bool) -> np.ndarray:
+    """Screen ``W`` against ``B`` for a p-graph of at most 3 attributes.
+
+    ``b_block``/``w_block`` carry exactly the columns of ``sub_graph``.
+    Dispatches on the closure's shape to the Lemma 3 / Lemma 4 procedures.
+    """
+    d = sub_graph.d
+    if w_block.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if b_block.shape[0] == 0:
+        return np.ones(w_block.shape[0], dtype=bool)
+    if d == 0:
+        if prune_equal:
+            return np.zeros(w_block.shape[0], dtype=bool)
+        return np.ones(w_block.shape[0], dtype=bool)
+    if d == 1:
+        return screen_1d(b_block[:, 0], w_block[:, 0], prune_equal)
+    closure = sub_graph.closure
+    num_edges = sum(mask.bit_count() for mask in closure)
+    if d == 2:
+        if num_edges == 0:
+            return screen_pareto2(b_block[:, 0], b_block[:, 1],
+                                  w_block[:, 0], w_block[:, 1], prune_equal)
+        root = 0 if closure[0] else 1
+        cols = [root, 1 - root]
+        return screen_lex(b_block[:, cols], w_block[:, cols], prune_equal)
+    if d != 3:
+        raise ValueError("screen_small handles at most three attributes")
+    if num_edges == 0:
+        return screen_pareto3(b_block, w_block, prune_equal)
+    if num_edges == 3:
+        # total order: sort columns by depth
+        cols = sorted(range(3), key=lambda i: sub_graph.depths[i])
+        return screen_lex(b_block[:, cols], w_block[:, cols], prune_equal)
+    if num_edges == 1:
+        upper = next(i for i in range(3) if closure[i])
+        lower = indices_of(closure[upper])[0]
+        free = next(i for i in range(3) if i not in (upper, lower))
+        cols = [upper, lower, free]
+        return _screen_case5(b_block[:, cols], w_block[:, cols], prune_equal)
+    # num_edges == 2: either one root with two children, or two roots
+    # sharing one sink.
+    fan_out = next((i for i in range(3) if closure[i].bit_count() == 2), None)
+    if fan_out is not None:
+        children = indices_of(closure[fan_out])
+        cols = [fan_out, children[0], children[1]]
+        return _screen_case3(b_block[:, cols], w_block[:, cols], prune_equal)
+    sink = next(i for i in range(3)
+                if sub_graph.ancestors_mask[i].bit_count() == 2)
+    roots = [i for i in range(3) if i != sink]
+    cols = [roots[0], roots[1], sink]
+    return _screen_case4(b_block[:, cols], w_block[:, cols], prune_equal)

@@ -1,0 +1,35 @@
+"""Naive quadratic p-skyline evaluation -- the correctness oracle.
+
+``naive`` compares every tuple against every other tuple using the
+vectorised dominance kernel.  It is O(n^2) but has a tiny constant, which
+also makes it the honest baseline for very small inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.pgraph import PGraph
+from .base import Stats, check_input, register
+
+__all__ = ["naive", "maximal_mask"]
+
+
+def maximal_mask(ranks: np.ndarray, dominance: Dominance,
+                 stats: Stats | None = None, chunk: int = 256) -> np.ndarray:
+    """Boolean mask of the maximal rows of ``ranks`` (the p-skyline)."""
+    n = ranks.shape[0]
+    if stats is not None:
+        stats.dominance_tests += n * max(n - 1, 0)
+    return dominance.screen_block(ranks, ranks, chunk=chunk)
+
+
+@register("naive")
+def naive(ranks: np.ndarray, graph: PGraph, *,
+          stats: Stats | None = None, chunk: int = 256) -> np.ndarray:
+    """Compute ``M_pi(D)`` by exhaustive pairwise dominance tests."""
+    ranks = check_input(ranks, graph)
+    dominance = Dominance(graph)
+    mask = maximal_mask(ranks, dominance, stats=stats, chunk=chunk)
+    return np.flatnonzero(mask)

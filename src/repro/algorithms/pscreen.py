@@ -1,0 +1,190 @@
+"""PSCREEN: recursive p-screening (Section 4, Theorem 2).
+
+Given ``B`` and ``W`` with ``W ⋡_pi B``, remove from ``W`` every tuple
+dominated by some tuple of ``B``, in ``O((b + w) log^{d-2} b)``.
+
+The recursion follows the paper's Algorithm PSCREEN.  State per call:
+
+``C``
+    candidate attributes -- not yet decided, all ancestors decided equal;
+``E``
+    attributes on which *all* tuples of the sub-problem agree (invariant I1);
+``F``
+    *dropped* attributes: every tuple of the current ``B`` is strictly
+    better than every tuple of the current ``W`` on them.  The paper drops
+    them implicitly (``C \\ {A}`` at lines 13 and 23); tracking them
+    explicitly is what makes the low-dimensional base cases exact -- see
+    :mod:`repro.algorithms.lowdim`.
+
+Base cases: ``C = ∅`` (everything in ``W`` is dominated -- each topmost
+disagreement is then an ``F`` attribute, which favours ``B``), ``|B| = 1``
+(Lemma 2), and at most three *relevant* attributes
+(``R = C ∪ (Desc(C) \\ Desc(F))``, Lemmas 3/4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitsets import iter_bits
+from ..core.dominance import Dominance
+from ..core.pgraph import PGraph
+from .base import Stats, check_input
+from .lowdim import screen_small
+from .special import pscreen_single_point
+
+__all__ = ["pscreen", "PScreener", "split_threshold"]
+
+
+def split_threshold(values: np.ndarray) -> float:
+    """A split threshold ``tau`` with both ``{v < tau}`` and ``{v >= tau}``
+    non-empty.
+
+    Uses the median value; when heavy duplication makes the median equal to
+    the minimum, the threshold moves up to the next distinct value so the
+    recursion always makes progress.  ``values`` must not be all-equal.
+    """
+    smallest = values.min()
+    median = np.partition(values, values.size // 2)[values.size // 2]
+    if median > smallest:
+        return float(median)
+    above = values[values > smallest]
+    return float(above.min())
+
+
+class PScreener:
+    """Reusable p-screening engine bound to one p-graph.
+
+    The engine caches the :class:`~repro.core.dominance.Dominance` kernel
+    and restricted sub-graphs, so DC and OSDC can call it many times.
+    """
+
+    def __init__(self, graph: PGraph, *, use_lowdim: bool = True,
+                 dense_cutoff: int = 4096):
+        self.graph = graph
+        self.dominance = Dominance(graph)
+        self.use_lowdim = use_lowdim
+        self.dense_cutoff = dense_cutoff
+        self._subgraphs: dict[int, PGraph] = {}
+
+    def _subgraph(self, mask: int) -> PGraph:
+        if mask not in self._subgraphs:
+            self._subgraphs[mask] = self.graph.restrict(mask)
+        return self._subgraphs[mask]
+
+    def screen(self, ranks: np.ndarray, b_idx: np.ndarray, w_idx: np.ndarray,
+               candidates: int | None = None, equal: int = 0, dropped: int = 0,
+               stats: Stats | None = None) -> np.ndarray:
+        """Return the rows of ``w_idx`` not dominated by any row of ``b_idx``.
+
+        ``candidates``/``equal``/``dropped`` are the ``C``/``E``/``F``
+        bitmasks; they default to the top-level configuration
+        (``C = Roots``, ``E = F = ∅``).  Caller must guarantee
+        ``W ⋡_pi B`` and the invariants I1/I2 for non-default masks.
+        """
+        if candidates is None:
+            candidates = self.graph.roots
+        b_idx = np.asarray(b_idx, dtype=np.intp)
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        return self._rec(ranks, b_idx, w_idx, candidates, equal, dropped,
+                         stats, 0)
+
+    # -- recursion ------------------------------------------------------------
+    def _rec(self, ranks: np.ndarray, b_idx: np.ndarray, w_idx: np.ndarray,
+             cand: int, equal: int, dropped: int,
+             stats: Stats | None, depth: int) -> np.ndarray:
+        if stats is not None:
+            stats.recursive_calls += 1
+            stats.max_depth = max(stats.max_depth, depth)
+        w = w_idx.size
+        b = b_idx.size
+        if w == 0 or b == 0:
+            return w_idx
+        if cand == 0:
+            # Every topmost disagreement is a dropped attribute favouring B.
+            return w_idx[:0]
+        if b == 1:
+            if stats is not None:
+                stats.dominance_tests += w
+            survivors = pscreen_single_point(ranks[b_idx[0]], ranks[w_idx],
+                                             self.dominance)
+            return w_idx[survivors]
+        if b * w <= self.dense_cutoff:
+            # Dense base case: exact full-dimensional block screening.
+            if stats is not None:
+                stats.dominance_tests += b * w
+            survivors = self.dominance.screen_block(ranks[w_idx],
+                                                    ranks[b_idx])
+            return w_idx[survivors]
+        relevant = (cand | (self.graph.desc_of_set(cand)
+                            & ~self.graph.desc_of_set(dropped)))
+        if self.use_lowdim and relevant.bit_count() <= 3:
+            columns = list(iter_bits(relevant))
+            sub_graph = self._subgraph(relevant)
+            if stats is not None:
+                stats.dominance_tests += b + w
+            survivors = screen_small(ranks[np.ix_(b_idx, columns)],
+                                     ranks[np.ix_(w_idx, columns)],
+                                     sub_graph, prune_equal=dropped != 0)
+            return w_idx[survivors]
+
+        # -- select a candidate attribute on which B is distinguishable -------
+        attribute = None
+        for a in iter_bits(cand):
+            column = ranks[b_idx, a]
+            if column.min() != column.max():
+                attribute = a
+                break
+        if attribute is None:
+            # every candidate is constant over B: handle one per the paper's
+            # lines 11-17, recursing with the updated candidate set
+            a = next(iter_bits(cand))
+            value = float(ranks[b_idx[0], a])
+            w_column = ranks[w_idx, a]
+            w_better = w_idx[w_column < value]       # survive unscreened
+            w_equal = w_idx[w_column == value]
+            w_worse = w_idx[w_column > value]
+            cand_without = cand & ~(1 << a)
+            surviving_worse = self._rec(ranks, b_idx, w_worse, cand_without,
+                                        equal, dropped | (1 << a),
+                                        stats, depth + 1)
+            new_equal = equal | (1 << a)
+            new_cand = cand_without
+            for successor in iter_bits(self.graph.successors(a)):
+                if (self.graph.predecessors(successor) & ~new_equal) == 0:
+                    new_cand |= 1 << successor
+            surviving_equal = self._rec(ranks, b_idx, w_equal, new_cand,
+                                        new_equal, dropped, stats, depth + 1)
+            return np.concatenate([w_better, surviving_worse,
+                                   surviving_equal])
+
+        # -- split B at the median of the chosen attribute --------------------
+        if stats is not None:
+            stats.splits += 1
+        b_column = ranks[b_idx, attribute]
+        tau = split_threshold(b_column)
+        b_better = b_idx[b_column < tau]
+        b_worse = b_idx[b_column >= tau]
+        w_column = ranks[w_idx, attribute]
+        w_better = w_idx[w_column < tau]
+        w_rest = w_idx[w_column >= tau]
+        surviving_better = self._rec(ranks, b_better, w_better, cand, equal,
+                                     dropped, stats, depth + 1)
+        surviving_rest = self._rec(ranks, b_worse, w_rest, cand, equal,
+                                   dropped, stats, depth + 1)
+        surviving_rest = self._rec(ranks, b_better, surviving_rest,
+                                   cand & ~(1 << attribute), equal,
+                                   dropped | (1 << attribute),
+                                   stats, depth + 1)
+        return np.concatenate([surviving_better, surviving_rest])
+
+
+def pscreen(ranks: np.ndarray, graph: PGraph, b_idx: np.ndarray,
+            w_idx: np.ndarray, *, stats: Stats | None = None,
+            use_lowdim: bool = True, dense_cutoff: int = 4096) -> np.ndarray:
+    """Functional entry point: p-screen ``W`` (rows ``w_idx``) against ``B``
+    (rows ``b_idx``) under the precondition ``W ⋡_pi B``."""
+    ranks = check_input(ranks, graph)
+    screener = PScreener(graph, use_lowdim=use_lowdim,
+                         dense_cutoff=dense_cutoff)
+    return screener.screen(ranks, b_idx, w_idx, stats=stats)

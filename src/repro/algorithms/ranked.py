@@ -1,0 +1,71 @@
+"""Ranked retrieval on top of p-skylines: top-k and onion layers.
+
+Two retrieval modes a preference query front end typically needs beyond
+the raw maximal set:
+
+* :func:`top_k` -- at most ``k`` p-skyline tuples, best ``≻ext`` first.
+  Served progressively from BBS (:mod:`repro.algorithms.bbs`), which
+  emits p-skyline members in ``≻ext`` order and can stop after ``k``
+  results without computing the rest;
+* :func:`peel_layers` -- the iterated p-skyline ("onion layers"): layer 1
+  is ``M_pi(D)``, layer 2 is ``M_pi`` of the remainder, and so on.  The
+  layer index of a tuple is a useful preference-aware rank (layer 1 =
+  undominated, layer 2 = dominated only by layer 1, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.pgraph import PGraph
+from ..index.rtree import RTree
+from .base import Stats, check_input, get_algorithm
+from .bbs import bbs_iter
+
+__all__ = ["top_k", "peel_layers"]
+
+
+def top_k(ranks: np.ndarray, graph: PGraph, k: int, *,
+          stats: Stats | None = None, fanout: int = 32,
+          tree: RTree | None = None) -> np.ndarray:
+    """The first ``k`` p-skyline tuples in ``≻ext`` order (fewer if the
+    p-skyline is smaller).
+
+    Returns row indices in *emission* order -- the most preferred tuples
+    first -- not sorted by index.  Because BBS is progressive the cost is
+    proportional to the part of the answer actually consumed.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    iterator = bbs_iter(ranks, graph, stats=stats, fanout=fanout,
+                        tree=tree)
+    rows = list(itertools.islice(iterator, k))
+    return np.asarray(rows, dtype=np.intp)
+
+
+def peel_layers(ranks: np.ndarray, graph: PGraph, *,
+                max_layers: int | None = None, algorithm: str = "osdc",
+                stats: Stats | None = None) -> list[np.ndarray]:
+    """Partition the input into successive p-skyline layers.
+
+    Returns a list of sorted index arrays; their concatenation is a
+    permutation of all rows (unless ``max_layers`` truncates it).  Layer
+    ``i`` contains exactly the tuples whose longest dominator chain has
+    length ``i - 1``.
+    """
+    ranks = check_input(ranks, graph)
+    function = get_algorithm(algorithm)
+    remaining = np.arange(ranks.shape[0], dtype=np.intp)
+    layers: list[np.ndarray] = []
+    while remaining.size:
+        if max_layers is not None and len(layers) >= max_layers:
+            break
+        local = function(ranks[remaining], graph, stats=stats)
+        layer = remaining[local]
+        layers.append(layer)
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[local] = False
+        remaining = remaining[keep]
+    return layers

@@ -1,0 +1,65 @@
+"""SALSA (Sort and Limit Skyline Algorithm) adapted to p-skylines.
+
+Bartolini, Ciaccia and Patella's SALSA sorts the input by the *minimum
+coordinate* and stops early once a *stop point* ``p*`` -- the window tuple
+with the smallest maximum coordinate -- is strictly better on every
+attribute than anything that can still arrive.  The early stop carries
+over to arbitrary p-expressions unchanged: a tuple that is strictly better
+on **every** attribute p-dominates for *any* p-graph (``Better(t, p*)``
+is empty, so Proposition 1.3 holds trivially).
+
+Unlike SFS, minC-sorting is *not* a weak-order extension of ``≻_pi`` in
+general, so the scan must keep a BNL-style window (tuples can evict
+earlier window entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dominance import Dominance
+from ..core.pgraph import PGraph
+from .base import Stats, check_input, register
+
+__all__ = ["salsa"]
+
+
+@register("salsa")
+def salsa(ranks: np.ndarray, graph: PGraph, *,
+          stats: Stats | None = None) -> np.ndarray:
+    """Compute ``M_pi(D)`` with minC-sorting and an early-stop window."""
+    ranks = check_input(ranks, graph)
+    dominance = Dominance(graph)
+    n = ranks.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    min_coord = ranks.min(axis=1)
+    max_coord = ranks.max(axis=1)
+    order = np.argsort(min_coord, kind="stable")
+    if stats is not None:
+        stats.passes += 1
+
+    window: list[int] = []
+    stop_value = np.inf
+    for position, row in enumerate(order):
+        if min_coord[row] > stop_value:
+            # every remaining tuple is strictly worse than the stop point on
+            # all attributes, hence dominated under any p-expression
+            if stats is not None:
+                stats.pruned_by_filter += order.size - position
+            break
+        tuple_ranks = ranks[row]
+        if window:
+            block = ranks[np.asarray(window, dtype=np.intp)]
+            if stats is not None:
+                stats.dominance_tests += 2 * len(window)
+            if dominance.dominators_mask(block, tuple_ranks).any():
+                continue
+            beaten = dominance.dominated_mask(block, tuple_ranks)
+            if beaten.any():
+                window = [w for w, dead in zip(window, beaten) if not dead]
+        window.append(row)
+        stop_value = min(stop_value, float(max_coord[row]))
+        if stats is not None:
+            stats.window_peak = max(stats.window_peak, len(window))
+    return np.sort(np.asarray(window, dtype=np.intp))

@@ -1,0 +1,39 @@
+"""Benchmark harness: timed runs, workload builders, figure-style reports."""
+
+from .ascii_plot import line_plot, series_from_grouped
+from .complexity import (growth_exponent, staircase_dataset,
+                         sweep_input_size, sweep_output_size)
+from .harness import (RunRecord, geometric_buckets, group_records, run_pool,
+                      time_algorithm)
+from .regression import PolynomialFit, fit_polynomial
+from .report import format_series, format_table
+from .workloads import (DEFAULT, FULL, PAPER_ALGORITHMS, QUICK, Scale,
+                        covertype_tasks, gaussian_tasks, nba_tasks,
+                        scaling_tasks)
+
+__all__ = [
+    "growth_exponent",
+    "staircase_dataset",
+    "sweep_input_size",
+    "sweep_output_size",
+    "line_plot",
+    "series_from_grouped",
+    "time_algorithm",
+    "run_pool",
+    "group_records",
+    "geometric_buckets",
+    "RunRecord",
+    "fit_polynomial",
+    "PolynomialFit",
+    "format_table",
+    "format_series",
+    "Scale",
+    "QUICK",
+    "DEFAULT",
+    "FULL",
+    "gaussian_tasks",
+    "nba_tasks",
+    "covertype_tasks",
+    "scaling_tasks",
+    "PAPER_ALGORITHMS",
+]

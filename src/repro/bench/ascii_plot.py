@@ -1,0 +1,96 @@
+"""Terminal-friendly charts for the benchmark reports.
+
+The paper's figures are line plots of response time over a workload
+dimension; :func:`line_plot` renders the same series as an ASCII chart so
+``examples/reproduce_figures.py`` output can be eyeballed without a
+plotting stack.  Supports multiple named series, optional logarithmic
+axes, and marks each series with its own glyph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot", "series_from_grouped"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def series_from_grouped(grouped: Mapping[object, Mapping[str, float]],
+                        algorithms: Sequence[str]
+                        ) -> dict[str, list[tuple[float, float]]]:
+    """Convert :func:`repro.bench.harness.group_records` output into
+    per-algorithm point lists (x must be numeric)."""
+    series: dict[str, list[tuple[float, float]]] = {
+        name: [] for name in algorithms
+    }
+    for x_value, per_algorithm in grouped.items():
+        for name in algorithms:
+            if name in per_algorithm:
+                series[name].append((float(x_value),
+                                     per_algorithm[name]))
+    return series
+
+
+def line_plot(series: Mapping[str, Sequence[tuple[float, float]]], *,
+              width: int = 64, height: int = 16, log_x: bool = False,
+              log_y: bool = False, x_label: str = "x",
+              y_label: str = "y") -> str:
+    """Render named point series as an ASCII scatter chart.
+
+    Each series gets a glyph from ``o x + * ...``; a legend, the axis
+    ranges and optional log scaling are included.  Series must be
+    non-empty; log axes require strictly positive coordinates.
+    """
+    points = [(x, y) for rows in series.values() for x, y in rows]
+    if not points:
+        raise ValueError("nothing to plot")
+    if log_x and any(x <= 0 for x, _ in points):
+        raise ValueError("log_x requires positive x values")
+    if log_y and any(y <= 0 for _, y in points):
+        raise ValueError("log_y requires positive y values")
+
+    def tx(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, rows) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in rows:
+            column = round((tx(x) - x_low) / x_span * (width - 1))
+            row = round((ty(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = glyph
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append(border)
+    x_scale = "log10 " if log_x else ""
+    y_scale = "log10 " if log_y else ""
+    lines.append(
+        f"{x_label}: {x_scale}[{_fmt(x_low, log_x)} .. "
+        f"{_fmt(x_high, log_x)}]   "
+        f"{y_label}: {y_scale}[{_fmt(y_low, log_y)} .. "
+        f"{_fmt(y_high, log_y)}]"
+    )
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def _fmt(value: float, is_log: bool) -> str:
+    if is_log:
+        return f"{10 ** value:.3g}"
+    return f"{value:.3g}"

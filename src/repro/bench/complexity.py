@@ -1,0 +1,93 @@
+"""Empirical verification of the complexity claims (Theorems 1 and 2).
+
+Wall-clock measurements are noisy; the structural work counters are not.
+This module sweeps workloads while holding one parameter fixed and
+regresses the measured work against the theoretical shape:
+
+* :func:`sweep_input_size` -- grow ``n`` at (approximately) constant
+  ``v``: OSDC's dominance tests must grow ``O(n)``-like (Theorem 1 with
+  ``v`` fixed);
+* :func:`sweep_output_size` -- grow ``v`` at constant ``n`` (by mixing a
+  controlled number of incomparable "staircase" tuples into a dominated
+  bulk): the per-tuple work may only grow polylogarithmically in ``v``;
+* :func:`growth_exponent` -- the least-squares slope of
+  ``log(work) ~ log(parameter)``, the standard empirical-order estimate.
+
+Used by ``tests/test_complexity.py`` and the A5 scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.base import Stats, get_algorithm
+from ..core.pgraph import PGraph
+
+__all__ = ["sweep_input_size", "sweep_output_size", "growth_exponent",
+           "staircase_dataset"]
+
+
+def growth_exponent(xs, ys) -> float:
+    """Slope of ``log ys ~ log xs``: ~1 linear, ~2 quadratic, etc."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("growth estimation needs positive measurements")
+    slope, _ = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(slope)
+
+
+def staircase_dataset(n: int, v: int, d: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """``n`` tuples whose *skyline* (Pareto preference) has size ``v``.
+
+    ``v`` mutually sky-incomparable "staircase" tuples (one good
+    coordinate each, rotating, with a tiny ramp) sit in front; the
+    remaining ``n - v`` tuples are strictly worse than every staircase
+    tuple on every attribute, hence dominated under *any* p-expression
+    over the columns.  Pair with the plain-sky p-graph to pin ``v``
+    exactly.
+    """
+    if not 1 <= v <= n:
+        raise ValueError("need 1 <= v <= n")
+    if d < 2:
+        raise ValueError("need at least two dimensions")
+    stairs = np.ones((v, d))
+    positions = np.arange(v)
+    # coordinate k of stair i: small iff k == i mod d, plus a tiny ramp
+    # making the stairs mutually incomparable on every pair of columns
+    for k in range(d):
+        stairs[:, k] = 1.0 + (positions % d != k) * 100.0 + \
+            ((positions // d) * ((positions % d == k) * 2 - 1)) * 0.001
+    # every bulk coordinate exceeds every stair coordinate (<= ~101):
+    # the bulk is dominated by each stair under any preference
+    bulk = 200.0 + rng.random((n - v, d)) * 100.0
+    return np.vstack([stairs, bulk])
+
+
+def sweep_input_size(algorithm: str, graph: PGraph,
+                     sizes, v: int, rng: np.random.Generator
+                     ) -> list[tuple[int, int]]:
+    """Measured ``(n, dominance_tests)`` at constant output size."""
+    function = get_algorithm(algorithm)
+    results = []
+    for n in sizes:
+        data = staircase_dataset(int(n), v, graph.d, rng)
+        stats = Stats()
+        function(data, graph, stats=stats)
+        results.append((int(n), stats.dominance_tests))
+    return results
+
+
+def sweep_output_size(algorithm: str, graph: PGraph,
+                      n: int, v_values, rng: np.random.Generator
+                      ) -> list[tuple[int, int]]:
+    """Measured ``(v, dominance_tests)`` at constant input size."""
+    function = get_algorithm(algorithm)
+    results = []
+    for v in v_values:
+        data = staircase_dataset(n, int(v), graph.d, rng)
+        stats = Stats()
+        result = function(data, graph, stats=stats)
+        results.append((int(result.size), stats.dominance_tests))
+    return results

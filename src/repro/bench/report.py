@@ -1,0 +1,46 @@
+"""Plain-text rendering of the experiment series (the figures as tables)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned, monospaced table."""
+    cells = [[str(h) for h in headers]]
+    cells += [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.rjust(width)
+                               for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(title: str, grouped: Mapping[object, Mapping[str, float]],
+                  algorithms: Sequence[str], x_label: str,
+                  unit: str = "ms") -> str:
+    """Render a figure-style series: one row per x value, one column per
+    algorithm, mean response times in ``unit``."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    headers = [x_label] + [f"{name} [{unit}]" for name in algorithms]
+    rows = []
+    for x_value, per_algorithm in grouped.items():
+        row: list[object] = [x_value]
+        for name in algorithms:
+            seconds = per_algorithm.get(name)
+            row.append("-" if seconds is None else seconds * scale)
+        rows.append(row)
+    return f"== {title} ==\n{format_table(headers, rows)}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,213 @@
+"""Workload definitions for every experiment of the paper's Section 7.
+
+Each ``*_tasks`` function returns a list of ``(ranks, graph, metadata)``
+tasks ready for :func:`repro.bench.harness.run_pool`.  The :class:`Scale`
+dataclass fixes every size knob; three presets are provided:
+
+* ``QUICK``   -- seconds-scale, used by the pytest benchmarks;
+* ``DEFAULT`` -- minutes-scale, used to produce EXPERIMENTS.md;
+* ``FULL``    -- the paper's sizes (1M Gaussian rows, d up to 20, full
+  CoverType).  Expect hours in pure Python.
+
+Random p-expressions are drawn uniformly over p-graphs with the
+Section 7.1 sampler (exact for small d, SampleSAT with ``f = 0.5``
+otherwise); attribute subsets are chosen at random from the dataset's
+columns, mirroring the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pgraph import PGraph
+from ..data.correlation import mean_pairwise_correlation
+from ..data.covertype import COVERTYPE_ATTRIBUTES, covertype_dataset
+from ..data.gaussian import (alpha_for_correlation, equicorrelated_gaussian,
+                             min_correlation)
+from ..data.nba import NBA_ATTRIBUTES, nba_dataset
+from ..sampling.random_pexpr import PExpressionSampler
+
+__all__ = ["Scale", "QUICK", "DEFAULT", "FULL", "Task",
+           "gaussian_tasks", "nba_tasks", "covertype_tasks",
+           "scaling_tasks", "PAPER_ALGORITHMS"]
+
+#: The three algorithms the paper benchmarks against each other.
+PAPER_ALGORITHMS = ("osdc", "less", "bnl")
+
+Task = tuple[np.ndarray, PGraph, dict]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Every size knob of the benchmark workloads."""
+
+    name: str
+    gaussian_rows: int
+    gaussian_columns: int
+    gaussian_dims: tuple[int, int]        # inclusive range of expression d
+    gaussian_expressions: int             # per correlation level
+    correlation_targets: tuple[float, ...]
+    nba_rows: int
+    nba_dims: tuple[int, int]
+    nba_expressions: int
+    covertype_rows: int
+    covertype_dims: tuple[int, int]
+    covertype_expressions: int
+    repeats: int
+    round_decimals: int = 2
+
+
+QUICK = Scale(
+    name="quick",
+    gaussian_rows=3_000,
+    gaussian_columns=8,
+    gaussian_dims=(4, 8),
+    gaussian_expressions=4,
+    correlation_targets=(-0.10, 0.0, 0.6),
+    nba_rows=4_000,
+    nba_dims=(7, 12),
+    nba_expressions=6,
+    covertype_rows=5_000,
+    covertype_dims=(5, 10),
+    covertype_expressions=6,
+    repeats=1,
+)
+
+DEFAULT = Scale(
+    name="default",
+    gaussian_rows=20_000,
+    gaussian_columns=12,
+    gaussian_dims=(5, 12),
+    gaussian_expressions=12,
+    correlation_targets=(-0.08, -0.04, 0.0, 0.2, 0.5, 0.8),
+    nba_rows=21_959,
+    nba_dims=(7, 14),
+    nba_expressions=40,
+    covertype_rows=58_101,
+    covertype_dims=(5, 10),
+    covertype_expressions=30,
+    repeats=1,
+)
+
+FULL = Scale(
+    name="full",
+    gaussian_rows=1_000_000,
+    gaussian_columns=20,
+    gaussian_dims=(5, 20),
+    gaussian_expressions=34,   # ~200 expressions over six alpha levels
+    correlation_targets=(-0.05, -0.02, 0.0, 0.2, 0.5, 0.8),
+    nba_rows=21_959,
+    nba_dims=(7, 14),
+    nba_expressions=8_000,
+    covertype_rows=581_012,
+    covertype_dims=(5, 10),
+    covertype_expressions=6_000,
+    repeats=1,
+    round_decimals=4,
+)
+
+
+def _expression_pool(dims: tuple[int, int], count: int, columns: int,
+                     rng: random.Random) -> list[tuple[PGraph, list[int]]]:
+    """Sample ``count`` p-graphs with d drawn uniformly from ``dims`` and
+    attach a random column subset of the dataset to each."""
+    low, high = dims
+    high = min(high, columns)
+    samplers: dict[int, PExpressionSampler] = {}
+    pool: list[tuple[PGraph, list[int]]] = []
+    for _ in range(count):
+        d = rng.randint(low, high)
+        if d not in samplers:
+            names = [f"A{i}" for i in range(d)]
+            samplers[d] = PExpressionSampler(names)
+        graph = samplers[d].sample_graph(rng)
+        cols = rng.sample(range(columns), d)
+        pool.append((graph, cols))
+    return pool
+
+
+def gaussian_tasks(scale: Scale = QUICK, seed: int = 2015) -> list[Task]:
+    """The synthetic workload behind Figures 4 and 5.
+
+    One equicorrelated dataset per correlation target; a fresh uniform
+    expression pool per dataset.  Metadata records the *measured* mean
+    pairwise Pearson correlation, the parameter ``alpha``, ``d`` and the
+    number of p-graph roots.
+    """
+    rng = random.Random(seed)
+    data_rng = np.random.default_rng(seed)
+    d = scale.gaussian_columns
+    tasks: list[Task] = []
+    floor = min_correlation(d)
+    for target in scale.correlation_targets:
+        rho = max(target, floor * 0.9)
+        alpha = alpha_for_correlation(rho, d)
+        data = equicorrelated_gaussian(scale.gaussian_rows, d, alpha,
+                                       data_rng,
+                                       round_decimals=scale.round_decimals)
+        measured = mean_pairwise_correlation(data)
+        pool = _expression_pool(scale.gaussian_dims,
+                                scale.gaussian_expressions, d, rng)
+        for graph, cols in pool:
+            tasks.append((
+                np.ascontiguousarray(data[:, cols]),
+                graph,
+                {
+                    "alpha": alpha,
+                    "target_correlation": rho,
+                    "measured_correlation": measured,
+                    "source": "gaussian",
+                },
+            ))
+    return tasks
+
+
+def nba_tasks(scale: Scale = QUICK, seed: int = 2015) -> list[Task]:
+    """The Figure 6 workload: NBA-style data, larger values preferred."""
+    rng = random.Random(seed + 1)
+    data_rng = np.random.default_rng(seed + 1)
+    data = nba_dataset(scale.nba_rows, data_rng)
+    ranks = -data  # larger raw values are better
+    pool = _expression_pool(scale.nba_dims, scale.nba_expressions,
+                            len(NBA_ATTRIBUTES), rng)
+    return [
+        (np.ascontiguousarray(ranks[:, cols]), graph,
+         {"source": "nba",
+          "attributes": [NBA_ATTRIBUTES[c] for c in cols]})
+        for graph, cols in pool
+    ]
+
+
+def covertype_tasks(scale: Scale = QUICK, seed: int = 2015) -> list[Task]:
+    """The Figure 7 workload: CoverType-style data, small values preferred."""
+    rng = random.Random(seed + 2)
+    data_rng = np.random.default_rng(seed + 2)
+    data = covertype_dataset(scale.covertype_rows, data_rng)
+    pool = _expression_pool(scale.covertype_dims,
+                            scale.covertype_expressions,
+                            len(COVERTYPE_ATTRIBUTES), rng)
+    return [
+        (np.ascontiguousarray(data[:, cols]), graph,
+         {"source": "covertype",
+          "attributes": [COVERTYPE_ATTRIBUTES[c] for c in cols]})
+        for graph, cols in pool
+    ]
+
+
+def scaling_tasks(sizes: tuple[int, ...] = (2_000, 8_000, 32_000),
+                  d: int = 6, seed: int = 2015) -> list[Task]:
+    """CI (independent continuous) inputs of growing ``n``, used to verify
+    the average-case linearity claim (Section 5)."""
+    rng = random.Random(seed + 3)
+    data_rng = np.random.default_rng(seed + 3)
+    names = [f"A{i}" for i in range(d)]
+    sampler = PExpressionSampler(names)
+    tasks: list[Task] = []
+    for n in sizes:
+        data = data_rng.random((n, d))
+        graph = sampler.sample_graph(rng)
+        tasks.append((data, graph, {"n": n, "source": "ci-scaling"}))
+    return tasks

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro`` / ``repro-skyline``.
+
+Sub-commands:
+
+``query``
+    Evaluate a p-skyline query over a CSV file::
+
+        repro-skyline query cars.csv \\
+            --preferring "lowest(price) & (lowest(mileage) * highest(hp))" \\
+            --algorithm osdc --limit 20
+
+``generate``
+    Write a synthetic data set (gaussian / independent / correlated /
+    anticorrelated / nba / covertype) to CSV::
+
+        repro-skyline generate gaussian --rows 10000 --dims 8 \\
+            --alpha 0.5 --out data.csv
+
+``sample``
+    Print uniform random p-expressions (the Section 7.1 sampler)::
+
+        repro-skyline sample --dims 10 --count 5 --seed 7
+
+``bench``
+    Run the figure-reproduction harness at a chosen scale (same engine as
+    ``examples/reproduce_figures.py``)::
+
+        repro-skyline bench --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import random
+import sys
+import time
+
+import numpy as np
+
+from .algorithms import REGISTRY, Stats
+from .bench.harness import group_records, run_pool
+from .bench.report import format_series
+from .bench.workloads import (DEFAULT, FULL, PAPER_ALGORITHMS, QUICK,
+                              covertype_tasks, gaussian_tasks, nba_tasks)
+from .core.preferring import evaluate_preferring, parse_preferring
+from .core.relation import Relation
+from .core.attributes import lowest
+from .data import (anticorrelated, correlated, covertype_dataset,
+                   equicorrelated_gaussian, independent, nba_dataset)
+from .data.covertype import COVERTYPE_ATTRIBUTES
+from .data.nba import NBA_ATTRIBUTES
+
+__all__ = ["main"]
+
+_SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description="Prioritized skyline queries (SIGMOD'15 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser(
+        "query", help="evaluate a p-skyline query over a CSV file")
+    query.add_argument("csv", help="input CSV with a header row")
+    query.add_argument("--preferring", required=True,
+                       help="PREFERRING clause, e.g. "
+                            "'lowest(price) & highest(hp)'")
+    query.add_argument("--algorithm", default="osdc",
+                       choices=sorted(REGISTRY))
+    query.add_argument("--limit", type=int, default=None,
+                       help="print at most this many result rows")
+    query.add_argument("--stats", action="store_true",
+                       help="print work counters")
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic data set to CSV")
+    generate.add_argument("kind", choices=["gaussian", "independent",
+                                           "correlated", "anticorrelated",
+                                           "nba", "covertype"])
+    generate.add_argument("--rows", type=int, default=10_000)
+    generate.add_argument("--dims", type=int, default=8,
+                          help="columns (ignored for nba/covertype)")
+    generate.add_argument("--alpha", type=float, default=1.0,
+                          help="gaussian correlation parameter")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default="-",
+                          help="output path ('-' for stdout)")
+
+    sample = commands.add_parser(
+        "sample", help="print uniform random p-expressions")
+    sample.add_argument("--dims", type=int, default=8)
+    sample.add_argument("--count", type=int, default=5)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.add_argument("--f", type=float, default=0.5,
+                        help="SampleSAT mixing ratio")
+
+    bench = commands.add_parser(
+        "bench", help="run the figure-reproduction harness")
+    bench.add_argument("--scale", default="quick", choices=sorted(_SCALES))
+    bench.add_argument("--workload", default="gaussian",
+                       choices=["gaussian", "nba", "covertype"])
+
+    shell = commands.add_parser(
+        "shell", help="interactive Preference SQL over CSV files")
+    shell.add_argument("--load", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="register a CSV file as a table (repeatable)")
+    return parser
+
+
+def _cmd_query(arguments: argparse.Namespace) -> int:
+    clause = parse_preferring(arguments.preferring)
+    with open(arguments.csv, newline="") as handle:
+        reader = csv.DictReader(handle)
+        rows = list(reader)
+    if not rows:
+        print("empty input", file=sys.stderr)
+        return 1
+    schema = []
+    for name in clause.attributes:
+        if name not in rows[0]:
+            print(f"column {name!r} not found in {arguments.csv}",
+                  file=sys.stderr)
+            return 1
+        schema.append(lowest(name))
+    records = [{name: float(row[name]) for name in clause.attributes}
+               for row in rows]
+    relation = Relation.from_records(records, schema)
+    stats = Stats()
+    start = time.perf_counter()
+    result = evaluate_preferring(relation, clause,
+                                 algorithm=arguments.algorithm,
+                                 stats=stats)
+    elapsed = time.perf_counter() - start
+    print(f"# {len(result)} of {len(relation)} tuples are maximal "
+          f"({elapsed * 1000:.1f} ms, {arguments.algorithm})")
+    writer = csv.DictWriter(sys.stdout, fieldnames=list(clause.attributes))
+    writer.writeheader()
+    for record in result.to_records()[: arguments.limit]:
+        writer.writerow(record)
+    if arguments.stats:
+        print(f"# dominance tests: {stats.dominance_tests}, "
+              f"passes: {stats.passes}, "
+              f"recursive calls: {stats.recursive_calls}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(arguments: argparse.Namespace) -> int:
+    rng = np.random.default_rng(arguments.seed)
+    kind = arguments.kind
+    if kind == "gaussian":
+        data = equicorrelated_gaussian(arguments.rows, arguments.dims,
+                                       arguments.alpha, rng)
+        names = [f"A{i}" for i in range(arguments.dims)]
+    elif kind == "independent":
+        data = independent(arguments.rows, arguments.dims, rng)
+        names = [f"A{i}" for i in range(arguments.dims)]
+    elif kind == "correlated":
+        data = correlated(arguments.rows, arguments.dims, rng)
+        names = [f"A{i}" for i in range(arguments.dims)]
+    elif kind == "anticorrelated":
+        data = anticorrelated(arguments.rows, arguments.dims, rng)
+        names = [f"A{i}" for i in range(arguments.dims)]
+    elif kind == "nba":
+        data = nba_dataset(arguments.rows, rng)
+        names = list(NBA_ATTRIBUTES)
+    else:
+        data = covertype_dataset(arguments.rows, rng)
+        names = list(COVERTYPE_ATTRIBUTES)
+    sink = sys.stdout if arguments.out == "-" else open(arguments.out, "w",
+                                                        newline="")
+    try:
+        writer = csv.writer(sink)
+        writer.writerow(names)
+        writer.writerows(data.tolist())
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+            print(f"wrote {data.shape[0]} rows x {data.shape[1]} columns "
+                  f"to {arguments.out}")
+    return 0
+
+
+def _cmd_sample(arguments: argparse.Namespace) -> int:
+    from .sampling import PExpressionSampler, decompose
+    rng = random.Random(arguments.seed)
+    names = [f"A{i}" for i in range(arguments.dims)]
+    sampler = PExpressionSampler(names, f=arguments.f)
+    for _ in range(arguments.count):
+        graph = sampler.sample_graph(rng)
+        print(f"roots={graph.num_roots:2d} edges={graph.num_edges:3d}  "
+              f"{decompose(graph)}")
+    return 0
+
+
+def _cmd_bench(arguments: argparse.Namespace) -> int:
+    scale = _SCALES[arguments.scale]
+    builders = {"gaussian": gaussian_tasks, "nba": nba_tasks,
+                "covertype": covertype_tasks}
+    tasks = builders[arguments.workload](scale)
+    records = run_pool(PAPER_ALGORITHMS, tasks, repeats=scale.repeats)
+    grouped = group_records(records, key=lambda r: r.num_attributes)
+    print(format_series(
+        f"{arguments.workload} workload ({scale.name} scale) by d",
+        grouped, PAPER_ALGORITHMS, "d"))
+    return 0
+
+
+def _load_csv_as_relation(path: str) -> Relation:
+    """All-numeric CSV -> relation with lowest-preferred columns."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path!r} has no header row")
+        names = list(reader.fieldnames)
+        records = [{name: float(row[name]) for name in names}
+                   for row in reader]
+    return Relation.from_records(records, [lowest(name)
+                                           for name in names])
+
+
+def _cmd_shell(arguments: argparse.Namespace) -> int:
+    from .sql import PreferenceSQL, SqlExecutionError, SqlSyntaxError
+    engine = PreferenceSQL()
+    for spec in arguments.load:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--load expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 1
+        engine.register(name, _load_csv_as_relation(path))
+        print(f"loaded {name} from {path}")
+    print("Preference SQL shell -- SELECT ... FROM ... [WHERE ...] "
+          "[PREFERRING ...] [TOP k]; empty line quits.")
+    while True:
+        try:
+            line = input("psql> ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        try:
+            result = engine.execute(line)
+        except (SqlSyntaxError, SqlExecutionError, KeyError,
+                ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            continue
+        writer = csv.DictWriter(sys.stdout, fieldnames=list(result.names))
+        writer.writeheader()
+        for record in result.to_records():
+            writer.writerow(record)
+        print(f"({len(result)} rows)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "generate": _cmd_generate,
+        "sample": _cmd_sample,
+        "bench": _cmd_bench,
+        "shell": _cmd_shell,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

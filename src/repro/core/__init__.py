@@ -1,0 +1,37 @@
+"""Core preference model: attributes, p-expressions, p-graphs, dominance."""
+
+from .attributes import Attribute, Direction, highest, lowest, ranked
+from .bitsets import indices_of, iter_bits, mask_of
+from .dominance import Dominance
+from .expressions import (Att, Pareto, PExpr, Prioritized, lex, pareto,
+                          prioritized, sky)
+from .extension import ExtensionOrder
+from .parser import ParseError, parse
+from .pgraph import CyclicPriorityError, PGraph
+from .relation import Relation
+
+__all__ = [
+    "Attribute",
+    "Direction",
+    "lowest",
+    "highest",
+    "ranked",
+    "Att",
+    "PExpr",
+    "Pareto",
+    "Prioritized",
+    "pareto",
+    "prioritized",
+    "sky",
+    "lex",
+    "parse",
+    "ParseError",
+    "PGraph",
+    "CyclicPriorityError",
+    "Dominance",
+    "ExtensionOrder",
+    "Relation",
+    "iter_bits",
+    "mask_of",
+    "indices_of",
+]

@@ -1,0 +1,129 @@
+"""Attribute specifications and single-attribute preferences.
+
+A single-attribute preference is a total order over the attribute's domain
+(Section 2.1 of the paper).  Internally the library encodes every column into
+a *rank* representation where **smaller values are better**; all algorithms
+then only ever compare ranks with ``<``.  Three kinds of orders are supported:
+
+* ``lowest``  -- natural order, small values preferred (the paper's default);
+* ``highest`` -- reversed order, large values preferred;
+* ``ranked``  -- an explicit total order over a discrete domain, best first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Direction", "Attribute", "lowest", "highest", "ranked"]
+
+
+class Direction(enum.Enum):
+    """Which end of the natural order is preferred."""
+
+    MIN = "min"
+    MAX = "max"
+    RANKED = "ranked"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute together with its single-attribute preference.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a valid identifier-like, non-empty string.
+    direction:
+        Whether small values, large values, or an explicit ranking are
+        preferred.
+    order:
+        For ``Direction.RANKED`` only: the domain values listed from the most
+        preferred to the least preferred.  Every value occurring in the data
+        must appear exactly once.
+    """
+
+    name: str
+    direction: Direction = Direction.MIN
+    order: tuple[Any, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("attribute name must be a non-empty string")
+        if self.direction is Direction.RANKED:
+            if not self.order:
+                raise ValueError(
+                    f"attribute {self.name!r}: ranked preference requires an "
+                    "explicit order"
+                )
+            if len(set(self.order)) != len(self.order):
+                raise ValueError(
+                    f"attribute {self.name!r}: ranked order contains "
+                    "duplicate values"
+                )
+        elif self.order:
+            raise ValueError(
+                f"attribute {self.name!r}: order is only meaningful for "
+                "ranked preferences"
+            )
+
+    def encode(self, values: Sequence[Any]) -> np.ndarray:
+        """Encode raw column values into ranks where smaller is better.
+
+        Returns a ``float64`` array.  Raises :class:`ValueError` on NaNs or,
+        for ranked attributes, on values outside the declared domain.
+        """
+        if self.direction is Direction.RANKED:
+            rank_of = {value: i for i, value in enumerate(self.order)}
+            try:
+                ranks = np.array([rank_of[v] for v in values], dtype=np.float64)
+            except KeyError as exc:
+                raise ValueError(
+                    f"attribute {self.name!r}: value {exc.args[0]!r} is not "
+                    "in the declared ranked order"
+                ) from None
+            return ranks
+        column = np.asarray(values, dtype=np.float64)
+        if column.ndim != 1:
+            raise ValueError(
+                f"attribute {self.name!r}: expected a one-dimensional column"
+            )
+        if np.isnan(column).any():
+            raise ValueError(
+                f"attribute {self.name!r}: NaN values are not allowed"
+            )
+        if self.direction is Direction.MAX:
+            return -column
+        return column
+
+    def decode(self, ranks: np.ndarray) -> np.ndarray | list[Any]:
+        """Invert :meth:`encode` (used when materialising query results)."""
+        if self.direction is Direction.RANKED:
+            return [self.order[int(r)] for r in ranks]
+        if self.direction is Direction.MAX:
+            return -np.asarray(ranks)
+        return np.asarray(ranks)
+
+    def __str__(self) -> str:
+        if self.direction is Direction.RANKED:
+            ordered = ", ".join(repr(v) for v in self.order)
+            return f"ranked({self.name}: {ordered})"
+        return f"{self.direction.value}({self.name})"
+
+
+def lowest(name: str) -> Attribute:
+    """Prefer small values of ``name`` (the paper's default convention)."""
+    return Attribute(name, Direction.MIN)
+
+
+def highest(name: str) -> Attribute:
+    """Prefer large values of ``name``."""
+    return Attribute(name, Direction.MAX)
+
+
+def ranked(name: str, order: Sequence[Any]) -> Attribute:
+    """Prefer values of ``name`` following ``order`` (best value first)."""
+    return Attribute(name, Direction.RANKED, tuple(order))

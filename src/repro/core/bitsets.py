@@ -1,0 +1,49 @@
+"""Small helpers for attribute sets represented as integer bitmasks.
+
+Throughout the library, sets of attributes (subsets of ``Var(pi)``) are
+integer bitmasks: bit ``i`` set means attribute ``i`` (by column position) is
+in the set.  The paper never needs more than ``d = 20`` attributes; we allow
+up to 64 so the masks also fit NumPy's ``uint64`` in vectorised kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = [
+    "MAX_ATTRIBUTES",
+    "iter_bits",
+    "mask_of",
+    "indices_of",
+    "lowest_bit",
+]
+
+MAX_ATTRIBUTES = 64
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the positions of set bits in ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Build a bitmask with the given bit positions set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def indices_of(mask: int) -> list[int]:
+    """Return the set-bit positions of ``mask`` as a sorted list."""
+    return list(iter_bits(mask))
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the position of the lowest set bit (mask must be nonzero)."""
+    if not mask:
+        raise ValueError("empty bitmask has no lowest bit")
+    return (mask & -mask).bit_length() - 1

@@ -1,0 +1,68 @@
+"""Result verification: assert that an index set really is ``M_pi(D)``.
+
+Useful for fuzzing, for validating third-party algorithm implementations
+registered into :data:`repro.algorithms.REGISTRY`, and as a safety net in
+pipelines where a wrong preference result is costly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dominance import Dominance
+from .pgraph import PGraph
+
+__all__ = ["VerificationError", "verify_pskyline"]
+
+
+class VerificationError(AssertionError):
+    """The claimed result is not the p-skyline; details in the message."""
+
+
+def verify_pskyline(ranks: np.ndarray, graph: PGraph,
+                    indices: np.ndarray, *, chunk: int = 256) -> None:
+    """Raise :class:`VerificationError` unless ``indices`` = ``M_pi``.
+
+    Checks three properties with vectorised scans:
+
+    1. indices are in range, sorted and unique;
+    2. *soundness* -- no claimed tuple is dominated by anything;
+    3. *completeness* -- every unclaimed tuple is dominated by something.
+
+    Cost is ``O(n * |indices| )`` kernel work; intended for tests and
+    audits, not hot paths.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    indices = np.asarray(indices, dtype=np.intp)
+    n = ranks.shape[0]
+    if indices.size != np.unique(indices).size:
+        raise VerificationError("result contains duplicate indices")
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise VerificationError("result contains out-of-range indices")
+    if not np.all(np.diff(indices) > 0):
+        raise VerificationError("result indices are not sorted")
+    dominance = Dominance(graph)
+    claimed = np.zeros(n, dtype=bool)
+    claimed[indices] = True
+    # soundness: claimed tuples survive screening against everything
+    survivors = dominance.screen_block(ranks[indices], ranks, chunk=chunk)
+    if not survivors.all():
+        bad = indices[~survivors][:5]
+        raise VerificationError(
+            f"claimed tuples {bad.tolist()} are dominated (not maximal)"
+        )
+    # completeness: unclaimed tuples are dominated by some claimed tuple
+    # (dominators of any tuple are always maximal-dominated chains ending
+    # in the p-skyline, so screening against the claimed set suffices)
+    others = np.flatnonzero(~claimed)
+    if others.size:
+        undominated = dominance.screen_block(ranks[others], ranks[indices],
+                                             chunk=chunk)
+        if undominated.any():
+            # such a tuple is either maximal itself or dominated by an
+            # unclaimed maximal tuple; either way the result is incomplete
+            bad = others[undominated][:5]
+            raise VerificationError(
+                f"tuples {bad.tolist()} are not dominated by the claimed "
+                "result: the result misses maximal tuples"
+            )

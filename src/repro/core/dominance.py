@@ -1,0 +1,179 @@
+"""Dominance tests for p-skyline preferences (Proposition 1).
+
+Given two tuples ``t'`` and ``t`` over ranks where *smaller is better*,
+Proposition 1 states that ``t' ≻_pi t`` holds iff the tuples are
+distinguishable and
+
+.. math::  Desc(Better(t', t)) \\supseteq Better(t, t')
+
+Two kernel families implement this:
+
+* **scalar** kernels represent attribute sets as Python-int bitmasks --
+  ``(b1 | b2) != 0 and b2 & ~desc_union(b1) == 0`` -- and serve the
+  structural algorithms and tests;
+* **bulk** kernels recast the subset condition as a *coverage* test --
+  an attribute won by ``t`` must have an ancestor won by ``t'`` -- which
+  turns into one small GEMM per comparison block
+  (``covered = better_flags @ descendant_matrix``), the fastest
+  formulation NumPy offers for many-vs-many dominance.
+
+All kernels operate on *rank* matrices produced by
+:class:`~repro.core.relation.Relation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitsets import iter_bits
+from .pgraph import PGraph
+
+__all__ = ["Dominance"]
+
+
+class Dominance:
+    """Dominance oracle for a fixed p-graph over ``d`` rank columns."""
+
+    __slots__ = ("graph", "desc", "_desc_matrix", "_ones")
+
+    def __init__(self, graph: PGraph):
+        self.graph = graph
+        # desc[i] = strict descendants of attribute i, as python int mask.
+        self.desc = graph.closure
+        d = graph.d
+        # _desc_matrix[i, j] = 1 iff j is a strict descendant of i; used by
+        # the coverage GEMM:  (lt @ M)[j] > 0  <=>  some won ancestor of j.
+        matrix = np.zeros((d, d), dtype=np.float32)
+        for i in range(d):
+            for j in iter_bits(self.desc[i]):
+                matrix[i, j] = 1.0
+        self._desc_matrix = matrix
+        self._ones = np.ones((d, 1), dtype=np.float32)
+
+    # -- scalar kernels ------------------------------------------------------
+    def better_masks(self, u: np.ndarray, v: np.ndarray) -> tuple[int, int]:
+        """Return ``(Better(u, v), Better(v, u))`` as bitmasks."""
+        b_uv = 0
+        b_vu = 0
+        for i in range(self.graph.d):
+            if u[i] < v[i]:
+                b_uv |= 1 << i
+            elif v[i] < u[i]:
+                b_vu |= 1 << i
+        return b_uv, b_vu
+
+    def dominates(self, u: np.ndarray, v: np.ndarray) -> bool:
+        """True iff ``u ≻_pi v`` (u preferred to v)."""
+        b_uv, b_vu = self.better_masks(u, v)
+        if not (b_uv | b_vu):
+            return False  # indistinguishable
+        return (b_vu & ~self._desc_union(b_uv)) == 0
+
+    def indistinguishable(self, u: np.ndarray, v: np.ndarray) -> bool:
+        """True iff ``u ≈_pi v`` (equal on every relevant attribute)."""
+        b_uv, b_vu = self.better_masks(u, v)
+        return not (b_uv | b_vu)
+
+    def compare(self, u: np.ndarray, v: np.ndarray) -> str:
+        """Classify the pair: ``'>'``, ``'<'``, ``'~'`` or ``'='``.
+
+        ``'>'`` means ``u ≻ v``, ``'<'`` means ``v ≻ u``, ``'='`` means
+        indistinguishable and ``'~'`` means incomparable (indifferent but
+        distinguishable).
+        """
+        b_uv, b_vu = self.better_masks(u, v)
+        if not (b_uv | b_vu):
+            return "="
+        u_wins = (b_vu & ~self._desc_union(b_uv)) == 0
+        v_wins = (b_uv & ~self._desc_union(b_vu)) == 0
+        if u_wins and v_wins:  # pragma: no cover - impossible for valid graphs
+            raise AssertionError("dominance in both directions")
+        if u_wins:
+            return ">"
+        if v_wins:
+            return "<"
+        return "~"
+
+    def top_mask(self, u: np.ndarray, v: np.ndarray) -> int:
+        """``Top(u, v)``: topmost attributes where the tuples disagree.
+
+        An attribute is *topmost* when none of its ancestors disagrees.
+        """
+        b_uv, b_vu = self.better_masks(u, v)
+        diff = b_uv | b_vu
+        top = 0
+        for i in iter_bits(diff):
+            if not (self.graph.ancestors_mask[i] & diff):
+                top |= 1 << i
+        return top
+
+    def _desc_union(self, mask: int) -> int:
+        union = 0
+        for i in iter_bits(mask):
+            union |= self.desc[i]
+        return union
+
+    # -- bulk kernels ----------------------------------------------------------
+    def _dominated_flags(self, lt: np.ndarray, gt: np.ndarray) -> np.ndarray:
+        """Pairwise dominance from comparison flags.
+
+        ``lt``/``gt`` are ``(..., d)`` booleans: the *dominator candidate*
+        is better / worse on each attribute.  Returns a boolean array of
+        the leading shape: candidate dominates.
+        """
+        shape = lt.shape[:-1]
+        d = lt.shape[-1]
+        lt_flat = lt.reshape(-1, d).astype(np.float32)
+        gt_flat = gt.reshape(-1, d).astype(np.float32)
+        covered = lt_flat @ self._desc_matrix
+        # a win of the dominated side is fatal unless an ancestor covers it
+        fatal = gt_flat * (1.0 - np.minimum(covered, 1.0))
+        fatal_any = (fatal @ self._ones)[:, 0] > 0
+        distinguishable = ((lt_flat + gt_flat) @ self._ones)[:, 0] > 0
+        return (distinguishable & ~fatal_any).reshape(shape)
+
+    def dominators_mask(self, candidates: np.ndarray,
+                        target: np.ndarray) -> np.ndarray:
+        """Boolean vector: ``candidates[i] ≻_pi target`` for each row.
+
+        ``candidates`` is an ``(m, d)`` rank matrix, ``target`` a length-``d``
+        vector.
+        """
+        lt = candidates < target  # candidate better
+        gt = candidates > target  # target better
+        return self._dominated_flags(lt, gt)
+
+    def dominated_mask(self, candidates: np.ndarray,
+                       target: np.ndarray) -> np.ndarray:
+        """Boolean vector: ``target ≻_pi candidates[i]`` for each row."""
+        lt = candidates < target
+        gt = candidates > target
+        return self._dominated_flags(gt, lt)
+
+    def any_dominator(self, candidates: np.ndarray,
+                      target: np.ndarray) -> bool:
+        """True iff some row of ``candidates`` dominates ``target``."""
+        return bool(self.dominators_mask(candidates, target).any())
+
+    def screen_block(self, block: np.ndarray, against: np.ndarray,
+                     chunk: int = 256) -> np.ndarray:
+        """Boolean survivors mask: rows of ``block`` not dominated by any
+        row of ``against``.
+
+        Quadratic but fully vectorised; used as the oracle, as the dense
+        base case of recursive screening, and by the scan-based algorithms.
+        ``chunk`` bounds the temporary ``(chunk, m, d)`` comparison tensors.
+        """
+        n = block.shape[0]
+        m = against.shape[0]
+        survivors = np.ones(n, dtype=bool)
+        if n == 0 or m == 0:
+            return survivors
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            sub = block[start:stop]  # (c, d)
+            lt = against[None, :, :] < sub[:, None, :]  # against better
+            gt = against[None, :, :] > sub[:, None, :]  # block better
+            dominated = self._dominated_flags(lt, gt).any(axis=1)
+            survivors[start:stop] = ~dominated
+        return survivors

@@ -1,0 +1,91 @@
+"""Explanations of dominance outcomes, in terms of Proposition 1.
+
+Preference results can surprise users ("why did my favourite car drop
+out?").  These helpers turn the bitmask machinery into readable
+explanations:
+
+* :func:`explain_pair` -- why one tuple does (or does not) dominate
+  another: the topmost disagreeing attributes and who wins them;
+* :func:`explain_not_maximal` -- for a non-answer tuple, one witness
+  dominator and the pair explanation against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitsets import indices_of
+from .dominance import Dominance
+from .pgraph import PGraph
+
+__all__ = ["PairExplanation", "explain_pair", "explain_not_maximal"]
+
+
+@dataclass(frozen=True)
+class PairExplanation:
+    """The Proposition 1 view of one ordered tuple pair."""
+
+    outcome: str                      # '>', '<', '~' or '='
+    first_wins: tuple[str, ...]       # Better(first, second)
+    second_wins: tuple[str, ...]      # Better(second, first)
+    topmost: tuple[str, ...]          # Top: topmost disagreeing attrs
+    uncovered: tuple[str, ...]        # topmost attrs won by the loser
+
+    def describe(self) -> str:
+        """A one-paragraph plain-English rendering."""
+        if self.outcome == "=":
+            return ("the tuples are indistinguishable: they agree on "
+                    "every relevant attribute")
+        top = ", ".join(self.topmost)
+        if self.outcome == ">":
+            return (f"the first tuple dominates: it wins every topmost "
+                    f"disagreement ({top}); everything the second tuple "
+                    f"wins is outranked by one of them")
+        if self.outcome == "<":
+            return (f"the second tuple dominates: it wins every topmost "
+                    f"disagreement ({top})")
+        blockers = ", ".join(self.uncovered)
+        return (f"neither dominates: the topmost disagreements ({top}) "
+                f"are split -- {blockers} go(es) to the other side and "
+                f"no higher-priority attribute overrides it")
+
+
+def explain_pair(ranks: np.ndarray, graph: PGraph, first: int,
+                 second: int) -> PairExplanation:
+    """Explain the preference between rows ``first`` and ``second``."""
+    dominance = Dominance(graph)
+    u = ranks[first]
+    v = ranks[second]
+    outcome = dominance.compare(u, v)
+    b_uv, b_vu = dominance.better_masks(u, v)
+    top = dominance.top_mask(u, v)
+
+    def names(mask: int) -> tuple[str, ...]:
+        return tuple(graph.names[i] for i in indices_of(mask))
+
+    if outcome == "~":
+        # incomparable: topmost attributes won by each side block the other
+        uncovered = top & (b_uv | b_vu)
+    else:
+        uncovered = 0  # one side wins every topmost disagreement
+    return PairExplanation(
+        outcome=outcome,
+        first_wins=names(b_uv),
+        second_wins=names(b_vu),
+        topmost=names(top),
+        uncovered=names(uncovered),
+    )
+
+
+def explain_not_maximal(ranks: np.ndarray, graph: PGraph,
+                        row: int) -> tuple[int, PairExplanation] | None:
+    """A witness dominator of ``row`` and its explanation, or ``None`` if
+    the tuple is maximal."""
+    dominance = Dominance(graph)
+    dominators = dominance.dominators_mask(ranks, ranks[row])
+    if not dominators.any():
+        return None
+    witness = int(np.flatnonzero(dominators)[0])
+    return witness, explain_pair(ranks, graph, witness, row)

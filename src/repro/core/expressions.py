@@ -1,0 +1,251 @@
+"""P-expression abstract syntax trees.
+
+A *p-expression* (Section 2.1) composes single-attribute preferences with two
+binary operators:
+
+* ``&`` -- *prioritized accumulation*: the left operand is infinitely more
+  important than the right one;
+* ``*`` (the paper's ``⊗``) -- *Pareto accumulation*: both operands are
+  equally important.
+
+Both operators are associative and Pareto accumulation is also commutative,
+so the AST stores them as flattened n-ary nodes.  No attribute may appear
+more than once in a p-expression.
+
+The Python operators ``&`` and ``*`` are overloaded on AST nodes, so
+expressions can be written naturally::
+
+    pi = (Att("P") & Att("T")) * Att("M")
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = [
+    "PExpr",
+    "Att",
+    "Pareto",
+    "Prioritized",
+    "pareto",
+    "prioritized",
+    "sky",
+    "lex",
+    "RepeatedAttributeError",
+]
+
+
+class RepeatedAttributeError(ValueError):
+    """Raised when an attribute occurs more than once in a p-expression."""
+
+
+class PExpr:
+    """Base class for p-expression nodes.
+
+    Subclasses are immutable and hashable; equality is structural, with
+    Pareto children compared as multisets (Pareto accumulation is
+    commutative) and prioritized children compared as sequences.
+    """
+
+    __slots__ = ()
+
+    def attributes(self) -> tuple[str, ...]:
+        """Return ``Var(pi)`` in left-to-right order of first appearance."""
+        return tuple(self._iter_attributes())
+
+    def _iter_attributes(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def edges(self) -> set[tuple[str, str]]:
+        """Return the edge set of the p-graph ``Gamma_pi`` (Definition 2)."""
+        raise NotImplementedError
+
+    def canonical(self) -> "PExpr":
+        """Return a canonical structurally-equal form.
+
+        Nested nodes of the same operator are flattened and Pareto children
+        are sorted by their smallest attribute name, which makes the
+        canonical string representation unique for a given preference
+        relation *syntax tree shape* (two different trees inducing the same
+        p-graph may still differ; use :meth:`edges` for semantic equality,
+        per Proposition 2).
+        """
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+    def __and__(self, other: "PExpr") -> "PExpr":
+        return prioritized(self, other)
+
+    def __mul__(self, other: "PExpr") -> "PExpr":
+        return pareto(self, other)
+
+    # -- misc ---------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+    def _validate(self) -> None:
+        names = list(self._iter_attributes())
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                raise RepeatedAttributeError(
+                    f"attribute {name!r} appears more than once"
+                )
+            seen.add(name)
+
+
+class Att(PExpr):
+    """A leaf: a single-attribute preference identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("attribute name must be a non-empty string")
+        self.name = name
+
+    def _iter_attributes(self) -> Iterator[str]:
+        yield self.name
+
+    def edges(self) -> set[tuple[str, str]]:
+        return set()
+
+    def canonical(self) -> "PExpr":
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Att) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Att", self.name))
+
+
+class _Composite(PExpr):
+    """Shared machinery for the two accumulation operators."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: Sequence[PExpr]):
+        flat: list[PExpr] = []
+        for child in children:
+            if not isinstance(child, PExpr):
+                raise TypeError(
+                    f"p-expression operands must be PExpr, got {child!r}"
+                )
+            if isinstance(child, type(self)):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least two operands"
+            )
+        self.children = tuple(flat)
+        self._validate()
+
+    def _iter_attributes(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child._iter_attributes()
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, _Composite):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+    def __hash__(self) -> int:
+        raise NotImplementedError
+
+
+class Pareto(_Composite):
+    """Pareto accumulation ``pi_1 ⊗ pi_2 ⊗ ...`` (equal importance)."""
+
+    __slots__ = ()
+    _symbol = "*"
+
+    def canonical(self) -> "PExpr":
+        children = sorted(
+            (child.canonical() for child in self.children),
+            key=lambda c: min(c.attributes()),
+        )
+        return Pareto(children)
+
+    def edges(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        for child in self.children:
+            result |= child.edges()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pareto):
+            return False
+        if len(self.children) != len(other.children):
+            return False
+        mine = sorted(self.children, key=str)
+        theirs = sorted(other.children, key=str)
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(("Pareto", frozenset(str(c) for c in self.children)))
+
+
+class Prioritized(_Composite):
+    """Prioritized accumulation ``pi_1 & pi_2 & ...`` (left most important)."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+    def canonical(self) -> "PExpr":
+        return Prioritized([child.canonical() for child in self.children])
+
+    def edges(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        groups = [child.attributes() for child in self.children]
+        for child in self.children:
+            result |= child.edges()
+        for i, upper in enumerate(groups):
+            for lower in groups[i + 1:]:
+                result |= {(a, b) for a in upper for b in lower}
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Prioritized)
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Prioritized", tuple(str(c) for c in self.children)))
+
+
+def pareto(*exprs: PExpr) -> PExpr:
+    """Pareto-accumulate ``exprs`` (returns the sole operand unchanged)."""
+    if len(exprs) == 1:
+        return exprs[0]
+    return Pareto(exprs)
+
+
+def prioritized(*exprs: PExpr) -> PExpr:
+    """Prioritize ``exprs`` left-to-right (most important first)."""
+    if len(exprs) == 1:
+        return exprs[0]
+    return Prioritized(exprs)
+
+
+def sky(names: Sequence[str]) -> PExpr:
+    """The plain-skyline p-expression ``A_1 ⊗ A_2 ⊗ ...`` (Section 2.2)."""
+    atts = [Att(name) for name in names]
+    return pareto(*atts)
+
+
+def lex(names: Sequence[str]) -> PExpr:
+    """The lexicographic p-expression ``A_1 & A_2 & ...``."""
+    atts = [Att(name) for name in names]
+    return prioritized(*atts)

@@ -1,0 +1,73 @@
+"""The weak-order extension ``≻ext`` of a p-skyline preference (Section 6).
+
+Theorem 3: sort tuples by the lexicographic composition of the per-depth
+rank sums,
+
+.. math::  ≻_{ext} = ≻_{sum_0} \\& ≻_{sum_1} \\& \\dots \\& ≻_{sum_{d-1}}
+
+where ``sum_i(t)`` adds the ranks of all attributes whose depth in the
+transitive reduction is ``i``.  Sorting the input by ``≻ext`` guarantees
+that no tuple is ``≻_pi``-dominated by a tuple that follows it, which is
+exactly the presorting property SFS and LESS require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pgraph import PGraph
+
+__all__ = ["ExtensionOrder"]
+
+
+class ExtensionOrder:
+    """Materialises ``≻ext`` keys and presorted permutations for a p-graph."""
+
+    __slots__ = ("graph", "levels", "_level_masks")
+
+    def __init__(self, graph: PGraph):
+        self.graph = graph
+        depths = graph.depths
+        num_levels = (max(depths) + 1) if depths else 0
+        # _level_masks[i] is a boolean column selector for depth-i attributes.
+        self._level_masks = [
+            np.array([depth == level for depth in depths], dtype=bool)
+            for level in range(num_levels)
+        ]
+        self.levels = num_levels
+
+    def keys(self, ranks: np.ndarray) -> np.ndarray:
+        """Per-depth sums: an ``(n, levels)`` matrix, level 0 first.
+
+        Row-wise lexicographic comparison of the key matrix realises
+        ``≻ext`` (smaller key = more preferred).
+        """
+        n = ranks.shape[0]
+        keys = np.empty((n, self.levels), dtype=np.float64)
+        for level, mask in enumerate(self._level_masks):
+            keys[:, level] = ranks[:, mask].sum(axis=1)
+        return keys
+
+    def argsort(self, ranks: np.ndarray) -> np.ndarray:
+        """Permutation sorting rows best-first according to ``≻ext``.
+
+        The sort is stable, so ties (tuples that are ``≻ext``-equivalent)
+        keep their input order.
+        """
+        keys = self.keys(ranks)
+        if keys.shape[1] == 0:
+            return np.arange(ranks.shape[0])
+        # np.lexsort uses the *last* key as primary; depth 0 must dominate.
+        return np.lexsort(tuple(keys[:, level]
+                                for level in range(self.levels - 1, -1, -1)))
+
+    def strictly_precedes(self, u: np.ndarray, v: np.ndarray) -> bool:
+        """Scalar test ``u ≻ext v`` on two rank vectors (for verification)."""
+        for mask in self._level_masks:
+            su = float(u[mask].sum())
+            sv = float(v[mask].sum())
+            if su < sv:
+                return True
+            if su > sv:
+                return False
+        return False

@@ -1,0 +1,135 @@
+"""Text parser for p-expressions.
+
+Grammar (mirroring the paper's Section 2.1, with explicit precedence)::
+
+    pexpr   -> pareto
+    pareto  -> prio ( ('*' | '⊗') prio )*
+    prio    -> atom ( '&' atom )*
+    atom    -> NAME | '(' pexpr ')'
+
+``&`` binds tighter than ``*``, so ``P & T * M`` parses as ``(P & T) * M``
+-- matching how the paper always writes prioritized chains as tight units.
+Attribute names are ``[A-Za-z_][A-Za-z0-9_]*``.  Both ``*`` and the paper's
+``⊗`` symbol are accepted for Pareto accumulation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from .expressions import Att, PExpr, pareto, prioritized
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed p-expression text, with position information."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<pareto>[*⊗])"
+    r"|(?P<prio>&)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\)))"
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.lastgroup is None:
+            remainder = text[pos:].lstrip()
+            if not remainder:
+                break
+            raise ParseError(
+                f"unexpected character {remainder[0]!r} at position {pos}"
+            )
+        tokens.append(_Token(match.lastgroup, match.group(match.lastgroup),
+                             match.start(match.lastgroup)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r} at position "
+                f"{token.pos}"
+            )
+        return token
+
+    def parse(self) -> PExpr:
+        expr = self.pareto()
+        token = self.peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input {token.text!r} at position {token.pos}"
+            )
+        return expr
+
+    def pareto(self) -> PExpr:
+        parts = [self.prio()]
+        while (token := self.peek()) is not None and token.kind == "pareto":
+            self.advance()
+            parts.append(self.prio())
+        return pareto(*parts)
+
+    def prio(self) -> PExpr:
+        parts = [self.atom()]
+        while (token := self.peek()) is not None and token.kind == "prio":
+            self.advance()
+            parts.append(self.atom())
+        return prioritized(*parts)
+
+    def atom(self) -> PExpr:
+        token = self.advance()
+        if token.kind == "name":
+            return Att(token.text)
+        if token.kind == "lparen":
+            inner = self.pareto()
+            self.expect("rparen")
+            return inner
+        raise ParseError(
+            f"expected an attribute or '(' but found {token.text!r} at "
+            f"position {token.pos}"
+        )
+
+
+def parse(text: str) -> PExpr:
+    """Parse ``text`` into a :class:`~repro.core.expressions.PExpr`.
+
+    >>> str(parse("(P & T) * M"))
+    '(P & T) * M'
+    """
+    if not text or not text.strip():
+        raise ParseError("empty p-expression")
+    return _Parser(text).parse()

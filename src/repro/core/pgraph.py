@@ -1,0 +1,385 @@
+"""P-graphs: the priority structure induced by a p-expression.
+
+A p-graph :math:`\\Gamma_\\pi` (Definition 2) has one vertex per attribute in
+``Var(pi)`` and an edge ``A -> B`` whenever the preference on ``A`` is more
+important than the one on ``B``.  P-graphs are transitive and acyclic by
+construction.  This module stores the *transitive closure* as per-vertex
+descendant bitmasks and derives the transitive reduction
+:math:`\\Gamma^r_\\pi`, roots, depths, and the set operators
+(``Succ``/``Pre``/``Desc``/``Anc``) used by the algorithms.
+
+Theorem 4 (Mindolin & Chomicki) characterises which graphs are p-graphs:
+exactly the transitive, irreflexive graphs satisfying the *envelope
+property*.  :meth:`PGraph.satisfies_envelope` and :meth:`PGraph.is_valid`
+implement that check and are the basis of the sampling framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .bitsets import MAX_ATTRIBUTES, indices_of, iter_bits
+from .expressions import PExpr
+
+__all__ = ["PGraph", "CyclicPriorityError"]
+
+
+class CyclicPriorityError(ValueError):
+    """Raised when a declared priority edge set contains a cycle."""
+
+
+class PGraph:
+    """The priority DAG over the attributes of a p-expression.
+
+    Attributes are identified by their column position ``0..d-1``; ``names``
+    maps positions to attribute names.  ``closure[i]`` is the bitmask of all
+    *strict descendants* of attribute ``i`` in the transitive closure.
+    Instances are immutable.
+    """
+
+    __slots__ = (
+        "names",
+        "closure",
+        "ancestors_mask",
+        "_reduction",
+        "_depths",
+        "_roots",
+    )
+
+    def __init__(self, names: Sequence[str], closure: Sequence[int]):
+        if len(names) != len(set(names)):
+            raise ValueError("attribute names must be distinct")
+        if len(names) > MAX_ATTRIBUTES:
+            raise ValueError(
+                f"at most {MAX_ATTRIBUTES} attributes are supported"
+            )
+        if len(closure) != len(names):
+            raise ValueError("closure must have one mask per attribute")
+        self.names = tuple(names)
+        self.closure = tuple(int(m) for m in closure)
+        d = len(self.names)
+        for i, mask in enumerate(self.closure):
+            if mask >> d:
+                raise ValueError(f"descendant mask of {names[i]} out of range")
+            if mask & (1 << i):
+                raise ValueError(f"attribute {names[i]} cannot dominate itself")
+        self._check_transitive_acyclic()
+        anc = [0] * d
+        for i in range(d):
+            for j in iter_bits(self.closure[i]):
+                anc[j] |= 1 << i
+        self.ancestors_mask = tuple(anc)
+        self._reduction: tuple[int, ...] | None = None
+        self._depths: tuple[int, ...] | None = None
+        self._roots: int | None = None
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_expression(cls, expr: PExpr,
+                        names: Sequence[str] | None = None) -> "PGraph":
+        """Build the p-graph of ``expr`` (Definition 2).
+
+        ``names`` fixes the column order; it defaults to the order of first
+        appearance in the expression and must contain exactly ``Var(expr)``.
+        """
+        attrs = expr.attributes()
+        if names is None:
+            names = attrs
+        if set(names) != set(attrs) or len(names) != len(attrs):
+            raise ValueError(
+                "names must be a permutation of the expression's attributes"
+            )
+        index = {name: i for i, name in enumerate(names)}
+        closure = [0] * len(names)
+        for upper, lower in expr.edges():
+            closure[index[upper]] |= 1 << index[lower]
+        return cls(names, closure)
+
+    @classmethod
+    def from_edges(cls, names: Sequence[str],
+                   edges: Iterable[tuple[str, str]]) -> "PGraph":
+        """Build a p-graph from explicit priority edges, closing transitively.
+
+        Raises :class:`CyclicPriorityError` if the edges contain a cycle.
+        The result is **not** guaranteed to satisfy the envelope property;
+        call :meth:`is_valid` to check whether a p-expression realises it.
+        """
+        index = {name: i for i, name in enumerate(names)}
+        d = len(names)
+        direct = [0] * d
+        for upper, lower in edges:
+            if upper not in index or lower not in index:
+                missing = upper if upper not in index else lower
+                raise ValueError(f"unknown attribute {missing!r} in edge list")
+            if upper == lower:
+                raise CyclicPriorityError(
+                    f"self-loop on attribute {upper!r}"
+                )
+            direct[index[upper]] |= 1 << index[lower]
+        closure = _transitive_closure(direct)
+        for i in range(d):
+            if closure[i] & (1 << i):
+                raise CyclicPriorityError(
+                    f"priority edges contain a cycle through {names[i]!r}"
+                )
+        return cls(names, closure)
+
+    @classmethod
+    def empty(cls, names: Sequence[str]) -> "PGraph":
+        """The edgeless p-graph: the plain skyline preference (Section 2.2)."""
+        return cls(names, [0] * len(names))
+
+    # -- basic structure -------------------------------------------------------
+    @property
+    def d(self) -> int:
+        """Number of attributes, the paper's ``d``."""
+        return len(self.names)
+
+    @property
+    def all_mask(self) -> int:
+        return (1 << self.d) - 1 if self.d else 0
+
+    def descendants(self, i: int) -> int:
+        """``Desc(A_i)``: strict descendants of attribute ``i``, as a mask."""
+        return self.closure[i]
+
+    def ancestors(self, i: int) -> int:
+        """``Anc(A_i)``: strict ancestors of attribute ``i``, as a mask."""
+        return self.ancestors_mask[i]
+
+    def desc_of_set(self, mask: int) -> int:
+        """Union of ``Desc`` over all attributes in ``mask``."""
+        result = 0
+        for i in iter_bits(mask):
+            result |= self.closure[i]
+        return result
+
+    @property
+    def reduction(self) -> tuple[int, ...]:
+        """Adjacency (successor masks) of the transitive reduction."""
+        if self._reduction is None:
+            self._reduction = tuple(self._reduce())
+        return self._reduction
+
+    def _reduce(self) -> list[int]:
+        # In a transitively closed DAG, (i, j) is a reduction edge iff no
+        # intermediate k has i -> k -> j.
+        reduced = []
+        for i in range(self.d):
+            mask = self.closure[i]
+            keep = mask
+            for k in iter_bits(mask):
+                keep &= ~self.closure[k]
+            reduced.append(keep)
+        return reduced
+
+    def successors(self, i: int) -> int:
+        """``Succ(A_i)``: immediate successors in the transitive reduction."""
+        return self.reduction[i]
+
+    def predecessors(self, i: int) -> int:
+        """``Pre(A_i)``: immediate predecessors in the transitive reduction."""
+        mask = 0
+        for j in range(self.d):
+            if self.reduction[j] & (1 << i):
+                mask |= 1 << j
+        return mask
+
+    @property
+    def roots(self) -> int:
+        """``Roots``: attributes with no ancestors, as a mask."""
+        if self._roots is None:
+            mask = 0
+            for i in range(self.d):
+                if not self.ancestors_mask[i]:
+                    mask |= 1 << i
+            self._roots = mask
+        return self._roots
+
+    @property
+    def num_roots(self) -> int:
+        return self.roots.bit_count()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the (transitively closed) p-graph."""
+        return sum(mask.bit_count() for mask in self.closure)
+
+    @property
+    def depths(self) -> tuple[int, ...]:
+        """Depth of each attribute: longest path from any root (roots = 0)."""
+        if self._depths is None:
+            depths = [0] * self.d
+            order = self.topological_order()
+            for i in order:
+                for j in iter_bits(self.reduction[i]):
+                    depths[j] = max(depths[j], depths[i] + 1)
+            self._depths = tuple(depths)
+        return self._depths
+
+    def topological_order(self) -> list[int]:
+        """A topological order of the priority DAG (ancestors first)."""
+        indegree = [self.ancestors_mask[i].bit_count() for i in range(self.d)]
+        # Kahn's algorithm over the closure (counts shrink consistently
+        # because the closure of a DAG is itself a DAG).
+        ready = [i for i in range(self.d) if indegree[i] == 0]
+        order: list[int] = []
+        remaining = list(indegree)
+        while ready:
+            i = ready.pop()
+            order.append(i)
+            for j in iter_bits(self.closure[i]):
+                remaining[j] -= 1
+                if remaining[j] == 0:
+                    ready.append(j)
+        if len(order) != self.d:
+            raise CyclicPriorityError("priority graph contains a cycle")
+        return order
+
+    def edges(self) -> set[tuple[str, str]]:
+        """All edges of the transitive closure, by attribute name."""
+        result = set()
+        for i in range(self.d):
+            for j in iter_bits(self.closure[i]):
+                result.add((self.names[i], self.names[j]))
+        return result
+
+    def reduction_edges(self) -> set[tuple[str, str]]:
+        """Edges of the transitive reduction, by attribute name."""
+        result = set()
+        for i in range(self.d):
+            for j in iter_bits(self.reduction[i]):
+                result.add((self.names[i], self.names[j]))
+        return result
+
+    # -- semantics-level relations (Proposition 2) ----------------------------
+    def contains(self, other: "PGraph") -> bool:
+        """True iff ``other``'s preference is contained in this one.
+
+        Proposition 2: for equal attribute sets, edge containment of the
+        p-graphs coincides with containment of the preference relations.
+        """
+        if self.names != other.names:
+            raise ValueError("containment requires identical attribute order")
+        return all(
+            (other.closure[i] & ~self.closure[i]) == 0 for i in range(self.d)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PGraph)
+            and self.names == other.names
+            and self.closure == other.closure
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.closure))
+
+    # -- validity (Theorem 4) --------------------------------------------------
+    def _check_transitive_acyclic(self) -> None:
+        for i in range(self.d):
+            mask = self.closure[i]
+            for k in iter_bits(mask):
+                if self.closure[k] & ~mask:
+                    raise ValueError(
+                        "descendant masks are not transitively closed"
+                    )
+                if self.closure[k] & (1 << i):
+                    raise CyclicPriorityError(
+                        f"cycle between {self.names[i]} and {self.names[k]}"
+                    )
+
+    def satisfies_envelope(self) -> bool:
+        """Check the envelope property of Theorem 4.
+
+        For all distinct ``A1, A2, A3, A4``: if ``A1->A2``, ``A3->A4`` and
+        ``A3->A2`` are edges, then at least one of ``A3->A1``, ``A1->A4`` or
+        ``A4->A2`` must be an edge.
+        """
+        d = self.d
+        has = self.closure
+        for a3 in range(d):
+            desc3 = has[a3]
+            for a2 in iter_bits(desc3):
+                for a1 in range(d):
+                    if a1 == a2 or a1 == a3:
+                        continue
+                    if not has[a1] & (1 << a2):
+                        continue
+                    if has[a3] & (1 << a1):
+                        continue
+                    for a4 in iter_bits(desc3):
+                        if a4 in (a1, a2):
+                            continue
+                        if has[a1] & (1 << a4):
+                            continue
+                        if not has[a4] & (1 << a2):
+                            return False
+        return True
+
+    def is_weak_order(self) -> bool:
+        """True iff the priority order is a weak order (rankable layers)."""
+        # A strict partial order is a weak order iff incomparability is
+        # transitive, i.e. attributes with equal (ancestors, descendants)
+        # signatures partition into totally ordered layers.
+        for i in range(self.d):
+            for j in range(self.d):
+                if i == j:
+                    continue
+                comparable = bool(
+                    self.closure[i] & (1 << j) or self.closure[j] & (1 << i)
+                )
+                if not comparable:
+                    if (self.closure[i] != self.closure[j]
+                            or self.ancestors_mask[i] != self.ancestors_mask[j]):
+                        return False
+        return True
+
+    def is_valid(self) -> bool:
+        """True iff some p-expression realises this graph (Theorem 4)."""
+        return self.satisfies_envelope()
+
+    def restrict(self, mask: int) -> "PGraph":
+        """Induced sub-p-graph on the attributes in ``mask``.
+
+        Column positions are compacted; the relative order of the surviving
+        attributes is preserved.
+        """
+        keep = indices_of(mask)
+        position = {old: new for new, old in enumerate(keep)}
+        names = [self.names[i] for i in keep]
+        closure = []
+        for i in keep:
+            sub = 0
+            for j in iter_bits(self.closure[i] & mask):
+                sub |= 1 << position[j]
+            closure.append(sub)
+        return PGraph(names, closure)
+
+    def __str__(self) -> str:
+        if not self.num_edges:
+            return f"PGraph({', '.join(self.names)}; no edges)"
+        edges = ", ".join(
+            f"{a}->{b}" for a, b in sorted(self.reduction_edges())
+        )
+        return f"PGraph({', '.join(self.names)}; {edges})"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+def _transitive_closure(direct: list[int]) -> list[int]:
+    """Close an adjacency-mask list transitively (iterative squaring)."""
+    closure = list(direct)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(closure)):
+            mask = closure[i]
+            extended = mask
+            for j in iter_bits(mask):
+                extended |= closure[j]
+            if extended != mask:
+                closure[i] = extended
+                changed = True
+    return closure

@@ -1,0 +1,116 @@
+"""The high-level p-skyline query API.
+
+:func:`p_skyline` evaluates ``M_pi(D)`` for a relation (or bare rank
+matrix) and a p-expression (or its textual form), dispatching to any
+registered algorithm.  This is the entry point a library user should
+reach for first::
+
+    from repro import Relation, lowest, highest, p_skyline
+
+    cars = Relation.from_records(records,
+                                 [lowest("price"), lowest("mileage"),
+                                  highest("horsepower")])
+    best = p_skyline(cars, "(price & horsepower) * mileage")
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.base import Stats, get_algorithm
+from .expressions import PExpr
+from .parser import parse
+from .pgraph import PGraph
+from .relation import Relation
+
+__all__ = ["p_skyline", "skyline"]
+
+
+def _resolve_expression(expression: PExpr | str) -> PExpr:
+    if isinstance(expression, str):
+        return parse(expression)
+    if isinstance(expression, PExpr):
+        return expression
+    raise TypeError(
+        f"expected a PExpr or its textual form, got {type(expression)}"
+    )
+
+
+def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
+              algorithm: str = "osdc", stats: Stats | None = None,
+              **options: Any) -> Relation | np.ndarray:
+    """Evaluate the p-skyline query ``M_pi(data)``.
+
+    Parameters
+    ----------
+    data:
+        A :class:`Relation`, or a raw ``(n, d)`` matrix in which smaller
+        values are better and columns are named ``A0..A{d-1}``.
+    expression:
+        A p-expression AST or its textual form (see
+        :mod:`repro.core.parser`).  Attributes the expression does not
+        mention are ignored (they are irrelevant for ``≻_pi``).
+    algorithm:
+        A registry name (``osdc`` by default; see
+        :data:`repro.algorithms.REGISTRY`).
+    stats:
+        Optional :class:`~repro.algorithms.base.Stats` to fill with work
+        counters.
+    options:
+        Forwarded to the algorithm (e.g. ``filter_size`` for LESS).
+
+    Returns
+    -------
+    A :class:`Relation` of the maximal tuples (when given a relation) or
+    the sorted row-index array (when given a matrix).
+    """
+    expr = _resolve_expression(expression)
+    names = expr.attributes()
+    if algorithm == "auto":
+        from ..planner import DEFAULT_PLANNER
+
+        def function(ranks, graph, stats=None, **opts):
+            return DEFAULT_PLANNER.execute(ranks, graph, stats=stats)
+    else:
+        function = get_algorithm(algorithm)
+    if isinstance(data, Relation):
+        missing = [name for name in names if name not in data.names]
+        if missing:
+            raise KeyError(
+                f"expression uses attributes not in the relation: {missing}"
+            )
+        columns = [data.names.index(name) for name in names]
+        ranks = data.ranks[:, columns]
+        graph = PGraph.from_expression(expr, names=names)
+        indices = function(ranks, graph, stats=stats, **options)
+        return data.take(indices)
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-d matrix")
+    default_names = [f"A{j}" for j in range(matrix.shape[1])]
+    missing = [name for name in names if name not in default_names]
+    if missing:
+        raise KeyError(
+            f"expression uses attributes not in the matrix: {missing} "
+            f"(matrix columns are named A0..A{matrix.shape[1] - 1})"
+        )
+    columns = [default_names.index(name) for name in names]
+    graph = PGraph.from_expression(expr, names=names)
+    return function(matrix[:, columns], graph, stats=stats, **options)
+
+
+def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",
+            stats: Stats | None = None, **options: Any
+            ) -> Relation | np.ndarray:
+    """The plain skyline ``M_sky(data)`` over *all* attributes
+    (Section 2.2: the Pareto accumulation of every column)."""
+    if isinstance(data, Relation):
+        names = data.names
+    else:
+        matrix = np.asarray(data)
+        names = tuple(f"A{j}" for j in range(matrix.shape[1]))
+    from .expressions import sky
+    return p_skyline(data, sky(names), algorithm=algorithm, stats=stats,
+                     **options)

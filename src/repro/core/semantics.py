@@ -1,0 +1,93 @@
+"""Semantic-level utilities on p-expressions (Proposition 2).
+
+Two syntactically different p-expressions can induce the same preference
+relation; by Proposition 2 this happens exactly when their p-graphs have
+equal edge sets.  This module offers:
+
+* :func:`equivalent` / :func:`refines` -- semantic equality and
+  containment of p-expressions;
+* :func:`normal_form` -- the canonical p-expression of a preference,
+  obtained by rebuilding the expression from the p-graph via the
+  series-parallel decomposition and sorting Pareto operands;
+* :func:`to_dot` -- Graphviz rendering of a p-graph's transitive
+  reduction (Figure 1 style).
+"""
+
+from __future__ import annotations
+
+from ..sampling.decompose import decompose
+from .bitsets import iter_bits
+from .expressions import PExpr
+from .parser import parse
+from .pgraph import PGraph
+
+__all__ = ["equivalent", "refines", "normal_form", "to_dot"]
+
+
+def _graph_of(expression: PExpr | str,
+              names: tuple[str, ...] | None = None) -> PGraph:
+    if isinstance(expression, str):
+        expression = parse(expression)
+    return PGraph.from_expression(expression, names=names)
+
+
+def equivalent(left: PExpr | str, right: PExpr | str) -> bool:
+    """True iff the two p-expressions denote the same preference.
+
+    Proposition 2: for equal attribute sets, ``≻_left = ≻_right`` iff the
+    p-graphs have identical edge sets.  Expressions over different
+    attribute sets are never equivalent.
+    """
+    left_graph = _graph_of(left)
+    if isinstance(right, str):
+        right = parse(right)
+    if set(left_graph.names) != set(right.attributes()):
+        return False
+    right_graph = _graph_of(right, names=left_graph.names)
+    return left_graph == right_graph
+
+
+def refines(stronger: PExpr | str, weaker: PExpr | str) -> bool:
+    """True iff ``≻_weaker ⊆ ≻_stronger`` (every preference the weaker
+    expression asserts, the stronger one asserts too).
+
+    Attribute sets must coincide (Proposition 2's precondition).
+    """
+    weaker_graph = _graph_of(weaker)
+    if isinstance(stronger, str):
+        stronger = parse(stronger)
+    if set(weaker_graph.names) != set(stronger.attributes()):
+        raise ValueError(
+            "refinement is only defined over equal attribute sets"
+        )
+    stronger_graph = _graph_of(stronger, names=weaker_graph.names)
+    return stronger_graph.contains(weaker_graph)
+
+
+def normal_form(expression: PExpr | str) -> PExpr:
+    """The canonical representative of the expression's preference.
+
+    Built by decomposing the p-graph (series-parallel) and sorting Pareto
+    operands; two expressions are :func:`equivalent` iff their normal
+    forms are equal.
+    """
+    graph = _graph_of(expression)
+    return decompose(graph).canonical()
+
+
+def to_dot(graph: PGraph | PExpr | str, *, name: str = "pgraph") -> str:
+    """Render the transitive reduction as a Graphviz digraph (Figure 1b).
+
+    Accepts a p-graph, a p-expression, or its textual form.
+    """
+    if not isinstance(graph, PGraph):
+        graph = _graph_of(graph)
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             "  node [shape=circle];"]
+    for index, label in enumerate(graph.names):
+        lines.append(f'  n{index} [label="{label}"];')
+    for i in range(graph.d):
+        for j in iter_bits(graph.reduction[i]):
+            lines.append(f"  n{i} -> n{j};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""JSON serialisation for p-expressions / p-graphs, and relation storage.
+
+Enables persisting elicited preferences next to the data they apply to:
+
+* :func:`expression_to_json` / :func:`expression_from_json` -- a stable
+  nested-dict encoding of the AST;
+* :func:`pgraph_to_json` / :func:`pgraph_from_json` -- names plus the
+  transitive-closure edge list;
+* :func:`save_relation` / :func:`load_relation` -- an ``.npz`` file with
+  the rank matrix and a JSON-encoded schema (ranked attribute orders
+  included).  Original raw values are reconstructed by decoding, so
+  ``MIN``/``MAX``/``RANKED`` round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from .attributes import Attribute, Direction
+from .expressions import Att, Pareto, PExpr, Prioritized, pareto, prioritized
+from .pgraph import PGraph
+from .relation import Relation
+
+__all__ = [
+    "expression_to_json",
+    "expression_from_json",
+    "pgraph_to_json",
+    "pgraph_from_json",
+    "save_relation",
+    "load_relation",
+]
+
+
+def expression_to_json(expression: PExpr) -> dict[str, Any]:
+    """Encode a p-expression as nested dicts (stable, versioned)."""
+    if isinstance(expression, Att):
+        return {"op": "att", "name": expression.name}
+    operator = "pareto" if isinstance(expression, Pareto) else "prioritized"
+    return {
+        "op": operator,
+        "children": [expression_to_json(child)
+                     for child in expression.children],
+    }
+
+
+def expression_from_json(payload: dict[str, Any]) -> PExpr:
+    """Inverse of :func:`expression_to_json`."""
+    operator = payload.get("op")
+    if operator == "att":
+        return Att(payload["name"])
+    children = [expression_from_json(child)
+                for child in payload.get("children", [])]
+    if operator == "pareto":
+        return pareto(*children)
+    if operator == "prioritized":
+        return prioritized(*children)
+    raise ValueError(f"unknown p-expression operator {operator!r}")
+
+
+def pgraph_to_json(graph: PGraph) -> dict[str, Any]:
+    """Encode a p-graph as names + closure edges."""
+    return {
+        "names": list(graph.names),
+        "edges": sorted(graph.edges()),
+    }
+
+
+def pgraph_from_json(payload: dict[str, Any]) -> PGraph:
+    """Inverse of :func:`pgraph_to_json`."""
+    return PGraph.from_edges(payload["names"],
+                             [tuple(edge) for edge in payload["edges"]])
+
+
+def _schema_to_json(schema) -> str:
+    return json.dumps([
+        {
+            "name": attribute.name,
+            "direction": attribute.direction.value,
+            "order": list(attribute.order),
+        }
+        for attribute in schema
+    ])
+
+
+def _schema_from_json(text: str):
+    schema = []
+    for item in json.loads(text):
+        direction = Direction(item["direction"])
+        schema.append(Attribute(item["name"], direction,
+                                tuple(item["order"])))
+    return schema
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    """Persist a relation as ``.npz`` (ranks + JSON schema)."""
+    np.savez_compressed(
+        path,
+        ranks=relation.ranks,
+        schema=np.array(_schema_to_json(relation.schema)),
+    )
+
+
+def load_relation(path: str) -> Relation:
+    """Load a relation previously written by :func:`save_relation`."""
+    with np.load(path, allow_pickle=False) as payload:
+        schema = _schema_from_json(str(payload["schema"]))
+        ranks = payload["ranks"]
+    return Relation(schema, ranks.copy())

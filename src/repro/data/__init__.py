@@ -1,0 +1,35 @@
+"""Synthetic data generators: the paper's equicorrelated Gaussian
+(Section 7.2), classic skyline workloads, and simulated stand-ins for the
+NBA and CoverType real data sets (Section 7.3)."""
+
+from .classic import (anticorrelated, clustered, correlated, independent,
+                      zipfian)
+from .correlation import mean_pairwise_correlation, pairwise_correlations
+from .covertype import (COVERTYPE_ATTRIBUTES, COVERTYPE_DEFAULT_ROWS,
+                        covertype_dataset)
+from .gaussian import (alpha_for_correlation, equicorrelated_gaussian,
+                       expected_correlation, min_correlation)
+from .nba import NBA_ATTRIBUTES, NBA_DEFAULT_ROWS, nba_dataset
+from .real import load_covertype_file, load_nba_csv
+
+__all__ = [
+    "equicorrelated_gaussian",
+    "expected_correlation",
+    "alpha_for_correlation",
+    "min_correlation",
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "zipfian",
+    "clustered",
+    "load_covertype_file",
+    "load_nba_csv",
+    "nba_dataset",
+    "NBA_ATTRIBUTES",
+    "NBA_DEFAULT_ROWS",
+    "covertype_dataset",
+    "COVERTYPE_ATTRIBUTES",
+    "COVERTYPE_DEFAULT_ROWS",
+    "pairwise_correlations",
+    "mean_pairwise_correlation",
+]

@@ -1,0 +1,33 @@
+"""Correlation measurement utilities.
+
+Figure 4 plots response time against the *observed* mean pairwise Pearson
+correlation of the (rounded) data, not the generator parameter -- these
+helpers reproduce that measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_correlations", "mean_pairwise_correlation"]
+
+
+def pairwise_correlations(data: np.ndarray) -> np.ndarray:
+    """The strictly-upper-triangle Pearson coefficients of the columns."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[1] < 2:
+        raise ValueError("need a matrix with at least two columns")
+    if data.shape[0] < 2:
+        raise ValueError("need at least two rows")
+    deviations = data - data.mean(axis=0)
+    scale = deviations.std(axis=0)
+    if (scale == 0).any():
+        raise ValueError("constant column has undefined correlation")
+    matrix = (deviations / scale).T @ (deviations / scale) / data.shape[0]
+    i, j = np.triu_indices(data.shape[1], k=1)
+    return matrix[i, j]
+
+
+def mean_pairwise_correlation(data: np.ndarray) -> float:
+    """The average pairwise Pearson correlation across all column pairs."""
+    return float(pairwise_correlations(data).mean())

@@ -1,0 +1,77 @@
+"""A synthetic stand-in for the NBA regular-season statistics data set.
+
+The paper evaluates on 21,959 player-season rows over 14 attributes from
+databasebasketball.com (Figure 6); that site is defunct and this
+environment has no network access, so we *simulate* a data set with the
+same statistical shape (see DESIGN.md, substitutions):
+
+* counting stats (games, minutes, points, rebounds, assists, steals,
+  blocks, turnovers, personal fouls, field-goal/free-throw/three-point
+  attempts) are driven by two latent per-player factors -- playing time
+  and skill -- which makes the columns strongly *positively* correlated,
+  exactly the property of real box-score data that shapes Figure 6;
+* physicals (height, weight) are weakly correlated with everything else
+  but strongly with each other;
+* all counting stats are non-negative, right-skewed and heavily
+  duplicated (rounded to integers), like the real data.
+
+Larger values are preferred on every attribute, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NBA_ATTRIBUTES", "NBA_DEFAULT_ROWS", "nba_dataset"]
+
+NBA_ATTRIBUTES = (
+    "gp", "minutes", "pts", "reb", "asts", "stl", "blk",
+    "turnover", "pf", "fga", "fta", "tpa", "weight", "height",
+)
+
+NBA_DEFAULT_ROWS = 21_959
+
+# per-attribute scale of the latent model: (base, playtime load, skill load)
+_STAT_MODEL = {
+    "minutes": (200.0, 2600.0, 400.0),
+    "pts": (50.0, 900.0, 700.0),
+    "reb": (30.0, 380.0, 160.0),
+    "asts": (15.0, 210.0, 160.0),
+    "stl": (5.0, 75.0, 40.0),
+    "blk": (3.0, 45.0, 40.0),
+    "turnover": (10.0, 140.0, 60.0),
+    "pf": (20.0, 180.0, 30.0),
+    "fga": (40.0, 800.0, 500.0),
+    "fta": (10.0, 230.0, 200.0),
+    "tpa": (5.0, 140.0, 120.0),
+}
+
+
+def nba_dataset(n: int = NBA_DEFAULT_ROWS,
+                rng: np.random.Generator | None = None) -> np.ndarray:
+    """Generate ``n`` player-season rows over :data:`NBA_ATTRIBUTES`.
+
+    Returns raw values where **larger is better** for every column (negate
+    before handing them to the rank-based algorithms, or wrap them with
+    ``highest(...)`` attributes in a :class:`~repro.core.relation.Relation`).
+    """
+    if rng is None:
+        rng = np.random.default_rng(1946)  # BAA founding year
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    playtime = rng.beta(1.6, 2.4, size=n)          # share of season played
+    skill = rng.beta(2.0, 5.0, size=n)             # right-skewed talent
+    columns: dict[str, np.ndarray] = {}
+    games = np.clip(np.round(playtime * 82 + rng.normal(0, 6, n)), 1, 82)
+    columns["gp"] = games
+    for stat, (base, load_time, load_skill) in _STAT_MODEL.items():
+        noise = rng.gamma(shape=2.0, scale=0.25, size=n)
+        raw = (base * noise
+               + load_time * playtime * (0.6 + 0.8 * skill)
+               + load_skill * skill * rng.uniform(0.5, 1.5, n))
+        columns[stat] = np.round(np.maximum(raw * playtime, 0.0))
+    height = np.round(rng.normal(79.0, 3.6, n))      # inches
+    weight = np.round(height * 2.9 + rng.normal(0, 12.0, n))
+    columns["height"] = height
+    columns["weight"] = weight
+    return np.column_stack([columns[name] for name in NBA_ATTRIBUTES])

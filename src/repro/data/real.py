@@ -1,0 +1,85 @@
+"""Loaders for the *actual* NBA and CoverType files (when available).
+
+The committed benchmarks run on the statistical simulators of
+:mod:`repro.data.nba` / :mod:`repro.data.covertype` (see DESIGN.md:
+no network access in the reproduction environment).  Users who have the
+original files can load them with these helpers and re-run the Figure 6/7
+workloads on the true data:
+
+* CoverType (``covtype.data`` from the UCI repository): the first ten
+  columns are the quantitative cartographic attributes, in exactly the
+  order of :data:`~repro.data.covertype.COVERTYPE_ATTRIBUTES`;
+* NBA: any CSV of player-season rows containing the fourteen stat
+  columns of :data:`~repro.data.nba.NBA_ATTRIBUTES` (header names are
+  matched case-insensitively).
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from .covertype import COVERTYPE_ATTRIBUTES
+from .nba import NBA_ATTRIBUTES
+
+__all__ = ["load_covertype_file", "load_nba_csv"]
+
+
+def load_covertype_file(path: str, limit: int | None = None) -> np.ndarray:
+    """Parse UCI ``covtype.data`` (comma-separated, no header).
+
+    Keeps the first ``len(COVERTYPE_ATTRIBUTES)`` columns of each row;
+    ``limit`` caps the number of rows (the full file has 581,012).
+    Smaller values are preferred, as in the paper.
+    """
+    width = len(COVERTYPE_ATTRIBUTES)
+    rows: list[list[float]] = []
+    with open(path, newline="") as handle:
+        for record in csv.reader(handle):
+            if not record:
+                continue
+            if len(record) < width:
+                raise ValueError(
+                    f"expected at least {width} columns, got "
+                    f"{len(record)}"
+                )
+            rows.append([float(value) for value in record[:width]])
+            if limit is not None and len(rows) >= limit:
+                break
+    if not rows:
+        raise ValueError(f"no data rows found in {path!r}")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def load_nba_csv(path: str, limit: int | None = None) -> np.ndarray:
+    """Parse an NBA player-season CSV with a header row.
+
+    The file must contain every column of ``NBA_ATTRIBUTES`` (matched
+    case-insensitively); extra columns are ignored, rows with missing or
+    non-numeric values in the relevant columns are dropped (the paper
+    drops null rows too).  Larger values are preferred -- negate before
+    handing the matrix to the rank-based algorithms.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path!r} has no header row")
+        lookup = {name.lower(): name for name in reader.fieldnames}
+        missing = [name for name in NBA_ATTRIBUTES
+                   if name.lower() not in lookup]
+        if missing:
+            raise ValueError(f"CSV is missing columns: {missing}")
+        columns = [lookup[name.lower()] for name in NBA_ATTRIBUTES]
+        rows: list[list[float]] = []
+        for record in reader:
+            try:
+                row = [float(record[column]) for column in columns]
+            except (TypeError, ValueError):
+                continue  # null / malformed row: drop, as the paper does
+            rows.append(row)
+            if limit is not None and len(rows) >= limit:
+                break
+    if not rows:
+        raise ValueError(f"no usable rows found in {path!r}")
+    return np.asarray(rows, dtype=np.float64)

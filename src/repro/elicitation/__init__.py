@@ -1,0 +1,6 @@
+"""Preference elicitation: learning p-graphs from example pairs
+(the Mindolin-Chomicki substrate of the p-skyline framework)."""
+
+from .greedy import ElicitationResult, ExamplePair, elicit
+
+__all__ = ["ExamplePair", "ElicitationResult", "elicit"]

@@ -1,0 +1,187 @@
+"""Eliciting a p-expression from example pairs.
+
+The p-skyline framework of Mindolin and Chomicki [29] -- the substrate of
+this paper -- was introduced for *preference elicitation*: a user supplies
+example pairs "tuple ``s`` should beat tuple ``t``", and the system finds
+priority relationships between attributes that realise them.  This module
+implements a greedy elicitor over that idea:
+
+* by Proposition 1, ``s ≻_pi t`` holds iff the tuples are distinguishable
+  and every attribute won by ``t`` has a ``Gamma_pi``-ancestor won by
+  ``s`` -- so each example pair ``(s, t)`` contributes one *coverage
+  requirement* per attribute in ``Better(t, s)``, with candidate covers
+  ``Better(s, t) x {that attribute}``;
+* dominance is monotone in the edge set (Proposition 2), so adding edges
+  never unsatisfies a satisfied pair, but it can *flip* a not-yet-covered
+  pair (make the inferior dominate the superior) irrevocably -- the
+  greedy step therefore rejects edges that flip any pair;
+* every intermediate graph must stay a valid p-graph: transitively
+  closed, acyclic, and satisfying Theorem 4's envelope property, so the
+  result is always realisable as a p-expression.
+
+The elicitor adds, at each step, the valid candidate edge that covers the
+most outstanding requirements (ties: fewer closure edges added), until
+all pairs are satisfied or no candidate helps.  It returns the learned
+graph, the equivalent p-expression, and a per-pair report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.bitsets import iter_bits
+from ..core.pgraph import CyclicPriorityError, PGraph
+from ..core.expressions import PExpr
+from ..sampling.decompose import decompose
+
+__all__ = ["ExamplePair", "ElicitationResult", "elicit"]
+
+Tuple = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class ExamplePair:
+    """One piece of user feedback: ``superior`` should beat ``inferior``.
+
+    Values follow the library convention: smaller is better.
+    """
+
+    superior: Mapping[str, float]
+    inferior: Mapping[str, float]
+
+
+@dataclass
+class ElicitationResult:
+    """The learned priority structure and which examples it satisfies."""
+
+    graph: PGraph
+    expression: PExpr
+    satisfied: list[int]
+    unsatisfied: list[int]
+    infeasible: list[int]
+
+    @property
+    def complete(self) -> bool:
+        return not self.unsatisfied and not self.infeasible
+
+
+def _pair_masks(pair: ExamplePair, names: Sequence[str]) -> tuple[int, int]:
+    better_sup = 0
+    better_inf = 0
+    for index, name in enumerate(names):
+        s = pair.superior[name]
+        t = pair.inferior[name]
+        if s < t:
+            better_sup |= 1 << index
+        elif t < s:
+            better_inf |= 1 << index
+    return better_sup, better_inf
+
+
+def _dominates(graph: PGraph, b1: int, b2: int) -> bool:
+    """Proposition 1 on precomputed Better masks."""
+    if not (b1 | b2):
+        return False
+    return (b2 & ~graph.desc_of_set(b1)) == 0
+
+
+def _try_add_edge(graph: PGraph, upper: int, lower: int) -> PGraph | None:
+    """The closure of ``graph`` + edge, or None if invalid (cycle or
+    envelope violation)."""
+    edges = [(graph.names[i], graph.names[j])
+             for i in range(graph.d) for j in iter_bits(graph.closure[i])]
+    edges.append((graph.names[upper], graph.names[lower]))
+    try:
+        candidate = PGraph.from_edges(graph.names, edges)
+    except CyclicPriorityError:
+        return None
+    if not candidate.satisfies_envelope():
+        return None
+    return candidate
+
+
+def elicit(names: Sequence[str],
+           pairs: Sequence[ExamplePair]) -> ElicitationResult:
+    """Learn a p-graph over ``names`` satisfying as many ``pairs`` as
+    possible.
+
+    Pairs whose tuples are indistinguishable, or whose superior loses on
+    *every* differing attribute, can never be satisfied by any p-graph
+    and are reported as ``infeasible``.  The remaining pairs are covered
+    greedily; pairs left over (because every helpful edge would either
+    break validity or flip another pair) are reported ``unsatisfied``.
+    """
+    names = tuple(names)
+    graph = PGraph.empty(names)
+    masks = [_pair_masks(pair, names) for pair in pairs]
+
+    infeasible = [
+        index for index, (b1, b2) in enumerate(masks)
+        if not (b1 | b2) or b1 == 0
+    ]
+    active = [index for index in range(len(pairs))
+              if index not in infeasible]
+
+    def satisfied_under(candidate: PGraph, index: int) -> bool:
+        b1, b2 = masks[index]
+        return _dominates(candidate, b1, b2)
+
+    def flipped_under(candidate: PGraph, index: int) -> bool:
+        b1, b2 = masks[index]
+        return _dominates(candidate, b2, b1)
+
+    while True:
+        outstanding = [index for index in active
+                       if not satisfied_under(graph, index)]
+        if not outstanding:
+            break
+        # candidate edges: for an outstanding pair, an uncovered attribute
+        # j won by the inferior, covered by some i won by the superior
+        scores: dict[tuple[int, int], int] = {}
+        for index in outstanding:
+            b1, b2 = masks[index]
+            uncovered = b2 & ~graph.desc_of_set(b1)
+            for j in iter_bits(uncovered):
+                for i in iter_bits(b1):
+                    if not graph.closure[i] & (1 << j):
+                        scores[(i, j)] = scores.get((i, j), 0) + 1
+        best_edge = None
+        best_key = None
+        for (i, j), score in scores.items():
+            candidate = _try_add_edge(graph, i, j)
+            if candidate is None:
+                continue
+            # flipping an outstanding pair is irrevocable (dominance is
+            # monotone in the edge set); count the casualties
+            flips = sum(
+                1 for index in outstanding
+                if flipped_under(candidate, index)
+            )
+            gain = sum(
+                1 for index in outstanding
+                if satisfied_under(candidate, index)
+            )
+            if gain == 0 or gain < flips:
+                continue  # only edges that satisfy at least as much as
+                # they sacrifice (satisfying one of two conflicting
+                # examples beats satisfying neither)
+            added_edges = candidate.num_edges - graph.num_edges
+            key = (flips, -gain, added_edges, i, j)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_edge = candidate
+        if best_edge is None:
+            break  # no valid edge yields a net gain
+        graph = best_edge
+
+    satisfied = [index for index in active
+                 if satisfied_under(graph, index)]
+    unsatisfied = [index for index in active if index not in satisfied]
+    return ElicitationResult(
+        graph=graph,
+        expression=decompose(graph) if graph.d else None,
+        satisfied=satisfied,
+        unsatisfied=unsatisfied,
+        infeasible=infeasible,
+    )

@@ -1,0 +1,5 @@
+"""In-memory indexing substrate (STR-packed R-tree) for BBS."""
+
+from .rtree import Node, RTree
+
+__all__ = ["RTree", "Node"]

@@ -1,0 +1,162 @@
+"""A bulk-loaded in-memory R-tree (Sort-Tile-Recursive).
+
+The substrate for the BBS baseline (`repro.algorithms.bbs`).  The tree is
+built once over a rank matrix with the classic STR packing of Leutenegger
+et al.: points are sorted by the first dimension, cut into vertical slabs,
+each slab sorted by the next dimension, and so on recursively; runs of
+``fanout`` points become leaves, and upper levels pack consecutive nodes
+``fanout`` at a time (consecutive nodes are spatially coherent by
+construction).
+
+Nodes store their minimum bounding rectangles as ``(low, high)`` vectors;
+leaves also store the original row indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RTree", "Node"]
+
+
+@dataclass
+class Node:
+    """An R-tree node: a leaf holds row indices, an internal node holds
+    children.  ``low``/``high`` bound every point below the node."""
+
+    low: np.ndarray
+    high: np.ndarray
+    rows: np.ndarray | None = None
+    children: list["Node"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rows is not None
+
+
+class RTree:
+    """STR bulk-loaded R-tree over the rows of a rank matrix."""
+
+    def __init__(self, ranks: np.ndarray, fanout: int = 32):
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.ndim != 2:
+            raise ValueError("expected a 2-d rank matrix")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.ranks = ranks
+        self.fanout = fanout
+        n, d = ranks.shape
+        if n == 0:
+            self.root = None
+            self.height = 0
+            return
+        order = self._str_order(np.arange(n, dtype=np.intp), 0)
+        leaves = [
+            self._make_leaf(order[start:start + fanout])
+            for start in range(0, n, fanout)
+        ]
+        level = leaves
+        height = 1
+        while len(level) > 1:
+            level = [
+                self._make_internal(level[start:start + fanout])
+                for start in range(0, len(level), fanout)
+            ]
+            height += 1
+        self.root = level[0]
+        self.height = height
+
+    # -- construction -------------------------------------------------------
+    def _str_order(self, rows: np.ndarray, dim: int) -> np.ndarray:
+        """Recursive STR tiling: returns the rows in packing order."""
+        d = self.ranks.shape[1]
+        if rows.size <= self.fanout or dim >= d:
+            return rows
+        ordered = rows[np.argsort(self.ranks[rows, dim], kind="stable")]
+        num_leaves = int(np.ceil(rows.size / self.fanout))
+        remaining_dims = d - dim
+        slabs = max(1, int(np.ceil(num_leaves ** (1.0 / remaining_dims))))
+        slab_size = int(np.ceil(rows.size / slabs))
+        pieces = [
+            self._str_order(ordered[start:start + slab_size], dim + 1)
+            for start in range(0, rows.size, slab_size)
+        ]
+        return np.concatenate(pieces)
+
+    def _make_leaf(self, rows: np.ndarray) -> Node:
+        block = self.ranks[rows]
+        return Node(low=block.min(axis=0), high=block.max(axis=0),
+                    rows=rows)
+
+    @staticmethod
+    def _make_internal(children: list[Node]) -> Node:
+        low = np.minimum.reduce([child.low for child in children])
+        high = np.maximum.reduce([child.high for child in children])
+        return Node(low=low, high=high, children=list(children))
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.ranks.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        if self.root is None:
+            return 0
+
+        def count(node: Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + sum(count(child) for child in node.children)
+
+        return count(self.root)
+
+    def query_box(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Row indices of all points inside the closed box [low, high]."""
+        if self.root is None:
+            return np.empty(0, dtype=np.intp)
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        hits: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if (node.high < low).any() or (node.low > high).any():
+                continue
+            if node.is_leaf:
+                block = self.ranks[node.rows]
+                inside = ((block >= low) & (block <= high)).all(axis=1)
+                if inside.any():
+                    hits.append(node.rows[inside])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(hits))
+
+    def validate(self) -> None:
+        """Check structural invariants (used by tests)."""
+        if self.root is None:
+            return
+        seen: list[np.ndarray] = []
+
+        def check(node: Node) -> None:
+            assert (node.low <= node.high).all()
+            if node.is_leaf:
+                block = self.ranks[node.rows]
+                assert (block >= node.low).all()
+                assert (block <= node.high).all()
+                seen.append(node.rows)
+            else:
+                assert node.children
+                for child in node.children:
+                    assert (child.low >= node.low).all()
+                    assert (child.high <= node.high).all()
+                    check(child)
+
+        check(self.root)
+        rows = np.concatenate(seen)
+        assert rows.size == self.ranks.shape[0]
+        assert np.array_equal(np.sort(rows),
+                              np.arange(self.ranks.shape[0]))

@@ -1,0 +1,125 @@
+"""A small cost-based planner for p-skyline queries.
+
+Section 8 of the paper suggests using output-size estimation "for
+choosing the most convenient algorithm for answering [a query], on a
+case-by-case basis".  :class:`Planner` implements that idea with simple,
+measurable rules:
+
+1. tiny inputs -> the quadratic ``naive`` kernel (lowest constant);
+2. weak-order priority graphs -> the specialised ``layered`` evaluator
+   (lexicographic layers of Pareto bundles);
+3. inputs beyond the memory budget -> ``external-osdc``;
+4. otherwise estimate the output size by sampling
+   (:func:`repro.estimation.estimate_pskyline_size`): very selective
+   queries -> ``bnl`` (a short scan with a one-tuple window beats the
+   divide-and-conquer set-up cost), everything else -> ``osdc``.
+
+``p_skyline(..., algorithm="auto")`` routes through a default planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .algorithms import Stats, get_algorithm
+from .algorithms.layered import layered
+from .core.pgraph import PGraph
+from .estimation.cardinality import estimate_pskyline_size
+
+__all__ = ["Plan", "Planner"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's decision for one query."""
+
+    algorithm: str
+    reason: str
+    estimated_output: float | None = None
+    options: dict = field(default_factory=dict)
+    _function: Callable | None = None
+
+    def execute(self, ranks: np.ndarray, graph: PGraph,
+                stats: Stats | None = None) -> np.ndarray:
+        function = self._function or get_algorithm(self.algorithm)
+        return function(ranks, graph, stats=stats, **self.options)
+
+    def explain(self) -> str:
+        estimate = ("" if self.estimated_output is None
+                    else f" (estimated output ~ {self.estimated_output:.0f})")
+        return f"{self.algorithm}: {self.reason}{estimate}"
+
+
+class Planner:
+    """Chooses an evaluation algorithm per query.
+
+    Parameters
+    ----------
+    naive_threshold:
+        Inputs up to this many tuples go to the quadratic kernel.
+    bnl_selectivity:
+        Estimated ``v/n`` at or below which BNL is chosen.
+    memory_budget:
+        Inputs beyond this many tuples use the external-memory OSDC
+        (``None`` disables the rule -- everything is assumed to fit).
+    sample_size:
+        Sample size for the output estimator.
+    """
+
+    def __init__(self, *, naive_threshold: int = 128,
+                 bnl_selectivity: float = 0.002,
+                 memory_budget: int | None = None,
+                 sample_size: int = 64,
+                 rng: np.random.Generator | None = None):
+        self.naive_threshold = naive_threshold
+        self.bnl_selectivity = bnl_selectivity
+        self.memory_budget = memory_budget
+        self.sample_size = sample_size
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def plan(self, ranks: np.ndarray, graph: PGraph) -> Plan:
+        """Decide how to evaluate ``M_pi(ranks)``."""
+        n = ranks.shape[0]
+        if n <= self.naive_threshold:
+            return Plan("naive", f"input has only {n} tuples")
+        if self.memory_budget is not None and n > self.memory_budget:
+            return Plan(
+                "external-osdc",
+                f"input exceeds the memory budget of "
+                f"{self.memory_budget} tuples",
+                options={"memory_budget": self.memory_budget},
+            )
+        if graph.is_weak_order():
+            return Plan(
+                "layered",
+                "the priority order is a weak order: evaluate layer by "
+                "layer",
+                _function=lambda r, g, stats=None, **_: layered(
+                    r, g, stats=stats),
+            )
+        estimate = estimate_pskyline_size(ranks, graph, self.rng,
+                                          sample_size=self.sample_size)
+        if estimate <= self.bnl_selectivity * n:
+            return Plan(
+                "bnl",
+                "estimated output is a tiny fraction of the input; a "
+                "scan with a small window wins",
+                estimated_output=estimate,
+            )
+        return Plan(
+            "osdc",
+            "general case: output-sensitive divide and conquer",
+            estimated_output=estimate,
+        )
+
+    def execute(self, ranks: np.ndarray, graph: PGraph,
+                stats: Stats | None = None) -> np.ndarray:
+        """Plan and run in one call."""
+        return self.plan(ranks, graph).execute(ranks, graph, stats=stats)
+
+
+#: The planner behind ``p_skyline(..., algorithm="auto")``.
+DEFAULT_PLANNER = Planner()

@@ -1,0 +1,32 @@
+"""Readable, pseudocode-faithful reference implementations.
+
+Pure-Python, tuple-at-a-time versions of the paper's algorithms, meant
+to be read next to the paper and used as an independent cross-check of
+the optimised NumPy implementations in :mod:`repro.algorithms`.
+"""
+
+from .algorithms import (bnl, dc, extension_key, osdc, pscreen,
+                         pskyline_single_point, sfs)
+from .model import (Outcome, compare, dominates, indistinguishable,
+                    maxima)
+from .pgraph import PriorityGraph
+from .trace import TraceNode, format_trace, trace_dc
+
+__all__ = [
+    "Outcome",
+    "compare",
+    "dominates",
+    "indistinguishable",
+    "maxima",
+    "PriorityGraph",
+    "bnl",
+    "sfs",
+    "dc",
+    "osdc",
+    "pscreen",
+    "pskyline_single_point",
+    "extension_key",
+    "trace_dc",
+    "format_trace",
+    "TraceNode",
+]

@@ -1,0 +1,244 @@
+"""Reference algorithms: the paper's pseudocode, line by line.
+
+Tuple-at-a-time implementations over lists of ``{attribute: value}``
+dicts, mirroring Algorithms DC, OSDC and PSCREEN as printed in Section 3
+and Section 4, plus the BNL and SFS baselines.  They exist to be *read*
+next to the paper and to cross-check the optimised NumPy implementations;
+they are not meant to be fast.
+
+Two deliberate deviations from the printed pseudocode, both noted inline:
+
+* ``split_by_attribute`` nudges the median threshold up one distinct
+  value when duplicates make ``B`` empty (the paper implicitly assumes
+  the median splits the data);
+* PSCREEN's "apply Lemma 4" base case is realised as an exact quadratic
+  screen over full tuples -- the production implementation in
+  :mod:`repro.algorithms.lowdim` contains the five specialised
+  procedures; here clarity wins.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.expressions import PExpr
+from .model import Outcome, compare, dominates
+from .pgraph import PriorityGraph
+
+__all__ = ["bnl", "sfs", "dc", "osdc", "pscreen",
+           "pskyline_single_point", "extension_key"]
+
+Tuple = Mapping[str, float]
+
+
+# ---------------------------------------------------------------------------
+# scan-based baselines
+# ---------------------------------------------------------------------------
+
+def bnl(expression: PExpr, tuples: Sequence[Tuple]) -> list[Tuple]:
+    """Single-pass block-nested-loop with an unbounded window."""
+    window: list[Tuple] = []
+    for candidate in tuples:
+        if any(dominates(expression, kept, candidate) for kept in window):
+            continue
+        window = [kept for kept in window
+                  if not dominates(expression, candidate, kept)]
+        window.append(candidate)
+    return window
+
+
+def extension_key(graph: PriorityGraph, item: Tuple) -> tuple[float, ...]:
+    """The ``≻ext`` key of Section 6: per-depth attribute sums."""
+    levels = max(graph.depth.values(), default=0) + 1
+    sums = [0.0] * levels
+    for name in graph.attributes:
+        sums[graph.depth[name]] += item[name]
+    return tuple(sums)
+
+
+def sfs(expression: PExpr, tuples: Sequence[Tuple]) -> list[Tuple]:
+    """Sort-filter-skyline: presort by ``≻ext`` then filter."""
+    graph = PriorityGraph(expression)
+    ordered = sorted(tuples, key=lambda item: extension_key(graph, item))
+    window: list[Tuple] = []
+    for candidate in ordered:
+        if not any(dominates(expression, kept, candidate)
+                   for kept in window):
+            window.append(candidate)
+    return window
+
+
+# ---------------------------------------------------------------------------
+# shared divide-and-conquer machinery
+# ---------------------------------------------------------------------------
+
+def split_by_attribute(tuples: list[Tuple], attribute: str):
+    """SplitByAttribute(D, A): median split, duplicate-safe.
+
+    Returns ``(B, W)`` with every ``B`` tuple strictly better than every
+    ``W`` tuple on ``attribute``, both non-empty whenever the column is
+    not constant.
+    """
+    values = sorted(item[attribute] for item in tuples)
+    median = values[len(values) // 2]
+    if median == values[0]:
+        median = next(v for v in values if v > values[0])
+    better = [item for item in tuples if item[attribute] < median]
+    worse = [item for item in tuples if item[attribute] >= median]
+    return better, worse
+
+
+def _promote_constant(graph: PriorityGraph, attribute: str,
+                      candidates: set[str], equal: set[str]):
+    """Lines 7-9 of DC / lines 14-15 of PSCREEN: move ``attribute`` into
+    ``E`` and pull in successors whose predecessors are all equal."""
+    new_equal = equal | {attribute}
+    new_candidates = (candidates - {attribute}) | {
+        successor for successor in graph.succ[attribute]
+        if graph.pre[successor] <= new_equal
+    }
+    return new_candidates, new_equal
+
+
+def pskyline_single_point(expression: PExpr,
+                          tuples: Sequence[Tuple]) -> Tuple:
+    """PSKYLINESP (Lemma 1): the ``≻ext`` minimum is ``≻pi``-maximal."""
+    graph = PriorityGraph(expression)
+    return min(tuples, key=lambda item: extension_key(graph, item))
+
+
+def _pscreen_single_point(expression: PExpr, point: Tuple,
+                          tuples: Sequence[Tuple]) -> list[Tuple]:
+    """PSCREENSP (Lemma 2): one dominance test per tuple."""
+    return [item for item in tuples
+            if not dominates(expression, point, item)]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm PSCREEN (Section 4)
+# ---------------------------------------------------------------------------
+
+def pscreen(expression: PExpr, blockers: Sequence[Tuple],
+            tuples: Sequence[Tuple],
+            candidates: set[str] | None = None,
+            equal: set[str] | None = None,
+            graph: PriorityGraph | None = None) -> list[Tuple]:
+    """All tuples of ``tuples`` not dominated by any of ``blockers``.
+
+    Precondition: ``tuples ⋡pi blockers``.
+    """
+    if graph is None:
+        graph = PriorityGraph(expression)
+    if candidates is None:
+        candidates = set(graph.roots)
+    if equal is None:
+        equal = set()
+    blockers = list(blockers)
+    tuples = list(tuples)
+    # base cases (lines 4-8); an empty B screens nothing, checked first
+    if not tuples:
+        return []
+    if not blockers:
+        return tuples
+    if not candidates:
+        return []
+    if len(blockers) == 1:
+        return _pscreen_single_point(expression, blockers[0], tuples)
+    relevant = candidates | graph.desc_of(candidates)
+    if len(relevant) <= 3:
+        # "apply Lemma 4": exact quadratic screen on full tuples (the
+        # optimised implementation uses the five specialised procedures)
+        return [item for item in tuples
+                if not any(dominates(expression, blocker, item)
+                           for blocker in blockers)]
+    # select an attribute A from the candidates set (line 9)
+    attribute = next(
+        (a for a in sorted(candidates)
+         if len({item[a] for item in blockers}) > 1),
+        None,
+    )
+    if attribute is None:
+        # lines 10-17: all of B agrees on every candidate; handle one
+        attribute = sorted(candidates)[0]
+        value = blockers[0][attribute]
+        w_better = [item for item in tuples if item[attribute] < value]
+        w_equal = [item for item in tuples if item[attribute] == value]
+        w_worse = [item for item in tuples if item[attribute] > value]
+        surviving_worse = pscreen(expression, blockers, w_worse,
+                                  candidates - {attribute}, equal, graph)
+        new_candidates, new_equal = _promote_constant(
+            graph, attribute, candidates, equal)
+        surviving_equal = pscreen(expression, blockers, w_equal,
+                                  new_candidates, new_equal, graph)
+        return w_better + surviving_worse + surviving_equal
+    # lines 19-24: split B at the median and recurse three ways
+    b_better, b_worse = split_by_attribute(blockers, attribute)
+    threshold = min(item[attribute] for item in b_worse)
+    w_better = [item for item in tuples if item[attribute] < threshold]
+    w_rest = [item for item in tuples if item[attribute] >= threshold]
+    surviving_better = pscreen(expression, b_better, w_better,
+                               candidates, equal, graph)
+    surviving_rest = pscreen(expression, b_worse, w_rest,
+                             candidates, equal, graph)
+    surviving_rest = pscreen(expression, b_better, surviving_rest,
+                             candidates - {attribute}, equal, graph)
+    return surviving_better + surviving_rest
+
+
+# ---------------------------------------------------------------------------
+# Algorithms DC and OSDC (Section 3)
+# ---------------------------------------------------------------------------
+
+def _dc_rec(expression: PExpr, graph: PriorityGraph, tuples: list[Tuple],
+            candidates: set[str], equal: set[str],
+            lookahead: bool) -> list[Tuple]:
+    # line 4: base case
+    if not candidates or len(tuples) <= 1:
+        return tuples
+    # lines 5-10: pick A; promote it into E if constant over D
+    attribute = next(
+        (a for a in sorted(candidates)
+         if len({item[a] for item in tuples}) > 1),
+        None,
+    )
+    if attribute is None:
+        attribute = sorted(candidates)[0]
+        new_candidates, new_equal = _promote_constant(
+            graph, attribute, candidates, equal)
+        if not new_candidates:
+            return tuples
+        return _dc_rec(expression, graph, tuples, new_candidates,
+                       new_equal, lookahead)
+    # line 12: split at the median of A
+    better, worse = split_by_attribute(tuples, attribute)
+    pivots: list[Tuple] = []
+    if lookahead:
+        # OSDC lines 13-15: extract one p-skyline point and prune with it
+        pivot = pskyline_single_point(expression, better)
+        pivots = [pivot]
+        better = _pscreen_single_point(
+            expression, pivot,
+            [item for item in better if item is not pivot])
+        worse = _pscreen_single_point(expression, pivot, worse)
+    # lines 13-16 (DC) / 16-19 (OSDC)
+    better_sky = _dc_rec(expression, graph, better, candidates, equal,
+                         lookahead)
+    surviving = pscreen(expression, better_sky, worse,
+                        candidates - {attribute}, equal, graph)
+    worse_sky = _dc_rec(expression, graph, surviving, candidates, equal,
+                        lookahead)
+    return pivots + better_sky + worse_sky
+
+
+def dc(expression: PExpr, tuples: Sequence[Tuple]) -> list[Tuple]:
+    """Algorithm DC of Section 3."""
+    graph = PriorityGraph(expression)
+    return _dc_rec(expression, graph, list(tuples), set(graph.roots),
+                   set(), lookahead=False)
+
+
+def osdc(expression: PExpr, tuples: Sequence[Tuple]) -> list[Tuple]:
+    """Algorithm OSDC of Section 3 (DC plus the Lemma 1/2 look-ahead)."""
+    graph = PriorityGraph(expression)
+    return _dc_rec(expression, graph, list(tuples), set(graph.roots),
+                   set(), lookahead=True)

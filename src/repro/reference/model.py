@@ -1,0 +1,96 @@
+"""Reference preference semantics, straight from the definitions.
+
+This package is the *readable* counterpart of the optimised kernels: it
+evaluates preferences by structural recursion over the p-expression, on
+plain Python tuples, exactly as Section 2.1 defines the operators:
+
+* Pareto accumulation: ``t' ≻_{1⊗2} t  iff  (t' ≻_1 t ∧ t' ⪰_2 t) ∨
+  (t' ≻_2 t ∧ t' ⪰_1 t)``;
+* prioritized accumulation: ``t' ≻_{1&2} t  iff  t' ≻_1 t ∨
+  (t' ≈_1 t ∧ t' ≻_2 t)``.
+
+No p-graphs, no bitmasks, no NumPy.  The test suite cross-checks the
+production kernels against this implementation on thousands of random
+instances, so the two code paths fail independently.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Sequence
+
+from ..core.expressions import Att, Pareto, PExpr, Prioritized
+
+__all__ = ["Outcome", "compare", "dominates", "indistinguishable",
+           "maxima"]
+
+Tuple = Mapping[str, float]
+
+
+class Outcome(enum.Enum):
+    """Result of comparing two tuples under a preference."""
+
+    FIRST = ">"          # the first tuple is preferred
+    SECOND = "<"         # the second tuple is preferred
+    EQUAL = "="          # indistinguishable on every relevant attribute
+    INCOMPARABLE = "~"   # distinguishable, neither preferred
+
+    def flipped(self) -> "Outcome":
+        if self is Outcome.FIRST:
+            return Outcome.SECOND
+        if self is Outcome.SECOND:
+            return Outcome.FIRST
+        return self
+
+
+def compare(expression: PExpr, first: Tuple, second: Tuple) -> Outcome:
+    """Compare two tuples under ``expression`` (smaller values better)."""
+    if isinstance(expression, Att):
+        left = first[expression.name]
+        right = second[expression.name]
+        if left < right:
+            return Outcome.FIRST
+        if right < left:
+            return Outcome.SECOND
+        return Outcome.EQUAL
+    outcomes = [compare(child, first, second)
+                for child in expression.children]
+    if isinstance(expression, Prioritized):
+        # the leftmost child that distinguishes the tuples decides
+        for outcome in outcomes:
+            if outcome is not Outcome.EQUAL:
+                return outcome
+        return Outcome.EQUAL
+    assert isinstance(expression, Pareto)
+    if Outcome.INCOMPARABLE in outcomes:
+        return Outcome.INCOMPARABLE
+    wins = Outcome.FIRST in outcomes
+    losses = Outcome.SECOND in outcomes
+    if wins and losses:
+        return Outcome.INCOMPARABLE
+    if wins:
+        return Outcome.FIRST
+    if losses:
+        return Outcome.SECOND
+    return Outcome.EQUAL
+
+
+def dominates(expression: PExpr, first: Tuple, second: Tuple) -> bool:
+    """``first ≻_pi second``."""
+    return compare(expression, first, second) is Outcome.FIRST
+
+
+def indistinguishable(expression: PExpr, first: Tuple,
+                      second: Tuple) -> bool:
+    """``first ≈_pi second``."""
+    return compare(expression, first, second) is Outcome.EQUAL
+
+
+def maxima(expression: PExpr, tuples: Sequence[Tuple]) -> list[int]:
+    """Indices of the maximal tuples (the p-skyline), by double loop."""
+    result = []
+    for i, candidate in enumerate(tuples):
+        if not any(dominates(expression, other, candidate)
+                   for j, other in enumerate(tuples) if j != i):
+            result.append(i)
+    return result

@@ -1,0 +1,73 @@
+"""Reference p-graph: name-level sets instead of bitmasks.
+
+A small, readable mirror of :class:`repro.core.pgraph.PGraph` operating
+on attribute *names* and Python sets -- exactly the notation of the
+paper (``Succ``, ``Pre``, ``Desc``, ``Anc``, ``Roots``, depths).  Built
+from ``PExpr.edges()``, which produces the transitively closed edge set
+of Definition 2.
+"""
+
+from __future__ import annotations
+
+from ..core.expressions import PExpr
+
+__all__ = ["PriorityGraph"]
+
+
+class PriorityGraph:
+    """Name-level priority DAG of a p-expression."""
+
+    def __init__(self, expression: PExpr):
+        self.attributes = list(expression.attributes())
+        closure = {name: set() for name in self.attributes}
+        for upper, lower in expression.edges():
+            closure[upper].add(lower)
+        self.desc = closure
+        self.anc = {name: set() for name in self.attributes}
+        for upper, lowers in closure.items():
+            for lower in lowers:
+                self.anc[lower].add(upper)
+        # transitive reduction: drop edges implied by an intermediate
+        self.succ = {
+            upper: {
+                lower for lower in lowers
+                if not any(lower in closure[mid]
+                           for mid in lowers if mid != lower)
+            }
+            for upper, lowers in closure.items()
+        }
+        self.pre = {name: set() for name in self.attributes}
+        for upper, lowers in self.succ.items():
+            for lower in lowers:
+                self.pre[lower].add(upper)
+        self.roots = {name for name in self.attributes
+                      if not self.anc[name]}
+        self.depth = {}
+        for name in self._topological():
+            self.depth[name] = max(
+                (self.depth[parent] + 1 for parent in self.pre[name]),
+                default=0,
+            )
+
+    def _topological(self) -> list[str]:
+        order: list[str] = []
+        placed: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in placed:
+                return
+            for parent in self.anc[name]:
+                visit(parent)
+            placed.add(name)
+            order.append(name)
+
+        for name in self.attributes:
+            visit(name)
+        return order
+
+    def desc_of(self, names: set[str]) -> set[str]:
+        """Union of ``Desc`` over a set of attributes."""
+        result: set[str] = set()
+        for name in names:
+            result |= self.desc[name]
+        return result

@@ -1,0 +1,120 @@
+"""Invocation traces of the reference DC recursion (the paper's
+Example 3 diagram, as text).
+
+``trace_dc`` runs the pseudocode-faithful DC while recording one node per
+DCREC invocation: the input tuples, the candidate/equal sets, the action
+taken (split, promotion, base case) and the returned p-skyline.
+``format_trace`` renders the tree with indentation, which reproduces the
+paper's Example 3 walk-through for teaching and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.expressions import PExpr
+from .algorithms import (_pscreen_single_point, pscreen,
+                         pskyline_single_point, split_by_attribute)
+from .pgraph import PriorityGraph
+
+__all__ = ["TraceNode", "trace_dc", "format_trace"]
+
+Tuple = Mapping[str, float]
+
+
+@dataclass
+class TraceNode:
+    """One DCREC invocation."""
+
+    tuples: list[Tuple]
+    candidates: set[str]
+    equal: set[str]
+    action: str = ""
+    result: list[Tuple] = field(default_factory=list)
+    children: list["TraceNode"] = field(default_factory=list)
+
+
+def trace_dc(expression: PExpr, tuples: Sequence[Tuple],
+             lookahead: bool = False) -> TraceNode:
+    """Run (OS)DC on ``tuples`` and return the invocation tree."""
+    graph = PriorityGraph(expression)
+
+    def rec(data: list[Tuple], candidates: set[str],
+            equal: set[str]) -> TraceNode:
+        node = TraceNode(list(data), set(candidates), set(equal))
+        if not candidates or len(data) <= 1:
+            node.action = "base case: return D"
+            node.result = list(data)
+            return node
+        attribute = next(
+            (a for a in sorted(candidates)
+             if len({item[a] for item in data}) > 1),
+            None,
+        )
+        if attribute is None:
+            attribute = sorted(candidates)[0]
+            new_equal = equal | {attribute}
+            new_candidates = (candidates - {attribute}) | {
+                successor for successor in graph.succ[attribute]
+                if graph.pre[successor] <= new_equal
+            }
+            node.action = (f"all tuples agree on {attribute}: move it to "
+                           f"E, C becomes {sorted(new_candidates)}")
+            child = rec(data, new_candidates, new_equal)
+            node.children.append(child)
+            node.result = child.result
+            return node
+        better, worse = split_by_attribute(data, attribute)
+        node.action = (f"split on {attribute}: |B|={len(better)} "
+                       f"|W|={len(worse)}")
+        pivots: list[Tuple] = []
+        if lookahead:
+            pivot = pskyline_single_point(expression, better)
+            pivots = [pivot]
+            before = len(better) + len(worse)
+            better = _pscreen_single_point(
+                expression, pivot,
+                [item for item in better if item is not pivot])
+            worse = _pscreen_single_point(expression, pivot, worse)
+            pruned = before - 1 - len(better) - len(worse)
+            node.action += f"; look-ahead p*={dict(pivot)} pruned {pruned}"
+        better_node = rec(better, candidates, equal)
+        node.children.append(better_node)
+        surviving = pscreen(expression, better_node.result, worse,
+                            candidates - {attribute}, equal, graph)
+        node.action += (f"; p-screening kept {len(surviving)} of "
+                        f"{len(worse)} in W")
+        worse_node = rec(surviving, candidates, equal)
+        node.children.append(worse_node)
+        node.result = pivots + better_node.result + worse_node.result
+        return node
+
+    return rec(list(tuples), set(graph.roots), set())
+
+
+def format_trace(node: TraceNode, labels: Mapping[int, str] | None = None,
+                 indent: int = 0) -> str:
+    """Render an invocation tree as indented text.
+
+    ``labels`` optionally maps ``id(tuple_dict)`` to display names (the
+    paper labels cars ``t1..t4``).
+    """
+
+    def name(item: Tuple) -> str:
+        if labels and id(item) in labels:
+            return labels[id(item)]
+        return "{" + ", ".join(f"{k}={v:g}" for k, v in item.items()) + "}"
+
+    pad = "  " * indent
+    lines = [
+        f"{pad}DCREC  D={{{', '.join(name(t) for t in node.tuples)}}}  "
+        f"C={sorted(node.candidates)}  E={sorted(node.equal)}",
+        f"{pad}  {node.action}",
+    ]
+    for child in node.children:
+        lines.append(format_trace(child, labels, indent + 1))
+    lines.append(
+        f"{pad}  returns {{{', '.join(name(t) for t in node.result)}}}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""The p-skyline benchmarking framework's sampling machinery (Section 7.1):
+exact enumeration, CNF encoding of Theorem 4, SampleSAT, and uniform random
+p-expression generation."""
+
+from .cnf import EdgeVariables, model_to_pgraph, pgraph_cnf, pgraph_to_model
+from .decompose import NotAPGraphError, decompose
+from .exact_counting import ExactUniformSampler, count_pgraphs_exact
+from .enumeration import (MAX_EXACT_D, count_pgraphs, enumerate_pgraphs,
+                          sample_exact)
+from .random_pexpr import (PExpressionSampler, sample_pexpression,
+                           sample_pgraph)
+from .samplesat import SampleSAT, SampleSATError
+from .topology import TopologyProfile, topology_profile
+from .sat import CNF, count_models, enumerate_models, solve
+
+__all__ = [
+    "ExactUniformSampler",
+    "count_pgraphs_exact",
+    "TopologyProfile",
+    "topology_profile",
+    "CNF",
+    "solve",
+    "count_models",
+    "enumerate_models",
+    "pgraph_cnf",
+    "EdgeVariables",
+    "model_to_pgraph",
+    "pgraph_to_model",
+    "SampleSAT",
+    "SampleSATError",
+    "enumerate_pgraphs",
+    "count_pgraphs",
+    "sample_exact",
+    "MAX_EXACT_D",
+    "decompose",
+    "NotAPGraphError",
+    "PExpressionSampler",
+    "sample_pgraph",
+    "sample_pexpression",
+]

@@ -1,0 +1,92 @@
+"""CNF encoding of p-graph validity (Theorem 4).
+
+A directed graph over ``d`` attributes is a p-graph iff it is irreflexive,
+transitive and satisfies the *envelope property*.  We encode the edge set
+as ``d * (d - 1)`` boolean variables ``x[i][j]`` (``i != j``) and emit:
+
+* antisymmetry: ``¬x_ij ∨ ¬x_ji`` (with transitivity this also rules out
+  longer cycles);
+* transitivity: ``¬x_ij ∨ ¬x_jk ∨ x_ik`` for distinct ``i, j, k``;
+* envelope: for all distinct ``i1, i2, i3, i4``,
+  ``¬x_{i1 i2} ∨ ¬x_{i3 i4} ∨ ¬x_{i3 i2} ∨ x_{i3 i1} ∨ x_{i1 i4} ∨ x_{i4 i2}``.
+
+The satisfying assignments of this CNF are exactly the valid p-graphs on
+``d`` labelled attributes, so sampling models uniformly samples p-graphs
+uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..core.pgraph import PGraph
+from .sat import CNF
+
+__all__ = ["EdgeVariables", "pgraph_cnf", "model_to_pgraph",
+           "pgraph_to_model"]
+
+
+class EdgeVariables:
+    """Bijection between ordered attribute pairs and CNF variables."""
+
+    __slots__ = ("d", "_index")
+
+    def __init__(self, d: int):
+        self.d = d
+        self._index: dict[tuple[int, int], int] = {}
+        counter = 1
+        for i in range(d):
+            for j in range(d):
+                if i != j:
+                    self._index[(i, j)] = counter
+                    counter += 1
+
+    @property
+    def num_vars(self) -> int:
+        return self.d * (self.d - 1)
+
+    def var(self, i: int, j: int) -> int:
+        """The (1-based) variable for the edge ``i -> j``."""
+        return self._index[(i, j)]
+
+    def pairs(self) -> list[tuple[int, int]]:
+        return list(self._index)
+
+
+def pgraph_cnf(d: int) -> tuple[CNF, EdgeVariables]:
+    """Build the Theorem 4 constraints for ``d`` attributes."""
+    if d < 1:
+        raise ValueError("need at least one attribute")
+    variables = EdgeVariables(d)
+    cnf = CNF(variables.num_vars)
+    x = variables.var
+    for i, j in itertools.combinations(range(d), 2):
+        cnf.add((-x(i, j), -x(j, i)))
+    for i, j, k in itertools.permutations(range(d), 3):
+        cnf.add((-x(i, j), -x(j, k), x(i, k)))
+    for a1, a2, a3, a4 in itertools.permutations(range(d), 4):
+        cnf.add((-x(a1, a2), -x(a3, a4), -x(a3, a2),
+                 x(a3, a1), x(a1, a4), x(a4, a2)))
+    return cnf, variables
+
+
+def model_to_pgraph(model: Sequence[bool], variables: EdgeVariables,
+                    names: Sequence[str]) -> PGraph:
+    """Decode a satisfying assignment into a :class:`PGraph`."""
+    closure = [0] * variables.d
+    for (i, j), var in zip(variables.pairs(),
+                           range(1, variables.num_vars + 1)):
+        if model[var - 1]:
+            closure[i] |= 1 << j
+    return PGraph(names, closure)
+
+
+def pgraph_to_model(graph: PGraph, variables: EdgeVariables) -> list[bool]:
+    """Encode a p-graph as an assignment (inverse of
+    :func:`model_to_pgraph`)."""
+    model = [False] * variables.num_vars
+    for i, j in variables.pairs():
+        if graph.closure[i] & (1 << j):
+            model[variables.var(i, j) - 1] = True
+    return model

@@ -1,0 +1,111 @@
+"""Reconstructing a p-expression from a valid p-graph.
+
+P-graphs are exactly the transitive irreflexive graphs with the envelope
+property (Theorem 4), which coincide with the *series-parallel* (N-free)
+strict partial orders.  They therefore decompose recursively:
+
+* **parallel** step -- if the comparability graph is disconnected, the
+  components are combined with Pareto accumulation ``⊗``;
+* **series** step -- if the *incomparability* graph is disconnected, its
+  components are totally ordered by the priority relation and are combined
+  with prioritized accumulation ``&``.
+
+A graph in which neither step applies (both graphs connected, more than
+one vertex) contains an "N" pattern and violates the envelope property;
+:func:`decompose` raises :class:`NotAPGraphError` for it.
+"""
+
+from __future__ import annotations
+
+from ..core.bitsets import iter_bits
+from ..core.expressions import Att, PExpr, pareto, prioritized
+from ..core.pgraph import PGraph
+
+__all__ = ["decompose", "NotAPGraphError"]
+
+
+class NotAPGraphError(ValueError):
+    """The graph is not realisable by any p-expression."""
+
+
+def decompose(graph: PGraph) -> PExpr:
+    """Build a p-expression ``pi`` with ``Gamma_pi`` equal to ``graph``.
+
+    The result is canonical up to the (semantically irrelevant) ordering
+    of Pareto operands.  Raises :class:`NotAPGraphError` if the graph
+    violates the envelope property.
+    """
+    if graph.d == 0:
+        raise ValueError("cannot decompose an empty p-graph")
+    expr = _decompose_mask(graph, graph.all_mask)
+    rebuilt = PGraph.from_expression(expr, names=graph.names)
+    if rebuilt.closure != graph.closure:  # pragma: no cover - safety net
+        raise NotAPGraphError("decomposition failed to reproduce the graph")
+    return expr
+
+
+def _decompose_mask(graph: PGraph, mask: int) -> PExpr:
+    vertices = list(iter_bits(mask))
+    if len(vertices) == 1:
+        return Att(graph.names[vertices[0]])
+
+    # adjacency restricted to the mask, as symmetric comparability masks
+    comparable = {
+        i: (graph.closure[i] | graph.ancestors_mask[i]) & mask
+        for i in vertices
+    }
+
+    components = _connected_components(vertices, comparable)
+    if len(components) > 1:
+        return pareto(*[_decompose_mask(graph, part) for part in components])
+
+    incomparable = {
+        i: mask & ~comparable[i] & ~(1 << i) for i in vertices
+    }
+    blocks = _connected_components(vertices, incomparable)
+    if len(blocks) == 1:
+        raise NotAPGraphError(
+            "graph contains an N pattern (envelope property violated)"
+        )
+    ordered = _order_blocks(graph, blocks)
+    return prioritized(*[_decompose_mask(graph, part) for part in ordered])
+
+
+def _connected_components(vertices: list[int],
+                          adjacency: dict[int, int]) -> list[int]:
+    """Connected components (as masks) of an undirected adjacency map."""
+    seen = 0
+    components: list[int] = []
+    for start in vertices:
+        if seen & (1 << start):
+            continue
+        frontier = 1 << start
+        component = 0
+        while frontier:
+            v = (frontier & -frontier).bit_length() - 1
+            frontier &= frontier - 1
+            if component & (1 << v):
+                continue
+            component |= 1 << v
+            frontier |= adjacency[v] & ~component
+        seen |= component
+        components.append(component)
+    return components
+
+
+def _order_blocks(graph: PGraph, blocks: list[int]) -> list[int]:
+    """Order series blocks so every earlier block dominates every later one.
+
+    In a valid series decomposition any two vertices of distinct blocks are
+    comparable, and the direction is uniform across the block pair; sorting
+    by the number of in-block-external ancestors realises the total order.
+    Validity is re-checked by :func:`decompose`'s final rebuild.
+    """
+
+    def key(block: int) -> int:
+        # in an ordinal sum, every vertex of the k-th block has exactly the
+        # union of the earlier blocks as block-external ancestors
+        v = (block & -block).bit_length() - 1
+        return (graph.ancestors_mask[v] & ~block).bit_count()
+
+    return sorted(blocks, key=key)

@@ -1,0 +1,85 @@
+"""Exact enumeration of p-graphs over few attributes.
+
+Every unordered attribute pair can be unrelated, or related in one of the
+two directions, so candidate edge sets are enumerated as ternary choices
+over the ``d * (d - 1) / 2`` pairs (``3^10 = 59049`` candidates at
+``d = 5``).  Candidates are kept iff they are transitive and satisfy the
+envelope property (Theorem 4).  Enumeration yields *exact* uniform
+sampling for small ``d`` and the ground truth against which the SampleSAT
+sampler is validated.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import random
+from typing import Sequence
+
+from ..core.pgraph import PGraph
+
+__all__ = ["enumerate_pgraphs", "count_pgraphs", "sample_exact",
+           "MAX_EXACT_D"]
+
+MAX_EXACT_D = 5
+
+
+@functools.lru_cache(maxsize=8)
+def _closures(d: int) -> tuple[tuple[int, ...], ...]:
+    """All valid p-graph closures over ``d`` attributes, as mask tuples."""
+    if d > MAX_EXACT_D:
+        raise ValueError(
+            f"exact enumeration is limited to d <= {MAX_EXACT_D}"
+        )
+    if d == 0:
+        return ((),)
+    pairs = list(itertools.combinations(range(d), 2))
+    results: list[tuple[int, ...]] = []
+    for choice in itertools.product((0, 1, 2), repeat=len(pairs)):
+        closure = [0] * d
+        for (i, j), direction in zip(pairs, choice):
+            if direction == 1:
+                closure[i] |= 1 << j
+            elif direction == 2:
+                closure[j] |= 1 << i
+        if _is_transitive(closure) and _satisfies_envelope(closure, d):
+            results.append(tuple(closure))
+    return tuple(results)
+
+
+def _is_transitive(closure: Sequence[int]) -> bool:
+    for i, mask in enumerate(closure):
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            k = low.bit_length() - 1
+            remaining ^= low
+            if closure[k] & ~mask:
+                return False
+    return True
+
+
+def _satisfies_envelope(closure: Sequence[int], d: int) -> bool:
+    for a1, a2, a3, a4 in itertools.permutations(range(d), 4):
+        if (closure[a1] & (1 << a2) and closure[a3] & (1 << a4)
+                and closure[a3] & (1 << a2)):
+            if not (closure[a3] & (1 << a1) or closure[a1] & (1 << a4)
+                    or closure[a4] & (1 << a2)):
+                return False
+    return True
+
+
+def enumerate_pgraphs(names: Sequence[str]) -> list[PGraph]:
+    """All valid p-graphs over the given attributes (small ``d`` only)."""
+    return [PGraph(names, closure) for closure in _closures(len(names))]
+
+
+def count_pgraphs(d: int) -> int:
+    """The number of labelled p-graphs on ``d`` attributes."""
+    return len(_closures(d))
+
+
+def sample_exact(names: Sequence[str], rng: random.Random) -> PGraph:
+    """Draw one p-graph exactly uniformly at random (small ``d`` only)."""
+    closures = _closures(len(names))
+    return PGraph(names, rng.choice(closures))

@@ -1,0 +1,229 @@
+"""Exact counting and *exactly uniform* sampling of p-graphs at any d.
+
+The paper samples p-graphs near-uniformly with SampleSAT (Section 7.1).
+This module goes further: p-graphs are exactly the labelled
+series-parallel (N-free) strict partial orders, which admit a clean
+counting recursion, and counting enables perfectly uniform sampling by
+weighted structural choices.
+
+Let, over ``n`` labelled attributes,
+
+* ``S(n)`` = # orders whose topmost decomposition is a *series* (ordinal
+  sum of >= 2 blocks, none itself series-decomposable),
+* ``P(n)`` = # orders whose topmost decomposition is *parallel*
+  (>= 2 connected components, none itself parallel),
+* ``NS(n) = P(n) + [n = 1]``  (valid series blocks),
+* ``NP(n) = S(n) + [n = 1]``  (valid parallel components),
+* ``T(n) = S(n) + P(n) + [n = 1]``  (all p-graphs).
+
+Ordered block sequences satisfy ``F(n) = sum_j C(n, j) NS(j) F(n - j)``
+with ``F(0) = 1`` and ``S(n) = F(n) - NS(n)`` (remove the single-block
+sequences).  Unordered component multisets are anchored at the smallest
+remaining label: ``G(n) = sum_j C(n-1, j-1) NP(j) G(n - j)`` with
+``G(0) = 1`` and ``P(n) = G(n) - NP(n)``.
+
+The decomposition of a p-graph into these choices is unique, so drawing
+every size/subset decision with probability proportional to its exact
+(big-integer) count yields the uniform distribution over p-graphs --
+verified against exhaustive enumeration for d <= 5 in the tests
+(T = 1, 3, 19, 195, 2791, ...).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import random
+from typing import Sequence
+
+from ..core.expressions import Att, PExpr, pareto, prioritized
+from ..core.pgraph import PGraph
+
+__all__ = ["count_pgraphs_exact", "ExactUniformSampler"]
+
+
+class _Tables:
+    """The S/P/NS/NP/F/G dynamic-programming tables up to ``max_n``."""
+
+    def __init__(self, max_n: int):
+        self.max_n = max_n
+        size = max_n + 1
+        self.series = [0] * size       # S
+        self.parallel = [0] * size     # P
+        self.not_series = [0] * size   # NS
+        self.not_parallel = [0] * size  # NP
+        self.f = [0] * size
+        self.g = [0] * size
+        self.f[0] = 1
+        self.g[0] = 1
+        if max_n >= 1:
+            self.not_series[1] = 1
+            self.not_parallel[1] = 1
+            self.f[1] = 1
+            self.g[1] = 1
+        for n in range(2, size):
+            # S(n) and P(n) depend only on NS/NP below n
+            f_n = sum(
+                math.comb(n, j) * self.not_series[j] * self.f[n - j]
+                for j in range(1, n)
+            )
+            g_n = sum(
+                math.comb(n - 1, j - 1) * self.not_parallel[j]
+                * self.g[n - j]
+                for j in range(1, n)
+            )
+            self.series[n] = f_n           # = F(n) - NS(n), see below
+            self.parallel[n] = g_n
+            self.not_series[n] = self.parallel[n]
+            self.not_parallel[n] = self.series[n]
+            self.f[n] = f_n + self.not_series[n]
+            self.g[n] = g_n + self.not_parallel[n]
+
+    def total(self, n: int) -> int:
+        if n == 1:
+            return 1
+        return self.series[n] + self.parallel[n]
+
+
+@functools.lru_cache(maxsize=4)
+def _tables(max_n: int) -> _Tables:
+    return _Tables(max_n)
+
+
+def count_pgraphs_exact(d: int) -> int:
+    """The number of labelled p-graphs on ``d`` attributes, in closed
+    recursive form (no enumeration)."""
+    if d < 1:
+        raise ValueError("d must be positive")
+    return _tables(d).total(d)
+
+
+def _weighted_choice(rng: random.Random,
+                     weights: Sequence[int]) -> int:
+    """Index drawn proportionally to exact integer weights."""
+    total = sum(weights)
+    ticket = rng.randrange(total)
+    for index, weight in enumerate(weights):
+        ticket -= weight
+        if ticket < 0:
+            return index
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ExactUniformSampler:
+    """Draws p-expressions whose p-graphs are *exactly* uniform.
+
+    Improves on the paper's SampleSAT approach: no mixing parameter, no
+    bias, any number of attributes (cost is an O(d^2) big-integer DP once
+    plus O(d) choices per sample).
+    """
+
+    def __init__(self, names: Sequence[str]):
+        self.names = tuple(names)
+        if not self.names:
+            raise ValueError("need at least one attribute")
+        self.tables = _tables(len(self.names))
+
+    # -- public API ------------------------------------------------------------
+    def sample_expression(self, rng: random.Random) -> PExpr:
+        return self._any(list(self.names), rng)
+
+    def sample_graph(self, rng: random.Random) -> PGraph:
+        expr = self.sample_expression(rng)
+        return PGraph.from_expression(expr, names=self.names)
+
+    # -- structural recursion --------------------------------------------------
+    def _any(self, labels: list[str], rng: random.Random) -> PExpr:
+        n = len(labels)
+        if n == 1:
+            return Att(labels[0])
+        t = self.tables
+        if _weighted_choice(rng, [t.series[n], t.parallel[n]]) == 0:
+            return self._series(labels, rng)
+        return self._parallel(labels, rng)
+
+    def _not_series(self, labels: list[str], rng: random.Random) -> PExpr:
+        if len(labels) == 1:
+            return Att(labels[0])
+        return self._parallel(labels, rng)
+
+    def _not_parallel(self, labels: list[str],
+                      rng: random.Random) -> PExpr:
+        if len(labels) == 1:
+            return Att(labels[0])
+        return self._series(labels, rng)
+
+    def _series(self, labels: list[str], rng: random.Random) -> PExpr:
+        """An ordinal sum of >= 2 non-series blocks, uniform over its
+        count ``S(n) = F(n) - NS(n)``."""
+        t = self.tables
+        n = len(labels)
+        # first block: size j < n (j = n would be the single-block case)
+        weights = [
+            math.comb(n, j) * t.not_series[j] * t.f[n - j]
+            for j in range(1, n)
+        ]
+        j = 1 + _weighted_choice(rng, weights)
+        block_labels = rng.sample(labels, j)
+        remaining = [name for name in labels if name not in block_labels]
+        blocks = [self._not_series(block_labels, rng)]
+        blocks.extend(self._f_sequence(remaining, rng))
+        return prioritized(*blocks)
+
+    def _f_sequence(self, labels: list[str],
+                    rng: random.Random) -> list[PExpr]:
+        """A (possibly single-block) ordered sequence, uniform over
+        ``F(n)``."""
+        t = self.tables
+        blocks: list[PExpr] = []
+        while labels:
+            m = len(labels)
+            weights = [
+                math.comb(m, j) * t.not_series[j] * t.f[m - j]
+                for j in range(1, m + 1)
+            ]
+            j = 1 + _weighted_choice(rng, weights)
+            block_labels = rng.sample(labels, j)
+            labels = [name for name in labels
+                      if name not in block_labels]
+            blocks.append(self._not_series(block_labels, rng))
+        return blocks
+
+    def _parallel(self, labels: list[str], rng: random.Random) -> PExpr:
+        """A disjoint union of >= 2 non-parallel components, uniform over
+        ``P(n) = G(n) - NP(n)``; components are anchored at the smallest
+        remaining label to avoid ordering overcounts."""
+        t = self.tables
+        n = len(labels)
+        weights = [
+            math.comb(n - 1, j - 1) * t.not_parallel[j] * t.g[n - j]
+            for j in range(1, n)
+        ]
+        j = 1 + _weighted_choice(rng, weights)
+        anchor = min(labels)
+        others = [name for name in labels if name != anchor]
+        chosen = rng.sample(others, j - 1)
+        block_labels = [anchor] + chosen
+        remaining = [name for name in others if name not in chosen]
+        components = [self._not_parallel(block_labels, rng)]
+        components.extend(self._g_sequence(remaining, rng))
+        return pareto(*components)
+
+    def _g_sequence(self, labels: list[str],
+                    rng: random.Random) -> list[PExpr]:
+        t = self.tables
+        components: list[PExpr] = []
+        while labels:
+            m = len(labels)
+            weights = [
+                math.comb(m - 1, j - 1) * t.not_parallel[j] * t.g[m - j]
+                for j in range(1, m + 1)
+            ]
+            j = 1 + _weighted_choice(rng, weights)
+            anchor = min(labels)
+            others = [name for name in labels if name != anchor]
+            chosen = rng.sample(others, j - 1)
+            labels = [name for name in others if name not in chosen]
+            components.append(
+                self._not_parallel([anchor] + chosen, rng))
+        return components

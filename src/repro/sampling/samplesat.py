@@ -1,0 +1,151 @@
+"""SampleSAT: near-uniform sampling of SAT solutions (Wei et al. [35]).
+
+SampleSAT interleaves two kinds of moves over a random walk on
+assignments:
+
+* with probability ``f`` a **WalkSAT** move: pick a random unsatisfied
+  clause; with probability ``noise`` flip a random variable of it,
+  otherwise flip the variable with the smallest *break count*;
+* with probability ``1 - f`` a **simulated-annealing (Metropolis)** move
+  at fixed temperature: pick a random variable and flip it if it does not
+  increase the number of unsatisfied clauses, or with probability
+  ``exp(-delta / temperature)`` otherwise.
+
+The mixing parameter ``f`` trades uniformity for speed -- exactly the
+knob the paper sets to ``0.5`` for its benchmark workload generation.
+The walk returns the first assignment that satisfies every clause.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .sat import CNF
+
+__all__ = ["SampleSAT", "SampleSATError"]
+
+
+class SampleSATError(RuntimeError):
+    """Raised when no solution is found within the flip budget."""
+
+
+class SampleSAT:
+    """A reusable sampler over the solutions of a fixed CNF."""
+
+    def __init__(self, cnf: CNF, f: float = 0.5, noise: float = 0.5,
+                 temperature: float = 0.3, max_flips: int = 200_000):
+        if not 0.0 <= f <= 1.0:
+            raise ValueError("f must be in [0, 1]")
+        self.cnf = cnf
+        self.f = f
+        self.noise = noise
+        self.temperature = temperature
+        self.max_flips = max_flips
+        # occurrence lists: for each literal polarity, the clauses watching it
+        self._positive: list[list[int]] = [[] for _ in range(cnf.num_vars)]
+        self._negative: list[list[int]] = [[] for _ in range(cnf.num_vars)]
+        for index, clause in enumerate(cnf.clauses):
+            for lit in clause:
+                if lit > 0:
+                    self._positive[lit - 1].append(index)
+                else:
+                    self._negative[-lit - 1].append(index)
+
+    # -- incremental state ------------------------------------------------------
+    def _init_state(self, assignment: list[bool]) -> tuple[list[int], set[int]]:
+        true_counts = []
+        unsat = set()
+        for index, clause in enumerate(self.cnf.clauses):
+            count = sum(
+                1 for lit in clause if assignment[abs(lit) - 1] == (lit > 0)
+            )
+            true_counts.append(count)
+            if count == 0:
+                unsat.add(index)
+        return true_counts, unsat
+
+    def _flip(self, variable: int, assignment: list[bool],
+              true_counts: list[int], unsat: set[int]) -> None:
+        new_value = not assignment[variable]
+        assignment[variable] = new_value
+        # clauses whose literal matches the new value gain one supporter
+        if new_value:
+            gains = self._positive[variable]
+            losses = self._negative[variable]
+        else:
+            gains = self._negative[variable]
+            losses = self._positive[variable]
+        for index in gains:
+            true_counts[index] += 1
+            if true_counts[index] == 1:
+                unsat.discard(index)
+        for index in losses:
+            true_counts[index] -= 1
+            if true_counts[index] == 0:
+                unsat.add(index)
+
+    def _break_count(self, variable: int, assignment: list[bool],
+                     true_counts: list[int]) -> int:
+        """Clauses that become unsatisfied if ``variable`` flips."""
+        watching = self._positive[variable] if assignment[variable] else \
+            self._negative[variable]
+        return sum(1 for index in watching if true_counts[index] == 1)
+
+    def _make_count(self, variable: int, assignment: list[bool],
+                    true_counts: list[int]) -> int:
+        """Clauses that become satisfied if ``variable`` flips."""
+        watching = self._negative[variable] if assignment[variable] else \
+            self._positive[variable]
+        return sum(1 for index in watching if true_counts[index] == 0)
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, rng: random.Random) -> list[bool]:
+        """Run the walk from a fresh random assignment until satisfied."""
+        n = self.cnf.num_vars
+        assignment = [rng.random() < 0.5 for _ in range(n)]
+        true_counts, unsat = self._init_state(assignment)
+        for _ in range(self.max_flips):
+            if not unsat:
+                return assignment
+            if rng.random() < self.f:
+                variable = self._walksat_move(assignment, true_counts, unsat,
+                                              rng)
+            else:
+                variable = self._annealing_move(assignment, true_counts, rng)
+            if variable is not None:
+                self._flip(variable, assignment, true_counts, unsat)
+        if not unsat:
+            return assignment
+        raise SampleSATError(
+            f"no solution found within {self.max_flips} flips"
+        )
+
+    def sample_many(self, count: int, rng: random.Random) -> list[list[bool]]:
+        """Draw ``count`` independent samples (fresh walks)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def _walksat_move(self, assignment: list[bool], true_counts: list[int],
+                      unsat: set[int], rng: random.Random) -> int:
+        clause_index = rng.choice(tuple(unsat))
+        clause = self.cnf.clauses[clause_index]
+        variables = [abs(lit) - 1 for lit in clause]
+        if rng.random() < self.noise:
+            return rng.choice(variables)
+        return min(
+            variables,
+            key=lambda v: self._break_count(v, assignment, true_counts),
+        )
+
+    def _annealing_move(self, assignment: list[bool],
+                        true_counts: list[int],
+                        rng: random.Random) -> int | None:
+        variable = rng.randrange(self.cnf.num_vars)
+        delta = (self._break_count(variable, assignment, true_counts)
+                 - self._make_count(variable, assignment, true_counts))
+        if delta <= 0:
+            return variable
+        if self.temperature > 0 and \
+                rng.random() < math.exp(-delta / self.temperature):
+            return variable
+        return None

@@ -1,0 +1,149 @@
+"""A small CNF toolkit: representation, DPLL solving, model enumeration.
+
+Clauses are tuples of non-zero integers in the DIMACS convention:
+literal ``v+1`` means variable ``v`` is true, ``-(v+1)`` means false.
+The solver is intentionally simple (unit propagation + branching on the
+most frequent variable); it is used to validate the p-graph CNF encoding
+and to count models exactly on small instances, against which the
+SampleSAT sampler's uniformity is tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["CNF", "count_models", "enumerate_models", "solve"]
+
+Clause = tuple[int, ...]
+
+
+class CNF:
+    """A conjunctive normal form over ``num_vars`` boolean variables."""
+
+    __slots__ = ("num_vars", "clauses")
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]] = ()):
+        self.num_vars = num_vars
+        self.clauses: list[Clause] = []
+        for clause in clauses:
+            self.add(clause)
+
+    def add(self, clause: Sequence[int]) -> None:
+        """Add a clause, validating its literals."""
+        normalized = tuple(dict.fromkeys(int(lit) for lit in clause))
+        for lit in normalized:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self.clauses.append(normalized)
+
+    def is_satisfied(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the formula under a complete assignment."""
+        return all(self._clause_satisfied(clause, assignment)
+                   for clause in self.clauses)
+
+    def unsatisfied_clauses(self, assignment: Sequence[bool]) -> list[int]:
+        """Indices of clauses violated by the assignment."""
+        return [index for index, clause in enumerate(self.clauses)
+                if not self._clause_satisfied(clause, assignment)]
+
+    @staticmethod
+    def _clause_satisfied(clause: Clause, assignment: Sequence[bool]) -> bool:
+        return any(
+            assignment[abs(lit) - 1] == (lit > 0) for lit in clause
+        )
+
+
+def _propagate(clauses: list[Clause],
+               assignment: dict[int, bool]) -> list[Clause] | None:
+    """Unit propagation; returns simplified clauses or None on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        simplified: list[Clause] = []
+        for clause in clauses:
+            live: list[int] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    live.append(lit)
+            if satisfied:
+                continue
+            if not live:
+                return None  # conflict
+            if len(live) == 1:
+                lit = live[0]
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                simplified.append(tuple(live))
+        clauses = simplified
+    return clauses
+
+
+def _branch_variable(clauses: list[Clause]) -> int:
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    return max(counts, key=counts.get)
+
+
+def solve(cnf: CNF) -> list[bool] | None:
+    """Find one satisfying assignment, or ``None`` if unsatisfiable."""
+    for model in enumerate_models(cnf):
+        return model
+    return None
+
+
+def enumerate_models(cnf: CNF) -> Iterator[list[bool]]:
+    """Yield every satisfying assignment (exponential; small inputs only)."""
+
+    def rec(clauses: list[Clause],
+            assignment: dict[int, bool]) -> Iterator[dict[int, bool]]:
+        simplified = _propagate(list(clauses), assignment)
+        if simplified is None:
+            return
+        if not simplified:
+            yield assignment
+            return
+        variable = _branch_variable(simplified)
+        for value in (True, False):
+            trail = dict(assignment)
+            trail[variable] = value
+            yield from rec(simplified, trail)
+
+    for partial in rec(cnf.clauses, {}):
+        free = [v for v in range(1, cnf.num_vars + 1) if v not in partial]
+        # expand don't-care variables into full models
+        for mask in range(1 << len(free)):
+            model = [False] * cnf.num_vars
+            for var, value in partial.items():
+                model[var - 1] = value
+            for position, var in enumerate(free):
+                model[var - 1] = bool(mask & (1 << position))
+            yield model
+
+
+def count_models(cnf: CNF) -> int:
+    """Exact model count (via enumeration with don't-care expansion)."""
+
+    def rec(clauses: list[Clause], assignment: dict[int, bool]) -> int:
+        simplified = _propagate(list(clauses), assignment)
+        if simplified is None:
+            return 0
+        if not simplified:
+            return 1 << (cnf.num_vars - len(assignment))
+        variable = _branch_variable(simplified)
+        total = 0
+        for value in (True, False):
+            trail = dict(assignment)
+            trail[variable] = value
+            total += rec(simplified, trail)
+        return total
+
+    return rec(cnf.clauses, {})

@@ -1,0 +1,21 @@
+"""A mini Preference SQL engine (Kiessling & Koestler style):
+``SELECT ... FROM ... WHERE ... PREFERRING ... TOP k`` over registered
+relations, with prioritized/Pareto preference clauses."""
+
+from .ast import Comparison, Logical, Not, Query
+from .executor import PreferenceSQL, SqlExecutionError
+from .lexer import SqlSyntaxError, Token, tokenize
+from .parser import parse_query
+
+__all__ = [
+    "PreferenceSQL",
+    "SqlExecutionError",
+    "SqlSyntaxError",
+    "parse_query",
+    "tokenize",
+    "Token",
+    "Query",
+    "Comparison",
+    "Logical",
+    "Not",
+]

@@ -1,0 +1,48 @@
+"""AST nodes of the Preference SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.preferring import PreferringClause
+
+__all__ = ["Comparison", "Logical", "Not", "Condition", "Query"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` (the literal side is pre-normalised)."""
+
+    column: str
+    operator: str          # one of = != < <= > >=
+    literal: float | str
+
+
+@dataclass(frozen=True)
+class Logical:
+    """``left AND right`` / ``left OR right``."""
+
+    operator: str          # "and" | "or"
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Condition"
+
+
+Condition = Comparison | Logical | Not
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed ``SELECT ... FROM ... [WHERE] [PREFERRING] [ORDER BY]
+    [TOP]``."""
+
+    columns: tuple[str, ...] | None     # None = '*'
+    table: str
+    where: Condition | None
+    preferring: PreferringClause | None
+    order_by: tuple[str, bool] | None   # (column, ascending)
+    top: int | None

@@ -1,0 +1,180 @@
+"""Execution of Preference SQL queries over registered relations.
+
+:class:`PreferenceSQL` is a tiny catalog + executor:
+
+1. ``WHERE`` filters rows with vectorised predicates over the *raw*
+   column values (numeric columns compare numerically, ranked columns
+   compare their string values; ordering comparisons on ranked columns
+   follow the declared preference order, best first);
+2. ``PREFERRING`` evaluates the p-skyline of the survivors
+   (:mod:`repro.core.preferring` semantics, directions overriding the
+   schema);
+3. ``TOP k`` keeps the ``k`` best maximal tuples in ``≻ext`` order;
+4. the ``SELECT`` list projects the final relation.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.base import Stats
+from ..core.attributes import Direction
+from ..core.extension import ExtensionOrder
+from ..core.pgraph import PGraph
+from ..core.preferring import evaluate_preferring
+from ..core.relation import Relation
+from .ast import Comparison, Condition, Logical, Not, Query
+from .parser import parse_query
+
+__all__ = ["PreferenceSQL", "SqlExecutionError"]
+
+_OPERATORS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class SqlExecutionError(ValueError):
+    """Semantic error while executing a statement (unknown table/column,
+    type mismatch, ...)."""
+
+
+class PreferenceSQL:
+    """An in-memory catalog of relations queryable with Preference SQL."""
+
+    def __init__(self) -> None:
+        self._catalog: dict[str, Relation] = {}
+
+    def register(self, name: str, relation: Relation) -> None:
+        """Add (or replace) a relation under ``name``."""
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid table name {name!r}")
+        self._catalog[name] = relation
+
+    def tables(self) -> list[str]:
+        return sorted(self._catalog)
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, statement: str, *,
+                algorithm: str = "osdc",
+                stats: Stats | None = None) -> Relation:
+        """Run one statement and return the result relation."""
+        query = parse_query(statement)
+        if query.table not in self._catalog:
+            known = ", ".join(self.tables()) or "(none)"
+            raise SqlExecutionError(
+                f"unknown table {query.table!r}; registered: {known}"
+            )
+        relation = self._catalog[query.table]
+
+        if query.where is not None:
+            mask = self._evaluate(query.where, relation)
+            relation = relation.take(np.flatnonzero(mask))
+
+        if query.preferring is not None:
+            relation = evaluate_preferring(relation, query.preferring,
+                                           algorithm=algorithm,
+                                           stats=stats)
+            if query.order_by is None and query.top is not None:
+                relation = self._take_top(relation, query)
+                if query.columns is None:
+                    return relation
+        if query.order_by is not None:
+            column, ascending = query.order_by
+            if column not in relation.names:
+                raise SqlExecutionError(
+                    f"unknown column {column!r} in ORDER BY"
+                )
+            relation = relation.sort_by(column, best_first=ascending)
+        if query.top is not None and (query.preferring is None
+                                      or query.order_by is not None):
+            relation = relation.take(
+                np.arange(min(query.top, len(relation)), dtype=np.intp))
+
+        if query.columns is not None:
+            missing = [c for c in query.columns
+                       if c not in relation.names]
+            if missing:
+                raise SqlExecutionError(
+                    f"unknown column(s) in SELECT: {missing}"
+                )
+            relation = relation.project(list(query.columns))
+        return relation
+
+    # -- WHERE evaluation ------------------------------------------------------
+    def _evaluate(self, condition: Condition,
+                  relation: Relation) -> np.ndarray:
+        if isinstance(condition, Logical):
+            left = self._evaluate(condition.left, relation)
+            right = self._evaluate(condition.right, relation)
+            return left & right if condition.operator == "and" \
+                else left | right
+        if isinstance(condition, Not):
+            return ~self._evaluate(condition.operand, relation)
+        assert isinstance(condition, Comparison)
+        return self._compare(condition, relation)
+
+    @staticmethod
+    def _compare(comparison: Comparison,
+                 relation: Relation) -> np.ndarray:
+        if comparison.column not in relation.names:
+            raise SqlExecutionError(
+                f"unknown column {comparison.column!r} in WHERE"
+            )
+        index = relation.names.index(comparison.column)
+        attribute = relation.schema[index]
+        ranks = relation.ranks[:, index]
+        literal: Any = comparison.literal
+        compare = _OPERATORS[comparison.operator]
+        if attribute.direction is Direction.RANKED:
+            if not isinstance(literal, str):
+                raise SqlExecutionError(
+                    f"column {comparison.column!r} holds ranked values; "
+                    "compare it with a quoted string"
+                )
+            if literal not in attribute.order:
+                if comparison.operator in ("=", "!="):
+                    # equality with an unknown value is simply never true
+                    value = np.zeros(ranks.shape[0], dtype=bool)
+                    return ~value if comparison.operator == "!=" else value
+                raise SqlExecutionError(
+                    f"value {literal!r} is not in the declared order of "
+                    f"{comparison.column!r}"
+                )
+            else:
+                # ordering follows the declared ranking (best first), so
+                # "t < 'automatic'" means "strictly preferred to it"
+                target = float(attribute.order.index(literal))
+                return compare(ranks, target)
+        if isinstance(literal, str):
+            raise SqlExecutionError(
+                f"column {comparison.column!r} is numeric; compare it "
+                "with a number"
+            )
+        if attribute.direction is Direction.MAX:
+            ranks = -ranks  # back to raw values
+        return compare(ranks, float(literal))
+
+    # -- TOP ----------------------------------------------------------------
+    @staticmethod
+    def _take_top(relation: Relation, query: Query) -> Relation:
+        clause = query.preferring
+        assert clause is not None and query.top is not None
+        names = list(clause.attributes)
+        columns = [relation.names.index(name) for name in names]
+        matrix = relation.ranks[:, columns].copy()
+        for position, name in enumerate(names):
+            attribute = relation.schema[columns[position]]
+            if clause.directions[name] is not attribute.direction and \
+                    attribute.direction is not Direction.RANKED:
+                matrix[:, position] = -matrix[:, position]
+        graph = PGraph.from_expression(clause.expression, names=names)
+        order = ExtensionOrder(graph).argsort(matrix)
+        return relation.take(order[: query.top])

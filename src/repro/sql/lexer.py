@@ -1,0 +1,69 @@
+"""Tokenizer for the Preference SQL dialect.
+
+Token kinds: keywords (case-insensitive), identifiers, numbers, quoted
+strings, comparison operators, punctuation.  Positions are tracked for
+error messages.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "preferring", "top",
+    "order", "by", "asc", "desc",
+    "and", "or", "not", "lowest", "highest",
+})
+
+
+class SqlSyntaxError(ValueError):
+    """Malformed Preference SQL text."""
+
+
+class Token(NamedTuple):
+    kind: str     # keyword | name | number | string | op | punct | end
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<punct>[(),*&])"
+    r")"
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text``; appends a synthetic ``end`` token."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.lastgroup is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlSyntaxError(
+                f"unexpected character {remainder[0]!r} at position "
+                f"{position}"
+            )
+        kind = match.lastgroup
+        value = match.group(kind)
+        start = match.start(kind)
+        if kind == "name" and value.lower() in KEYWORDS:
+            tokens.append(Token("keyword", value.lower(), start))
+        elif kind == "string":
+            unquoted = value[1:-1].replace("''", "'")
+            tokens.append(Token("string", unquoted, start))
+        else:
+            tokens.append(Token(kind, value, start))
+        position = match.end()
+    tokens.append(Token("end", "", len(text)))
+    return tokens

@@ -1,0 +1,191 @@
+"""Recursive-descent parser for the Preference SQL dialect.
+
+Grammar::
+
+    query      := SELECT select_list FROM name
+                  [WHERE condition]
+                  [PREFERRING pref_clause]
+                  [ORDER BY name [ASC|DESC]]
+                  [TOP number]
+    select_list := '*' | name (',' name)*
+    condition  := and_chain (OR and_chain)*
+    and_chain  := factor (AND factor)*
+    factor     := NOT factor | '(' condition ')' | comparison
+    comparison := name op literal | literal op name
+    op         := = | != | <> | < | <= | > | >=
+    literal    := number | 'string'
+
+The ``PREFERRING`` body reuses :mod:`repro.core.preferring`'s clause
+language (``lowest(a) & (b * highest(c))``); its extent runs to the
+``ORDER``/``TOP`` keyword or the end of the statement.
+"""
+
+from __future__ import annotations
+
+from ..core.preferring import parse_preferring
+from .ast import Comparison, Condition, Logical, Not, Query
+from .lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse_query", "SqlSyntaxError"]
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+            "!=": "!="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "end":
+            self.position += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token.kind == "keyword" and token.text == word:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"expected {word.upper()} but found {token.text!r} at "
+                f"position {token.position}"
+            )
+
+    def expect(self, kind: str) -> Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {kind} but found {token.text!r} at position "
+                f"{token.position}"
+            )
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_keyword("select")
+        columns = self.select_list()
+        self.expect_keyword("from")
+        table = self.expect("name").text
+        where = None
+        if self.accept_keyword("where"):
+            where = self.condition()
+        preferring = None
+        if self.accept_keyword("preferring"):
+            preferring = self.preferring_clause()
+        order_by = None
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            column = self.expect("name").text
+            ascending = True
+            if self.accept_keyword("desc"):
+                ascending = False
+            else:
+                self.accept_keyword("asc")
+            order_by = (column, ascending)
+        top = None
+        if self.accept_keyword("top"):
+            token = self.expect("number")
+            value = float(token.text)
+            if value < 0 or value != int(value):
+                raise SqlSyntaxError(
+                    f"TOP expects a non-negative integer, got {token.text}"
+                )
+            top = int(value)
+        tail = self.peek()
+        if tail.kind != "end":
+            raise SqlSyntaxError(
+                f"trailing input {tail.text!r} at position {tail.position}"
+            )
+        return Query(columns, table, where, preferring, order_by,
+                     top)
+
+    def select_list(self) -> tuple[str, ...] | None:
+        if self.peek().kind == "punct" and self.peek().text == "*":
+            self.advance()
+            return None
+        names = [self.expect("name").text]
+        while self.peek().kind == "punct" and self.peek().text == ",":
+            self.advance()
+            names.append(self.expect("name").text)
+        return tuple(names)
+
+    def condition(self) -> Condition:
+        left = self.and_chain()
+        while self.accept_keyword("or"):
+            left = Logical("or", left, self.and_chain())
+        return left
+
+    def and_chain(self) -> Condition:
+        left = self.factor()
+        while self.accept_keyword("and"):
+            left = Logical("and", left, self.factor())
+        return left
+
+    def factor(self) -> Condition:
+        if self.accept_keyword("not"):
+            return Not(self.factor())
+        token = self.peek()
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            inner = self.condition()
+            closing = self.advance()
+            if closing.kind != "punct" or closing.text != ")":
+                raise SqlSyntaxError(
+                    f"missing ')' at position {closing.position}"
+                )
+            return inner
+        return self.comparison()
+
+    def comparison(self) -> Comparison:
+        first = self.advance()
+        operator = self.expect("op").text
+        second = self.advance()
+        operator = "!=" if operator == "<>" else operator
+        if first.kind == "name" and second.kind in ("number", "string"):
+            return Comparison(first.text, operator,
+                              self._literal(second))
+        if first.kind in ("number", "string") and second.kind == "name":
+            return Comparison(second.text, _FLIPPED[operator],
+                              self._literal(first))
+        raise SqlSyntaxError(
+            "comparisons must be between a column and a literal "
+            f"(position {first.position})"
+        )
+
+    @staticmethod
+    def _literal(token: Token) -> float | str:
+        if token.kind == "number":
+            return float(token.text)
+        return token.text
+
+    def preferring_clause(self):
+        # the clause body extends until TOP or the end of the statement
+        start = self.peek().position
+        stop = len(self.text)
+        while self.peek().kind != "end":
+            token = self.peek()
+            if token.kind == "keyword" and token.text in ("top", "order"):
+                stop = token.position
+                break
+            self.advance()
+        body = self.text[start:stop]
+        return parse_preferring(body)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a Preference SQL statement into a :class:`Query`."""
+    if not text or not text.strip():
+        raise SqlSyntaxError("empty statement")
+    return _Parser(text).parse()

@@ -1,0 +1,5 @@
+"""Simulated block storage with I/O accounting (external-memory substrate)."""
+
+from .blocks import IOCounter, PagedFile, StorageManager
+
+__all__ = ["IOCounter", "PagedFile", "StorageManager"]

@@ -1,0 +1,123 @@
+"""Simulated external memory: paged files with I/O accounting.
+
+Section 6 motivates scan-based p-skyline algorithms by their suitability
+for external-memory execution.  This module provides the substrate used by
+:mod:`repro.algorithms.external`: relations are stored as fixed-size pages
+of tuples, every page transfer is counted, and the buffer budget of an
+operator is expressed in pages.  Pages live in RAM (this is a simulator),
+but algorithms only touch them through :class:`PagedFile`, so the I/O
+counts are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["IOCounter", "PagedFile", "StorageManager"]
+
+
+@dataclass
+class IOCounter:
+    """Page transfer counters shared by all files of a storage manager."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class PagedFile:
+    """An append-only sequence of fixed-capacity pages of tuples."""
+
+    def __init__(self, name: str, page_size: int, counter: IOCounter,
+                 arity: int):
+        if page_size < 1:
+            raise ValueError("page size must be positive")
+        self.name = name
+        self.page_size = page_size
+        self.arity = arity
+        self._counter = counter
+        self._pages: list[np.ndarray] = []
+        self._tail: list[np.ndarray] = []  # buffered rows, < page_size
+
+    # -- writing -------------------------------------------------------------
+    def append_rows(self, rows: np.ndarray) -> None:
+        """Append rows, spilling full pages (each spill is one write I/O)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.shape[1] != self.arity:
+            raise ValueError(
+                f"file {self.name!r} stores arity {self.arity}, got "
+                f"{rows.shape[1]}"
+            )
+        position = 0
+        while position < rows.shape[0]:
+            buffered = sum(part.shape[0] for part in self._tail)
+            take = min(self.page_size - buffered, rows.shape[0] - position)
+            self._tail.append(rows[position:position + take])
+            position += take
+            if buffered + take == self.page_size:
+                self._flush_tail()
+
+    def _flush_tail(self) -> None:
+        if not self._tail:
+            return
+        page = np.vstack(self._tail)
+        self._tail = []
+        self._pages.append(page)
+        self._counter.writes += 1
+
+    def close_writes(self) -> None:
+        """Flush the partial last page (counts as one write if non-empty)."""
+        self._flush_tail()
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        if self._tail:
+            raise RuntimeError("close_writes() before reading")
+        return len(self._pages)
+
+    @property
+    def num_rows(self) -> int:
+        return (sum(page.shape[0] for page in self._pages)
+                + sum(part.shape[0] for part in self._tail))
+
+    def read_page(self, index: int) -> np.ndarray:
+        """Read one page (one read I/O)."""
+        self._counter.reads += 1
+        return self._pages[index]
+
+    def scan(self) -> Iterator[np.ndarray]:
+        """Iterate over all pages, counting one read each."""
+        for index in range(self.num_pages):
+            yield self.read_page(index)
+
+
+class StorageManager:
+    """Creates paged files sharing one I/O counter and page size."""
+
+    def __init__(self, page_size: int = 256):
+        self.page_size = page_size
+        self.counter = IOCounter()
+        self._sequence = 0
+
+    def create(self, arity: int, name: str | None = None) -> PagedFile:
+        if name is None:
+            name = f"tmp{self._sequence}"
+            self._sequence += 1
+        return PagedFile(name, self.page_size, self.counter, arity)
+
+    def from_matrix(self, matrix: np.ndarray,
+                    name: str = "input") -> PagedFile:
+        """Materialise a rank matrix as a paged file (counts the writes)."""
+        handle = self.create(matrix.shape[1], name)
+        handle.append_rows(matrix)
+        handle.close_writes()
+        return handle

@@ -1,0 +1,82 @@
+"""Shared test helpers.
+
+``semantic_dominates`` evaluates ``t' ≻_pi t`` *directly from the
+definitions* of Pareto and prioritized accumulation (Section 2.1), by
+structural recursion over the expression -- no p-graphs involved.  It is
+the ground-truth oracle against which the Proposition 1 bitmask machinery
+and every algorithm are validated.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import Att, Pareto, PExpr, Prioritized, pareto, prioritized
+
+
+def semantic_compare(expr: PExpr, u: dict, v: dict) -> str:
+    """Compare two tuples (dicts attr->value) under ``expr``.
+
+    Returns '>' (u preferred), '<', '=' (indistinguishable) or '~'
+    (incomparable), evaluating the Section 2.1 definitions recursively.
+    Smaller values are preferred on every attribute.
+    """
+    if isinstance(expr, Att):
+        if u[expr.name] < v[expr.name]:
+            return ">"
+        if u[expr.name] > v[expr.name]:
+            return "<"
+        return "="
+    results = [semantic_compare(child, u, v) for child in expr.children]
+    if isinstance(expr, Pareto):
+        # u > v iff u wins somewhere and never loses; '=' everywhere is '='
+        wins = any(r == ">" for r in results)
+        losses = any(r == "<" for r in results)
+        ties = any(r == "~" for r in results)
+        if ties or (wins and losses):
+            return "~"
+        if wins:
+            return ">"
+        if losses:
+            return "<"
+        return "="
+    assert isinstance(expr, Prioritized)
+    for result in results:
+        if result != "=":
+            return result
+    return "="
+
+
+def semantic_dominates(expr: PExpr, u: dict, v: dict) -> bool:
+    return semantic_compare(expr, u, v) == ">"
+
+
+def random_expression(names, rng: random.Random) -> PExpr:
+    """A random p-expression tree over exactly ``names`` (not uniform over
+    p-graphs, but covers deep/unbalanced shapes the uniform sampler
+    rarely emits)."""
+    names = list(names)
+    if len(names) == 1:
+        return Att(names[0])
+    rng.shuffle(names)
+    split = rng.randint(1, len(names) - 1)
+    operator = rng.choice([pareto, prioritized])
+    return operator(random_expression(names[:split], rng),
+                    random_expression(names[split:], rng))
+
+
+def as_dicts(ranks: np.ndarray, names) -> list[dict]:
+    return [dict(zip(names, row)) for row in ranks]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20150531)  # SIGMOD'15 start date
+
+
+@pytest.fixture
+def nrng():
+    return np.random.default_rng(20150531)

@@ -1,0 +1,208 @@
+"""Cross-algorithm integration tests.
+
+Every registered algorithm must return exactly ``M_pi(D)`` -- validated
+against the naive quadratic oracle on randomized inputs covering:
+duplicate-heavy domains, continuous domains, constant columns, single
+tuples, empty relations, and every p-expression shape the random
+generator can produce.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import REGISTRY, Stats, get_algorithm, naive
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+ALL_ALGORITHMS = sorted(REGISTRY)
+
+
+def reference(ranks, graph):
+    return set(naive(ranks, graph).tolist())
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert {"naive", "bnl", "sfs", "less", "salsa", "dc", "osdc",
+                "osdc-linear"} <= set(REGISTRY)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("quantum")
+
+    def test_double_registration_rejected(self):
+        from repro.algorithms.base import register
+        with pytest.raises(ValueError):
+            register("naive")(lambda *a, **k: None)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestEdgeCases:
+    def test_empty_relation(self, algorithm):
+        graph = PGraph.from_expression(parse("A * B"))
+        result = REGISTRY[algorithm](np.empty((0, 2)), graph)
+        assert result.size == 0
+
+    def test_single_tuple(self, algorithm):
+        graph = PGraph.from_expression(parse("A & B"))
+        result = REGISTRY[algorithm](np.array([[1.0, 2.0]]), graph)
+        assert result.tolist() == [0]
+
+    def test_all_duplicates(self, algorithm):
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        ranks = np.ones((7, 3))
+        result = REGISTRY[algorithm](ranks, graph)
+        assert result.tolist() == list(range(7))
+
+    def test_constant_columns(self, algorithm):
+        graph = PGraph.from_expression(parse("A & (B * C)"))
+        ranks = np.column_stack([
+            np.ones(10),
+            np.arange(10.0),
+            np.ones(10),
+        ])
+        result = REGISTRY[algorithm](ranks, graph)
+        assert result.tolist() == [0]
+
+    def test_total_order_returns_all_minima(self, algorithm):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = np.array([[0.0, 1.0], [0.0, 1.0], [0.0, 2.0], [1.0, 0.0]])
+        result = REGISTRY[algorithm](ranks, graph)
+        assert result.tolist() == [0, 1]
+
+    def test_wrong_arity_rejected(self, algorithm):
+        graph = PGraph.from_expression(parse("A * B"))
+        with pytest.raises(ValueError):
+            REGISTRY[algorithm](np.ones((3, 3)), graph)
+
+    def test_nan_rejected(self, algorithm):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = np.ones((3, 2))
+        ranks[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            REGISTRY[algorithm](ranks, graph)
+
+
+@pytest.mark.parametrize("algorithm",
+                         [a for a in ALL_ALGORITHMS if a != "naive"])
+@pytest.mark.parametrize("domain", [2, 5, 1000])
+def test_matches_oracle_random(algorithm, domain, rng, nrng):
+    for trial in range(12):
+        d = rng.randint(1, 7)
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        n = rng.randint(1, 160)
+        ranks = nrng.integers(0, domain, size=(n, d)).astype(float)
+        expected = reference(ranks, graph)
+        got = set(REGISTRY[algorithm](ranks, graph).tolist())
+        assert got == expected, (algorithm, trial, d, n, domain)
+
+
+def test_result_indices_are_sorted_and_unique(rng, nrng):
+    names = ["A", "B", "C"]
+    graph = PGraph.from_expression(parse("(A & B) * C"), names=names)
+    ranks = nrng.integers(0, 4, size=(100, 3)).astype(float)
+    for algorithm in ALL_ALGORITHMS:
+        result = REGISTRY[algorithm](ranks, graph)
+        assert result.dtype == np.intp
+        assert np.all(np.diff(result) > 0)
+
+
+class TestVariants:
+    def test_bnl_bounded_window(self, rng, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 6, size=(200, 4)).astype(float)
+        expected = reference(ranks, graph)
+        for window in (1, 3, 17, 400):
+            got = set(REGISTRY["bnl"](ranks, graph,
+                                      window_size=window).tolist())
+            assert got == expected, window
+
+    def test_bnl_invalid_window(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        with pytest.raises(ValueError):
+            REGISTRY["bnl"](np.ones((2, 2)), graph, window_size=0)
+
+    def test_sfs_tuple_at_a_time(self, rng, nrng):
+        names = [f"A{i}" for i in range(3)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 5, size=(80, 3)).astype(float)
+        expected = reference(ranks, graph)
+        assert set(REGISTRY["sfs"](ranks, graph,
+                                   chunk_size=1).tolist()) == expected
+
+    def test_less_filter_sizes(self, rng, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 8, size=(150, 4)).astype(float)
+        expected = reference(ranks, graph)
+        for filter_size in (1, 5, 100, 10_000):
+            got = set(REGISTRY["less"](ranks, graph,
+                                       filter_size=filter_size).tolist())
+            assert got == expected, filter_size
+
+    def test_less_invalid_filter(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        with pytest.raises(ValueError):
+            REGISTRY["less"](np.ones((2, 2)), graph, filter_size=0)
+
+    def test_dc_leaf_sizes(self, rng, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 6, size=(120, 4)).astype(float)
+        expected = reference(ranks, graph)
+        for leaf in (1, 2, 64):
+            for algorithm in ("dc", "osdc"):
+                got = set(REGISTRY[algorithm](ranks, graph,
+                                              leaf_size=leaf).tolist())
+                assert got == expected, (algorithm, leaf)
+
+    def test_selection_strategies(self, rng, nrng):
+        from repro.algorithms.dc import SELECT_STRATEGIES
+        names = [f"A{i}" for i in range(5)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 5, size=(200, 5)).astype(float)
+        expected = reference(ranks, graph)
+        for select in SELECT_STRATEGIES:
+            for algorithm in ("dc", "osdc"):
+                got = set(REGISTRY[algorithm](ranks, graph,
+                                              select=select).tolist())
+                assert got == expected, (algorithm, select)
+        with pytest.raises(ValueError):
+            REGISTRY["dc"](ranks, graph, select="nope")
+
+    def test_osdc_without_lowdim(self, rng, nrng):
+        names = [f"A{i}" for i in range(5)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 4, size=(150, 5)).astype(float)
+        expected = reference(ranks, graph)
+        got = set(REGISTRY["osdc"](ranks, graph, use_lowdim=False,
+                                   dense_cutoff=1).tolist())
+        assert got == expected
+
+
+class TestStats:
+    def test_stats_populated(self, nrng):
+        graph = PGraph.from_expression(parse("(A & B) * C * D"))
+        ranks = nrng.random((500, 4))
+        for algorithm in ALL_ALGORITHMS:
+            stats = Stats()
+            REGISTRY[algorithm](ranks, graph, stats=stats)
+            assert stats.dominance_tests > 0 or algorithm in ("dc", "osdc")
+
+    def test_stats_merge(self):
+        first = Stats(dominance_tests=3, max_depth=2, window_peak=5)
+        second = Stats(dominance_tests=4, max_depth=7, window_peak=1)
+        first.merge(second)
+        assert first.dominance_tests == 7
+        assert first.max_depth == 7
+        assert first.window_peak == 5

@@ -1,0 +1,63 @@
+"""API-surface hygiene: exports resolve, __all__ is consistent, public
+callables are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.algorithms",
+    "repro.sampling",
+    "repro.data",
+    "repro.bench",
+    "repro.storage",
+    "repro.index",
+    "repro.estimation",
+    "repro.reference",
+    "repro.elicitation",
+    "repro.sql",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    assert len(set(module.__all__)) == len(module.__all__)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_registry_names_are_kebab_case():
+    from repro.algorithms import REGISTRY
+    for name in REGISTRY:
+        assert name == name.lower()
+        assert " " not in name
+
+
+def test_module_docstrings():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.ascii_plot import line_plot, series_from_grouped
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        chart = line_plot({"a": [(0, 0), (1, 1)]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert lines[0] == "+" + "-" * 20 + "+"
+        assert "legend: o=a" in chart
+        # lowest-left and highest-right corners carry the glyph
+        assert lines[5][1] == "o"
+        assert lines[1][20] == "o"
+
+    def test_multiple_series_glyphs(self):
+        chart = line_plot({
+            "first": [(0, 0)],
+            "second": [(1, 1)],
+            "third": [(2, 2)],
+        })
+        assert "o=first" in chart and "x=second" in chart \
+            and "+=third" in chart
+
+    def test_log_axes(self):
+        chart = line_plot({"a": [(1, 1), (100, 10000)]},
+                          log_x=True, log_y=True)
+        assert "log10 [1 .. 100]" in chart
+        assert "log10 [1 .. 1e+04]" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [(0, 1)]}, log_x=True)
+        with pytest.raises(ValueError):
+            line_plot({"a": [(1, 0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+
+    def test_single_point(self):
+        chart = line_plot({"a": [(5, 5)]}, width=10, height=4)
+        assert chart.count("o") >= 1
+
+    def test_labels(self):
+        chart = line_plot({"a": [(1, 2)]}, x_label="size",
+                          y_label="seconds")
+        assert "size:" in chart and "seconds:" in chart
+
+
+class TestSeriesFromGrouped:
+    def test_conversion(self):
+        grouped = {1.0: {"osdc": 0.5, "bnl": 1.5}, 2.0: {"osdc": 0.7}}
+        series = series_from_grouped(grouped, ["osdc", "bnl"])
+        assert series["osdc"] == [(1.0, 0.5), (2.0, 0.7)]
+        assert series["bnl"] == [(1.0, 1.5)]

@@ -1,0 +1,76 @@
+"""Unit tests for attribute specs and rank encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import Attribute, Direction, highest, lowest, ranked
+
+
+class TestConstruction:
+    def test_lowest_default(self):
+        attribute = lowest("price")
+        assert attribute.direction is Direction.MIN
+        assert str(attribute) == "min(price)"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            lowest("")
+
+    def test_ranked_requires_order(self):
+        with pytest.raises(ValueError):
+            Attribute("t", Direction.RANKED)
+
+    def test_ranked_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ranked("t", ["a", "b", "a"])
+
+    def test_order_only_for_ranked(self):
+        with pytest.raises(ValueError):
+            Attribute("t", Direction.MIN, ("a", "b"))
+
+
+class TestEncoding:
+    def test_lowest_is_identity(self):
+        encoded = lowest("x").encode([3.0, 1.0, 2.0])
+        assert encoded.tolist() == [3.0, 1.0, 2.0]
+
+    def test_highest_negates(self):
+        encoded = highest("x").encode([3.0, 1.0])
+        assert encoded.tolist() == [-3.0, -1.0]
+
+    def test_ranked_maps_to_positions(self):
+        attribute = ranked("t", ["manual", "automatic"])
+        encoded = attribute.encode(["automatic", "manual", "manual"])
+        assert encoded.tolist() == [1.0, 0.0, 0.0]
+
+    def test_ranked_rejects_unknown_value(self):
+        attribute = ranked("t", ["a", "b"])
+        with pytest.raises(ValueError, match="not in the declared"):
+            attribute.encode(["a", "c"])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            lowest("x").encode([1.0, float("nan")])
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(ValueError):
+            lowest("x").encode(np.ones((2, 2)))
+
+
+class TestDecoding:
+    def test_round_trip_lowest(self):
+        attribute = lowest("x")
+        values = [3.0, 1.0, 2.0]
+        assert np.asarray(
+            attribute.decode(attribute.encode(values))).tolist() == values
+
+    def test_round_trip_highest(self):
+        attribute = highest("x")
+        values = [3.0, 1.0]
+        assert np.asarray(
+            attribute.decode(attribute.encode(values))).tolist() == values
+
+    def test_round_trip_ranked(self):
+        attribute = ranked("t", ["a", "b", "c"])
+        values = ["c", "a", "b"]
+        assert attribute.decode(attribute.encode(values)) == values

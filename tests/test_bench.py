@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness, workloads, regression and reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (RunRecord, geometric_buckets, group_records,
+                                 run_pool, time_algorithm)
+from repro.bench.regression import fit_polynomial
+from repro.bench.report import format_series, format_table
+from repro.bench.workloads import (QUICK, Scale, covertype_tasks,
+                                   gaussian_tasks, nba_tasks, scaling_tasks)
+from repro.core.expressions import sky
+from repro.core.pgraph import PGraph
+
+TINY = Scale(
+    name="tiny",
+    gaussian_rows=300, gaussian_columns=5, gaussian_dims=(3, 5),
+    gaussian_expressions=2, correlation_targets=(-0.1, 0.5),
+    nba_rows=300, nba_dims=(7, 10), nba_expressions=2,
+    covertype_rows=300, covertype_dims=(5, 8), covertype_expressions=2,
+    repeats=1,
+)
+
+
+class TestHarness:
+    def test_time_algorithm_record(self, nrng):
+        graph = PGraph.from_expression(sky(["A0", "A1"]),
+                                       names=["A0", "A1"])
+        ranks = nrng.random((200, 2))
+        record = time_algorithm("osdc", ranks, graph, repeats=2,
+                                metadata={"tag": "x"})
+        assert record.algorithm == "osdc"
+        assert record.seconds > 0
+        assert record.input_size == 200
+        assert record.output_size >= 1
+        assert record.metadata["tag"] == "x"
+
+    def test_run_pool_and_grouping(self, nrng):
+        graph = PGraph.from_expression(sky(["A0", "A1"]),
+                                       names=["A0", "A1"])
+        tasks = [(nrng.random((100, 2)), graph, {"level": i % 2})
+                 for i in range(4)]
+        records = run_pool(["osdc", "bnl"], tasks)
+        assert len(records) == 8
+        grouped = group_records(records,
+                                key=lambda r: r.metadata["level"])
+        assert set(grouped) == {0, 1}
+        assert set(grouped[0]) == {"osdc", "bnl"}
+
+    def test_geometric_buckets(self):
+        key = geometric_buckets([], base=4.0)
+        record = RunRecord("x", 0.0, 10, 17, 2, 2)
+        assert key(record) == 16.0
+        record_small = RunRecord("x", 0.0, 10, 1, 2, 2)
+        assert key(record_small) == 1.0
+
+
+class TestWorkloads:
+    def test_gaussian_tasks_metadata(self):
+        tasks = gaussian_tasks(TINY)
+        assert len(tasks) == 4  # 2 levels x 2 expressions
+        for ranks, graph, metadata in tasks:
+            assert ranks.shape[0] == 300
+            assert ranks.shape[1] == graph.d
+            assert "measured_correlation" in metadata
+            assert graph.is_valid()
+
+    def test_gaussian_correlation_levels_distinct(self):
+        tasks = gaussian_tasks(TINY)
+        measured = {round(t[2]["measured_correlation"], 1) for t in tasks}
+        assert len(measured) == 2
+
+    def test_nba_and_covertype_tasks(self):
+        for builder in (nba_tasks, covertype_tasks):
+            tasks = builder(TINY)
+            assert len(tasks) == 2
+            for ranks, graph, metadata in tasks:
+                assert ranks.shape == (300, graph.d)
+                assert len(metadata["attributes"]) == graph.d
+
+    def test_deterministic_by_seed(self):
+        first = gaussian_tasks(TINY, seed=5)
+        second = gaussian_tasks(TINY, seed=5)
+        assert all(np.array_equal(a[0], b[0])
+                   for a, b in zip(first, second))
+        assert all(a[1] == b[1] for a, b in zip(first, second))
+
+    def test_scaling_tasks(self):
+        tasks = scaling_tasks((100, 200), d=4)
+        assert [t[0].shape[0] for t in tasks] == [100, 200]
+
+    def test_quick_scale_is_small(self):
+        assert QUICK.gaussian_rows <= 5000
+
+
+class TestRegression:
+    def test_exact_fit_of_polynomial(self):
+        x = np.linspace(0, 10, 30)
+        y = 2.0 + 3.0 * x + 0.5 * x ** 2
+        fit = fit_polynomial(x, y)
+        assert fit.coefficients == pytest.approx((2.0, 3.0, 0.5))
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict([2.0])[0] == pytest.approx(2 + 6 + 2)
+
+    def test_fit_validations(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1, 2], degree=2)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["x", "time"], [[1, 2.5], [10, 33.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "33.25" in lines[-1]
+
+    def test_format_series(self):
+        grouped = {0.5: {"osdc": 0.001, "bnl": 0.002}}
+        text = format_series("demo", grouped, ["osdc", "bnl", "less"], "rho")
+        assert "== demo ==" in text
+        assert "1.00" in text and "2.00" in text
+        assert "-" in text  # missing algorithm rendered as dash

@@ -1,0 +1,87 @@
+"""Empirical complexity checks (Theorem 1's shape on work counters)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import naive
+from repro.bench.complexity import (growth_exponent, staircase_dataset,
+                                    sweep_input_size, sweep_output_size)
+from repro.core.expressions import sky
+from repro.core.pgraph import PGraph
+
+
+def sky_graph(d):
+    names = [f"A{i}" for i in range(d)]
+    return PGraph.from_expression(sky(names), names=names)
+
+
+class TestStaircase:
+    @pytest.mark.parametrize("v", [1, 2, 7, 40])
+    def test_skyline_size_is_exactly_v(self, v, nrng):
+        graph = sky_graph(3)
+        data = staircase_dataset(300, v, 3, nrng)
+        assert naive(data, graph).size == v
+
+    def test_bulk_dominated_under_any_expression(self, nrng):
+        from repro.core.parser import parse
+        data = staircase_dataset(200, 5, 3, nrng)
+        graph = PGraph.from_expression(parse("A0 & (A1 * A2)"),
+                                       names=["A0", "A1", "A2"])
+        result = naive(data, graph)
+        assert result.max() < 5  # only staircase tuples survive
+
+    def test_validation(self, nrng):
+        with pytest.raises(ValueError):
+            staircase_dataset(10, 0, 3, nrng)
+        with pytest.raises(ValueError):
+            staircase_dataset(10, 11, 3, nrng)
+        with pytest.raises(ValueError):
+            staircase_dataset(10, 2, 1, nrng)
+
+
+class TestGrowthExponent:
+    def test_known_orders(self):
+        xs = [100, 200, 400, 800]
+        assert growth_exponent(xs, xs) == pytest.approx(1.0)
+        assert growth_exponent(xs, [x * x for x in xs]) == \
+            pytest.approx(2.0)
+
+    def test_positive_inputs_required(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1, 2], [0, 1])
+
+
+class TestTheorem1Shape:
+    def test_osdc_linear_in_n_at_constant_v(self, nrng):
+        """Theorem 1 with v fixed: work must grow ~linearly in n."""
+        graph = sky_graph(4)
+        measured = sweep_input_size("osdc", graph,
+                                    sizes=(4_000, 8_000, 16_000, 32_000),
+                                    v=8, rng=nrng)
+        exponent = growth_exponent([n for n, _ in measured],
+                                   [w for _, w in measured])
+        assert exponent < 1.3, measured
+
+    def test_osdc_subquadratic_in_v_at_constant_n(self, nrng):
+        """Growing v at fixed n: per-extra-output cost must stay small
+        (polylog factors, not another factor of n)."""
+        graph = sky_graph(4)
+        measured = sweep_output_size("osdc", graph, n=20_000,
+                                     v_values=(4, 16, 64, 256), rng=nrng)
+        assert [v for v, _ in measured] == [4, 16, 64, 256]
+        exponent = growth_exponent([v for v, _ in measured],
+                                   [w for _, w in measured])
+        # BNL-style algorithms are ~1 here *per window entry*, i.e. the
+        # work is Theta(n * v); OSDC's total work must grow far slower
+        assert exponent < 0.85, measured
+
+    def test_bnl_work_grows_with_v_much_faster(self, nrng):
+        """Contrast: BNL's window makes its work ~n*v."""
+        graph = sky_graph(4)
+        osdc_measured = sweep_output_size("osdc", graph, n=8_000,
+                                          v_values=(8, 128), rng=nrng)
+        bnl_measured = sweep_output_size("bnl", graph, n=8_000,
+                                         v_values=(8, 128), rng=nrng)
+        osdc_growth = osdc_measured[1][1] / osdc_measured[0][1]
+        bnl_growth = bnl_measured[1][1] / bnl_measured[0][1]
+        assert bnl_growth > 2 * osdc_growth

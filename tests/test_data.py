@@ -1,0 +1,156 @@
+"""Tests for the synthetic data generators (Section 7.2 + simulators)."""
+
+import numpy as np
+import pytest
+
+from repro.data.classic import anticorrelated, correlated, independent
+from repro.data.correlation import (mean_pairwise_correlation,
+                                    pairwise_correlations)
+from repro.data.covertype import (COVERTYPE_ATTRIBUTES,
+                                  COVERTYPE_DEFAULT_ROWS, covertype_dataset)
+from repro.data.gaussian import (alpha_for_correlation,
+                                 equicorrelated_gaussian,
+                                 expected_correlation, min_correlation)
+from repro.data.nba import NBA_ATTRIBUTES, NBA_DEFAULT_ROWS, nba_dataset
+
+
+class TestEquicorrelatedGaussian:
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 1.0, 4.0, 25.0])
+    def test_measured_correlation_matches_theory(self, alpha, nrng):
+        d = 8
+        data = equicorrelated_gaussian(15_000, d, alpha, nrng,
+                                       round_decimals=None)
+        measured = mean_pairwise_correlation(data)
+        assert measured == pytest.approx(expected_correlation(alpha, d),
+                                         abs=0.02)
+
+    def test_all_pairs_share_the_correlation(self, nrng):
+        data = equicorrelated_gaussian(20_000, 6, 10.0, nrng,
+                                       round_decimals=None)
+        rhos = pairwise_correlations(data)
+        assert rhos.std() < 0.02
+
+    def test_alpha_for_correlation_inverts(self):
+        for d in (4, 10, 20):
+            for rho in (-0.05, 0.0, 0.3, 0.8):
+                alpha = alpha_for_correlation(rho, d)
+                assert expected_correlation(alpha, d) == \
+                    pytest.approx(rho, abs=1e-12)
+
+    def test_alpha_for_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            alpha_for_correlation(1.0, 5)
+        with pytest.raises(ValueError):
+            alpha_for_correlation(min_correlation(5) - 0.01, 5)
+
+    def test_min_correlation(self):
+        assert min_correlation(5) == -0.25
+        with pytest.raises(ValueError):
+            min_correlation(1)
+
+    def test_rounding_creates_duplicates(self, nrng):
+        coarse = equicorrelated_gaussian(5_000, 3, 1.0, nrng,
+                                         round_decimals=1)
+        assert len(np.unique(coarse[:, 0])) < 200
+
+    def test_shape_and_validation(self, nrng):
+        assert equicorrelated_gaussian(7, 3, 1.0, nrng).shape == (7, 3)
+        with pytest.raises(ValueError):
+            equicorrelated_gaussian(-1, 3, 1.0, nrng)
+        with pytest.raises(ValueError):
+            equicorrelated_gaussian(5, 0, 1.0, nrng)
+        with pytest.raises(ValueError):
+            equicorrelated_gaussian(5, 3, -0.5, nrng)
+
+
+class TestClassicGenerators:
+    def test_independent_is_uncorrelated(self, nrng):
+        data = independent(20_000, 5, nrng)
+        assert abs(mean_pairwise_correlation(data)) < 0.02
+
+    def test_correlated_is_positive(self, nrng):
+        data = correlated(10_000, 5, nrng)
+        assert mean_pairwise_correlation(data) > 0.5
+
+    def test_anticorrelated_is_negative(self, nrng):
+        data = anticorrelated(10_000, 5, nrng)
+        assert mean_pairwise_correlation(data) < -0.1
+
+    def test_anticorrelated_grows_skylines(self, nrng):
+        from repro.algorithms import osdc
+        from repro.core.expressions import sky
+        from repro.core.pgraph import PGraph
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(sky(names), names=names)
+        small = osdc(correlated(4000, 4, nrng), graph).size
+        large = osdc(anticorrelated(4000, 4, nrng), graph).size
+        assert large > 10 * small
+
+    def test_rounding_knob(self, nrng):
+        data = independent(1000, 2, nrng, round_decimals=1)
+        assert len(np.unique(data)) <= 22
+
+
+class TestSimulatedRealData:
+    def test_nba_shape_and_positivity(self):
+        data = nba_dataset(2_000)
+        assert data.shape == (2_000, len(NBA_ATTRIBUTES))
+        assert (data[:, :12] >= 0).all()  # counting stats are non-negative
+
+    def test_nba_default_size_matches_paper(self):
+        assert NBA_DEFAULT_ROWS == 21_959
+
+    def test_nba_counting_stats_strongly_correlated(self):
+        data = nba_dataset(8_000)
+        stats_block = data[:, 1:8]  # minutes .. blk
+        assert mean_pairwise_correlation(stats_block) > 0.4
+
+    def test_nba_heights_weights_linked(self):
+        data = nba_dataset(8_000)
+        height = data[:, NBA_ATTRIBUTES.index("height")]
+        weight = data[:, NBA_ATTRIBUTES.index("weight")]
+        rho = np.corrcoef(height, weight)[0, 1]
+        assert rho > 0.5
+
+    def test_nba_deterministic_by_default(self):
+        assert np.array_equal(nba_dataset(500), nba_dataset(500))
+
+    def test_covertype_shape_and_ranges(self):
+        data = covertype_dataset(3_000)
+        assert data.shape == (3_000, len(COVERTYPE_ATTRIBUTES))
+        shade = data[:, COVERTYPE_ATTRIBUTES.index("hillshade_9am")]
+        assert shade.min() >= 0 and shade.max() <= 254
+        assert (data == np.round(data)).all()  # integral, duplicate-heavy
+
+    def test_covertype_default_is_tenth_of_paper(self):
+        assert COVERTYPE_DEFAULT_ROWS == 58_101
+
+    def test_covertype_morning_afternoon_shade_anticorrelated(self):
+        data = covertype_dataset(10_000)
+        am = data[:, COVERTYPE_ATTRIBUTES.index("hillshade_9am")]
+        pm = data[:, COVERTYPE_ATTRIBUTES.index("hillshade_3pm")]
+        assert np.corrcoef(am, pm)[0, 1] < -0.3
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            nba_dataset(-1)
+        with pytest.raises(ValueError):
+            covertype_dataset(-1)
+
+
+class TestCorrelationMeasurement:
+    def test_perfect_correlation(self):
+        column = np.arange(10.0)
+        data = np.column_stack([column, column * 2 + 1])
+        assert mean_pairwise_correlation(data) == pytest.approx(1.0)
+
+    def test_constant_column_rejected(self):
+        data = np.column_stack([np.ones(5), np.arange(5.0)])
+        with pytest.raises(ValueError):
+            pairwise_correlations(data)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_correlations(np.ones((5, 1)))
+        with pytest.raises(ValueError):
+            pairwise_correlations(np.ones((1, 3)))

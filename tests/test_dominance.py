@@ -1,0 +1,176 @@
+"""Dominance semantics tests (Proposition 1).
+
+The key test validates the bitmask/p-graph dominance machinery against
+``semantic_compare`` -- a direct recursive evaluation of the Pareto and
+prioritized accumulation *definitions* of Section 2.1, independent of
+p-graphs.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import as_dicts, random_expression, semantic_compare
+from repro.core.dominance import Dominance
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+def oracle_pair(expr_text, u_values, v_values):
+    expr = parse(expr_text)
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr)
+    dom = Dominance(graph)
+    u = np.array(u_values, dtype=float)
+    v = np.array(v_values, dtype=float)
+    return dom, expr, names, u, v
+
+
+class TestPaperExample1:
+    """The four cars of Example 1; T encoded as manual=0 < automatic=1."""
+
+    CARS = {
+        1: (11500, 50000, 1),
+        2: (11500, 60000, 0),
+        3: (12000, 50000, 0),
+        4: (12000, 60000, 0 + 1),
+    }
+
+    def maximal(self, expr_text):
+        expr = parse(expr_text)
+        graph = PGraph.from_expression(expr, names=["P", "M", "T"])
+        dom = Dominance(graph)
+        rows = {k: np.array(v, dtype=float) for k, v in self.CARS.items()}
+        return {
+            k for k, t in rows.items()
+            if not any(dom.dominates(t2, t) for k2, t2 in rows.items()
+                       if k2 != k)
+        }
+
+    def test_price_only_ignores_other_attributes(self):
+        # P alone: t1, t2 share the best price; M, T are irrelevant but the
+        # graph here spans only Var(pi)={P} -- emulate by full projection
+        expr = parse("P")
+        graph = PGraph.from_expression(expr)
+        dom = Dominance(graph)
+        prices = {k: np.array([v[0]], dtype=float)
+                  for k, v in self.CARS.items()}
+        maximal = {k for k, t in prices.items()
+                   if not any(dom.dominates(o, t)
+                              for k2, o in prices.items() if k2 != k)}
+        assert maximal == {1, 2}
+
+    def test_expression_2(self):
+        assert self.maximal("(P * M) & T") == {1}
+
+    def test_expression_3(self):
+        assert self.maximal("(P & T) * M") == {1, 2}
+
+    def test_expression_4(self):
+        assert self.maximal("M & T & P") == {3}
+
+
+class TestScalarKernels:
+    def test_indistinguishable(self):
+        dom, _, _, u, v = oracle_pair("A * B", (1, 2), (1, 2))
+        assert dom.indistinguishable(u, v)
+        assert not dom.dominates(u, v)
+        assert dom.compare(u, v) == "="
+
+    def test_pareto_incomparable(self):
+        dom, _, _, u, v = oracle_pair("A * B", (1, 2), (2, 1))
+        assert dom.compare(u, v) == "~"
+
+    def test_prioritized_overrides(self):
+        dom, _, _, u, v = oracle_pair("A & B", (1, 9), (2, 0))
+        assert dom.compare(u, v) == ">"
+
+    def test_better_masks(self):
+        dom, _, _, u, v = oracle_pair("A * B * C", (1, 5, 3), (2, 4, 3))
+        b_uv, b_vu = dom.better_masks(u, v)
+        assert b_uv == 0b001
+        assert b_vu == 0b010
+
+    def test_top_mask(self):
+        # Example 2 graph; disagree on W and T: only W is topmost since
+        # W is an ancestor of T
+        graph = PGraph.from_expression(parse("M & ((D & W) * P) & (T * H)"))
+        dom = Dominance(graph)
+        names = graph.names
+        u = np.zeros(6)
+        v = np.zeros(6)
+        v[names.index("W")] = 1
+        v[names.index("T")] = 1
+        top = dom.top_mask(u, v)
+        assert top == 1 << names.index("W")
+
+
+class TestAgainstDefinitions:
+    """Proposition 1 machinery == direct evaluation of the definitions."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_expressions_and_tuples(self, seed, rng, nrng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        for _ in range(25):
+            d = rng.randint(1, 6)
+            names = [f"A{i}" for i in range(d)]
+            expr = random_expression(names, rng)
+            graph = PGraph.from_expression(expr, names=names)
+            dom = Dominance(graph)
+            ranks = nrng.integers(0, 3, size=(12, d)).astype(float)
+            dicts = as_dicts(ranks, names)
+            for i in range(len(ranks)):
+                for j in range(len(ranks)):
+                    if i == j:
+                        continue
+                    expected = semantic_compare(expr, dicts[i], dicts[j])
+                    got = dom.compare(ranks[i], ranks[j])
+                    assert got == expected, (str(expr), i, j)
+
+
+class TestBulkKernels:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_masks_match_scalar(self, seed, rng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        d = rng.randint(1, 7)
+        names = [f"A{i}" for i in range(d)]
+        expr = random_expression(names, rng)
+        graph = PGraph.from_expression(expr, names=names)
+        dom = Dominance(graph)
+        block = nrng.integers(0, 4, size=(40, d)).astype(float)
+        target = block[0]
+        dominators = dom.dominators_mask(block, target)
+        dominated = dom.dominated_mask(block, target)
+        for i in range(block.shape[0]):
+            assert dominators[i] == dom.dominates(block[i], target)
+            assert dominated[i] == dom.dominates(target, block[i])
+
+    def test_screen_block_matches_pairwise(self, rng, nrng):
+        d = 4
+        names = [f"A{i}" for i in range(d)]
+        expr = random_expression(names, rng)
+        graph = PGraph.from_expression(expr, names=names)
+        dom = Dominance(graph)
+        block = nrng.integers(0, 3, size=(30, d)).astype(float)
+        against = nrng.integers(0, 3, size=(25, d)).astype(float)
+        survivors = dom.screen_block(block, against, chunk=7)
+        for i in range(block.shape[0]):
+            expected = not any(dom.dominates(against[j], block[i])
+                               for j in range(against.shape[0]))
+            assert survivors[i] == expected
+
+    def test_screen_block_empty_inputs(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        dom = Dominance(graph)
+        empty = np.empty((0, 2))
+        block = np.ones((3, 2))
+        assert dom.screen_block(block, empty).all()
+        assert dom.screen_block(empty, block).shape == (0,)
+
+    def test_any_dominator(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        dom = Dominance(graph)
+        block = np.array([[2.0, 2.0], [1.0, 9.0]])
+        assert dom.any_dominator(block, np.array([2.0, 3.0]))
+        assert not dom.any_dominator(block, np.array([0.0, 0.0]))

@@ -1,0 +1,129 @@
+"""Tests for the greedy p-graph elicitor."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import Dominance
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.elicitation import ExamplePair, elicit
+from repro.sampling.random_pexpr import PExpressionSampler
+
+
+def as_pair(names, superior, inferior):
+    return ExamplePair(dict(zip(names, superior)),
+                       dict(zip(names, inferior)))
+
+
+class TestBasics:
+    def test_single_priority_learned(self):
+        names = ("price", "transmission")
+        # superior wins on price, loses on transmission: needs the edge
+        # price -> transmission
+        pair = as_pair(names, (1, 1), (2, 0))
+        result = elicit(names, [pair])
+        assert result.complete
+        assert result.graph.edges() == {("price", "transmission")}
+        assert str(result.expression) == "price & transmission"
+
+    def test_no_edges_needed_for_pareto_pairs(self):
+        names = ("a", "b")
+        pair = as_pair(names, (0, 0), (1, 1))  # componentwise win
+        result = elicit(names, [pair])
+        assert result.complete
+        assert result.graph.num_edges == 0
+
+    def test_indistinguishable_pair_infeasible(self):
+        names = ("a", "b")
+        pair = as_pair(names, (1, 1), (1, 1))
+        result = elicit(names, [pair])
+        assert result.infeasible == [0]
+
+    def test_hopeless_pair_infeasible(self):
+        names = ("a", "b")
+        # the "superior" loses everywhere it differs: no p-graph helps
+        pair = as_pair(names, (2, 1), (1, 1))
+        result = elicit(names, [pair])
+        assert result.infeasible == [0]
+
+    def test_conflicting_pairs_leave_one_unsatisfied(self):
+        names = ("a", "b")
+        first = as_pair(names, (1, 2), (2, 1))   # wants a -> b
+        second = as_pair(names, (2, 1), (1, 2))  # wants b -> a
+        result = elicit(names, [first, second])
+        assert len(result.satisfied) == 1
+        assert len(result.unsatisfied) == 1
+        assert result.graph.is_valid()
+
+    def test_transitive_chain(self):
+        names = ("a", "b", "c")
+        pairs = [
+            as_pair(names, (1, 2, 1), (2, 1, 1)),  # a -> b
+            as_pair(names, (1, 1, 2), (1, 2, 1)),  # b -> c
+        ]
+        result = elicit(names, pairs)
+        assert result.complete
+        assert ("a", "c") in result.graph.edges()  # closure maintained
+
+    def test_learned_graph_is_always_valid(self):
+        names = tuple("abcd")
+        rng = np.random.default_rng(5)
+        pairs = [as_pair(names, rng.integers(0, 3, 4),
+                         rng.integers(0, 3, 4)) for _ in range(15)]
+        result = elicit(names, pairs)
+        assert result.graph.is_valid()
+        if result.graph.num_edges:
+            assert result.expression is not None
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recovers_behaviour_of_hidden_graph(self, seed):
+        """Pairs generated from a hidden p-graph must all be satisfiable,
+        and the learned graph must reproduce them."""
+        rng = random.Random(seed)
+        nrng = np.random.default_rng(seed)
+        d = rng.randint(2, 5)
+        names = tuple(f"A{i}" for i in range(d))
+        hidden = PExpressionSampler(names).sample_graph(rng)
+        dominance = Dominance(hidden)
+        pairs = []
+        while len(pairs) < 12:
+            u = nrng.integers(0, 4, d).astype(float)
+            v = nrng.integers(0, 4, d).astype(float)
+            if dominance.dominates(u, v):
+                pairs.append(as_pair(names, u, v))
+        result = elicit(names, pairs)
+        assert result.complete, (str(hidden), result.unsatisfied)
+        learned = Dominance(result.graph)
+        for pair in pairs:
+            u = np.array([pair.superior[n] for n in names])
+            v = np.array([pair.inferior[n] for n in names])
+            assert learned.dominates(u, v)
+
+    def test_learned_is_no_stronger_than_needed(self):
+        # one Pareto-style example should not produce a lexicographic order
+        names = ("x", "y", "z")
+        pair = as_pair(names, (0, 0, 0), (1, 1, 1))
+        result = elicit(names, [pair])
+        assert result.graph.num_edges == 0
+
+
+class TestExampleFromPaper:
+    def test_car_feedback(self):
+        """Example 1's story: the customer rejects t3/t4 in favour of t1
+        -- the elicitor should discover that price outranks
+        transmission."""
+        names = ("P", "M", "T")
+        t1 = (11500, 50000, 1)
+        t3 = (12000, 50000, 0)
+        t4 = (12000, 60000, 0)
+        result = elicit(names, [as_pair(names, t1, t3),
+                                as_pair(names, t1, t4)])
+        assert result.complete
+        assert ("P", "T") in result.graph.edges()
+        learned = Dominance(result.graph)
+        assert learned.dominates(np.array(t1, dtype=float),
+                                 np.array(t3, dtype=float))

@@ -1,0 +1,111 @@
+"""Tests for the series-parallel counting sampler (exact uniformity)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.pgraph import PGraph
+from repro.sampling.enumeration import count_pgraphs
+from repro.sampling.exact_counting import (ExactUniformSampler,
+                                           count_pgraphs_exact)
+from repro.sampling.random_pexpr import PExpressionSampler
+
+
+class TestCounting:
+    def test_matches_enumeration(self):
+        # the recursion must equal exhaustive enumeration everywhere we
+        # can afford to enumerate
+        for d in range(1, 6):
+            assert count_pgraphs_exact(d) == count_pgraphs(d)
+
+    def test_known_prefix(self):
+        assert [count_pgraphs_exact(d) for d in range(1, 7)] == \
+            [1, 3, 19, 195, 2791, 51303]
+
+    def test_large_d_is_cheap(self):
+        assert count_pgraphs_exact(20) > 10 ** 20
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            count_pgraphs_exact(0)
+
+
+class TestSampler:
+    def test_samples_are_valid_pgraphs(self):
+        rng = random.Random(1)
+        for d in (1, 2, 6, 12):
+            sampler = ExactUniformSampler([f"A{i}" for i in range(d)])
+            for _ in range(10):
+                graph = sampler.sample_graph(rng)
+                assert graph.d == d
+                assert graph.is_valid()
+
+    def test_exact_uniformity_d3(self):
+        rng = random.Random(2)
+        sampler = ExactUniformSampler("ABC")
+        total = 19 * 300
+        counts = Counter(sampler.sample_graph(rng).closure
+                         for _ in range(total))
+        assert len(counts) == 19
+        expected = total / 19
+        for frequency in counts.values():
+            assert abs(frequency - expected) < 0.2 * expected
+
+    def test_chi_square_d4(self):
+        """At d = 4 the chi-square statistic against uniform must sit in
+        the bulk of the df = 194 distribution (no SampleSAT-style bias)."""
+        rng = random.Random(3)
+        sampler = ExactUniformSampler("ABCD")
+        total = 195 * 60
+        counts = Counter(sampler.sample_graph(rng).closure
+                         for _ in range(total))
+        expected = total / 195
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        chi2 += (195 - len(counts)) * expected
+        assert chi2 < 300  # df=194; P(chi2 > 300) ~ 1e-6
+
+    def test_expression_attribute_set(self):
+        rng = random.Random(4)
+        names = [f"A{i}" for i in range(9)]
+        sampler = ExactUniformSampler(names)
+        expr = sampler.sample_expression(rng)
+        assert sorted(expr.attributes()) == names
+
+    def test_graph_expression_consistency(self):
+        rng = random.Random(5)
+        sampler = ExactUniformSampler("ABCDE")
+        expr = sampler.sample_expression(rng)
+        graph = PGraph.from_expression(expr, names=tuple("ABCDE"))
+        assert graph.is_valid()
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            ExactUniformSampler([])
+
+
+class TestIntegration:
+    def test_counting_method_in_pexpression_sampler(self):
+        rng = random.Random(6)
+        sampler = PExpressionSampler([f"A{i}" for i in range(10)],
+                                     method="counting")
+        assert sampler.method == "counting"
+        graph = sampler.sample_graph(rng)
+        assert graph.is_valid()
+        expr = sampler.sample_expression(rng)
+        assert len(expr.attributes()) == 10
+
+    def test_counting_agrees_with_enumeration_distribution(self):
+        """Counting sampler and exact-enumeration sampler must induce the
+        same distribution (both exactly uniform)."""
+        rng = random.Random(7)
+        counting = PExpressionSampler("ABC", method="counting")
+        enumerated = PExpressionSampler("ABC", method="exact")
+        total = 19 * 120
+        a = Counter(counting.sample_graph(rng).closure
+                    for _ in range(total))
+        b = Counter(enumerated.sample_graph(rng).closure
+                    for _ in range(total))
+        assert set(a) == set(b)
+        for key in a:
+            assert abs(a[key] - b[key]) < 0.5 * (total / 19)

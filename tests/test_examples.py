@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed as a subprocess with small input sizes; a
+non-zero exit or a traceback is a failure.  (The figure-reproduction
+script is exercised separately by the benchmark suite.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("car_dealership.py", ["400"]),
+    ("nba_analysis.py", ["2000"]),
+    ("preference_sampling.py", []),
+    ("preference_sql_demo.py", []),
+    ("streaming_updates.py", ["3000"]),
+    ("external_memory.py", ["8000"]),
+    ("elicitation_demo.py", []),
+]
+
+
+@pytest.mark.parametrize("script,arguments",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, arguments):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *arguments],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Traceback" not in result.stderr
+
+
+def test_all_examples_are_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    covered = {script for script, _ in CASES} | {"reproduce_figures.py"}
+    assert scripts == covered, scripts ^ covered

@@ -1,0 +1,81 @@
+"""Tests for the dominance explanation helpers."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.core.dominance import Dominance
+from repro.core.explain import explain_not_maximal, explain_pair
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+@pytest.fixture
+def cars():
+    # Example 1: P, M, T (manual=0 preferred)
+    graph = PGraph.from_expression(parse("(P & T) * M"),
+                                   names=["P", "M", "T"])
+    ranks = np.array([
+        [11500, 50000, 1],
+        [11500, 60000, 0],
+        [12000, 50000, 0],
+        [12000, 60000, 1],
+    ], dtype=float)
+    return ranks, graph
+
+
+class TestExplainPair:
+    def test_domination_explained(self, cars):
+        ranks, graph = cars
+        explanation = explain_pair(ranks, graph, 0, 2)  # t1 beats t3
+        assert explanation.outcome == ">"
+        assert "dominates" in explanation.describe()
+        assert set(explanation.topmost) <= {"P", "M"}
+        assert explanation.uncovered == ()
+
+    def test_reverse_direction(self, cars):
+        ranks, graph = cars
+        explanation = explain_pair(ranks, graph, 2, 0)
+        assert explanation.outcome == "<"
+        assert "second tuple dominates" in explanation.describe()
+
+    def test_incomparable_names_blockers(self, cars):
+        ranks, graph = cars
+        explanation = explain_pair(ranks, graph, 0, 1)  # t1 ~ t2
+        assert explanation.outcome == "~"
+        assert explanation.uncovered  # something blocks each side
+        assert "neither dominates" in explanation.describe()
+
+    def test_indistinguishable(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = np.array([[1.0, 2.0], [1.0, 2.0]])
+        explanation = explain_pair(ranks, graph, 0, 1)
+        assert explanation.outcome == "="
+        assert "indistinguishable" in explanation.describe()
+
+    def test_consistent_with_dominance(self, rng, nrng):
+        for _ in range(20):
+            d = rng.randint(1, 5)
+            names = [f"A{i}" for i in range(d)]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            dominance = Dominance(graph)
+            ranks = nrng.integers(0, 3, size=(10, d)).astype(float)
+            for i in range(5):
+                for j in range(5, 10):
+                    explanation = explain_pair(ranks, graph, i, j)
+                    assert explanation.outcome == \
+                        dominance.compare(ranks[i], ranks[j])
+
+
+class TestExplainNotMaximal:
+    def test_witness_for_dominated_tuple(self, cars):
+        ranks, graph = cars
+        witness, explanation = explain_not_maximal(ranks, graph, 2)
+        assert witness == 0  # t1 beats t3
+        assert explanation.outcome == ">"
+
+    def test_none_for_maximal_tuple(self, cars):
+        ranks, graph = cars
+        assert explain_not_maximal(ranks, graph, 0) is None
+        assert explain_not_maximal(ranks, graph, 1) is None

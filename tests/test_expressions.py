@@ -1,0 +1,119 @@
+"""Unit tests for the p-expression AST (Section 2.1)."""
+
+import pytest
+
+from repro.core.expressions import (Att, Pareto, Prioritized,
+                                    RepeatedAttributeError, lex, pareto,
+                                    prioritized, sky)
+
+
+class TestConstruction:
+    def test_leaf(self):
+        leaf = Att("price")
+        assert leaf.attributes() == ("price",)
+        assert leaf.edges() == set()
+        assert str(leaf) == "price"
+
+    def test_leaf_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Att("")
+
+    def test_operator_sugar(self):
+        expr = (Att("P") & Att("T")) * Att("M")
+        assert isinstance(expr, Pareto)
+        assert expr.attributes() == ("P", "T", "M")
+
+    def test_flattening_is_associative(self):
+        nested = pareto(pareto(Att("A"), Att("B")), Att("C"))
+        flat = pareto(Att("A"), Att("B"), Att("C"))
+        assert nested == flat
+        assert len(nested.children) == 3
+
+    def test_prioritized_flattening(self):
+        nested = prioritized(Att("A"), prioritized(Att("B"), Att("C")))
+        assert len(nested.children) == 3
+        assert nested.attributes() == ("A", "B", "C")
+
+    def test_repeated_attribute_rejected(self):
+        with pytest.raises(RepeatedAttributeError):
+            pareto(Att("A"), Att("A"))
+        with pytest.raises(RepeatedAttributeError):
+            prioritized(Att("A"), pareto(Att("B"), Att("A")))
+
+    def test_single_operand_passthrough(self):
+        assert pareto(Att("A")) == Att("A")
+        assert prioritized(Att("A")) == Att("A")
+
+    def test_composite_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            Pareto([Att("A")])
+
+    def test_non_expression_operand_rejected(self):
+        with pytest.raises(TypeError):
+            pareto(Att("A"), "B")
+
+
+class TestEdges:
+    def test_pareto_adds_no_edges(self):
+        assert sky(["A", "B", "C"]).edges() == set()
+
+    def test_prioritized_edges(self):
+        expr = prioritized(Att("A"), Att("B"))
+        assert expr.edges() == {("A", "B")}
+
+    def test_lex_chain_is_total_order(self):
+        expr = lex(["A", "B", "C"])
+        assert expr.edges() == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_paper_example2_edges(self):
+        # M & ((D & W) * P) & (T * H)  -- Figure 1
+        expr = (Att("M") & (prioritized(Att("D"), Att("W")) * Att("P"))
+                & (Att("T") * Att("H")))
+        edges = expr.edges()
+        # M dominates everything
+        for lower in "DWPTH":
+            assert ("M", lower) in edges
+        # D dominates W, and both D, W, P dominate T and H
+        assert ("D", "W") in edges
+        for upper in "DWP":
+            for lower in "TH":
+                assert (upper, lower) in edges
+        # no priority between (D, P) and between (T, H)
+        assert ("D", "P") not in edges and ("P", "D") not in edges
+        assert ("T", "H") not in edges and ("H", "T") not in edges
+        assert len(edges) == 5 + 1 + 6
+
+
+class TestEqualityAndCanonical:
+    def test_pareto_commutative_equality(self):
+        assert pareto(Att("A"), Att("B")) == pareto(Att("B"), Att("A"))
+        assert hash(pareto(Att("A"), Att("B"))) == \
+            hash(pareto(Att("B"), Att("A")))
+
+    def test_prioritized_is_ordered(self):
+        assert prioritized(Att("A"), Att("B")) != \
+            prioritized(Att("B"), Att("A"))
+
+    def test_canonical_sorts_pareto_children(self):
+        expr = pareto(Att("Z"), Att("A"), Att("M"))
+        assert str(expr.canonical()) == "A * M * Z"
+
+    def test_canonical_preserves_prioritized_order(self):
+        expr = prioritized(Att("Z"), Att("A"))
+        assert str(expr.canonical()) == "Z & A"
+
+    def test_str_parenthesises_nested(self):
+        expr = (Att("P") & Att("T")) * Att("M")
+        assert str(expr) == "(P & T) * M"
+
+
+class TestShortcuts:
+    def test_sky(self):
+        assert sky(["A"]) == Att("A")
+        assert isinstance(sky(["A", "B"]), Pareto)
+
+    def test_lex(self):
+        assert lex(["A"]) == Att("A")
+        expr = lex(["A", "B", "C"])
+        assert isinstance(expr, Prioritized)
+        assert expr.attributes() == ("A", "B", "C")

@@ -1,0 +1,86 @@
+"""Heavy randomized cross-checks ("fuzzing light").
+
+Every registered algorithm against the quadratic oracle, over adversarial
+input shapes the targeted tests may miss: extreme duplication, constant
+blocks, mixed scales, many columns, power-law values, negative values,
+and expressions drawn from the exactly-uniform sampler.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, naive
+from repro.core.checks import verify_pskyline
+from repro.sampling.exact_counting import ExactUniformSampler
+
+FAST_ALGORITHMS = sorted(set(REGISTRY) - {"naive"})
+
+
+def _adversarial_matrix(rng: random.Random, nrng: np.random.Generator,
+                        n: int, d: int) -> np.ndarray:
+    shape = rng.choice(["binary", "tiny-domain", "continuous",
+                        "powerlaw", "mixed-scale", "constant-cols"])
+    if shape == "binary":
+        return nrng.integers(0, 2, size=(n, d)).astype(float)
+    if shape == "tiny-domain":
+        return nrng.integers(-2, 3, size=(n, d)).astype(float)
+    if shape == "continuous":
+        return nrng.normal(size=(n, d))
+    if shape == "powerlaw":
+        return np.floor(nrng.pareto(1.2, size=(n, d)) * 3)
+    if shape == "mixed-scale":
+        scales = 10.0 ** nrng.integers(-3, 6, size=d)
+        return np.round(nrng.random((n, d)) * scales, 2)
+    data = nrng.integers(0, 4, size=(n, d)).astype(float)
+    for column in range(0, d, 2):
+        data[:, column] = float(column)
+    return data
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_all_algorithms_against_oracle(seed):
+    rng = random.Random(seed)
+    nrng = np.random.default_rng(seed)
+    for trial in range(8):
+        d = rng.randint(1, 8)
+        sampler = ExactUniformSampler([f"A{i}" for i in range(d)])
+        graph = sampler.sample_graph(rng)
+        n = rng.randint(1, 250)
+        ranks = _adversarial_matrix(rng, nrng, n, d)
+        expected = set(naive(ranks, graph).tolist())
+        for name in FAST_ALGORITHMS:
+            got = REGISTRY[name](ranks, graph)
+            assert set(got.tolist()) == expected, \
+                (seed, trial, name, d, n)
+            verify_pskyline(ranks, graph, got)
+
+
+def test_fuzz_wide_relations():
+    """d up to 20 (the paper's maximum) with small n."""
+    rng = random.Random(99)
+    nrng = np.random.default_rng(99)
+    for trial in range(5):
+        d = rng.randint(12, 20)
+        sampler = ExactUniformSampler([f"A{i}" for i in range(d)])
+        graph = sampler.sample_graph(rng)
+        ranks = nrng.integers(0, 3, size=(80, d)).astype(float)
+        expected = set(naive(ranks, graph).tolist())
+        for name in ("osdc", "dc", "sfs", "less", "bbs"):
+            assert set(REGISTRY[name](ranks, graph).tolist()) == expected
+
+
+def test_fuzz_identical_rows_blocks():
+    """Blocks of exact duplicates must ride through every algorithm."""
+    rng = random.Random(7)
+    nrng = np.random.default_rng(7)
+    sampler = ExactUniformSampler(["A", "B", "C"])
+    for trial in range(6):
+        graph = sampler.sample_graph(rng)
+        base = nrng.integers(0, 3, size=(10, 3)).astype(float)
+        ranks = np.repeat(base, rng.randint(1, 6), axis=0)
+        expected = set(naive(ranks, graph).tolist())
+        for name in FAST_ALGORITHMS:
+            assert set(REGISTRY[name](ranks, graph).tolist()) == \
+                expected, (trial, name)

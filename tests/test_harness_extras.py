@@ -1,0 +1,79 @@
+"""Tests for harness extras: CSV export, option sweeps, CLI shell."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (LESS_FILTER_SWEEP, records_to_csv,
+                                 run_pool, time_algorithm)
+from repro.core.expressions import sky
+from repro.core.pgraph import PGraph
+
+
+@pytest.fixture
+def small_task(nrng):
+    names = ["A0", "A1"]
+    graph = PGraph.from_expression(sky(names), names=names)
+    return nrng.random((300, 2)), graph
+
+
+class TestRecordsCsv:
+    def test_export_round_trip(self, small_task, tmp_path):
+        ranks, graph = small_task
+        records = run_pool(["osdc", "bnl"], [(ranks, graph, {"x": 1})])
+        path = tmp_path / "records.csv"
+        records_to_csv(records, str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert {row["algorithm"] for row in rows} == {"osdc", "bnl"}
+        assert all(float(row["seconds"]) > 0 for row in rows)
+        assert all(int(row["input_size"]) == 300 for row in rows)
+
+
+class TestSweep:
+    def test_sweep_keeps_fastest(self, small_task):
+        ranks, graph = small_task
+        record = time_algorithm(
+            "less", ranks, graph,
+            sweep=[{"filter_size": 50}, {"filter_size": 5000}],
+        )
+        fixed_small = time_algorithm("less", ranks, graph, filter_size=50)
+        fixed_large = time_algorithm("less", ranks, graph,
+                                     filter_size=5000)
+        assert record.seconds <= max(fixed_small.seconds,
+                                     fixed_large.seconds) * 1.5
+
+    def test_default_less_sweep_applied_in_pool(self, small_task):
+        ranks, graph = small_task
+        records = run_pool(["less"], [(ranks, graph, {})])
+        assert len(records) == 1  # one record despite the sweep
+
+    def test_sweep_constant_is_paper_range(self):
+        sizes = [options["filter_size"] for options in LESS_FILTER_SWEEP]
+        assert min(sizes) >= 50 and max(sizes) <= 10_000
+
+
+class TestCliShell:
+    def test_shell_executes_statements(self, tmp_path, capsys,
+                                       monkeypatch):
+        from repro.cli import main
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,5\n2,4\n3,3\n")
+        lines = iter([
+            "SELECT a FROM t WHERE a >= 2 PREFERRING lowest(a)",
+            "SELECT broken FROM t",     # error must not kill the shell
+            "",
+        ])
+        monkeypatch.setattr("builtins.input", lambda *_: next(lines))
+        code = main(["shell", "--load", f"t={path}"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "(1 rows)" in captured.out
+        assert "error:" in captured.err
+
+    def test_shell_bad_load_spec(self, capsys):
+        from repro.cli import main
+        assert main(["shell", "--load", "nopath"]) == 1
+        assert "NAME=PATH" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Tests for incremental p-skyline maintenance."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import naive
+from repro.algorithms.incremental import PSkylineMaintainer
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+def reference_skyline(maintainer, ranks_by_id):
+    alive_ids = sorted(i for i in ranks_by_id if i in maintainer)
+    if not alive_ids:
+        return set()
+    block = np.array([ranks_by_id[i] for i in alive_ids])
+    local = naive(block, maintainer.graph)
+    return {alive_ids[i] for i in local.tolist()}
+
+
+class TestInsert:
+    def test_first_insert_is_maximal(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        maintainer = PSkylineMaintainer(graph)
+        tuple_id = maintainer.insert([1.0, 2.0])
+        assert maintainer.skyline_ids().tolist() == [tuple_id]
+
+    def test_dominated_insert_is_shadowed(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        maintainer = PSkylineMaintainer(graph)
+        maintainer.insert([0.0, 0.0])
+        shadowed = maintainer.insert([1.0, 0.0])
+        assert shadowed not in set(maintainer.skyline_ids().tolist())
+        assert shadowed in maintainer  # retained, still alive
+
+    def test_insert_evicts_dominated(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        maintainer = PSkylineMaintainer(graph)
+        old = maintainer.insert([1.0, 1.0])
+        new = maintainer.insert([0.0, 5.0])
+        assert maintainer.skyline_ids().tolist() == [new]
+        assert old in maintainer
+
+    def test_duplicates_coexist(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        maintainer = PSkylineMaintainer(graph)
+        first = maintainer.insert([1.0, 1.0])
+        second = maintainer.insert([1.0, 1.0])
+        assert maintainer.skyline_ids().tolist() == [first, second]
+
+    def test_validation(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        maintainer = PSkylineMaintainer(graph)
+        with pytest.raises(ValueError):
+            maintainer.insert([1.0])
+        with pytest.raises(ValueError):
+            maintainer.insert([1.0, np.nan])
+
+
+class TestDelete:
+    def test_delete_shadowed_is_cheap(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        maintainer = PSkylineMaintainer(graph)
+        top = maintainer.insert([0.0, 0.0])
+        shadowed = maintainer.insert([1.0, 0.0])
+        maintainer.delete(shadowed)
+        assert maintainer.skyline_ids().tolist() == [top]
+        assert shadowed not in maintainer
+
+    def test_delete_skyline_member_promotes(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        maintainer = PSkylineMaintainer(graph)
+        top = maintainer.insert([0.0, 0.0])
+        middle = maintainer.insert([1.0, 0.0])
+        bottom = maintainer.insert([1.0, 1.0])
+        maintainer.delete(top)
+        assert maintainer.skyline_ids().tolist() == [middle]
+        maintainer.delete(middle)
+        assert maintainer.skyline_ids().tolist() == [bottom]
+
+    def test_delete_unknown_id(self):
+        graph = PGraph.from_expression(parse("A"))
+        maintainer = PSkylineMaintainer(graph)
+        with pytest.raises(KeyError):
+            maintainer.delete(0)
+        tuple_id = maintainer.insert([1.0])
+        maintainer.delete(tuple_id)
+        with pytest.raises(KeyError):
+            maintainer.delete(tuple_id)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_workload_matches_recomputation(seed, rng, nrng):
+    rng.seed(seed)
+    nrng = np.random.default_rng(seed)
+    d = rng.randint(1, 5)
+    names = [f"A{i}" for i in range(d)]
+    graph = PGraph.from_expression(random_expression(names, rng),
+                                   names=names)
+    maintainer = PSkylineMaintainer(graph, capacity=4)
+    ranks_by_id = {}
+    for step in range(150):
+        alive = sorted(i for i in ranks_by_id if i in maintainer)
+        if alive and rng.random() < 0.35:
+            victim = rng.choice(alive)
+            maintainer.delete(victim)
+            del ranks_by_id[victim]
+        else:
+            values = nrng.integers(0, 4, size=d).astype(float)
+            tuple_id = maintainer.insert(values)
+            ranks_by_id[tuple_id] = values
+        expected = reference_skyline(maintainer, ranks_by_id)
+        got = set(maintainer.skyline_ids().tolist())
+        assert got == expected, step

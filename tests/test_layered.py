@@ -1,0 +1,83 @@
+"""Tests for the weak-order LAYERED evaluator."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import (NotAWeakOrderError, Stats, layered, naive,
+                              weak_order_layers)
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+class TestLayers:
+    def test_skyline_is_one_layer(self):
+        graph = PGraph.from_expression(parse("A * B * C"))
+        assert weak_order_layers(graph) == [[0, 1, 2]]
+
+    def test_lexicographic_is_singleton_layers(self):
+        graph = PGraph.from_expression(parse("A & B & C"))
+        assert weak_order_layers(graph) == [[0], [1], [2]]
+
+    def test_mixed_layers(self):
+        graph = PGraph.from_expression(parse("A & (B * C) & D"))
+        assert weak_order_layers(graph) == [[0], [1, 2], [3]]
+
+    def test_non_weak_order_rejected(self):
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        with pytest.raises(NotAWeakOrderError):
+            weak_order_layers(graph)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("text", [
+        "A", "A * B", "A & B", "A & (B * C)", "(A * B) & C",
+        "A & (B * C) & D", "(A * B) & (C * D)", "A & B & C & D",
+        "A * B * C * D",
+    ])
+    @pytest.mark.parametrize("domain", [2, 4, 100])
+    def test_matches_oracle(self, text, domain, nrng):
+        expr = parse(text)
+        graph = PGraph.from_expression(expr)
+        for n in (1, 7, 120):
+            ranks = nrng.integers(0, domain,
+                                  size=(n, graph.d)).astype(float)
+            expected = set(naive(ranks, graph).tolist())
+            got = set(layered(ranks, graph).tolist())
+            assert got == expected, (text, n, domain)
+
+    def test_random_weak_orders(self, rng, nrng):
+        checked = 0
+        while checked < 40:
+            d = rng.randint(1, 6)
+            names = [f"A{i}" for i in range(d)]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            if not graph.is_weak_order():
+                continue
+            checked += 1
+            ranks = nrng.integers(0, 3,
+                                  size=(rng.randint(1, 200), d)
+                                  ).astype(float)
+            assert set(layered(ranks, graph).tolist()) == \
+                set(naive(ranks, graph).tolist())
+
+    def test_empty_input(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        assert layered(np.empty((0, 2)), graph).size == 0
+
+    def test_non_weak_order_raises(self, nrng):
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        with pytest.raises(NotAWeakOrderError):
+            layered(nrng.random((5, 3)), graph)
+
+    def test_stats_count_layer_passes(self, nrng):
+        graph = PGraph.from_expression(parse("A & (B * C)"))
+        ranks = np.column_stack([
+            np.zeros(50),                   # all tie on the top layer
+            nrng.integers(0, 4, 50),
+            nrng.integers(0, 4, 50),
+        ]).astype(float)
+        stats = Stats()
+        layered(ranks, graph, stats=stats)
+        assert stats.passes >= 2  # both layers inspected

@@ -1,0 +1,159 @@
+"""Tests for the Lemma 3 / Lemma 4 low-dimensional screening procedures.
+
+Each routine is validated against a brute-force evaluation of
+``exists b: b dominates w`` under the restricted semantics (including the
+``prune_equal`` flag for dropped-attribute branches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.lowdim import (screen_1d, screen_lex, screen_pareto2,
+                                     screen_pareto3, screen_small,
+                                     _Staircase)
+from repro.core.dominance import Dominance
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+def brute_force(b_block, w_block, graph, prune_equal):
+    dominance = Dominance(graph)
+    survivors = np.ones(w_block.shape[0], dtype=bool)
+    for i, w in enumerate(w_block):
+        for b in b_block:
+            if dominance.dominates(b, w):
+                survivors[i] = False
+                break
+            if prune_equal and dominance.indistinguishable(b, w):
+                survivors[i] = False
+                break
+    return survivors
+
+
+# every p-graph shape on <= 3 attributes, as p-expressions
+THREE_ATTRIBUTE_SHAPES = [
+    "A",                # d = 1
+    "A * B",            # d = 2 skyline
+    "A & B",            # d = 2 lexicographic
+    "A * B * C",        # case 1: 3-d skyline
+    "A & B & C",        # case 2: total order
+    "A & (B * C)",      # case 3
+    "(A * B) & C",      # case 4
+    "(A & B) * C",      # case 5
+]
+
+
+@pytest.mark.parametrize("shape", THREE_ATTRIBUTE_SHAPES)
+@pytest.mark.parametrize("prune_equal", [False, True])
+@pytest.mark.parametrize("domain", [2, 3, 9])
+def test_screen_small_matches_brute_force(shape, prune_equal, domain,
+                                          rng, nrng):
+    expr = parse(shape)
+    graph = PGraph.from_expression(expr)
+    d = graph.d
+    for trial in range(10):
+        b = rng.randint(1, 40)
+        w = rng.randint(1, 40)
+        b_block = nrng.integers(0, domain, size=(b, d)).astype(float)
+        w_block = nrng.integers(0, domain, size=(w, d)).astype(float)
+        expected = brute_force(b_block, w_block, graph, prune_equal)
+        got = screen_small(b_block, w_block, graph, prune_equal)
+        assert got.tolist() == expected.tolist(), (shape, trial)
+
+
+@pytest.mark.parametrize("prune_equal", [False, True])
+def test_screen_small_case_column_permutations(prune_equal, rng, nrng):
+    """The dispatcher must relabel columns correctly for every
+    permutation of the case-3/4/5 shapes."""
+    for text in ["B & (A * C)", "(C * A) & B", "(C & A) * B",
+                 "B & A & C", "C & (B * A)"]:
+        expr = parse(text)
+        names = sorted(expr.attributes())  # force column order A,B,C
+        graph = PGraph.from_expression(expr, names=names)
+        b_block = nrng.integers(0, 3, size=(25, 3)).astype(float)
+        w_block = nrng.integers(0, 3, size=(25, 3)).astype(float)
+        expected = brute_force(b_block, w_block, graph, prune_equal)
+        got = screen_small(b_block, w_block, graph, prune_equal)
+        assert got.tolist() == expected.tolist(), text
+
+
+class TestPrimitives:
+    def test_screen_1d(self):
+        b = np.array([2.0, 3.0])
+        w = np.array([1.0, 2.0, 3.0])
+        assert screen_1d(b, w, False).tolist() == [True, True, False]
+        assert screen_1d(b, w, True).tolist() == [True, False, False]
+
+    def test_screen_lex(self):
+        b = np.array([[1.0, 5.0], [1.0, 3.0]])
+        w = np.array([[1.0, 3.0], [1.0, 4.0], [0.0, 9.0], [2.0, 0.0]])
+        assert screen_lex(b, w, False).tolist() == [True, False, True, False]
+        assert screen_lex(b, w, True).tolist() == [False, False, True, False]
+
+    def test_screen_pareto2_strictness(self):
+        b = np.array([[1.0, 1.0]])
+        w = np.array([[1.0, 1.0], [1.0, 2.0], [2.0, 1.0], [0.0, 9.0]])
+        assert screen_pareto2(b[:, 0], b[:, 1], w[:, 0], w[:, 1],
+                              False).tolist() == [True, False, False, True]
+        assert screen_pareto2(b[:, 0], b[:, 1], w[:, 0], w[:, 1],
+                              True).tolist() == [False, False, False, True]
+
+    def test_screen_pareto3_known(self):
+        b = np.array([[1.0, 1.0, 1.0], [0.0, 2.0, 2.0]])
+        w = np.array([
+            [1.0, 1.0, 1.0],   # duplicate of b0: survives unless flagged
+            [2.0, 1.0, 1.0],   # dominated by b0
+            [0.0, 2.0, 3.0],   # dominated by b1
+            [0.0, 1.0, 1.0],   # better than both on axis 0: survives
+        ])
+        assert screen_pareto3(b, w, False).tolist() == \
+            [True, False, False, True]
+        assert screen_pareto3(b, w, True).tolist() == \
+            [False, False, False, True]
+
+    def test_empty_b_all_survive(self):
+        graph = PGraph.from_expression(parse("A * B * C"))
+        w = np.ones((4, 3))
+        assert screen_small(np.empty((0, 3)), w, graph, False).all()
+
+    def test_too_many_attributes_rejected(self):
+        graph = PGraph.from_expression(parse("A * B * C * D"))
+        with pytest.raises(ValueError):
+            screen_small(np.ones((1, 4)), np.ones((1, 4)), graph, False)
+
+
+class TestStaircase:
+    def test_insert_and_query(self):
+        staircase = _Staircase()
+        assert staircase.query(10.0) == np.inf
+        staircase.insert(5.0, 5.0)
+        staircase.insert(3.0, 7.0)
+        staircase.insert(8.0, 2.0)
+        assert staircase.query(2.0) == np.inf
+        assert staircase.query(3.0) == 7.0
+        assert staircase.query(5.0) == 5.0
+        assert staircase.query(100.0) == 2.0
+
+    def test_dominated_insert_ignored(self):
+        staircase = _Staircase()
+        staircase.insert(1.0, 1.0)
+        staircase.insert(2.0, 2.0)  # dominated: no effect
+        assert staircase.xs == [1.0]
+
+    def test_insert_evicts_dominated_entries(self):
+        staircase = _Staircase()
+        staircase.insert(2.0, 5.0)
+        staircase.insert(3.0, 4.0)
+        staircase.insert(1.0, 1.0)  # dominates both
+        assert staircase.xs == [1.0]
+        assert staircase.ys == [1.0]
+
+    def test_random_against_linear_scan(self, nrng):
+        staircase = _Staircase()
+        points = nrng.integers(0, 10, size=(60, 2)).astype(float)
+        for x, y in points:
+            staircase.insert(x, y)
+        for q in np.linspace(-1, 11, 25):
+            expected = min((y for x, y in points if x <= q),
+                           default=np.inf)
+            assert staircase.query(q) == expected

@@ -1,0 +1,107 @@
+"""Structural verification of the output-sensitivity claims (Theorem 1).
+
+Wall-clock benchmarks live under ``benchmarks/``; here the claims are
+checked on the *work counters*: on workloads with a tiny p-skyline, OSDC's
+look-ahead must prune almost everything and its dominance-test count must
+stay near-linear in ``n``, clearly below plain DC's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Stats, dc, osdc, osdc_linear
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+def lexicographic_workload(n, d, nrng):
+    """Continuous CI data under a pure lexicographic order: v is tiny."""
+    ranks = nrng.random((n, d))
+    names = [f"A{i}" for i in range(d)]
+    graph = PGraph.from_expression(
+        parse(" & ".join(names)), names=names)
+    return ranks, graph
+
+
+class TestLookAhead:
+    def test_lookahead_prunes_on_small_output(self, nrng):
+        ranks, graph = lexicographic_workload(4000, 5, nrng)
+        stats = Stats()
+        result = osdc(ranks, graph, stats=stats)
+        assert result.size <= 4  # duplicates aside, a lex order has v ~ 1
+        assert stats.pruned_by_lookahead > 3000
+
+    def test_osdc_recursion_collapses_when_v_is_small(self, nrng):
+        """OSDC's recursion depth is O(log v); DC's stays O(log n).
+
+        On a lexicographic workload (v ~ 1) the look-ahead empties both
+        halves immediately, so OSDC bottoms out after a couple of calls
+        while DC still recurses through O(log n) levels.
+        """
+        ranks, graph = lexicographic_workload(8000, 5, nrng)
+        osdc_stats, dc_stats = Stats(), Stats()
+        assert osdc(ranks, graph, stats=osdc_stats, leaf_size=1).tolist() \
+            == dc(ranks, graph, stats=dc_stats, leaf_size=1).tolist()
+        assert osdc_stats.max_depth <= 3
+        assert dc_stats.max_depth >= 8
+        assert osdc_stats.recursive_calls * 4 < dc_stats.recursive_calls
+
+    def test_osdc_work_scales_linearly_when_v_constant(self, nrng):
+        """Doubling n should roughly double (not quadruple) the tests."""
+        counts = []
+        for n in (4000, 8000, 16000):
+            ranks, graph = lexicographic_workload(n, 4, nrng)
+            stats = Stats()
+            osdc(ranks, graph, stats=stats)
+            counts.append(stats.dominance_tests)
+        growth1 = counts[1] / counts[0]
+        growth2 = counts[2] / counts[1]
+        assert growth1 < 3.0 and growth2 < 3.0
+
+
+class TestRecursionDepth:
+    def test_depth_tracks_output_size(self, nrng):
+        # tiny output => shallow effective recursion
+        ranks, graph = lexicographic_workload(8000, 4, nrng)
+        stats = Stats()
+        osdc(ranks, graph, stats=stats, leaf_size=1)
+        shallow = stats.recursive_calls
+
+        # skyline over anti-correlated-ish data => huge output, more calls
+        names = [f"A{i}" for i in range(4)]
+        sky_graph = PGraph.from_expression(parse(" * ".join(names)),
+                                           names=names)
+        base = nrng.random((8000, 1))
+        anti = np.hstack([base, -base + nrng.normal(0, 0.01, (8000, 3))])
+        stats_large = Stats()
+        osdc(anti, sky_graph, stats=stats_large, leaf_size=1)
+        assert stats_large.recursive_calls > 4 * shallow
+
+
+class TestLinearAverageCase:
+    def test_prescan_prunes_most_of_ci_input(self, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(parse(" * ".join(names)),
+                                       names=names)
+        ranks = nrng.random((30_000, 4))
+        stats = Stats()
+        result = osdc_linear(ranks, graph, stats=stats)
+        plain = osdc(ranks, graph)
+        assert result.tolist() == plain.tolist()
+        assert stats.pruned_by_filter > 0.5 * ranks.shape[0]
+
+    def test_small_inputs_skip_prescan(self, nrng):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = nrng.random((10, 2))
+        stats = Stats()
+        osdc_linear(ranks, graph, stats=stats, min_size=64)
+        assert stats.pruned_by_filter == 0
+
+    def test_virtual_tuple_quantile(self, nrng):
+        from repro.algorithms.linear_avg import virtual_tuple
+        ranks = nrng.random((10_000, 3))
+        pivot = virtual_tuple(ranks)
+        # the default quantile is small: the pivot sits near the good corner
+        assert (pivot < 0.35).all()
+        with pytest.raises(ValueError):
+            virtual_tuple(np.empty((0, 3)))

@@ -1,0 +1,75 @@
+"""Unit tests for the p-expression text parser."""
+
+import pytest
+
+from repro.core.expressions import Att, Pareto, Prioritized, pareto, prioritized
+from repro.core.parser import ParseError, parse
+
+
+class TestBasics:
+    def test_single_attribute(self):
+        assert parse("price") == Att("price")
+
+    def test_pareto(self):
+        assert parse("A * B") == pareto(Att("A"), Att("B"))
+
+    def test_unicode_pareto_symbol(self):
+        assert parse("A ⊗ B") == parse("A * B")
+
+    def test_prioritized(self):
+        assert parse("A & B") == prioritized(Att("A"), Att("B"))
+
+    def test_whitespace_insensitive(self):
+        assert parse("  A&B *C ") == parse("(A & B) * C")
+
+
+class TestPrecedence:
+    def test_prioritized_binds_tighter(self):
+        expr = parse("P & T * M")
+        assert isinstance(expr, Pareto)
+        assert expr == pareto(prioritized(Att("P"), Att("T")), Att("M"))
+
+    def test_parentheses_override(self):
+        expr = parse("P & (T * M)")
+        assert isinstance(expr, Prioritized)
+
+    def test_paper_example1_expressions(self):
+        # all four expressions of Example 1 must parse and round-trip
+        for text in ["P", "(P * M) & T", "(P & T) * M", "M & T & P"]:
+            expr = parse(text)
+            assert parse(str(expr)) == expr
+
+    def test_paper_example2_expression(self):
+        expr = parse("M & ((D & W) * P) & (T * H)")
+        assert expr.attributes() == ("M", "D", "W", "P", "T", "H")
+
+
+class TestRoundTrips:
+    def test_nested_round_trip(self):
+        text = "((A & B) * C) & (D * (E & F))"
+        expr = parse(text)
+        assert parse(str(expr)) == expr
+
+    def test_chain_flattening(self):
+        expr = parse("A & B & C & D")
+        assert isinstance(expr, Prioritized)
+        assert len(expr.children) == 4
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "A &", "& A", "A * * B", "(A", "A)", "A B",
+        "A & (B", "()", "A # B", "1A",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_repeated_attribute_rejected(self):
+        from repro.core.expressions import RepeatedAttributeError
+        with pytest.raises(RepeatedAttributeError):
+            parse("A & (B * A)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="position"):
+            parse("A @ B")

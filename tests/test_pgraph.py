@@ -1,0 +1,198 @@
+"""Unit tests for p-graphs (Definition 2, Proposition 2, Theorem 4)."""
+
+import pytest
+
+from repro.core.bitsets import indices_of, mask_of
+from repro.core.expressions import Att, pareto, prioritized
+from repro.core.parser import parse
+from repro.core.pgraph import CyclicPriorityError, PGraph
+
+
+def graph_of(text: str) -> PGraph:
+    return PGraph.from_expression(parse(text))
+
+
+class TestConstruction:
+    def test_skyline_graph_has_no_edges(self):
+        graph = graph_of("A * B * C")
+        assert graph.num_edges == 0
+        assert graph.roots == 0b111
+
+    def test_lex_graph_is_total_order(self):
+        graph = graph_of("A & B & C")
+        assert graph.edges() == {("A", "B"), ("A", "C"), ("B", "C")}
+        assert graph.reduction_edges() == {("A", "B"), ("B", "C")}
+
+    def test_paper_example2_reduction(self):
+        # Figure 1(b): the transitive reduction of M & ((D&W)*P) & (T*H)
+        graph = graph_of("M & ((D & W) * P) & (T * H)")
+        assert graph.reduction_edges() == {
+            ("M", "D"), ("M", "P"),
+            ("D", "W"),
+            ("W", "T"), ("W", "H"), ("P", "T"), ("P", "H"),
+        }
+
+    def test_paper_example2_depths(self):
+        graph = graph_of("M & ((D & W) * P) & (T * H)")
+        depth = dict(zip(graph.names, graph.depths))
+        assert depth == {"M": 0, "D": 1, "P": 1, "W": 2, "T": 3, "H": 3}
+
+    def test_from_edges_closes_transitively(self):
+        graph = PGraph.from_edges("ABC", [("A", "B"), ("B", "C")])
+        assert ("A", "C") in graph.edges()
+
+    def test_from_edges_rejects_cycles(self):
+        with pytest.raises(CyclicPriorityError):
+            PGraph.from_edges("AB", [("A", "B"), ("B", "A")])
+        with pytest.raises(CyclicPriorityError):
+            PGraph.from_edges("ABC",
+                              [("A", "B"), ("B", "C"), ("C", "A")])
+        with pytest.raises(CyclicPriorityError):
+            PGraph.from_edges("AB", [("A", "A")])
+
+    def test_from_edges_rejects_unknown_attribute(self):
+        with pytest.raises(ValueError, match="unknown attribute"):
+            PGraph.from_edges("AB", [("A", "X")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PGraph(["A", "A"], [0, 0])
+
+    def test_non_transitive_closure_rejected(self):
+        # A->B and B->C without A->C is not a valid closure
+        with pytest.raises(ValueError):
+            PGraph("ABC", [0b010, 0b100, 0])
+
+    def test_custom_column_order(self):
+        expr = parse("A & B")
+        graph = PGraph.from_expression(expr, names=["B", "A"])
+        assert graph.names == ("B", "A")
+        assert graph.edges() == {("A", "B")}
+
+
+class TestSetOperators:
+    @pytest.fixture
+    def example2(self):
+        return graph_of("M & ((D & W) * P) & (T * H)")
+
+    def names_at(self, graph, mask):
+        return {graph.names[i] for i in indices_of(mask)}
+
+    def test_descendants(self, example2):
+        index = example2.names.index("D")
+        assert self.names_at(example2, example2.descendants(index)) == \
+            {"W", "T", "H"}
+
+    def test_ancestors(self, example2):
+        index = example2.names.index("T")
+        assert self.names_at(example2, example2.ancestors(index)) == \
+            {"M", "D", "W", "P"}
+
+    def test_successors_are_reduction_level(self, example2):
+        index = example2.names.index("M")
+        assert self.names_at(example2, example2.successors(index)) == \
+            {"D", "P"}
+
+    def test_predecessors(self, example2):
+        index = example2.names.index("T")
+        assert self.names_at(example2, example2.predecessors(index)) == \
+            {"W", "P"}
+
+    def test_roots(self, example2):
+        assert self.names_at(example2, example2.roots) == {"M"}
+        assert example2.num_roots == 1
+
+    def test_desc_of_set(self, example2):
+        d = example2.names.index("D")
+        p = example2.names.index("P")
+        mask = mask_of([d, p])
+        assert self.names_at(example2, example2.desc_of_set(mask)) == \
+            {"W", "T", "H"}
+
+    def test_topological_order(self, example2):
+        order = example2.topological_order()
+        position = {i: k for k, i in enumerate(order)}
+        for i in range(example2.d):
+            for j in indices_of(example2.closure[i]):
+                assert position[i] < position[j]
+
+
+class TestProposition2:
+    def test_containment_tracks_edges(self):
+        weaker = graph_of("A * B * C")
+        stronger = PGraph.from_expression(parse("A & B & C"),
+                                          names=["A", "B", "C"])
+        assert stronger.contains(weaker)
+        assert not weaker.contains(stronger)
+
+    def test_equality_is_edge_equality(self):
+        left = PGraph.from_expression(parse("(A & B) & C"),
+                                      names=["A", "B", "C"])
+        right = PGraph.from_expression(parse("A & (B & C)"),
+                                       names=["A", "B", "C"])
+        assert left == right
+
+    def test_containment_requires_same_names(self):
+        with pytest.raises(ValueError):
+            graph_of("A * B").contains(graph_of("A * C"))
+
+
+class TestTheorem4:
+    def test_expression_graphs_satisfy_envelope(self, rng):
+        from conftest import random_expression
+        for _ in range(60):
+            names = [f"A{i}" for i in range(rng.randint(1, 7))]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            assert graph.satisfies_envelope()
+            assert graph.is_valid()
+
+    def test_n_poset_violates_envelope(self):
+        # a < b, c < b, c < d: the canonical N, not a p-graph
+        graph = PGraph.from_edges("abcd",
+                                  [("a", "b"), ("c", "b"), ("c", "d")])
+        assert not graph.satisfies_envelope()
+        assert not graph.is_valid()
+
+    def test_weak_order_detection(self):
+        assert graph_of("A & B & C").is_weak_order()
+        assert graph_of("A * B").is_weak_order()
+        assert graph_of("(A * B) & C").is_weak_order()
+        assert not graph_of("(A & B) * C").is_weak_order()
+        assert not graph_of("M & ((D & W) * P) & (T * H)").is_weak_order()
+
+
+class TestRestrict:
+    def test_restrict_keeps_induced_edges(self):
+        graph = graph_of("M & ((D & W) * P) & (T * H)")
+        mask = mask_of([graph.names.index(n) for n in ("D", "W", "T")])
+        sub = graph.restrict(mask)
+        assert sub.names == ("D", "W", "T")
+        assert sub.edges() == {("D", "W"), ("D", "T"), ("W", "T")}
+
+    def test_restrict_to_single_attribute(self):
+        graph = graph_of("A & B")
+        sub = graph.restrict(0b10)
+        assert sub.names == ("B",)
+        assert sub.num_edges == 0
+
+
+class TestWidthLimits:
+    def test_width_cap_enforced(self):
+        from repro.core.bitsets import MAX_ATTRIBUTES
+        names = [f"A{i}" for i in range(MAX_ATTRIBUTES + 1)]
+        with pytest.raises(ValueError, match="at most"):
+            PGraph.empty(names)
+
+    def test_wide_schema_works(self, nrng=None):
+        import numpy as np
+        from repro.algorithms import naive, osdc
+        rng = np.random.default_rng(0)
+        d = 30
+        names = [f"A{i}" for i in range(d)]
+        # thirty attributes: a prioritized pair chain
+        text = " * ".join(f"(A{i} & A{i+1})" for i in range(0, d, 2))
+        graph = PGraph.from_expression(parse(text), names=names)
+        ranks = rng.integers(0, 3, size=(120, d)).astype(float)
+        assert set(osdc(ranks, graph).tolist()) == \
+            set(naive(ranks, graph).tolist())

@@ -1,0 +1,110 @@
+"""Tests for the progressive APIs (sfs_iter), BNL window policies, and
+the new relation utilities."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import REGISTRY, Stats, naive, sfs_iter
+from repro.core.attributes import lowest
+from repro.core.extension import ExtensionOrder
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.core.relation import Relation
+
+
+class TestSfsIter:
+    def test_emits_full_skyline_in_ext_order(self, rng, nrng):
+        d = 4
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 6, size=(300, d)).astype(float)
+        emitted = list(sfs_iter(ranks, graph))
+        assert sorted(emitted) == naive(ranks, graph).tolist()
+        extension = ExtensionOrder(graph)
+        keys = [tuple(extension.keys(ranks[row].reshape(1, -1))[0])
+                for row in emitted]
+        assert keys == sorted(keys)
+
+    def test_prefix_consumption_is_cheap(self, nrng):
+        graph = PGraph.from_expression(parse("A0 * A1 * A2"),
+                                       names=["A0", "A1", "A2"])
+        base = nrng.random((20_000, 1))
+        ranks = np.hstack([base, -base + nrng.normal(0, 0.02, (20_000, 2))])
+        prefix_stats, full_stats = Stats(), Stats()
+        iterator = sfs_iter(ranks, graph, stats=prefix_stats)
+        first_three = [next(iterator) for _ in range(3)]
+        assert len(first_three) == 3
+        list(sfs_iter(ranks, graph, stats=full_stats))
+        assert prefix_stats.dominance_tests * 10 < \
+            full_stats.dominance_tests
+
+    def test_empty_input(self):
+        graph = PGraph.from_expression(parse("A"))
+        assert list(sfs_iter(np.empty((0, 1)), graph)) == []
+
+
+class TestBnlPolicies:
+    @pytest.mark.parametrize("policy", ["append", "move-to-front"])
+    def test_policies_are_correct(self, policy, rng, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 6, size=(300, 4)).astype(float)
+        expected = set(naive(ranks, graph).tolist())
+        got = REGISTRY["bnl"](ranks, graph, window_size=16, policy=policy)
+        assert set(got.tolist()) == expected
+
+    def test_unknown_policy_rejected(self, nrng):
+        graph = PGraph.from_expression(parse("A * B"))
+        with pytest.raises(ValueError, match="policy"):
+            REGISTRY["bnl"](nrng.random((10, 2)), graph, window_size=4,
+                            policy="lifo")
+
+    def test_move_to_front_saves_tests_on_skewed_input(self, nrng):
+        # a dominator sitting deep in the window kills every incoming
+        # tuple: move-to-front meets it first after its first hit
+        graph = PGraph.from_expression(parse("A * B"))
+        filler = np.column_stack([50.0 + np.arange(200.0),
+                                  200.0 - np.arange(200.0)])  # staircase
+        champion = np.array([[0.0, 300.0]])  # incomparable to the filler
+        victims = np.column_stack([np.full(3000, 10.0),
+                                   400.0 + nrng.integers(0, 5, 3000)])
+        ranks = np.vstack([filler, champion, victims])
+        append_stats, mtf_stats = Stats(), Stats()
+        REGISTRY["bnl"](ranks, graph, window_size=500,
+                        policy="append", stats=append_stats)
+        REGISTRY["bnl"](ranks, graph, window_size=500,
+                        policy="move-to-front", stats=mtf_stats)
+        assert mtf_stats.dominance_tests < append_stats.dominance_tests
+
+
+class TestRelationUtilities:
+    @pytest.fixture
+    def relation(self):
+        return Relation.from_records(
+            [{"a": 3}, {"a": 1}, {"a": 2}], [lowest("a")])
+
+    def test_head(self, relation):
+        assert len(relation.head(2)) == 2
+        assert len(relation.head(99)) == 3
+        with pytest.raises(ValueError):
+            relation.head(-1)
+
+    def test_sort_by(self, relation):
+        assert [r["a"] for r in relation.sort_by("a")] == [1, 2, 3]
+        assert [r["a"] for r in relation.sort_by("a", best_first=False)] \
+            == [3, 2, 1]
+
+    def test_concat(self, relation):
+        doubled = Relation.concat([relation, relation])
+        assert len(doubled) == 6
+        with pytest.raises(ValueError):
+            Relation.concat([])
+        other = Relation.from_records([{"b": 1}], [lowest("b")])
+        with pytest.raises(ValueError, match="schemas"):
+            Relation.concat([relation, other])
+
+    def test_iteration(self, relation):
+        assert [record["a"] for record in relation] == [3, 1, 2]

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+Strategies generate arbitrary p-expressions and duplicate-heavy rank
+matrices; properties cover:
+
+* ``≻_pi`` is a strict partial order (irreflexive, asymmetric, transitive);
+* Proposition 1's p-graph dominance equals the recursive evaluation of the
+  Section 2.1 operator definitions;
+* Proposition 2: edge containment implies preference containment, hence
+  ``M_pi(D) ⊆ M_sky(D)``;
+* Theorem 3: ``≻ext`` extends ``≻_pi`` and is a weak order;
+* Theorem 4: expression p-graphs are transitive + envelope, and the
+  series-parallel decomposition round-trips;
+* all algorithms return exactly ``M_pi(D)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from conftest import as_dicts, semantic_compare
+from repro.algorithms import REGISTRY, naive
+from repro.core.dominance import Dominance
+from repro.core.extension import ExtensionOrder
+from repro.core.expressions import Att, PExpr, pareto, prioritized, sky
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.sampling.decompose import decompose
+
+
+@st.composite
+def p_expressions(draw, max_attributes=6):
+    """An arbitrary p-expression over A0..A{k-1}."""
+    k = draw(st.integers(min_value=1, max_value=max_attributes))
+    names = [f"A{i}" for i in range(k)]
+    permutation = draw(st.permutations(names))
+
+    def build(part: list[str]) -> PExpr:
+        if len(part) == 1:
+            return Att(part[0])
+        split = draw(st.integers(min_value=1, max_value=len(part) - 1))
+        operator = draw(st.sampled_from([pareto, prioritized]))
+        return operator(build(part[:split]), build(part[split:]))
+
+    return build(list(permutation))
+
+
+@st.composite
+def expression_and_ranks(draw, max_attributes=5, max_rows=40,
+                         max_value=3):
+    expr = draw(p_expressions(max_attributes=max_attributes))
+    d = len(expr.attributes())
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    rows = draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=max_value),
+                 min_size=d, max_size=d),
+        min_size=n, max_size=n,
+    ))
+    ranks = np.array(rows, dtype=np.float64).reshape(n, d)
+    return expr, ranks
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=expression_and_ranks(max_rows=14))
+def test_preference_is_strict_partial_order(data):
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    dom = Dominance(graph)
+    n = ranks.shape[0]
+    for i in range(n):
+        assert not dom.dominates(ranks[i], ranks[i])  # irreflexive
+        for j in range(n):
+            if dom.dominates(ranks[i], ranks[j]):
+                assert not dom.dominates(ranks[j], ranks[i])  # asymmetric
+                for k in range(n):
+                    if dom.dominates(ranks[j], ranks[k]):
+                        assert dom.dominates(ranks[i], ranks[k])  # transitive
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=expression_and_ranks(max_rows=12))
+def test_pgraph_dominance_equals_definitions(data):
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    dom = Dominance(graph)
+    dicts = as_dicts(ranks, names)
+    for i in range(ranks.shape[0]):
+        for j in range(ranks.shape[0]):
+            if i == j:
+                continue
+            assert (dom.compare(ranks[i], ranks[j])
+                    == semantic_compare(expr, dicts[i], dicts[j]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=expression_and_ranks())
+def test_pskyline_subset_of_skyline(data):
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    sky_graph = PGraph.from_expression(sky(names), names=names)
+    p_result = set(naive(ranks, graph).tolist())
+    sky_result = set(naive(ranks, sky_graph).tolist())
+    assert p_result <= sky_result
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=expression_and_ranks(max_rows=25))
+def test_extension_order_extends_preference(data):
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    dom = Dominance(graph)
+    extension = ExtensionOrder(graph)
+    for i in range(ranks.shape[0]):
+        for j in range(ranks.shape[0]):
+            if dom.dominates(ranks[i], ranks[j]):
+                assert extension.strictly_precedes(ranks[i], ranks[j])
+                assert not extension.strictly_precedes(ranks[j], ranks[i])
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=p_expressions(max_attributes=7))
+def test_expression_graphs_valid_and_decomposable(expr):
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    assert graph.satisfies_envelope()
+    rebuilt = PGraph.from_expression(decompose(graph), names=names)
+    assert rebuilt == graph
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=p_expressions(max_attributes=7))
+def test_expression_text_round_trip(expr):
+    assert parse(str(expr)) == expr
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=expression_and_ranks(max_rows=60, max_value=4),
+       algorithm=st.sampled_from(sorted(REGISTRY)))
+def test_all_algorithms_compute_the_maxima(data, algorithm):
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    dom = Dominance(graph)
+    result = set(REGISTRY[algorithm](ranks, graph).tolist())
+    for i in range(ranks.shape[0]):
+        is_maximal = not any(
+            dom.dominates(ranks[j], ranks[i])
+            for j in range(ranks.shape[0])
+        )
+        assert (i in result) == is_maximal
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=expression_and_ranks(max_rows=50, max_value=2))
+def test_indistinguishable_duplicates_stay_together(data):
+    """Tuples with identical projections are either all in or all out."""
+    expr, ranks = data
+    names = expr.attributes()
+    graph = PGraph.from_expression(expr, names=names)
+    result = set(naive(ranks, graph).tolist())
+    seen: dict[tuple, bool] = {}
+    for i in range(ranks.shape[0]):
+        key = tuple(ranks[i])
+        inside = i in result
+        if key in seen:
+            assert seen[key] == inside
+        seen[key] = inside

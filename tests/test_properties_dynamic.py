@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the dynamic/stateful components:
+the incremental maintainer and the relation round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import naive
+from repro.algorithms.incremental import PSkylineMaintainer
+from repro.core.attributes import highest, lowest
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.core.relation import Relation
+
+_GRAPHS = [
+    "A * B",
+    "A & B",
+    "(A & B) * C",
+    "A & (B * C)",
+]
+
+
+@st.composite
+def operation_sequences(draw):
+    text = draw(st.sampled_from(_GRAPHS))
+    graph = PGraph.from_expression(parse(text))
+    length = draw(st.integers(min_value=1, max_value=40))
+    operations = []
+    live = 0
+    for _ in range(length):
+        if live > 0 and draw(st.booleans()):
+            operations.append(("delete", draw(
+                st.integers(min_value=0, max_value=live - 1))))
+            live -= 1
+        else:
+            values = draw(st.lists(
+                st.integers(min_value=0, max_value=3),
+                min_size=graph.d, max_size=graph.d))
+            operations.append(("insert", values))
+            live += 1
+    return graph, operations
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=operation_sequences())
+def test_maintainer_always_equals_recomputation(data):
+    graph, operations = data
+    maintainer = PSkylineMaintainer(graph, capacity=2)
+    alive: list[int] = []
+    rows: dict[int, list[int]] = {}
+    for operation, payload in operations:
+        if operation == "insert":
+            tuple_id = maintainer.insert(np.array(payload, dtype=float))
+            alive.append(tuple_id)
+            rows[tuple_id] = payload
+        else:
+            victim = alive.pop(payload % len(alive))
+            maintainer.delete(victim)
+            del rows[victim]
+        # invariant: maintained set == recomputed M_pi of alive tuples
+        expected: set[int] = set()
+        if alive:
+            ordered = sorted(alive)
+            block = np.array([rows[i] for i in ordered], dtype=float)
+            expected = {ordered[i]
+                        for i in naive(block, graph).tolist()}
+        assert set(maintainer.skyline_ids().tolist()) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+        min_size=0, max_size=30,
+    )
+)
+def test_relation_record_round_trip(rows):
+    schema = [lowest("a"), highest("b")]
+    relation = Relation.from_records(
+        [{"a": a, "b": b} for a, b in rows], schema)
+    rebuilt = Relation.from_records(relation.to_records(), schema)
+    assert np.array_equal(rebuilt.ranks, relation.ranks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        min_size=1, max_size=25,
+    )
+)
+def test_insertion_order_does_not_matter(rows):
+    graph = PGraph.from_expression(parse("A & B"))
+    forward = PSkylineMaintainer(graph)
+    backward = PSkylineMaintainer(graph)
+    for row in rows:
+        forward.insert(np.array(row, dtype=float))
+    for row in reversed(rows):
+        backward.insert(np.array(row, dtype=float))
+    forward_values = {tuple(r) for r in forward.skyline_ranks()}
+    backward_values = {tuple(r) for r in backward.skyline_ranks()}
+    assert forward_values == backward_values

@@ -1,0 +1,126 @@
+"""Tests for PSCREEN (Section 4), its invariants and base cases."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms.pscreen import PScreener, pscreen, split_threshold
+from repro.core.bitsets import iter_bits
+from repro.core.dominance import Dominance
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+def build_problem(rng, nrng, d=None, n=None, domain=None):
+    """A random valid p-screening problem: split on a root attribute so
+    that every B tuple is strictly better than every W tuple on it."""
+    d = d or rng.randint(1, 6)
+    names = [f"A{i}" for i in range(d)]
+    graph = PGraph.from_expression(random_expression(names, rng),
+                                   names=names)
+    n = n or rng.randint(2, 150)
+    domain = domain or rng.choice([2, 4, 40])
+    ranks = nrng.integers(0, domain, size=(n, d)).astype(float)
+    root = next(iter_bits(graph.roots))
+    column = ranks[:, root]
+    if column.min() == column.max():
+        return None
+    tau = split_threshold(column)
+    b_idx = np.flatnonzero(column < tau)
+    w_idx = np.flatnonzero(column >= tau)
+    return ranks, graph, b_idx, w_idx
+
+
+def reference_survivors(ranks, graph, b_idx, w_idx):
+    dominance = Dominance(graph)
+    keep = dominance.screen_block(ranks[w_idx], ranks[b_idx])
+    return set(w_idx[keep].tolist())
+
+
+class TestSplitThreshold:
+    def test_median_split(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        tau = split_threshold(values)
+        assert (values < tau).any() and (values >= tau).any()
+
+    def test_duplicate_heavy_split_progresses(self):
+        values = np.array([1.0] * 10 + [2.0])
+        tau = split_threshold(values)
+        assert tau == 2.0
+        assert (values < tau).sum() == 10
+
+    def test_two_values(self):
+        values = np.array([7.0, 3.0])
+        tau = split_threshold(values)
+        assert (values < tau).sum() == 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_quadratic_oracle(self, seed, rng, nrng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        for _ in range(15):
+            problem = build_problem(rng, nrng)
+            if problem is None:
+                continue
+            ranks, graph, b_idx, w_idx = problem
+            expected = reference_survivors(ranks, graph, b_idx, w_idx)
+            got = set(pscreen(ranks, graph, b_idx, w_idx).tolist())
+            assert got == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recursive_paths_forced(self, seed, rng, nrng):
+        """dense_cutoff=0 forces the full recursion incl. Lemma 3/4 cases."""
+        rng.seed(seed + 100)
+        nrng = np.random.default_rng(seed + 100)
+        for _ in range(12):
+            problem = build_problem(rng, nrng)
+            if problem is None:
+                continue
+            ranks, graph, b_idx, w_idx = problem
+            expected = reference_survivors(ranks, graph, b_idx, w_idx)
+            screener = PScreener(graph, dense_cutoff=0)
+            got = set(screener.screen(ranks, b_idx, w_idx).tolist())
+            assert got == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_without_lowdim(self, seed, rng, nrng):
+        rng.seed(seed + 200)
+        nrng = np.random.default_rng(seed + 200)
+        problem = build_problem(rng, nrng, d=5, n=200)
+        if problem is None:
+            pytest.skip("degenerate root column")
+        ranks, graph, b_idx, w_idx = problem
+        expected = reference_survivors(ranks, graph, b_idx, w_idx)
+        screener = PScreener(graph, use_lowdim=False, dense_cutoff=0)
+        got = set(screener.screen(ranks, b_idx, w_idx).tolist())
+        assert got == expected
+
+    def test_empty_sides(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = np.ones((4, 2))
+        screener = PScreener(graph)
+        assert screener.screen(ranks, np.array([0]),
+                               np.array([], dtype=np.intp)).size == 0
+        assert screener.screen(ranks, np.array([], dtype=np.intp),
+                               np.array([1, 2])).tolist() == [1, 2]
+
+    def test_singleton_b(self, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 5.0], [2.0, 0.0]])
+        survivors = pscreen(ranks, graph, np.array([0]),
+                            np.array([1, 2, 3]))
+        assert survivors.size == 0
+
+
+class TestStats:
+    def test_counters_filled(self, rng, nrng):
+        from repro.algorithms.base import Stats
+        problem = build_problem(rng, nrng, d=5, n=400, domain=50)
+        assert problem is not None
+        ranks, graph, b_idx, w_idx = problem
+        stats = Stats()
+        screener = PScreener(graph, dense_cutoff=64)
+        screener.screen(ranks, b_idx, w_idx, stats=stats)
+        assert stats.recursive_calls >= 1

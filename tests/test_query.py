@@ -1,0 +1,152 @@
+"""Tests for the high-level query API and the PREFERRING clause."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Stats
+from repro.core.attributes import highest, lowest, ranked
+from repro.core.expressions import Att
+from repro.core.parser import ParseError
+from repro.core.preferring import (evaluate_preferring, parse_preferring)
+from repro.core.query import p_skyline, skyline
+from repro.core.relation import Relation
+
+
+@pytest.fixture
+def cars():
+    schema = [lowest("id"), lowest("price"), lowest("mileage"),
+              ranked("transmission", ["manual", "automatic"])]
+    return Relation.from_records(
+        [
+            {"id": 1, "price": 11500, "mileage": 50000,
+             "transmission": "automatic"},
+            {"id": 2, "price": 11500, "mileage": 60000,
+             "transmission": "manual"},
+            {"id": 3, "price": 12000, "mileage": 50000,
+             "transmission": "manual"},
+            {"id": 4, "price": 12000, "mileage": 60000,
+             "transmission": "automatic"},
+        ],
+        schema,
+    )
+
+
+def ids(relation):
+    return sorted(r["id"] for r in relation.to_records())
+
+
+class TestPSkyline:
+    def test_paper_example1_all_expressions(self, cars):
+        assert ids(p_skyline(cars, "price")) == [1, 2]
+        assert ids(p_skyline(cars, "(price * mileage) & transmission")) == [1]
+        assert ids(p_skyline(cars, "(price & transmission) * mileage")) \
+            == [1, 2]
+        assert ids(p_skyline(cars, "mileage & transmission & price")) == [3]
+
+    def test_accepts_ast(self, cars):
+        assert ids(p_skyline(cars, Att("price"))) == [1, 2]
+
+    def test_matrix_input_returns_indices(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 1.0], [2.0, 2.0]])
+        result = p_skyline(matrix, "A0 * A1")
+        assert result.tolist() == [0, 1]
+
+    def test_matrix_with_projection(self):
+        matrix = np.array([[9.0, 1.0], [0.0, 2.0]])
+        # only A1 matters; ties on it keep both
+        assert p_skyline(matrix, "A1").tolist() == [0]
+
+    def test_every_algorithm_dispatchable(self, cars):
+        from repro.algorithms import REGISTRY
+        for name in REGISTRY:
+            assert ids(p_skyline(cars, "(price & transmission) * mileage",
+                                 algorithm=name)) == [1, 2]
+
+    def test_unknown_algorithm(self, cars):
+        with pytest.raises(KeyError):
+            p_skyline(cars, "price", algorithm="nope")
+
+    def test_unknown_attribute(self, cars):
+        with pytest.raises(KeyError, match="horsepower"):
+            p_skyline(cars, "price * horsepower")
+
+    def test_stats_forwarded(self, cars):
+        stats = Stats()
+        p_skyline(cars, "price * mileage", algorithm="bnl", stats=stats)
+        assert stats.dominance_tests > 0
+
+    def test_bad_expression_type(self, cars):
+        with pytest.raises(TypeError):
+            p_skyline(cars, 42)
+
+    def test_skyline_over_all_attributes(self, cars):
+        result = skyline(cars.project(["price", "mileage"]))
+        assert sorted(r["price"] for r in result.to_records()) == [11500]
+
+    def test_highest_direction(self):
+        relation = Relation.from_records(
+            [{"hp": 100, "price": 10}, {"hp": 200, "price": 10}],
+            [highest("hp"), lowest("price")],
+        )
+        result = p_skyline(relation, "hp * price")
+        assert [r["hp"] for r in result.to_records()] == [200]
+
+
+class TestPreferringParsing:
+    def test_defaults_to_lowest(self):
+        clause = parse_preferring("price & mileage")
+        from repro.core.attributes import Direction
+        assert clause.directions == {"price": Direction.MIN,
+                                     "mileage": Direction.MIN}
+
+    def test_keyword_prefix_stripped(self):
+        clause = parse_preferring("PREFERRING lowest(a) * highest(b)")
+        assert clause.attributes == ("a", "b")
+
+    def test_case_insensitive_keywords(self):
+        clause = parse_preferring("LOWEST(a) & HIGHEST(b)")
+        from repro.core.attributes import Direction
+        assert clause.directions["b"] is Direction.MAX
+
+    def test_precedence_matches_pexpr_parser(self):
+        clause = parse_preferring("a & b * c")
+        assert str(clause.expression) == "(a & b) * c"
+
+    @pytest.mark.parametrize("bad", [
+        "", "lowest()", "lowest(a", "a &", "a ** b", "(a", "a)",
+        "lowest(a) & highest(a)",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_preferring(bad)
+
+
+class TestPreferringEvaluation:
+    def test_matches_p_skyline(self, cars):
+        result = evaluate_preferring(
+            cars, "lowest(price) & (lowest(mileage) * transmission)")
+        assert ids(result) == ids(
+            p_skyline(cars, "price & (mileage * transmission)"))
+
+    def test_direction_override(self):
+        relation = Relation.from_records(
+            [{"x": 1, "y": 1}, {"x": 2, "y": 1}],
+            [lowest("x"), lowest("y")],
+        )
+        best_low = evaluate_preferring(relation, "lowest(x)")
+        best_high = evaluate_preferring(relation, "highest(x)")
+        assert [r["x"] for r in best_low.to_records()] == [1]
+        assert [r["x"] for r in best_high.to_records()] == [2]
+
+    def test_highest_on_ranked_rejected(self, cars):
+        with pytest.raises(ParseError):
+            evaluate_preferring(cars, "highest(transmission)")
+
+    def test_unknown_attribute(self, cars):
+        with pytest.raises(KeyError):
+            evaluate_preferring(cars, "lowest(horsepower)")
+
+    def test_algorithm_dispatch(self, cars):
+        result = evaluate_preferring(cars, "lowest(price)",
+                                     algorithm="bnl")
+        assert ids(result) == [1, 2]

@@ -1,0 +1,103 @@
+"""Tests for top-k retrieval and onion-layer peeling."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import naive, peel_layers, top_k
+from repro.core.dominance import Dominance
+from repro.core.extension import ExtensionOrder
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+class TestTopK:
+    def test_prefix_of_skyline_in_ext_order(self, nrng):
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        ranks = nrng.integers(0, 8, size=(400, 3)).astype(float)
+        skyline = set(naive(ranks, graph).tolist())
+        extension = ExtensionOrder(graph)
+        result = top_k(ranks, graph, 5)
+        assert result.size == min(5, len(skyline))
+        assert set(result.tolist()) <= skyline
+        keys = [tuple(extension.keys(ranks[r].reshape(1, -1))[0])
+                for r in result]
+        assert keys == sorted(keys)
+
+    def test_k_larger_than_skyline(self, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 5, size=(100, 2)).astype(float)
+        skyline = set(naive(ranks, graph).tolist())
+        result = top_k(ranks, graph, 50)
+        assert set(result.tolist()) == skyline
+
+    def test_k_zero_and_negative(self, nrng):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = nrng.random((10, 2))
+        assert top_k(ranks, graph, 0).size == 0
+        with pytest.raises(ValueError):
+            top_k(ranks, graph, -1)
+
+    def test_progressive_cost(self, nrng):
+        """Asking for 1 tuple must do far less work than the full answer."""
+        from repro.algorithms import Stats
+        graph = PGraph.from_expression(parse("A0 * A1 * A2 * A3"),
+                                       names=[f"A{i}" for i in range(4)])
+        base = nrng.random((20_000, 1))
+        ranks = np.hstack([base, -base + nrng.normal(0, 0.02, (20_000, 3))])
+        one, full = Stats(), Stats()
+        top_k(ranks, graph, 1, stats=one)
+        top_k(ranks, graph, 10**9, stats=full)
+        assert one.dominance_tests * 5 < full.dominance_tests
+
+
+class TestPeelLayers:
+    def test_layers_partition_input(self, rng, nrng):
+        for _ in range(10):
+            d = rng.randint(1, 5)
+            names = [f"A{i}" for i in range(d)]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            ranks = nrng.integers(0, 4, size=(120, d)).astype(float)
+            layers = peel_layers(ranks, graph)
+            flat = np.concatenate(layers)
+            assert sorted(flat.tolist()) == list(range(120))
+
+    def test_first_layer_is_the_pskyline(self, nrng):
+        graph = PGraph.from_expression(parse("A & (B * C)"))
+        ranks = nrng.integers(0, 4, size=(150, 3)).astype(float)
+        layers = peel_layers(ranks, graph)
+        assert layers[0].tolist() == naive(ranks, graph).tolist()
+
+    def test_layer_index_is_height(self, nrng):
+        """Layer i = longest dominator chain of length i - 1."""
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 4, size=(60, 2)).astype(float)
+        dominance = Dominance(graph)
+        layers = peel_layers(ranks, graph)
+        layer_of = {}
+        for level, layer in enumerate(layers):
+            for row in layer:
+                layer_of[int(row)] = level
+        n = ranks.shape[0]
+        height = [0] * n
+        order = sorted(range(n), key=lambda i: layer_of[i])
+        for i in order:
+            dominators = [j for j in range(n)
+                          if dominance.dominates(ranks[j], ranks[i])]
+            height[i] = 1 + max((height[j] for j in dominators),
+                                default=-1)
+        for i in range(n):
+            assert layer_of[i] == height[i]
+
+    def test_max_layers_truncates(self, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 10, size=(100, 2)).astype(float)
+        layers = peel_layers(ranks, graph, max_layers=2)
+        assert len(layers) <= 2
+
+    def test_lexicographic_layers_are_value_groups(self):
+        graph = PGraph.from_expression(parse("A"))
+        ranks = np.array([[2.0], [0.0], [1.0], [0.0]])
+        layers = peel_layers(ranks, graph)
+        assert [layer.tolist() for layer in layers] == [[1, 3], [2], [0]]

@@ -1,0 +1,85 @@
+"""Tests for the real-data CSV loaders (exercised on synthetic files)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data import (COVERTYPE_ATTRIBUTES, NBA_ATTRIBUTES,
+                        load_covertype_file, load_nba_csv)
+
+
+@pytest.fixture
+def covtype_file(tmp_path):
+    path = tmp_path / "covtype.data"
+    rng = np.random.default_rng(0)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for _ in range(20):
+            quantitative = rng.integers(0, 300, len(COVERTYPE_ATTRIBUTES))
+            soil_onehot = rng.integers(0, 2, 44)
+            label = [rng.integers(1, 8)]
+            writer.writerow(list(quantitative) + list(soil_onehot) + label)
+    return str(path)
+
+
+@pytest.fixture
+def nba_file(tmp_path):
+    path = tmp_path / "nba.csv"
+    rng = np.random.default_rng(1)
+    header = ["player", "year"] + [name.upper() for name in NBA_ATTRIBUTES]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for index in range(15):
+            stats = rng.integers(0, 2000, len(NBA_ATTRIBUTES)).tolist()
+            writer.writerow([f"player{index}", 1999] + stats)
+        # one malformed row that must be dropped
+        writer.writerow(["broken", 1999] + [""] * len(NBA_ATTRIBUTES))
+    return str(path)
+
+
+class TestCovertypeLoader:
+    def test_keeps_quantitative_columns(self, covtype_file):
+        data = load_covertype_file(covtype_file)
+        assert data.shape == (20, len(COVERTYPE_ATTRIBUTES))
+
+    def test_limit(self, covtype_file):
+        assert load_covertype_file(covtype_file, limit=5).shape[0] == 5
+
+    def test_too_few_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.data"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_covertype_file(str(path))
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.data"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no data"):
+            load_covertype_file(str(path))
+
+
+class TestNbaLoader:
+    def test_case_insensitive_headers_and_null_drop(self, nba_file):
+        data = load_nba_csv(nba_file)
+        assert data.shape == (15, len(NBA_ATTRIBUTES))  # bad row dropped
+
+    def test_limit(self, nba_file):
+        assert load_nba_csv(nba_file, limit=4).shape[0] == 4
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text("gp,minutes\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_nba_csv(str(path))
+
+    def test_loaded_data_is_queryable(self, nba_file):
+        from repro.algorithms import osdc
+        from repro.core.expressions import sky
+        from repro.core.pgraph import PGraph
+        data = load_nba_csv(nba_file)
+        names = list(NBA_ATTRIBUTES[:5])
+        graph = PGraph.from_expression(sky(names), names=names)
+        result = osdc(-data[:, :5], graph)  # larger preferred
+        assert result.size >= 1

@@ -1,0 +1,134 @@
+"""Tests for the reference implementations, and the three-way cross-check
+reference == oracle == optimised kernels."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro import reference
+from repro.algorithms import REGISTRY, naive
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.reference.pgraph import PriorityGraph
+
+
+def as_dicts(ranks, names):
+    return [dict(zip(names, (float(v) for v in row))) for row in ranks]
+
+
+class TestReferenceModel:
+    def test_example1_comparisons(self):
+        expr = parse("(P & T) * M")
+        car1 = {"P": 11500, "M": 50000, "T": 1}
+        car3 = {"P": 12000, "M": 50000, "T": 0}
+        assert reference.dominates(expr, car1, car3)
+        assert not reference.dominates(expr, car3, car1)
+
+    def test_outcome_flip(self):
+        assert reference.Outcome.FIRST.flipped() is reference.Outcome.SECOND
+        assert reference.Outcome.EQUAL.flipped() is reference.Outcome.EQUAL
+
+    def test_compare_antisymmetry(self, rng, nrng):
+        for _ in range(20):
+            names = [f"A{i}" for i in range(rng.randint(1, 5))]
+            expr = random_expression(names, rng)
+            u = dict(zip(names, nrng.integers(0, 3, len(names)).tolist()))
+            v = dict(zip(names, nrng.integers(0, 3, len(names)).tolist()))
+            forward = reference.compare(expr, u, v)
+            backward = reference.compare(expr, v, u)
+            assert backward is forward.flipped()
+
+    def test_maxima_small(self):
+        expr = parse("A & B")
+        tuples = [{"A": 0, "B": 1}, {"A": 0, "B": 0}, {"A": 1, "B": 0}]
+        assert reference.maxima(expr, tuples) == [1]
+
+
+class TestReferencePriorityGraph:
+    def test_matches_bitmask_pgraph(self, rng):
+        for _ in range(30):
+            names = [f"A{i}" for i in range(rng.randint(1, 7))]
+            expr = random_expression(names, rng)
+            ref_graph = PriorityGraph(expr)
+            fast = PGraph.from_expression(expr, names=names)
+            for index, name in enumerate(names):
+                desc = {names[j] for j in range(len(names))
+                        if fast.closure[index] & (1 << j)}
+                anc = {names[j] for j in range(len(names))
+                       if fast.ancestors_mask[index] & (1 << j)}
+                succ = {names[j] for j in range(len(names))
+                        if fast.reduction[index] & (1 << j)}
+                assert ref_graph.desc[name] == desc
+                assert ref_graph.anc[name] == anc
+                assert ref_graph.succ[name] == succ
+                assert ref_graph.depth[name] == fast.depths[index]
+            assert ref_graph.roots == {
+                names[j] for j in range(len(names))
+                if fast.roots & (1 << j)
+            }
+
+
+@pytest.mark.parametrize("algorithm", ["bnl", "sfs", "dc", "osdc"])
+def test_reference_algorithms_match_model(algorithm, rng, nrng):
+    function = getattr(reference, algorithm)
+    for trial in range(25):
+        d = rng.randint(1, 5)
+        names = [f"A{i}" for i in range(d)]
+        expr = random_expression(names, rng)
+        n = rng.randint(0, 60)
+        tuples = as_dicts(nrng.integers(0, 3, size=(n, d)), names)
+        expected = [tuples[i] for i in reference.maxima(expr, tuples)]
+        got = function(expr, tuples)
+        key = lambda t: tuple(sorted(t.items()))  # noqa: E731
+        assert sorted(map(key, got)) == sorted(map(key, expected)), trial
+
+
+def test_three_way_cross_check(rng, nrng):
+    """reference OSDC == naive NumPy oracle == optimised OSDC."""
+    for trial in range(15):
+        d = rng.randint(1, 5)
+        names = [f"A{i}" for i in range(d)]
+        expr = random_expression(names, rng)
+        graph = PGraph.from_expression(expr, names=names)
+        ranks = nrng.integers(0, 4, size=(rng.randint(1, 80), d)
+                              ).astype(float)
+        tuples = as_dicts(ranks, names)
+        fast = set(REGISTRY["osdc"](ranks, graph).tolist())
+        oracle = set(naive(ranks, graph).tolist())
+        ref_rows = reference.osdc(expr, tuples)
+        key = lambda t: tuple(t[n] for n in names)  # noqa: E731
+        ref_keys = sorted(map(key, ref_rows))
+        oracle_keys = sorted(key(tuples[i]) for i in oracle)
+        assert fast == oracle
+        assert ref_keys == oracle_keys
+
+
+def test_reference_pscreen(rng, nrng):
+    for trial in range(20):
+        d = rng.randint(1, 5)
+        names = [f"A{i}" for i in range(d)]
+        expr = random_expression(names, rng)
+        graph = PriorityGraph(expr)
+        root = sorted(graph.roots)[0]
+        rows = as_dicts(nrng.integers(0, 4, size=(rng.randint(2, 80), d)),
+                        names)
+        values = sorted({item[root] for item in rows})
+        if len(values) < 2:
+            continue
+        threshold = values[len(values) // 2] if \
+            values[len(values) // 2] > values[0] else values[1]
+        blockers = [item for item in rows if item[root] < threshold]
+        tuples = [item for item in rows if item[root] >= threshold]
+        got = reference.pscreen(expr, blockers, tuples)
+        expected = [item for item in tuples
+                    if not any(reference.dominates(expr, b, item)
+                               for b in blockers)]
+        key = lambda t: tuple(sorted(t.items()))  # noqa: E731
+        assert sorted(map(key, got)) == sorted(map(key, expected))
+
+
+def test_extension_key_levels():
+    expr = parse("A & (B * C)")
+    graph = PriorityGraph(expr)
+    key = reference.extension_key(graph, {"A": 1.0, "B": 2.0, "C": 3.0})
+    assert key == (1.0, 5.0)

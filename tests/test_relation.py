@@ -1,0 +1,112 @@
+"""Unit tests for the relation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import highest, lowest, ranked
+from repro.core.relation import Relation
+
+
+@pytest.fixture
+def cars():
+    schema = [lowest("price"), lowest("mileage"),
+              ranked("transmission", ["manual", "automatic"])]
+    return Relation.from_records(
+        [
+            {"price": 11500, "mileage": 50000, "transmission": "automatic"},
+            {"price": 11500, "mileage": 60000, "transmission": "manual"},
+            {"price": 12000, "mileage": 50000, "transmission": "manual"},
+        ],
+        schema,
+    )
+
+
+class TestConstruction:
+    def test_from_dict_records(self, cars):
+        assert len(cars) == 3
+        assert cars.arity == 3
+        assert cars.names == ("price", "mileage", "transmission")
+
+    def test_from_tuple_records(self):
+        relation = Relation.from_records(
+            [(1, 2), (3, 4)], [lowest("a"), lowest("b")])
+        assert relation.column("a").tolist() == [1.0, 3.0]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            Relation.from_records([(1, 2, 3)], [lowest("a"), lowest("b")])
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            Relation.from_records([{"a": 1}], [lowest("a"), lowest("b")])
+
+    def test_empty_records(self):
+        relation = Relation.from_records([], [lowest("a")])
+        assert len(relation) == 0
+        assert relation.to_records() == []
+
+    def test_from_array_defaults(self):
+        relation = Relation.from_array(np.ones((2, 3)))
+        assert relation.names == ("A0", "A1", "A2")
+
+    def test_from_array_highest_encoding(self):
+        relation = Relation.from_array(
+            np.array([[1.0], [2.0]]), schema=[highest("x")])
+        assert relation.ranks[:, 0].tolist() == [-1.0, -2.0]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Relation([lowest("a")], np.array([[np.nan]]))
+
+    def test_duplicate_schema_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation([lowest("a"), lowest("a")], np.ones((1, 2)))
+
+    def test_ranks_are_read_only(self, cars):
+        with pytest.raises(ValueError):
+            cars.ranks[0, 0] = 0.0
+
+
+class TestAccessors:
+    def test_encoding_of_ranked_column(self, cars):
+        assert cars.column("transmission").tolist() == [1.0, 0.0, 0.0]
+
+    def test_unknown_column(self, cars):
+        with pytest.raises(KeyError):
+            cars.column("nope")
+
+    def test_take_preserves_values(self, cars):
+        subset = cars.take([2, 0])
+        records = subset.to_records()
+        assert records[0]["price"] == 12000
+        assert records[0]["transmission"] == "manual"
+        assert records[1]["transmission"] == "automatic"
+
+    def test_project(self, cars):
+        projected = cars.project(["mileage", "price"])
+        assert projected.names == ("mileage", "price")
+        assert projected.column("price").tolist() == \
+            cars.column("price").tolist()
+
+    def test_to_records_round_trip(self, cars):
+        rebuilt = Relation.from_records(cars.to_records(), cars.schema)
+        assert np.array_equal(rebuilt.ranks, cars.ranks)
+
+
+class TestCsv:
+    def test_csv_round_trip(self, cars, tmp_path):
+        path = tmp_path / "cars.csv"
+        records = cars.to_records()
+        import csv
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=cars.names)
+            writer.writeheader()
+            writer.writerows(records)
+        loaded = Relation.from_csv(str(path), cars.schema)
+        assert np.array_equal(loaded.ranks, cars.ranks)
+
+    def test_csv_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(ValueError, match="missing column"):
+            Relation.from_csv(str(path), [lowest("a"), lowest("b")])

@@ -1,0 +1,102 @@
+"""Tests for the R-tree substrate and the BBS p-skyline algorithm."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import Stats, naive
+from repro.algorithms.bbs import bbs, bbs_iter
+from repro.core.extension import ExtensionOrder
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.index.rtree import RTree
+
+
+class TestRTree:
+    def test_structure_invariants(self, nrng):
+        for n in (0, 1, 31, 32, 33, 500):
+            tree = RTree(nrng.random((n, 3)), fanout=8)
+            tree.validate()
+            assert len(tree) == n
+
+    def test_height_grows_logarithmically(self, nrng):
+        tree = RTree(nrng.random((1000, 2)), fanout=10)
+        assert tree.height == 3  # 1000 -> 100 leaves -> 10 -> 1
+
+    def test_fanout_validation(self, nrng):
+        with pytest.raises(ValueError):
+            RTree(nrng.random((5, 2)), fanout=1)
+        with pytest.raises(ValueError):
+            RTree(nrng.random(5))
+
+    def test_query_box_matches_linear_scan(self, nrng):
+        ranks = nrng.integers(0, 10, size=(400, 3)).astype(float)
+        tree = RTree(ranks, fanout=16)
+        for _ in range(10):
+            low = nrng.integers(0, 8, size=3).astype(float)
+            high = low + nrng.integers(0, 4, size=3)
+            expected = np.flatnonzero(
+                ((ranks >= low) & (ranks <= high)).all(axis=1))
+            got = tree.query_box(low, high)
+            assert got.tolist() == expected.tolist()
+
+    def test_empty_tree_queries(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.query_box([0, 0], [1, 1]).size == 0
+        assert tree.num_nodes == 0
+
+
+class TestBBS:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed, rng, nrng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        d = rng.randint(1, 6)
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        n = rng.randint(1, 400)
+        ranks = nrng.integers(0, rng.choice([3, 30]),
+                              size=(n, d)).astype(float)
+        expected = set(naive(ranks, graph).tolist())
+        got = set(bbs(ranks, graph, fanout=8).tolist())
+        assert got == expected
+
+    def test_progressive_emission_in_ext_order(self, nrng):
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        extension = ExtensionOrder(graph)
+        ranks = nrng.integers(0, 6, size=(300, 3)).astype(float)
+        emitted = list(bbs_iter(ranks, graph))
+        keys = [tuple(extension.keys(ranks[row].reshape(1, -1))[0])
+                for row in emitted]
+        assert keys == sorted(keys)
+
+    def test_prunes_nodes(self, nrng):
+        # correlated data: tiny skyline, most subtrees pruned
+        base = nrng.random((5000, 1))
+        ranks = base + nrng.normal(0, 0.01, (5000, 4))
+        graph = PGraph.from_expression(parse("A0 * A1 * A2 * A3"),
+                                       names=[f"A{i}" for i in range(4)])
+        stats = Stats()
+        result = bbs(ranks, graph, stats=stats, fanout=16)
+        assert result.size < 50
+        # pruning a node discards its whole subtree: the dominance-test
+        # count stays far below one test per input tuple
+        assert stats.pruned_by_filter > 0
+        assert stats.dominance_tests < ranks.shape[0]
+
+    def test_prebuilt_tree_reuse(self, nrng):
+        ranks = nrng.random((200, 2))
+        tree = RTree(ranks, fanout=8)
+        graph_sky = PGraph.from_expression(parse("A0 * A1"),
+                                           names=["A0", "A1"])
+        graph_lex = PGraph.from_expression(parse("A0 & A1"),
+                                           names=["A0", "A1"])
+        assert set(bbs(ranks, graph_sky, tree=tree).tolist()) == \
+            set(naive(ranks, graph_sky).tolist())
+        assert set(bbs(ranks, graph_lex, tree=tree).tolist()) == \
+            set(naive(ranks, graph_lex).tolist())
+
+    def test_empty_input(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        assert bbs(np.empty((0, 2)), graph).size == 0

@@ -1,0 +1,159 @@
+"""Tests for the Section 7.1 sampling framework: CNF encoding,
+enumeration, SampleSAT and the uniform p-expression sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.pgraph import PGraph
+from repro.sampling.cnf import (EdgeVariables, model_to_pgraph, pgraph_cnf,
+                                pgraph_to_model)
+from repro.sampling.decompose import NotAPGraphError, decompose
+from repro.sampling.enumeration import (MAX_EXACT_D, count_pgraphs,
+                                        enumerate_pgraphs, sample_exact)
+from repro.sampling.random_pexpr import (PExpressionSampler,
+                                         sample_pexpression, sample_pgraph)
+from repro.sampling.samplesat import SampleSAT, SampleSATError
+from repro.sampling.sat import CNF, count_models
+
+
+class TestEnumeration:
+    def test_known_counts(self):
+        # 1, 3, 19, 195 labelled p-graphs on 1..4 attributes; at d=4 the
+        # 24 labellings of the N poset are the only posets excluded
+        assert count_pgraphs(1) == 1
+        assert count_pgraphs(2) == 3
+        assert count_pgraphs(3) == 19
+        assert count_pgraphs(4) == 195
+
+    def test_all_enumerated_graphs_valid(self):
+        for graph in enumerate_pgraphs(["A", "B", "C", "D"]):
+            assert graph.is_valid()
+
+    def test_enumeration_cap(self):
+        with pytest.raises(ValueError):
+            count_pgraphs(MAX_EXACT_D + 1)
+
+    def test_exact_sampling_is_roughly_uniform(self):
+        rng = random.Random(7)
+        counts = Counter()
+        total = 190 * 30
+        for _ in range(total):
+            counts[sample_exact("ABC", rng).closure] += 1
+        assert len(counts) == 19
+        expected = total / 19
+        for frequency in counts.values():
+            assert abs(frequency - expected) < 0.25 * expected
+
+
+class TestCnfEncoding:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_model_count_matches_enumeration(self, d):
+        cnf, _ = pgraph_cnf(d)
+        assert count_models(cnf) == count_pgraphs(d)
+
+    def test_model_round_trip(self):
+        variables = EdgeVariables(4)
+        names = ["A", "B", "C", "D"]
+        for graph in enumerate_pgraphs(names):
+            model = pgraph_to_model(graph, variables)
+            assert model_to_pgraph(model, variables, names) == graph
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            pgraph_cnf(0)
+
+
+class TestSampleSAT:
+    def test_samples_satisfy(self):
+        cnf, variables = pgraph_cnf(4)
+        sampler = SampleSAT(cnf, f=0.5)
+        rng = random.Random(1)
+        for model in sampler.sample_many(30, rng):
+            assert cnf.is_satisfied(model)
+            graph = model_to_pgraph(model, variables, "ABCD")
+            assert graph.is_valid()
+
+    def test_covers_solution_space(self):
+        cnf, _ = pgraph_cnf(3)
+        sampler = SampleSAT(cnf, f=0.5)
+        rng = random.Random(2)
+        seen = {tuple(m) for m in sampler.sample_many(400, rng)}
+        # all 19 p-graphs should appear within 400 near-uniform samples
+        assert len(seen) == 19
+
+    def test_unsatisfiable_raises(self):
+        cnf = CNF(1, [(1,), (-1,)])
+        sampler = SampleSAT(cnf, max_flips=500)
+        with pytest.raises(SampleSATError):
+            sampler.sample(random.Random(0))
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            SampleSAT(CNF(1), f=2.0)
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_round_trip_all_small_graphs(self, d):
+        names = [f"A{i}" for i in range(d)]
+        for graph in enumerate_pgraphs(names):
+            expr = decompose(graph)
+            rebuilt = PGraph.from_expression(expr, names=names)
+            assert rebuilt == graph
+
+    def test_n_poset_rejected(self):
+        graph = PGraph.from_edges("abcd",
+                                  [("a", "b"), ("c", "b"), ("c", "d")])
+        with pytest.raises(NotAPGraphError):
+            decompose(graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(PGraph([], []))
+
+
+class TestSamplerApi:
+    def test_auto_method_selection(self):
+        small = PExpressionSampler(["A", "B", "C"])
+        assert small.method == "exact"
+        large = PExpressionSampler([f"A{i}" for i in range(8)])
+        assert large.method == "samplesat"
+
+    def test_exact_cap_enforced(self):
+        with pytest.raises(ValueError):
+            PExpressionSampler([f"A{i}" for i in range(9)], method="exact")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            PExpressionSampler(["A"], method="magic")
+
+    @pytest.mark.parametrize("d", [2, 5, 9])
+    def test_sampled_expressions_are_valid(self, d):
+        rng = random.Random(3)
+        names = [f"A{i}" for i in range(d)]
+        for _ in range(10):
+            expr = sample_pexpression(names, rng)
+            assert set(expr.attributes()) == set(names)
+            graph = PGraph.from_expression(expr, names=names)
+            assert graph.is_valid()
+
+    def test_samplesat_uniformity_against_exact(self):
+        """SampleSAT at d=4 should put mass on *every* p-graph and no
+        graph should absorb a grossly disproportionate share."""
+        rng = random.Random(4)
+        sampler = PExpressionSampler("ABCD", method="samplesat", f=0.5)
+        counts = Counter()
+        total = 2000
+        for _ in range(total):
+            counts[sampler.sample_graph(rng).closure] += 1
+        # SampleSAT is *near*-uniform: essentially every graph should be
+        # hit, and none should absorb a grossly disproportionate share
+        assert len(counts) >= 0.95 * count_pgraphs(4)
+        assert max(counts.values()) < 12 * total / count_pgraphs(4)
+
+    def test_sample_pgraph_wrapper(self):
+        rng = random.Random(5)
+        graph = sample_pgraph(["A", "B"], rng)
+        assert graph.d == 2

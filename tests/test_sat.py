@@ -1,0 +1,70 @@
+"""Tests for the mini SAT toolkit."""
+
+import pytest
+
+from repro.sampling.sat import CNF, count_models, enumerate_models, solve
+
+
+class TestCNF:
+    def test_clause_validation(self):
+        cnf = CNF(2)
+        with pytest.raises(ValueError):
+            cnf.add((0,))
+        with pytest.raises(ValueError):
+            cnf.add((3,))
+
+    def test_duplicate_literals_collapsed(self):
+        cnf = CNF(1, [(1, 1)])
+        assert cnf.clauses == [(1,)]
+
+    def test_is_satisfied(self):
+        cnf = CNF(2, [(1, 2), (-1, -2)])
+        assert cnf.is_satisfied([True, False])
+        assert not cnf.is_satisfied([True, True])
+
+    def test_unsatisfied_clauses(self):
+        cnf = CNF(2, [(1,), (2,), (-1, -2)])
+        assert cnf.unsatisfied_clauses([True, True]) == [2]
+
+
+class TestSolve:
+    def test_satisfiable(self):
+        cnf = CNF(3, [(1, 2), (-1, 3), (-2, -3)])
+        model = solve(cnf)
+        assert model is not None
+        assert cnf.is_satisfied(model)
+
+    def test_unsatisfiable(self):
+        cnf = CNF(1, [(1,), (-1,)])
+        assert solve(cnf) is None
+
+    def test_unit_propagation_chain(self):
+        cnf = CNF(3, [(1,), (-1, 2), (-2, 3)])
+        model = solve(cnf)
+        assert model == [True, True, True]
+
+
+class TestCounting:
+    def test_empty_formula_counts_all(self):
+        assert count_models(CNF(3)) == 8
+
+    def test_xor_like(self):
+        cnf = CNF(2, [(1, 2), (-1, -2)])
+        assert count_models(cnf) == 2
+
+    def test_count_matches_enumeration(self):
+        cnf = CNF(4, [(1, 2), (-2, 3), (-1, -4), (2, 4)])
+        models = list(enumerate_models(cnf))
+        assert len(models) == count_models(cnf)
+        assert len({tuple(m) for m in models}) == len(models)
+        for model in models:
+            assert cnf.is_satisfied(model)
+
+    def test_count_matches_brute_force(self):
+        import itertools
+        cnf = CNF(4, [(1, -2), (2, 3, -4), (-3,), (4, 1)])
+        brute = sum(
+            cnf.is_satisfied(bits)
+            for bits in itertools.product([False, True], repeat=4)
+        )
+        assert count_models(cnf) == brute

@@ -1,0 +1,83 @@
+"""Tests for semantic expression utilities (Proposition 2 based)."""
+
+import pytest
+
+from conftest import random_expression
+from repro.core.parser import parse
+from repro.core.semantics import equivalent, normal_form, refines, to_dot
+
+
+class TestEquivalence:
+    def test_pareto_commutativity(self):
+        assert equivalent("A * B", "B * A")
+
+    def test_prioritized_associativity(self):
+        assert equivalent("(A & B) & C", "A & (B & C)")
+
+    def test_pareto_of_prioritized_reordering(self):
+        assert equivalent("(A & B) * (C & D)", "(C & D) * (A & B)")
+
+    def test_known_inequivalences(self):
+        assert not equivalent("A & B", "B & A")
+        assert not equivalent("A & B", "A * B")
+        assert not equivalent("A * B", "A * C")
+
+    def test_different_attribute_sets(self):
+        assert not equivalent("A", "A * B")
+
+    def test_ast_inputs(self):
+        assert equivalent(parse("A * B"), parse("B * A"))
+
+
+class TestRefinement:
+    def test_prioritized_refines_pareto(self):
+        assert refines("A & B", "A * B")
+        assert not refines("A * B", "A & B")
+
+    def test_reflexive(self):
+        assert refines("A & (B * C)", "A & (B * C)")
+
+    def test_requires_same_attributes(self):
+        with pytest.raises(ValueError):
+            refines("A & B", "A * C")
+
+    def test_partial_prioritization_chain(self):
+        # sky  ⊂  one priority  ⊂  full lexicographic
+        assert refines("(A & B) * C", "A * B * C")
+        assert refines("A & B & C", "(A & B) * C")
+        assert not refines("(A & B) * C", "A & B & C")
+
+
+class TestNormalForm:
+    def test_idempotent(self, rng):
+        for _ in range(30):
+            names = [f"A{i}" for i in range(rng.randint(1, 6))]
+            expr = random_expression(names, rng)
+            canonical = normal_form(expr)
+            assert normal_form(canonical) == canonical
+
+    def test_equivalent_expressions_share_normal_form(self):
+        assert normal_form("B * A") == normal_form("A * B")
+        assert normal_form("(A & B) & C") == normal_form("A & (B & C)")
+
+    def test_distinct_preferences_distinct_forms(self):
+        assert normal_form("A & B") != normal_form("B & A")
+
+    def test_normal_form_is_equivalent_to_input(self, rng):
+        for _ in range(30):
+            names = [f"A{i}" for i in range(rng.randint(1, 6))]
+            expr = random_expression(names, rng)
+            assert equivalent(expr, normal_form(expr))
+
+
+class TestDot:
+    def test_renders_reduction_edges(self):
+        dot = to_dot("M & ((D & W) * P) & (T * H)")
+        assert dot.startswith("digraph pgraph {")
+        assert dot.count("->") == 7  # Figure 1(b) has 7 reduction edges
+        assert '"M"' in dot
+
+    def test_edgeless_graph(self):
+        dot = to_dot("A * B")
+        assert "->" not in dot
+        assert '"A"' in dot and '"B"' in dot

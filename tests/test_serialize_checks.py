@@ -1,0 +1,115 @@
+"""Tests for serialisation and result verification utilities."""
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms import osdc
+from repro.core.attributes import highest, lowest, ranked
+from repro.core.checks import VerificationError, verify_pskyline
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.core.relation import Relation
+from repro.core.serialize import (expression_from_json, expression_to_json,
+                                  load_relation, pgraph_from_json,
+                                  pgraph_to_json, save_relation)
+
+
+class TestExpressionJson:
+    def test_round_trip_random(self, rng):
+        for _ in range(40):
+            names = [f"A{i}" for i in range(rng.randint(1, 7))]
+            expr = random_expression(names, rng)
+            payload = expression_to_json(expr)
+            # must survive an actual JSON encode/decode cycle
+            rebuilt = expression_from_json(json.loads(json.dumps(payload)))
+            assert rebuilt == expr
+
+    def test_known_encoding(self):
+        payload = expression_to_json(parse("(P & T) * M"))
+        assert payload["op"] == "pareto"
+        assert payload["children"][0] == {
+            "op": "prioritized",
+            "children": [{"op": "att", "name": "P"},
+                         {"op": "att", "name": "T"}],
+        }
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            expression_from_json({"op": "magic"})
+
+
+class TestPGraphJson:
+    def test_round_trip(self, rng):
+        for _ in range(30):
+            names = [f"A{i}" for i in range(rng.randint(1, 7))]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            rebuilt = pgraph_from_json(
+                json.loads(json.dumps(pgraph_to_json(graph))))
+            assert rebuilt == graph
+
+
+class TestRelationStorage:
+    def test_round_trip(self, tmp_path):
+        schema = [lowest("price"), highest("hp"),
+                  ranked("t", ["manual", "automatic"])]
+        relation = Relation.from_records(
+            [{"price": 10, "hp": 100, "t": "manual"},
+             {"price": 20, "hp": 150, "t": "automatic"}],
+            schema,
+        )
+        path = str(tmp_path / "cars.npz")
+        save_relation(relation, path)
+        loaded = load_relation(path)
+        assert loaded.names == relation.names
+        assert np.array_equal(loaded.ranks, relation.ranks)
+        assert loaded.schema[2].order == ("manual", "automatic")
+        records = loaded.to_records()
+        assert records[1]["t"] == "automatic"
+        assert records[1]["hp"] == 150
+
+
+class TestVerification:
+    def test_accepts_correct_result(self, rng, nrng):
+        names = [f"A{i}" for i in range(4)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 5, size=(200, 4)).astype(float)
+        verify_pskyline(ranks, graph, osdc(ranks, graph))
+
+    def test_rejects_missing_tuple(self, nrng):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = nrng.integers(0, 5, size=(100, 2)).astype(float)
+        result = osdc(ranks, graph)
+        with pytest.raises(VerificationError, match="misses"):
+            verify_pskyline(ranks, graph, result[:-1])
+
+    def test_rejects_dominated_tuple(self, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        with pytest.raises(VerificationError, match="dominated"):
+            verify_pskyline(ranks, graph, np.array([0, 1]))
+
+    def test_rejects_malformed_indices(self, nrng):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = nrng.random((10, 2))
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_pskyline(ranks, graph, np.array([1, 1]))
+        with pytest.raises(VerificationError, match="out-of-range"):
+            verify_pskyline(ranks, graph, np.array([99]))
+        with pytest.raises(VerificationError, match="sorted"):
+            verify_pskyline(ranks, graph, np.array([3, 1]))
+
+    def test_fuzz_all_algorithms(self, rng, nrng):
+        from repro.algorithms import REGISTRY
+        for trial in range(10):
+            d = rng.randint(1, 5)
+            names = [f"A{i}" for i in range(d)]
+            graph = PGraph.from_expression(random_expression(names, rng),
+                                           names=names)
+            ranks = nrng.integers(0, 4, size=(120, d)).astype(float)
+            for name, algorithm in REGISTRY.items():
+                verify_pskyline(ranks, graph, algorithm(ranks, graph))

@@ -1,0 +1,65 @@
+"""Tests for PSKYLINESP (Lemma 1) and PSCREENSP (Lemma 2)."""
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro.algorithms.special import (pscreen_single_point,
+                                      pskyline_single_point)
+from repro.core.dominance import Dominance
+from repro.core.extension import ExtensionOrder
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+
+
+class TestPSkylineSinglePoint:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_returned_point_is_maximal(self, seed, rng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        d = rng.randint(1, 6)
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        dominance = Dominance(graph)
+        ranks = nrng.integers(0, 5, size=(60, d)).astype(float)
+        index = pskyline_single_point(ranks, graph)
+        assert not dominance.dominators_mask(ranks, ranks[index]).any()
+
+    def test_lexicographic_minimum_for_total_order(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = np.array([[1.0, 5.0], [1.0, 2.0], [3.0, 0.0]])
+        assert pskyline_single_point(ranks, graph) == 1
+
+    def test_empty_input_rejected(self):
+        graph = PGraph.from_expression(parse("A"))
+        with pytest.raises(ValueError):
+            pskyline_single_point(np.empty((0, 1)), graph)
+
+    def test_reusable_extension(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        extension = ExtensionOrder(graph)
+        ranks = np.array([[2.0, 2.0], [1.0, 1.0]])
+        assert pskyline_single_point(ranks, graph, extension) == 1
+
+
+class TestPScreenSinglePoint:
+    def test_matches_scalar_dominance(self, rng, nrng):
+        d = 4
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        dominance = Dominance(graph)
+        point = nrng.integers(0, 4, size=d).astype(float)
+        block = nrng.integers(0, 4, size=(50, d)).astype(float)
+        survivors = pscreen_single_point(point, block, dominance)
+        for i in range(block.shape[0]):
+            assert survivors[i] == (not dominance.dominates(point,
+                                                            block[i]))
+
+    def test_empty_block(self):
+        graph = PGraph.from_expression(parse("A"))
+        dominance = Dominance(graph)
+        result = pscreen_single_point(np.array([1.0]), np.empty((0, 1)),
+                                      dominance)
+        assert result.shape == (0,)

@@ -1,0 +1,216 @@
+"""Tests for the Preference SQL engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import highest, lowest, ranked
+from repro.core.relation import Relation
+from repro.sql import (PreferenceSQL, SqlExecutionError, SqlSyntaxError,
+                       parse_query)
+
+
+@pytest.fixture
+def db():
+    engine = PreferenceSQL()
+    schema = [lowest("id"), lowest("price"), lowest("mileage"),
+              highest("hp"),
+              ranked("transmission", ["manual", "automatic"])]
+    cars = Relation.from_records(
+        [
+            {"id": 1, "price": 11500, "mileage": 50000, "hp": 150,
+             "transmission": "automatic"},
+            {"id": 2, "price": 11500, "mileage": 60000, "hp": 190,
+             "transmission": "manual"},
+            {"id": 3, "price": 12000, "mileage": 50000, "hp": 190,
+             "transmission": "manual"},
+            {"id": 4, "price": 12000, "mileage": 60000, "hp": 120,
+             "transmission": "automatic"},
+        ],
+        schema,
+    )
+    engine.register("cars", cars)
+    return engine
+
+
+def ids(relation):
+    return sorted(r["id"] for r in relation.to_records())
+
+
+class TestParser:
+    def test_full_statement(self):
+        query = parse_query(
+            "SELECT id, price FROM cars WHERE price < 12000 "
+            "PREFERRING lowest(price) & transmission TOP 3")
+        assert query.columns == ("id", "price")
+        assert query.table == "cars"
+        assert query.where is not None
+        assert query.preferring is not None
+        assert query.top == 3
+
+    def test_star_projection(self):
+        assert parse_query("SELECT * FROM t").columns is None
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("select * from t where a >= 1 and b = 'x'")
+        assert query.where is not None
+
+    @pytest.mark.parametrize("bad", [
+        "", "SELECT", "SELECT * WHERE a=1", "SELECT * FROM",
+        "SELECT * FROM t WHERE", "SELECT * FROM t TOP -1",
+        "SELECT * FROM t TOP 1.5", "SELECT * FROM t extra",
+        "SELECT * FROM t WHERE a ==", "SELECT * FROM t WHERE a < b",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(bad)
+
+    def test_literal_on_the_left_flips(self):
+        query = parse_query("SELECT * FROM t WHERE 100 < price")
+        assert query.where.operator == ">"
+        assert query.where.column == "price"
+
+
+class TestWhere:
+    def test_numeric_filters(self, db):
+        result = db.execute("SELECT * FROM cars WHERE price <= 11500")
+        assert ids(result) == [1, 2]
+        result = db.execute(
+            "SELECT * FROM cars WHERE price <= 11500 AND mileage < 60000")
+        assert ids(result) == [1]
+
+    def test_or_and_not(self, db):
+        result = db.execute(
+            "SELECT * FROM cars WHERE id = 1 OR id = 4")
+        assert ids(result) == [1, 4]
+        result = db.execute("SELECT * FROM cars WHERE NOT (id = 1)")
+        assert ids(result) == [2, 3, 4]
+
+    def test_string_equality_on_ranked(self, db):
+        result = db.execute(
+            "SELECT * FROM cars WHERE transmission = 'manual'")
+        assert ids(result) == [2, 3]
+
+    def test_unknown_ranked_value_matches_nothing(self, db):
+        result = db.execute(
+            "SELECT * FROM cars WHERE transmission = 'cvt'")
+        assert len(result) == 0
+
+    def test_max_column_compares_on_raw_values(self, db):
+        result = db.execute("SELECT * FROM cars WHERE hp >= 190")
+        assert ids(result) == [2, 3]
+
+    def test_type_mismatches(self, db):
+        with pytest.raises(SqlExecutionError, match="numeric"):
+            db.execute("SELECT * FROM cars WHERE price = 'cheap'")
+        with pytest.raises(SqlExecutionError, match="ranked"):
+            db.execute("SELECT * FROM cars WHERE transmission = 3")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlExecutionError, match="unknown column"):
+            db.execute("SELECT * FROM cars WHERE nope = 1")
+
+
+class TestPreferring:
+    def test_paper_example1_via_sql(self, db):
+        result = db.execute(
+            "SELECT id FROM cars "
+            "PREFERRING (lowest(price) & transmission) * lowest(mileage)")
+        assert ids(result) == [1, 2]
+
+    def test_where_then_preferring(self, db):
+        result = db.execute(
+            "SELECT id FROM cars WHERE mileage = 50000 "
+            "PREFERRING lowest(price)")
+        assert ids(result) == [1]
+
+    def test_top_k_orders_by_extension(self, db):
+        result = db.execute(
+            "SELECT id FROM cars "
+            "PREFERRING lowest(price) * lowest(mileage) TOP 1")
+        assert ids(result) == [1]
+
+    def test_top_without_preferring_truncates(self, db):
+        result = db.execute("SELECT id FROM cars TOP 2")
+        assert len(result) == 2
+
+    def test_highest_direction_in_clause(self, db):
+        result = db.execute(
+            "SELECT id, hp FROM cars PREFERRING highest(hp)")
+        assert sorted(r["hp"] for r in result.to_records()) == [190, 190]
+
+
+class TestCatalog:
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlExecutionError, match="unknown table"):
+            db.execute("SELECT * FROM trucks")
+
+    def test_invalid_table_name(self, db):
+        with pytest.raises(ValueError):
+            db.register("not a name", None)
+
+    def test_tables_listing(self, db):
+        assert db.tables() == ["cars"]
+
+    def test_projection(self, db):
+        result = db.execute("SELECT price, id FROM cars WHERE id = 3")
+        assert result.names == ("price", "id")
+
+    def test_unknown_projection_column(self, db):
+        with pytest.raises(SqlExecutionError, match="SELECT"):
+            db.execute("SELECT nope FROM cars")
+
+
+class TestAgainstQueryApi:
+    def test_sql_matches_p_skyline(self, db, nrng):
+        from repro import Relation, lowest, p_skyline
+        relation = Relation.from_records(
+            [{"a": int(a), "b": int(b), "c": int(c)}
+             for a, b, c in nrng.integers(0, 6, size=(300, 3))],
+            [lowest("a"), lowest("b"), lowest("c")],
+        )
+        db.register("r", relation)
+        via_sql = db.execute(
+            "SELECT * FROM r PREFERRING lowest(a) & (lowest(b) * lowest(c))")
+        via_api = p_skyline(relation, "a & (b * c)")
+        key = lambda record: (record["a"], record["b"], record["c"])  # noqa: E731
+        assert sorted(map(key, via_sql.to_records())) == \
+            sorted(map(key, via_api.to_records()))
+
+
+class TestOrderBy:
+    def test_order_by_ascending_default(self, db):
+        result = db.execute("SELECT id FROM cars ORDER BY price")
+        prices = [r["id"] for r in result.to_records()]
+        assert prices[:2] == [1, 2] or prices[:2] == [2, 1]
+
+    def test_order_by_desc(self, db):
+        result = db.execute(
+            "SELECT id, mileage FROM cars ORDER BY mileage DESC")
+        mileages = [r["mileage"] for r in result.to_records()]
+        assert mileages == sorted(mileages, reverse=True)
+
+    def test_order_by_on_max_column_uses_preference(self, db):
+        # hp is highest-preferred: ascending order = best (largest) first
+        result = db.execute("SELECT hp FROM cars ORDER BY hp ASC")
+        hps = [r["hp"] for r in result.to_records()]
+        assert hps == sorted(hps, reverse=True)
+
+    def test_order_by_after_preferring(self, db):
+        result = db.execute(
+            "SELECT id FROM cars "
+            "PREFERRING (lowest(price) & transmission) * lowest(mileage) "
+            "ORDER BY id TOP 1")
+        assert ids(result) == [1]
+
+    def test_order_by_unknown_column(self, db):
+        import pytest as _pytest
+        with _pytest.raises(SqlExecutionError, match="ORDER BY"):
+            db.execute("SELECT id FROM cars ORDER BY nope")
+
+    def test_order_by_with_top_truncates_after_sort(self, db):
+        result = db.execute(
+            "SELECT id FROM cars ORDER BY mileage TOP 2")
+        mileage_sorted = db.execute(
+            "SELECT id FROM cars ORDER BY mileage")
+        assert ids(result) == sorted(
+            r["id"] for r in mileage_sorted.to_records()[:2])

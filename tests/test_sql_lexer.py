@@ -1,0 +1,74 @@
+"""Focused tests for the Preference SQL lexer and data generators added
+late in the build (zipfian / clustered)."""
+
+import numpy as np
+import pytest
+
+from repro.data.classic import clustered, zipfian
+from repro.sql.lexer import SqlSyntaxError, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("SeLeCt from WHERE")]
+        assert kinds == ["keyword", "keyword", "keyword", "end"]
+
+    def test_identifiers_vs_keywords(self):
+        tokens = tokenize("selecting fromage")
+        assert [t.kind for t in tokens[:-1]] == ["name", "name"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 -2.5 3e4 -1.5E-2")
+        assert [t.kind for t in tokens[:-1]] == ["number"] * 4
+        assert float(tokens[2].text) == 3e4
+
+    def test_string_quote_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "it's"
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("<= >= != <> = < >")[:-1]]
+        assert texts == ["<=", ">=", "!=", "<>", "=", "<", ">"]
+
+    def test_punctuation(self):
+        kinds = {t.text: t.kind for t in tokenize("( ) , * &")[:-1]}
+        assert all(kind == "punct" for kind in kinds.values())
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a = 1")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 2
+        assert tokens[2].position == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected"):
+            tokenize("a ? b")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind == "end"
+
+
+class TestLateGenerators:
+    def test_zipfian_skew(self, nrng):
+        data = zipfian(20_000, 3, nrng)
+        assert data.min() == 0.0
+        # heavy skew: the modal value captures a big share
+        zeros = (data[:, 0] == 0).mean()
+        assert zeros > 0.3
+        assert data.max() <= 999.0
+
+    def test_zipfian_validation(self, nrng):
+        with pytest.raises(ValueError):
+            zipfian(10, 2, nrng, exponent=1.0)
+
+    def test_clustered_modes(self, nrng):
+        data = clustered(5_000, 2, nrng, clusters=3, spread=0.01)
+        # points concentrate tightly around 3 centres: the number of
+        # well-separated 0.1-cells with mass must be small
+        cells = {(round(x, 1), round(y, 1)) for x, y in data}
+        assert len(cells) < 40
+
+    def test_clustered_validation(self, nrng):
+        with pytest.raises(ValueError):
+            clustered(10, 2, nrng, clusters=0)

@@ -1,0 +1,63 @@
+"""Tests for the p-graph topology profiler."""
+
+import pytest
+
+from repro.sampling.topology import topology_profile
+
+
+class TestExactProfiles:
+    def test_d1(self):
+        profile = topology_profile(1)
+        assert profile.exact
+        assert profile.roots == {1: 1.0}
+        assert profile.edges_mean == 0.0
+        assert profile.weak_order_share == 1.0
+
+    def test_d2(self):
+        # three p-graphs: A*B (2 roots), A&B, B&A (1 root each)
+        profile = topology_profile(2)
+        assert profile.samples == 3
+        assert profile.roots[1] == pytest.approx(2 / 3)
+        assert profile.roots[2] == pytest.approx(1 / 3)
+        assert profile.roots_mean == pytest.approx(4 / 3)
+        assert profile.edges_mean == pytest.approx(2 / 3)
+
+    def test_d3_known_values(self):
+        profile = topology_profile(3)
+        assert profile.samples == 19
+        assert sum(profile.roots.values()) == pytest.approx(1.0)
+        # 13 of the 19 p-graphs on 3 attributes are weak orders
+        assert profile.weak_order_share == pytest.approx(13 / 19)
+
+
+class TestMonteCarloProfiles:
+    def test_matches_exact_at_boundary(self):
+        exact = topology_profile(4)
+        sampled = topology_profile(4, samples=4000, seed=1)
+        # force the Monte-Carlo path by pretending d is large: compare
+        # the exact d=4 profile with sampling from the same distribution
+        from repro.sampling.exact_counting import ExactUniformSampler
+        import random
+        from collections import Counter
+        sampler = ExactUniformSampler([f"A{i}" for i in range(4)])
+        rng = random.Random(1)
+        counts = Counter(sampler.sample_graph(rng).num_roots
+                         for _ in range(4000))
+        for k, probability in exact.roots.items():
+            assert counts[k] / 4000 == pytest.approx(probability,
+                                                     abs=0.03)
+        assert sampled.exact  # d=4 itself still uses enumeration
+
+    def test_roots_grow_sublinearly(self):
+        small = topology_profile(4)
+        large = topology_profile(10, samples=800, seed=2)
+        assert large.roots_mean > small.roots_mean
+        assert large.roots_mean < 10 / 2  # far below d
+
+    def test_weak_orders_vanish(self):
+        assert topology_profile(10, samples=800,
+                                seed=3).weak_order_share < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topology_profile(0)

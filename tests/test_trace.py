@@ -1,0 +1,52 @@
+"""Tests for the DC invocation-trace utility (paper Example 3)."""
+
+from repro.core.parser import parse
+from repro.reference import format_trace, trace_dc
+
+CARS = [
+    {"P": 11500, "M": 50000, "T": 1},
+    {"P": 11500, "M": 60000, "T": 0},
+    {"P": 12000, "M": 50000, "T": 0},
+    {"P": 12000, "M": 60000, "T": 1},
+]
+
+
+def test_example3_answer():
+    root = trace_dc(parse("(P & T) * M"), CARS)
+    keys = {(t["P"], t["M"], t["T"]) for t in root.result}
+    assert keys == {(11500, 50000, 1), (11500, 60000, 0)}
+
+
+def test_trace_structure_records_actions():
+    root = trace_dc(parse("(P & T) * M"), CARS)
+    assert "split on" in root.action
+    assert "p-screening" in root.action
+    assert len(root.children) == 2
+
+
+def test_promotion_branch_traced():
+    tuples = [{"A": 1.0, "B": float(i)} for i in range(4)]
+    root = trace_dc(parse("A & B"), tuples)
+    assert "move it to E" in root.action
+    assert len(root.result) == 1
+
+
+def test_lookahead_traced():
+    root = trace_dc(parse("(P & T) * M"), CARS, lookahead=True)
+    assert "look-ahead" in root.action
+    keys = {(t["P"], t["M"], t["T"]) for t in root.result}
+    assert keys == {(11500, 50000, 1), (11500, 60000, 0)}
+
+
+def test_format_trace_with_labels():
+    labels_cars = [dict(c) for c in CARS]
+    labels = {id(c): f"t{i+1}" for i, c in enumerate(labels_cars)}
+    text = format_trace(trace_dc(parse("(P & T) * M"), labels_cars),
+                        labels)
+    assert "t1" in text and "DCREC" in text and "returns" in text
+
+
+def test_format_trace_without_labels():
+    text = format_trace(trace_dc(parse("A * B"),
+                                 [{"A": 1.0, "B": 2.0}]))
+    assert "A=1" in text
