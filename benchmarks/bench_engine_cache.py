@@ -1,0 +1,92 @@
+"""Micro-benchmark of the compiled-preference cache.
+
+Measures repeat-query evaluation cold (cache cleared before every run,
+so the dominance oracle, ``≻ext`` weights and topological metadata are
+rebuilt each time) versus warm (compiled once, served from the cache).
+Large ``d`` emphasises the preprocessing the cache amortises; the
+results must be identical either way.
+
+Also asserts the speed-up directly (median warm <= median cold) so the
+acceptance criterion is checked by the benchmark itself, not only
+eyeballed from the timings table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.engine import ExecutionContext, PreferenceCache
+from repro.sampling.random_pexpr import PExpressionSampler
+
+D = 14
+N = 400
+REPEATS = 20
+
+
+@pytest.fixture(scope="module")
+def repeat_query_workload():
+    rng = random.Random(23)
+    sampler = PExpressionSampler([f"A{i}" for i in range(D)])
+    graph = sampler.sample_graph(rng)
+    ranks = np.random.default_rng(23).normal(size=(N, D)).round(2)
+    return ranks, graph
+
+
+def run_repeats(ranks, graph, algorithm: str, warm: bool):
+    function = get_algorithm(algorithm)
+    cache = PreferenceCache()
+    results = []
+    for _ in range(REPEATS):
+        if not warm:
+            cache.clear()
+        context = ExecutionContext(cache=cache)
+        results.append(function(ranks, graph, context=context))
+    return results
+
+
+@pytest.mark.parametrize("algorithm", ["osdc"])
+def test_repeat_queries_cold(benchmark, repeat_query_workload, algorithm):
+    ranks, graph = repeat_query_workload
+    benchmark.group = f"{REPEATS}x repeat query d={D} ({algorithm})"
+    benchmark.pedantic(
+        lambda: run_repeats(ranks, graph, algorithm, warm=False),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["osdc"])
+def test_repeat_queries_warm(benchmark, repeat_query_workload, algorithm):
+    ranks, graph = repeat_query_workload
+    benchmark.group = f"{REPEATS}x repeat query d={D} ({algorithm})"
+    benchmark.pedantic(
+        lambda: run_repeats(ranks, graph, algorithm, warm=True),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+
+def test_warm_is_faster_and_identical(repeat_query_workload):
+    """The acceptance check: warm repeat queries beat cold ones and the
+    indices agree exactly."""
+    ranks, graph = repeat_query_workload
+
+    def timed(warm: bool):
+        samples = []
+        for _ in range(5):
+            start = time.perf_counter()
+            results = run_repeats(ranks, graph, "osdc", warm=warm)
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples)), results
+
+    cold_time, cold_results = timed(warm=False)
+    warm_time, warm_results = timed(warm=True)
+    for cold, warm in zip(cold_results, warm_results):
+        assert np.array_equal(cold, warm)
+    assert warm_time < cold_time, (
+        f"warm repeats ({warm_time:.4f}s) should beat cold repeats "
+        f"({cold_time:.4f}s)"
+    )

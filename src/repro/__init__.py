@@ -33,6 +33,11 @@ from .core.semantics import equivalent, normal_form, refines, to_dot
 from .core.serialize import (expression_from_json, expression_to_json,
                              load_relation, pgraph_from_json,
                              pgraph_to_json, save_relation)
+from .engine import (CancellationToken, CompiledPreference, EngineError,
+                     ExecutionContext, MemoryBudgetExceeded,
+                     PreferenceCache, QueryCancelled, QueryTimeout,
+                     TraceBuffer, TraceEvent, compile_preference,
+                     default_cache)
 from .planner import Plan, Planner
 
 __version__ = "1.0.0"
@@ -75,6 +80,19 @@ __all__ = [
     "get_algorithm",
     "Planner",
     "Plan",
+    # engine
+    "ExecutionContext",
+    "CancellationToken",
+    "CompiledPreference",
+    "PreferenceCache",
+    "compile_preference",
+    "default_cache",
+    "TraceBuffer",
+    "TraceEvent",
+    "EngineError",
+    "QueryTimeout",
+    "QueryCancelled",
+    "MemoryBudgetExceeded",
     "verify_pskyline",
     "explain_pair",
     "explain_not_maximal",

@@ -18,7 +18,8 @@ osdc-linear  OSDC with the Section 5 linear average-case pre-scan
 ========  ==========================================================
 """
 
-from .base import REGISTRY, Algorithm, Stats, get_algorithm, register
+from .base import (REGISTRY, Algorithm, Stats, ensure_context,
+                   get_algorithm, register)
 from .bbs import bbs, bbs_iter
 from .bnl import bnl
 from .incremental import PSkylineMaintainer
@@ -42,6 +43,7 @@ __all__ = [
     "REGISTRY",
     "Algorithm",
     "Stats",
+    "ensure_context",
     "get_algorithm",
     "register",
     "naive",

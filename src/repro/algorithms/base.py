@@ -23,9 +23,10 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 
 __all__ = ["Stats", "Algorithm", "REGISTRY", "register", "get_algorithm",
-           "check_input"]
+           "check_input", "ensure_context"]
 
 
 @dataclass
@@ -35,7 +36,15 @@ class Stats:
     ``dominance_tests`` counts *tuple-vs-tuple* dominance evaluations, also
     when they are performed inside a vectorised kernel (each row of a
     one-vs-many comparison counts as one test).
+
+    Every numeric field must be handled by :meth:`merge` (summed, or
+    maximised for the fields named in :data:`Stats.MAX_FIELDS`); the
+    drift-guard test fails when a counter is added without merge support.
     """
+
+    #: Numeric fields combined with ``max`` (peaks/depths); every other
+    #: numeric field is summed by :meth:`merge`.
+    MAX_FIELDS = ("max_depth", "window_peak")
 
     dominance_tests: int = 0
     comparisons: int = 0
@@ -65,7 +74,12 @@ class Stats:
 
 
 class Algorithm(Protocol):
-    """The callable protocol all registered algorithms satisfy."""
+    """The callable protocol all registered algorithms satisfy.
+
+    ``context`` is accepted by every algorithm through ``**options``;
+    callers passing only ``stats`` get a default context synthesized by
+    :func:`ensure_context` (the compatibility shim).
+    """
 
     def __call__(self, ranks: np.ndarray, graph: PGraph, *,
                  stats: Stats | None = None, **options) -> np.ndarray:
@@ -96,6 +110,24 @@ def get_algorithm(name: str) -> Algorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {known}"
         ) from None
+
+
+def ensure_context(context: ExecutionContext | None,
+                   stats: Stats | None = None) -> ExecutionContext:
+    """The compatibility shim between the old ``stats=`` convention and
+    the engine layer.
+
+    * ``context=None``: synthesize a fresh :class:`ExecutionContext`
+      wrapping ``stats`` (which may be ``None`` -- counting stays off).
+    * ``context`` given without stats of its own: adopt the caller's
+      ``stats`` so the pre-engine calling convention keeps filling the
+      same counters.
+    """
+    if context is None:
+        return ExecutionContext(stats=stats)
+    if context.stats is None and stats is not None:
+        context.stats = stats
+    return context
 
 
 def check_input(ranks: np.ndarray, graph: PGraph) -> np.ndarray:

@@ -27,11 +27,11 @@ from typing import Iterator
 
 import numpy as np
 
-from ..core.dominance import Dominance
 from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 from ..index.rtree import RTree
-from .base import Stats, check_input, register
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["bbs", "bbs_iter"]
 
@@ -41,14 +41,18 @@ def _corner_key(extension: ExtensionOrder, point: np.ndarray) -> tuple:
 
 
 def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
-             stats: Stats | None = None, fanout: int = 32,
+             stats: Stats | None = None,
+             context: ExecutionContext | None = None, fanout: int = 32,
              tree: RTree | None = None) -> Iterator[int]:
     """Yield p-skyline row indices progressively, best (``≻ext``) first."""
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     if ranks.shape[0] == 0:
         return
-    dominance = Dominance(graph)
-    extension = ExtensionOrder(graph)
+    compiled = context.compiled(graph)
+    dominance = compiled.dominance
+    extension = compiled.extension
     if tree is None:
         tree = RTree(ranks, fanout=fanout)
     assert tree.root is not None
@@ -79,7 +83,11 @@ def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
         return bool(dominance.dominators_mask(result_block, point).any())
 
     push_node(tree.root)
+    popped = 0
     while heap:
+        if popped % 256 == 0:
+            context.check("bbs-pop")
+        popped += 1
         _, _, node, row = heapq.heappop(heap)
         if node is None:
             point = ranks[row]
@@ -107,12 +115,13 @@ def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
 
 @register("bbs")
 def bbs(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
+        context: ExecutionContext | None = None,
         fanout: int = 32, tree: RTree | None = None) -> np.ndarray:
     """Compute ``M_pi(D)`` with branch-and-bound over an R-tree.
 
     Returns sorted row indices.  Pass a prebuilt ``tree`` to amortise the
     index across queries (it must index exactly ``ranks``).
     """
-    rows = list(bbs_iter(ranks, graph, stats=stats, fanout=fanout,
-                         tree=tree))
+    rows = list(bbs_iter(ranks, graph, stats=stats, context=context,
+                         fanout=fanout, tree=tree))
     return np.sort(np.asarray(rows, dtype=np.intp))

@@ -21,19 +21,23 @@ import numpy as np
 
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["bnl"]
 
 
 def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
-                   stats: Stats | None, chunk_size: int) -> np.ndarray:
+                   context: ExecutionContext,
+                   chunk_size: int) -> np.ndarray:
     """Single-pass in-memory BNL with a chunked, vectorised window."""
+    stats = context.stats
     n = ranks.shape[0]
     window_rows: list[np.ndarray] = []
     window_parts: list[np.ndarray] = []
     window_size = 0
     for start in range(0, n, chunk_size):
+        context.check("bnl-chunk")
         chunk_rows = np.arange(start, min(start + chunk_size, n),
                                dtype=np.intp)
         chunk = ranks[chunk_rows]
@@ -65,15 +69,17 @@ def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
         window_parts.append(new_block)
         window_rows.append(new_rows)
         window_size += new_rows.size
+        context.charge_memory(window_size, "bnl-window")
         if stats is not None:
             stats.window_peak = max(stats.window_peak, window_size)
+    context.event("bnl-scan", rows=n, window=window_size)
     if not window_rows:
         return np.empty(0, dtype=np.intp)
     return np.sort(np.concatenate(window_rows))
 
 
 def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
-                 stats: Stats | None, window_size: int,
+                 context: ExecutionContext, window_size: int,
                  policy: str = "append") -> np.ndarray:
     """Classic multi-pass BNL with a window of at most ``window_size``.
 
@@ -82,16 +88,21 @@ def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
     tuple is moved to the front, so frequent dominators are met first on
     subsequent tests (fewer comparisons on skewed inputs).
     """
+    stats = context.stats
     n = ranks.shape[0]
     result: list[int] = []
     window: list[int] = []
     window_entry: list[int] = []  # overflow size when the tuple entered
     pending = list(range(n))
     while pending:
+        context.check("bnl-pass")
+        context.event("bnl-pass", pending=len(pending))
         if stats is not None:
             stats.passes += 1
         overflow: list[int] = []
-        for row in pending:
+        for position, row in enumerate(pending):
+            if position % 256 == 0:
+                context.check("bnl-window")
             tuple_ranks = ranks[row]
             if window:
                 # scan the window front-to-back in small blocks with an
@@ -150,7 +161,9 @@ def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
 
 @register("bnl")
 def bnl(ranks: np.ndarray, graph: PGraph, *,
-        stats: Stats | None = None, window_size: int | None = None,
+        stats: Stats | None = None,
+        context: ExecutionContext | None = None,
+        window_size: int | None = None,
         chunk_size: int = 256, policy: str = "append") -> np.ndarray:
     """Compute ``M_pi(D)`` with a (possibly bounded) BNL window.
 
@@ -160,15 +173,17 @@ def bnl(ranks: np.ndarray, graph: PGraph, *,
     (``"append"`` or the self-organising ``"move-to-front"``).
     """
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
+    context = ensure_context(context, stats)
+    dominance = context.compiled(graph).dominance
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
     if policy not in ("append", "move-to-front"):
         raise ValueError(f"unknown window policy {policy!r}")
     if window_size is None:
-        if stats is not None:
-            stats.passes += 1
-        return _bnl_unbounded(ranks, dominance, stats, max(1, chunk_size))
+        if context.stats is not None:
+            context.stats.passes += 1
+        return _bnl_unbounded(ranks, dominance, context,
+                              max(1, chunk_size))
     if window_size < 1:
         raise ValueError("window_size must be at least 1")
-    return _bnl_bounded(ranks, dominance, stats, window_size, policy)
+    return _bnl_bounded(ranks, dominance, context, window_size, policy)

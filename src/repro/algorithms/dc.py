@@ -13,7 +13,8 @@ import numpy as np
 
 from ..core.bitsets import iter_bits
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 from .naive import maximal_mask
 from .pscreen import PScreener, split_threshold
 
@@ -30,7 +31,7 @@ class _DivideAndConquer:
     """Shared recursion driver for DC (and subclassed by OSDC)."""
 
     def __init__(self, ranks: np.ndarray, graph: PGraph,
-                 screener: PScreener, stats: Stats | None,
+                 screener: PScreener, context: ExecutionContext,
                  leaf_size: int, select: str = "first"):
         if select not in SELECT_STRATEGIES:
             raise ValueError(
@@ -40,17 +41,25 @@ class _DivideAndConquer:
         self.ranks = ranks
         self.graph = graph
         self.screener = screener
-        self.stats = stats
+        self.context = context
+        self.stats = context.stats
         self.leaf_size = max(1, leaf_size)
         self.select = select
 
     def run(self) -> np.ndarray:
         indices = np.arange(self.ranks.shape[0], dtype=np.intp)
         result = self.rec(indices, self.graph.roots, 0, 0)
+        counters = {"rows": self.ranks.shape[0],
+                    "survivors": int(result.size)}
+        if self.stats is not None:
+            counters["recursive_calls"] = self.stats.recursive_calls
+            counters["max_depth"] = self.stats.max_depth
+        self.context.event("divide-and-conquer", **counters)
         return np.sort(result)
 
     def rec(self, idx: np.ndarray, cand: int, equal: int,
             depth: int) -> np.ndarray:
+        self.context.check("divide-and-conquer")
         if self.stats is not None:
             self.stats.recursive_calls += 1
             self.stats.max_depth = max(self.stats.max_depth, depth)
@@ -120,7 +129,7 @@ class _DivideAndConquer:
         survivors = self.screener.screen(
             self.ranks, better_sky, worse,
             candidates=cand & ~(1 << attribute), equal=equal,
-            dropped=1 << attribute, stats=self.stats,
+            dropped=1 << attribute, context=self.context,
         )
         worse_sky = self.rec(survivors, cand, equal, depth + 1)
         return np.concatenate([better_sky, worse_sky])
@@ -128,6 +137,7 @@ class _DivideAndConquer:
 
 @register("dc")
 def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
+       context: ExecutionContext | None = None,
        leaf_size: int = 16, use_lowdim: bool = True,
        dense_cutoff: int = 4096, select: str = "first") -> np.ndarray:
     """Compute ``M_pi(D)`` with the paper's Algorithm DC.
@@ -138,10 +148,11 @@ def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
     strategy (:data:`SELECT_STRATEGIES`).
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-    screener = PScreener(graph, use_lowdim=use_lowdim,
-                         dense_cutoff=dense_cutoff)
-    driver = _DivideAndConquer(ranks, graph, screener, stats, leaf_size,
+    screener = context.compiled(graph).screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    driver = _DivideAndConquer(ranks, graph, screener, context, leaf_size,
                                select)
     return driver.run()

@@ -22,11 +22,10 @@ import heapq
 
 import numpy as np
 
-from ..core.dominance import Dominance
-from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 from ..storage.blocks import PagedFile, StorageManager
-from .base import Stats, check_input, register
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["external_bnl", "external_sfs", "external_sort"]
 
@@ -38,7 +37,9 @@ def _attach_ids(ranks: np.ndarray) -> np.ndarray:
 
 @register("external-bnl")
 def external_bnl(ranks: np.ndarray, graph: PGraph, *,
-                 stats: Stats | None = None, page_size: int = 256,
+                 stats: Stats | None = None,
+                 context: ExecutionContext | None = None,
+                 page_size: int = 256,
                  window_pages: int = 16) -> np.ndarray:
     """Multi-pass BNL over paged storage with a bounded window.
 
@@ -48,7 +49,9 @@ def external_bnl(ranks: np.ndarray, graph: PGraph, *,
     dominator); the rest carry over.
     """
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
+    dominance = context.compiled(graph).dominance
     storage = StorageManager(page_size)
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
@@ -64,6 +67,7 @@ def external_bnl(ranks: np.ndarray, graph: PGraph, *,
         overflow = storage.create(ranks.shape[1] + 1)
         overflow_rows = 0
         for page in current.scan():
+            context.check("external-bnl-page")
             for row in page:
                 body = row[:-1]
                 if window.shape[0]:
@@ -99,6 +103,10 @@ def external_bnl(ranks: np.ndarray, graph: PGraph, *,
     if stats is not None:
         stats.io_reads += storage.counter.reads
         stats.io_writes += storage.counter.writes
+    context.event("external-bnl", rows=ranks.shape[0],
+                  survivors=len(result),
+                  page_reads=storage.counter.reads,
+                  page_writes=storage.counter.writes)
     return np.sort(np.asarray(result, dtype=np.intp))
 
 
@@ -198,7 +206,9 @@ def _merge_runs(group: list[PagedFile], key_of, storage: StorageManager
 
 @register("external-sfs")
 def external_sfs(ranks: np.ndarray, graph: PGraph, *,
-                 stats: Stats | None = None, page_size: int = 256,
+                 stats: Stats | None = None,
+                 context: ExecutionContext | None = None,
+                 page_size: int = 256,
                  buffer_pages: int = 16) -> np.ndarray:
     """External SFS: external ``≻ext`` sort plus a single filtering scan.
 
@@ -206,13 +216,16 @@ def external_sfs(ranks: np.ndarray, graph: PGraph, *,
     memory, as is standard for SFS.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-    dominance = Dominance(graph)
-    extension = ExtensionOrder(graph)
-    keys = extension.keys(ranks)
+    compiled = context.compiled(graph)
+    dominance = compiled.dominance
+    keys = compiled.extension.keys(ranks)
     storage = StorageManager(page_size)
     source = storage.from_matrix(_attach_ids(ranks), "input")
+    context.check("external-sort")
     sorted_file = external_sort(source, keys, storage,
                                 buffer_pages=buffer_pages)
     if stats is not None:
@@ -220,6 +233,7 @@ def external_sfs(ranks: np.ndarray, graph: PGraph, *,
     survivors: list[int] = []
     window_parts: list[np.ndarray] = []
     for page in sorted_file.scan():
+        context.check("external-sfs-page")
         body = page[:, :-1]
         alive = np.ones(page.shape[0], dtype=bool)
         for part in window_parts:
@@ -238,4 +252,8 @@ def external_sfs(ranks: np.ndarray, graph: PGraph, *,
     if stats is not None:
         stats.io_reads += storage.counter.reads
         stats.io_writes += storage.counter.writes
+    context.event("external-sfs", rows=ranks.shape[0],
+                  survivors=len(survivors),
+                  page_reads=storage.counter.reads,
+                  page_writes=storage.counter.writes)
     return np.sort(np.asarray(survivors, dtype=np.intp))

@@ -33,11 +33,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.bitsets import iter_bits
-from ..core.dominance import Dominance
-from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 from ..storage.blocks import PagedFile, StorageManager
-from .base import Stats, check_input, register
+from .base import Stats, check_input, ensure_context, register
 from .osdc import osdc
 
 __all__ = ["external_osdc"]
@@ -45,14 +44,16 @@ __all__ = ["external_osdc"]
 
 class _ExternalOSDC:
     def __init__(self, graph: PGraph, storage: StorageManager,
-                 memory_budget: int, stats: Stats | None,
+                 memory_budget: int, context: ExecutionContext,
                  rng: np.random.Generator):
         self.graph = graph
-        self.dominance = Dominance(graph)
-        self.extension = ExtensionOrder(graph)
+        compiled = context.compiled(graph)
+        self.dominance = compiled.dominance
+        self.extension = compiled.extension
         self.storage = storage
         self.memory_budget = memory_budget
-        self.stats = stats
+        self.context = context
+        self.stats = context.stats
         self.rng = rng
 
     # -- helpers ---------------------------------------------------------------
@@ -107,6 +108,7 @@ class _ExternalOSDC:
               depth: int) -> np.ndarray:
         """Return ``M_pi`` of the file's tuples as in-memory rows
         (rank columns + trailing id)."""
+        self.context.check("external-osdc")
         if self.stats is not None:
             self.stats.recursive_calls += 1
             self.stats.max_depth = max(self.stats.max_depth, depth)
@@ -116,7 +118,7 @@ class _ExternalOSDC:
         if n <= self.memory_budget:
             block = np.vstack(list(data.scan()))
             local = osdc(np.ascontiguousarray(block[:, :-1]), self.graph,
-                         stats=self.stats)
+                         context=self.context)
             return block[local]
         lows, seconds, samples = self._scan_statistics(data, cand)
         attribute = None
@@ -180,6 +182,7 @@ class _ExternalOSDC:
         pivot = pivot_row[:-1]
         pivot_id = pivot_row[-1]
         for page in data.scan():
+            self.context.check("external-osdc-prune")
             if self.stats is not None:
                 self.stats.dominance_tests += page.shape[0]
             keep = ~self.dominance.dominated_mask(page[:, :-1], pivot)
@@ -199,6 +202,7 @@ class _ExternalOSDC:
         survivors = self.storage.create(data.arity)
         block = result_rows[:, :-1]
         for page in data.scan():
+            self.context.check("external-osdc-screen")
             if self.stats is not None:
                 self.stats.dominance_tests += page.shape[0] * block.shape[0]
             keep = self.dominance.screen_block(page[:, :-1], block)
@@ -210,7 +214,9 @@ class _ExternalOSDC:
 
 @register("external-osdc")
 def external_osdc(ranks: np.ndarray, graph: PGraph, *,
-                  stats: Stats | None = None, page_size: int = 256,
+                  stats: Stats | None = None,
+                  context: ExecutionContext | None = None,
+                  page_size: int = 256,
                   memory_budget: int = 4096,
                   seed: int = 0) -> np.ndarray:
     """Output-sensitive p-skyline evaluation over paged storage.
@@ -221,6 +227,8 @@ def external_osdc(ranks: np.ndarray, graph: PGraph, *,
     OSDC.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
     if memory_budget < 2:
@@ -228,10 +236,14 @@ def external_osdc(ranks: np.ndarray, graph: PGraph, *,
     storage = StorageManager(page_size)
     ids = np.arange(ranks.shape[0], dtype=np.float64).reshape(-1, 1)
     source = storage.from_matrix(np.hstack([ranks, ids]), "input")
-    engine = _ExternalOSDC(graph, storage, memory_budget, stats,
+    engine = _ExternalOSDC(graph, storage, memory_budget, context,
                            np.random.default_rng(seed))
     result = engine.solve(source, graph.roots, 0, 0)
     if stats is not None:
         stats.io_reads += storage.counter.reads
         stats.io_writes += storage.counter.writes
+    context.event("external-osdc", rows=ranks.shape[0],
+                  survivors=result.shape[0],
+                  page_reads=storage.counter.reads,
+                  page_writes=storage.counter.writes)
     return np.sort(result[:, -1].astype(np.intp))

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
+from .base import ensure_context
 from .osdc import osdc
 
 __all__ = ["PSkylineMaintainer"]
@@ -32,11 +33,16 @@ class PSkylineMaintainer:
     """Maintains ``M_pi`` of a dynamic set of tuples.
 
     Tuples are identified by the integer id returned from :meth:`insert`.
+    A shared :class:`ExecutionContext` (or the default one created here)
+    supplies the compiled preference, so the dominance oracle is built
+    once per p-graph across all maintainers.
     """
 
-    def __init__(self, graph: PGraph, capacity: int = 1024):
+    def __init__(self, graph: PGraph, capacity: int = 1024,
+                 context: ExecutionContext | None = None):
         self.graph = graph
-        self.dominance = Dominance(graph)
+        self.context = ensure_context(context)
+        self.dominance = self.context.compiled(graph).dominance
         self._ranks = np.empty((capacity, graph.d), dtype=np.float64)
         self._alive = np.zeros(capacity, dtype=bool)
         self._in_skyline = np.zeros(capacity, dtype=bool)
@@ -69,6 +75,7 @@ class PSkylineMaintainer:
             )
         if np.isnan(values).any():
             raise ValueError("NaN ranks are not allowed")
+        self.context.check("maintainer-insert")
         tuple_id = self._append(values)
         skyline = self.skyline_ids()
         # the new tuple id is already stored but not yet in the skyline
@@ -86,6 +93,7 @@ class PSkylineMaintainer:
         """Delete a tuple by id.  Promotes retained tuples if needed."""
         if tuple_id not in self:
             raise KeyError(f"tuple {tuple_id} is not alive")
+        self.context.check("maintainer-delete")
         was_maximal = bool(self._in_skyline[tuple_id])
         self._alive[tuple_id] = False
         self._in_skyline[tuple_id] = False
@@ -102,7 +110,8 @@ class PSkylineMaintainer:
         candidates = shadowed[survivors_mask]
         if candidates.size == 0:
             return
-        local = osdc(self._ranks[candidates], self.graph)
+        local = osdc(self._ranks[candidates], self.graph,
+                     context=self.context)
         self._in_skyline[candidates[local]] = True
 
     # -- internals -------------------------------------------------------------

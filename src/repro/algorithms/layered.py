@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context
 from .naive import maximal_mask
 from .osdc import osdc
 
@@ -72,18 +72,23 @@ def _group_starts(block: np.ndarray) -> np.ndarray:
 
 
 def layered(ranks: np.ndarray, graph: PGraph, *,
-            stats: Stats | None = None, leaf_size: int = 32) -> np.ndarray:
+            stats: Stats | None = None,
+            context: ExecutionContext | None = None,
+            leaf_size: int = 32) -> np.ndarray:
     """Compute ``M_pi(D)`` layer by layer for weak-order p-graphs.
 
     Returns sorted row indices.  Raises :class:`NotAWeakOrderError` for
     graphs that are not weak orders.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
     layers = weak_order_layers(graph)
     survivors = np.arange(ranks.shape[0], dtype=np.intp)
     for level, layer in enumerate(layers):
+        context.check("layered-level")
         if survivors.size <= 1:
             break
         block = ranks[np.ix_(survivors, layer)]
@@ -92,10 +97,11 @@ def layered(ranks: np.ndarray, graph: PGraph, *,
             stats.passes += 1
         # 1. keep only the layer-skyline of the current survivors
         if survivors.size <= leaf_size:
-            keep = maximal_mask(block, Dominance(sky), stats=stats)
+            keep = maximal_mask(block, context.compiled(sky).dominance,
+                                stats=stats, check=context.check)
             kept_local = np.flatnonzero(keep)
         else:
-            kept_local = osdc(block, sky, stats=stats)
+            kept_local = osdc(block, sky, context=context)
         survivors = survivors[kept_local]
         if level == len(layers) - 1:
             break
@@ -122,7 +128,8 @@ def layered(ranks: np.ndarray, graph: PGraph, *,
                 kept_groups.append(group)
                 continue
             local = layered(ranks[np.ix_(group, remaining_layers)],
-                            rest_graph, stats=stats, leaf_size=leaf_size)
+                            rest_graph, context=context,
+                            leaf_size=leaf_size)
             kept_groups.append(group[local])
         return np.sort(np.concatenate(kept_groups))
     return np.sort(survivors)

@@ -18,10 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dominance import Dominance
-from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 from .sfs import sfs_scan
 
 __all__ = ["less"]
@@ -29,7 +28,9 @@ __all__ = ["less"]
 
 @register("less")
 def less(ranks: np.ndarray, graph: PGraph, *,
-         stats: Stats | None = None, filter_size: int | None = None,
+         stats: Stats | None = None,
+         context: ExecutionContext | None = None,
+         filter_size: int | None = None,
          chunk_size: int = 512) -> np.ndarray:
     """Compute ``M_pi(D)`` with an elimination-filter pass plus SFS.
 
@@ -39,21 +40,25 @@ def less(ranks: np.ndarray, graph: PGraph, *,
     point.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     if filter_size is None:
         filter_size = max(50, min(10_000, ranks.shape[0] // 20))
     if filter_size < 1:
         raise ValueError("filter_size must be at least 1")
-    dominance = Dominance(graph)
+    compiled = context.compiled(graph)
+    dominance = compiled.dominance
     n = ranks.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
 
-    extension = ExtensionOrder(graph)
+    extension = compiled.extension
 
     # -- elimination-filter pass ---------------------------------------------
     # Filter candidates: the tuples with the smallest aggregate score (the
     # LESS "entropy" heuristic specialised to ranks).  They are likely
     # dominators, so screening the input against them removes most tuples.
+    context.check("less-filter")
     if stats is not None:
         stats.passes += 1
     scores = ranks.sum(axis=1)
@@ -66,17 +71,20 @@ def less(ranks: np.ndarray, graph: PGraph, *,
     filter_block = ranks[filter_rows]
     if stats is not None:
         stats.dominance_tests += k * k + n * filter_block.shape[0]
-    survivors_mask = dominance.screen_block(ranks, filter_block)
+    survivors_mask = dominance.screen_block(ranks, filter_block,
+                                            check=context.check)
     survivors = np.flatnonzero(survivors_mask)
     if stats is not None:
         stats.pruned_by_filter += n - survivors.size
+    context.event("less-filter", rows=n, survivors=int(survivors.size),
+                  filter_tuples=int(filter_block.shape[0]))
 
     # -- sort-and-filter pass ---------------------------------------------------
     if stats is not None:
         stats.passes += 1
     sub = ranks[survivors]
     order = extension.argsort(sub)
-    kept_local = sfs_scan(sub, order, dominance, stats=stats,
-                          chunk_size=chunk_size)
+    kept_local = sfs_scan(sub, order, dominance, chunk_size=chunk_size,
+                          context=context)
     result = survivors[np.asarray(kept_local, dtype=np.intp)]
     return np.sort(result)

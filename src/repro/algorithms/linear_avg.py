@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 from .osdc import osdc
 
 __all__ = ["osdc_linear", "virtual_tuple"]
@@ -50,7 +50,9 @@ def virtual_tuple(ranks: np.ndarray, quantile: float | None = None
 
 @register("osdc-linear")
 def osdc_linear(ranks: np.ndarray, graph: PGraph, *,
-                stats: Stats | None = None, quantile: float | None = None,
+                stats: Stats | None = None,
+                context: ExecutionContext | None = None,
+                quantile: float | None = None,
                 min_size: int = 64, **osdc_options) -> np.ndarray:
     """OSDC preceded by the linear virtual-tuple pruning scan (Section 5).
 
@@ -58,13 +60,16 @@ def osdc_linear(ranks: np.ndarray, graph: PGraph, *,
     scan (the quantile bound is meaningless for tiny ``n``).
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     n = ranks.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
     if n < min_size:
-        return osdc(ranks, graph, stats=stats, **osdc_options)
+        return osdc(ranks, graph, context=context, **osdc_options)
 
-    dominance = Dominance(graph)
+    context.check("virtual-tuple-scan")
+    dominance = context.compiled(graph).dominance
     pivot = virtual_tuple(ranks, quantile)
     if stats is not None:
         stats.passes += 1
@@ -72,9 +77,9 @@ def osdc_linear(ranks: np.ndarray, graph: PGraph, *,
     has_dominator = dominance.dominators_mask(ranks, pivot).any()
     if not has_dominator:
         # Phase 3 (probability < 1/n under CI): fall back to the full input.
-        return osdc(ranks, graph, stats=stats, **osdc_options)
+        return osdc(ranks, graph, context=context, **osdc_options)
     survivors = np.flatnonzero(~dominance.dominated_mask(ranks, pivot))
     if stats is not None:
         stats.pruned_by_filter += n - survivors.size
-    local = osdc(ranks[survivors], graph, stats=stats, **osdc_options)
+    local = osdc(ranks[survivors], graph, context=context, **osdc_options)
     return np.sort(survivors[local])

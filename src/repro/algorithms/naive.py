@@ -11,25 +11,34 @@ import numpy as np
 
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["naive", "maximal_mask"]
 
 
 def maximal_mask(ranks: np.ndarray, dominance: Dominance,
-                 stats: Stats | None = None, chunk: int = 256) -> np.ndarray:
+                 stats: Stats | None = None, chunk: int = 256,
+                 check=None) -> np.ndarray:
     """Boolean mask of the maximal rows of ``ranks`` (the p-skyline)."""
     n = ranks.shape[0]
     if stats is not None:
         stats.dominance_tests += n * max(n - 1, 0)
-    return dominance.screen_block(ranks, ranks, chunk=chunk)
+    return dominance.screen_block(ranks, ranks, chunk=chunk, check=check)
 
 
 @register("naive")
 def naive(ranks: np.ndarray, graph: PGraph, *,
-          stats: Stats | None = None, chunk: int = 256) -> np.ndarray:
+          stats: Stats | None = None,
+          context: ExecutionContext | None = None,
+          chunk: int = 256) -> np.ndarray:
     """Compute ``M_pi(D)`` by exhaustive pairwise dominance tests."""
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
-    mask = maximal_mask(ranks, dominance, stats=stats, chunk=chunk)
-    return np.flatnonzero(mask)
+    context = ensure_context(context, stats)
+    dominance = context.compiled(graph).dominance
+    mask = maximal_mask(ranks, dominance, stats=context.stats, chunk=chunk,
+                        check=context.check)
+    result = np.flatnonzero(mask)
+    context.event("naive-screen", rows=ranks.shape[0],
+                  survivors=int(result.size))
+    return result

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 from .dc import _DivideAndConquer
 from .pscreen import PScreener, split_threshold
 from .special import pscreen_single_point, pskyline_single_point
@@ -27,10 +28,12 @@ class _OutputSensitiveDC(_DivideAndConquer):
     """DC driver with the look-ahead single-point pruning of OSDC."""
 
     def __init__(self, ranks: np.ndarray, graph: PGraph,
-                 screener: PScreener, stats: Stats | None, leaf_size: int,
-                 select: str = "first"):
-        super().__init__(ranks, graph, screener, stats, leaf_size, select)
-        self.extension = ExtensionOrder(graph)
+                 screener: PScreener, context: ExecutionContext,
+                 leaf_size: int, select: str = "first"):
+        super().__init__(ranks, graph, screener, context, leaf_size, select)
+        compiled = screener.compiled
+        self.extension = compiled.extension if compiled is not None \
+            else ExtensionOrder(graph)
 
     def split(self, idx: np.ndarray, attribute: int, cand: int, equal: int,
               depth: int) -> np.ndarray:
@@ -61,7 +64,7 @@ class _OutputSensitiveDC(_DivideAndConquer):
         survivors = self.screener.screen(
             self.ranks, better_sky, worse_kept,
             candidates=cand & ~(1 << attribute), equal=equal,
-            dropped=1 << attribute, stats=self.stats,
+            dropped=1 << attribute, context=self.context,
         )
         worse_sky = self.rec(survivors, cand, equal, depth + 1)
         return np.concatenate([np.array([pivot], dtype=np.intp),
@@ -70,6 +73,7 @@ class _OutputSensitiveDC(_DivideAndConquer):
 
 @register("osdc")
 def osdc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
+         context: ExecutionContext | None = None,
          leaf_size: int = 16, use_lowdim: bool = True,
          dense_cutoff: int = 4096, select: str = "first") -> np.ndarray:
     """Compute ``M_pi(D)`` with the output-sensitive Algorithm OSDC.
@@ -81,10 +85,11 @@ def osdc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
     SELECT_STRATEGIES`).
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-    screener = PScreener(graph, use_lowdim=use_lowdim,
-                         dense_cutoff=dense_cutoff)
-    driver = _OutputSensitiveDC(ranks, graph, screener, stats, leaf_size,
+    screener = context.compiled(graph).screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    driver = _OutputSensitiveDC(ranks, graph, screener, context, leaf_size,
                                 select)
     return driver.run()

@@ -22,7 +22,8 @@ import multiprocessing as mp
 import numpy as np
 
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 from .osdc import osdc
 
 __all__ = ["parallel_osdc"]
@@ -36,29 +37,38 @@ def _worker(payload) -> np.ndarray:
 
 @register("parallel-osdc")
 def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
-                  stats: Stats | None = None, processes: int = 2,
+                  stats: Stats | None = None,
+                  context: ExecutionContext | None = None,
+                  processes: int = 2,
                   min_chunk: int = 4096, **osdc_options) -> np.ndarray:
     """Compute ``M_pi(D)`` with ``processes`` worker processes.
 
     Returns sorted row indices.  Falls back to plain OSDC when
-    ``processes == 1`` or the input is smaller than
-    ``processes * min_chunk`` (forking would cost more than it saves).
+    ``processes == 1``, the input is smaller than
+    ``processes * min_chunk`` (forking would cost more than it saves), or
+    the context carries a deadline/cancellation token -- worker processes
+    cannot observe the parent's monotonic clock or cancel event, so
+    interruptible queries run serially where every ``check`` fires.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
     n = ranks.shape[0]
     if processes < 1:
         raise ValueError("processes must be positive")
-    if processes == 1 or n < processes * min_chunk:
-        return osdc(ranks, graph, stats=stats, **osdc_options)
+    if (processes == 1 or n < processes * min_chunk
+            or context.interruptible):
+        return osdc(ranks, graph, context=context, **osdc_options)
 
     bounds = np.linspace(0, n, processes + 1, dtype=np.intp)
     chunks = [(ranks[bounds[i]:bounds[i + 1]], graph.names,
                graph.closure, osdc_options)
               for i in range(processes)]
-    context = mp.get_context("fork" if "fork" in
-                             mp.get_all_start_methods() else "spawn")
-    with context.Pool(processes) as pool:
+    mp_context = mp.get_context("fork" if "fork" in
+                                mp.get_all_start_methods() else "spawn")
+    with mp_context.Pool(processes) as pool:
         partials = pool.map(_worker, chunks)
+    context.check("parallel-merge")
     survivors = np.concatenate([
         np.asarray(local, dtype=np.intp) + bounds[i]
         for i, local in enumerate(partials)
@@ -66,6 +76,8 @@ def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
     if stats is not None:
         stats.passes += 1
         stats.extra["chunk_skylines"] = [int(p.size) for p in partials]
-    merged_local = osdc(ranks[survivors], graph, stats=stats,
+    context.event("parallel-merge", workers=processes,
+                  candidates=int(survivors.size))
+    merged_local = osdc(ranks[survivors], graph, context=context,
                         **osdc_options)
     return np.sort(survivors[merged_local])

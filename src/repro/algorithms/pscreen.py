@@ -24,14 +24,20 @@ disagreement is then an ``F`` attribute, which favours ``B``), ``|B| = 1``
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..core.bitsets import iter_bits
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context
 from .lowdim import screen_small
 from .special import pscreen_single_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.compiled import CompiledPreference
 
 __all__ = ["pscreen", "PScreener", "split_threshold"]
 
@@ -60,21 +66,29 @@ class PScreener:
     """
 
     def __init__(self, graph: PGraph, *, use_lowdim: bool = True,
-                 dense_cutoff: int = 4096):
+                 dense_cutoff: int = 4096,
+                 compiled: "CompiledPreference | None" = None):
         self.graph = graph
-        self.dominance = Dominance(graph)
+        self.compiled = compiled
+        self.dominance = compiled.dominance if compiled is not None \
+            else Dominance(graph)
         self.use_lowdim = use_lowdim
         self.dense_cutoff = dense_cutoff
         self._subgraphs: dict[int, PGraph] = {}
 
     def _subgraph(self, mask: int) -> PGraph:
+        # with a compiled preference the restricted sub-graphs are shared
+        # (and survive) across every screener of the same p-graph
+        if self.compiled is not None:
+            return self.compiled.subgraph(mask)
         if mask not in self._subgraphs:
             self._subgraphs[mask] = self.graph.restrict(mask)
         return self._subgraphs[mask]
 
     def screen(self, ranks: np.ndarray, b_idx: np.ndarray, w_idx: np.ndarray,
                candidates: int | None = None, equal: int = 0, dropped: int = 0,
-               stats: Stats | None = None) -> np.ndarray:
+               stats: Stats | None = None,
+               context: ExecutionContext | None = None) -> np.ndarray:
         """Return the rows of ``w_idx`` not dominated by any row of ``b_idx``.
 
         ``candidates``/``equal``/``dropped`` are the ``C``/``E``/``F``
@@ -82,17 +96,20 @@ class PScreener:
         (``C = Roots``, ``E = F = ∅``).  Caller must guarantee
         ``W ⋡_pi B`` and the invariants I1/I2 for non-default masks.
         """
+        context = ensure_context(context, stats)
         if candidates is None:
             candidates = self.graph.roots
         b_idx = np.asarray(b_idx, dtype=np.intp)
         w_idx = np.asarray(w_idx, dtype=np.intp)
         return self._rec(ranks, b_idx, w_idx, candidates, equal, dropped,
-                         stats, 0)
+                         context, 0)
 
     # -- recursion ------------------------------------------------------------
     def _rec(self, ranks: np.ndarray, b_idx: np.ndarray, w_idx: np.ndarray,
              cand: int, equal: int, dropped: int,
-             stats: Stats | None, depth: int) -> np.ndarray:
+             context: ExecutionContext, depth: int) -> np.ndarray:
+        context.check("pscreen")
+        stats = context.stats
         if stats is not None:
             stats.recursive_calls += 1
             stats.max_depth = max(stats.max_depth, depth)
@@ -147,14 +164,14 @@ class PScreener:
             cand_without = cand & ~(1 << a)
             surviving_worse = self._rec(ranks, b_idx, w_worse, cand_without,
                                         equal, dropped | (1 << a),
-                                        stats, depth + 1)
+                                        context, depth + 1)
             new_equal = equal | (1 << a)
             new_cand = cand_without
             for successor in iter_bits(self.graph.successors(a)):
                 if (self.graph.predecessors(successor) & ~new_equal) == 0:
                     new_cand |= 1 << successor
             surviving_equal = self._rec(ranks, b_idx, w_equal, new_cand,
-                                        new_equal, dropped, stats, depth + 1)
+                                        new_equal, dropped, context, depth + 1)
             return np.concatenate([w_better, surviving_worse,
                                    surviving_equal])
 
@@ -169,22 +186,24 @@ class PScreener:
         w_better = w_idx[w_column < tau]
         w_rest = w_idx[w_column >= tau]
         surviving_better = self._rec(ranks, b_better, w_better, cand, equal,
-                                     dropped, stats, depth + 1)
+                                     dropped, context, depth + 1)
         surviving_rest = self._rec(ranks, b_worse, w_rest, cand, equal,
-                                   dropped, stats, depth + 1)
+                                   dropped, context, depth + 1)
         surviving_rest = self._rec(ranks, b_better, surviving_rest,
                                    cand & ~(1 << attribute), equal,
                                    dropped | (1 << attribute),
-                                   stats, depth + 1)
+                                   context, depth + 1)
         return np.concatenate([surviving_better, surviving_rest])
 
 
 def pscreen(ranks: np.ndarray, graph: PGraph, b_idx: np.ndarray,
             w_idx: np.ndarray, *, stats: Stats | None = None,
+            context: ExecutionContext | None = None,
             use_lowdim: bool = True, dense_cutoff: int = 4096) -> np.ndarray:
     """Functional entry point: p-screen ``W`` (rows ``w_idx``) against ``B``
     (rows ``b_idx``) under the precondition ``W ⋡_pi B``."""
     ranks = check_input(ranks, graph)
-    screener = PScreener(graph, use_lowdim=use_lowdim,
-                         dense_cutoff=dense_cutoff)
-    return screener.screen(ranks, b_idx, w_idx, stats=stats)
+    context = ensure_context(context, stats)
+    screener = context.compiled(graph).screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    return screener.screen(ranks, b_idx, w_idx, context=context)

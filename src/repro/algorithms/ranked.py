@@ -20,15 +20,17 @@ import itertools
 import numpy as np
 
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 from ..index.rtree import RTree
-from .base import Stats, check_input, get_algorithm
+from .base import Stats, check_input, ensure_context, get_algorithm
 from .bbs import bbs_iter
 
 __all__ = ["top_k", "peel_layers"]
 
 
 def top_k(ranks: np.ndarray, graph: PGraph, k: int, *,
-          stats: Stats | None = None, fanout: int = 32,
+          stats: Stats | None = None,
+          context: ExecutionContext | None = None, fanout: int = 32,
           tree: RTree | None = None) -> np.ndarray:
     """The first ``k`` p-skyline tuples in ``≻ext`` order (fewer if the
     p-skyline is smaller).
@@ -39,15 +41,17 @@ def top_k(ranks: np.ndarray, graph: PGraph, k: int, *,
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    iterator = bbs_iter(ranks, graph, stats=stats, fanout=fanout,
-                        tree=tree)
+    iterator = bbs_iter(ranks, graph, stats=stats, context=context,
+                        fanout=fanout, tree=tree)
     rows = list(itertools.islice(iterator, k))
     return np.asarray(rows, dtype=np.intp)
 
 
 def peel_layers(ranks: np.ndarray, graph: PGraph, *,
                 max_layers: int | None = None, algorithm: str = "osdc",
-                stats: Stats | None = None) -> list[np.ndarray]:
+                stats: Stats | None = None,
+                context: ExecutionContext | None = None
+                ) -> list[np.ndarray]:
     """Partition the input into successive p-skyline layers.
 
     Returns a list of sorted index arrays; their concatenation is a
@@ -56,13 +60,15 @@ def peel_layers(ranks: np.ndarray, graph: PGraph, *,
     length ``i - 1``.
     """
     ranks = check_input(ranks, graph)
+    context = ensure_context(context, stats)
     function = get_algorithm(algorithm)
     remaining = np.arange(ranks.shape[0], dtype=np.intp)
     layers: list[np.ndarray] = []
     while remaining.size:
+        context.check("peel-layer")
         if max_layers is not None and len(layers) >= max_layers:
             break
-        local = function(ranks[remaining], graph, stats=stats)
+        local = function(ranks[remaining], graph, context=context)
         layer = remaining[local]
         layers.append(layer)
         keep = np.ones(remaining.size, dtype=bool)

@@ -17,19 +17,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["salsa"]
 
 
 @register("salsa")
 def salsa(ranks: np.ndarray, graph: PGraph, *,
-          stats: Stats | None = None) -> np.ndarray:
+          stats: Stats | None = None,
+          context: ExecutionContext | None = None) -> np.ndarray:
     """Compute ``M_pi(D)`` with minC-sorting and an early-stop window."""
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
+    dominance = context.compiled(graph).dominance
     n = ranks.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
@@ -42,6 +45,8 @@ def salsa(ranks: np.ndarray, graph: PGraph, *,
     window: list[int] = []
     stop_value = np.inf
     for position, row in enumerate(order):
+        if position % 256 == 0:
+            context.check("salsa-scan")
         if min_coord[row] > stop_value:
             # every remaining tuple is strictly worse than the stop point on
             # all attributes, hence dominated under any p-expression

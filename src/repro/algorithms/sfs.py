@@ -22,24 +22,29 @@ import numpy as np
 from ..core.dominance import Dominance
 from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
-from .base import Stats, check_input, register
+from ..engine.context import ExecutionContext
+from .base import Stats, check_input, ensure_context, register
 
 __all__ = ["sfs", "sfs_scan", "sfs_iter"]
 
 
 def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
              stats: Stats | None = None,
-             chunk_size: int = 512) -> np.ndarray:
+             chunk_size: int = 512,
+             context: ExecutionContext | None = None) -> np.ndarray:
     """Filtering scan over the rows of ``ranks`` taken in ``order``.
 
     Requires ``order`` to be a topological sort of ``≻_pi`` (dominators
     first).  Returns the surviving row indices in scan order.
     """
+    context = ensure_context(context, stats)
+    stats = context.stats
     chunk_size = max(1, chunk_size)
     window_parts: list[np.ndarray] = []  # materialised window rank blocks
     survivors: list[np.ndarray] = []
     window_size = 0
     for start in range(0, order.size, chunk_size):
+        context.check("sfs-chunk")
         chunk_rows = order[start:start + chunk_size]
         chunk = ranks[chunk_rows]
         alive = np.ones(chunk_rows.size, dtype=bool)
@@ -61,15 +66,21 @@ def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
             survivors.append(kept)
             window_parts.append(ranks[kept])
             window_size += kept.size
+            context.charge_memory(window_size, "sfs-window")
             if stats is not None:
                 stats.window_peak = max(stats.window_peak, window_size)
     if not survivors:
+        context.event("sfs-scan", rows=int(order.size), survivors=0)
         return np.empty(0, dtype=np.intp)
-    return np.concatenate(survivors)
+    kept = np.concatenate(survivors)
+    context.event("sfs-scan", rows=int(order.size),
+                  survivors=int(kept.size))
+    return kept
 
 
 def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
-             stats: Stats | None = None):
+             stats: Stats | None = None,
+             context: ExecutionContext | None = None):
     """Progressive SFS: yield p-skyline row indices as the presorted scan
     confirms them (Section 6's pipelineability, as a generator).
 
@@ -77,14 +88,19 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
     only the scan up to that point plus the presort.
     """
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
+    context = ensure_context(context, stats)
+    stats = context.stats
+    compiled = context.compiled(graph)
+    dominance = compiled.dominance
     if ranks.shape[0] == 0:
         return
     if stats is not None:
         stats.passes += 1
-    order = ExtensionOrder(graph).argsort(ranks)
+    order = compiled.extension.argsort(ranks)
     window: list[int] = []
-    for row in order:
+    for position, row in enumerate(order):
+        if position % 256 == 0:
+            context.check("sfs-scan")
         if window:
             block = ranks[np.asarray(window, dtype=np.intp)]
             if stats is not None:
@@ -97,8 +113,9 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
 
 @register("sfs")
 def sfs(ranks: np.ndarray, graph: PGraph, *,
-        stats: Stats | None = None, presort: bool = True,
-        chunk_size: int = 512) -> np.ndarray:
+        stats: Stats | None = None,
+        context: ExecutionContext | None = None,
+        presort: bool = True, chunk_size: int = 512) -> np.ndarray:
     """Compute ``M_pi(D)`` by presorting with ``≻ext`` and filtering.
 
     ``presort=False`` is the ablation switch: without the sort the scan
@@ -106,16 +123,18 @@ def sfs(ranks: np.ndarray, graph: PGraph, *,
     BNL.
     """
     ranks = check_input(ranks, graph)
-    dominance = Dominance(graph)
+    context = ensure_context(context, stats)
+    compiled = context.compiled(graph)
     n = ranks.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
-    if stats is not None:
-        stats.passes += 1
+    if context.stats is not None:
+        context.stats.passes += 1
     if presort:
-        order = ExtensionOrder(graph).argsort(ranks)
-        kept = sfs_scan(ranks, order, dominance, stats=stats,
-                        chunk_size=chunk_size)
+        order = compiled.extension.argsort(ranks)
+        context.event("sfs-presort", rows=n)
+        kept = sfs_scan(ranks, order, compiled.dominance,
+                        chunk_size=chunk_size, context=context)
         return np.sort(kept)
     from .bnl import bnl
-    return bnl(ranks, graph, stats=stats)
+    return bnl(ranks, graph, context=context)

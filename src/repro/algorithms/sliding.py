@@ -14,6 +14,7 @@ from collections import deque
 import numpy as np
 
 from ..core.pgraph import PGraph
+from ..engine.context import ExecutionContext
 from .incremental import PSkylineMaintainer
 
 __all__ = ["SlidingWindowPSkyline"]
@@ -22,13 +23,15 @@ __all__ = ["SlidingWindowPSkyline"]
 class SlidingWindowPSkyline:
     """Exact ``M_pi`` of the last ``window`` appended tuples."""
 
-    def __init__(self, graph: PGraph, window: int):
+    def __init__(self, graph: PGraph, window: int,
+                 context: ExecutionContext | None = None):
         if window < 1:
             raise ValueError("window must hold at least one tuple")
         self.graph = graph
         self.window = window
         self._maintainer = PSkylineMaintainer(graph,
-                                              capacity=2 * window)
+                                              capacity=2 * window,
+                                              context=context)
         self._queue: deque[int] = deque()
 
     def append(self, values) -> int:

@@ -156,24 +156,36 @@ class Dominance:
         return bool(self.dominators_mask(candidates, target).any())
 
     def screen_block(self, block: np.ndarray, against: np.ndarray,
-                     chunk: int = 256) -> np.ndarray:
+                     chunk: int = 256, check=None) -> np.ndarray:
         """Boolean survivors mask: rows of ``block`` not dominated by any
         row of ``against``.
 
         Quadratic but fully vectorised; used as the oracle, as the dense
         base case of recursive screening, and by the scan-based algorithms.
         ``chunk`` bounds the temporary ``(chunk, m, d)`` comparison tensors.
+        ``check`` (e.g. ``ExecutionContext.check``) is invoked once per
+        chunk so deadlines and cancellations interrupt long screenings.
         """
         n = block.shape[0]
         m = against.shape[0]
         survivors = np.ones(n, dtype=bool)
         if n == 0 or m == 0:
             return survivors
+        # chunk both sides: the temporaries stay (chunk, against_chunk, d)
+        # regardless of m, and deadline checks fire between inner blocks
+        against_chunk = 4096
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
             sub = block[start:stop]  # (c, d)
-            lt = against[None, :, :] < sub[:, None, :]  # against better
-            gt = against[None, :, :] > sub[:, None, :]  # block better
-            dominated = self._dominated_flags(lt, gt).any(axis=1)
+            dominated = np.zeros(stop - start, dtype=bool)
+            for a_start in range(0, m, against_chunk):
+                if check is not None:
+                    check("screen-block")
+                part = against[a_start:a_start + against_chunk]
+                lt = part[None, :, :] < sub[:, None, :]  # against better
+                gt = part[None, :, :] > sub[:, None, :]  # block better
+                dominated |= self._dominated_flags(lt, gt).any(axis=1)
+                if dominated.all():
+                    break
             survivors[start:stop] = ~dominated
         return survivors

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..algorithms.base import Stats, get_algorithm
+from ..algorithms.base import Stats, ensure_context, get_algorithm
+from ..engine.context import ExecutionContext
 from .attributes import Attribute, Direction
 from .expressions import Att, PExpr, pareto, prioritized
 from .parser import ParseError
@@ -165,7 +166,9 @@ def parse_preferring(text: str) -> PreferringClause:
 
 def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
                         *, algorithm: str = "osdc",
-                        stats: Stats | None = None) -> Relation:
+                        stats: Stats | None = None,
+                        context: ExecutionContext | None = None
+                        ) -> Relation:
     """Evaluate a ``PREFERRING`` clause against a relation.
 
     Directions in the clause override the relation's schema: a column
@@ -198,5 +201,6 @@ def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
         np.empty((len(relation), 0))
     graph = PGraph.from_expression(clause.expression, names=names)
     function = get_algorithm(algorithm)
-    indices = function(matrix, graph, stats=stats)
+    context = ensure_context(context, stats)
+    indices = function(matrix, graph, context=context)
     return relation.take(indices)

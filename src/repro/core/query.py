@@ -19,7 +19,8 @@ from typing import Any
 
 import numpy as np
 
-from ..algorithms.base import Stats, get_algorithm
+from ..algorithms.base import Stats, ensure_context, get_algorithm
+from ..engine.context import ExecutionContext
 from .expressions import PExpr
 from .parser import parse
 from .pgraph import PGraph
@@ -40,6 +41,8 @@ def _resolve_expression(expression: PExpr | str) -> PExpr:
 
 def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
               algorithm: str = "osdc", stats: Stats | None = None,
+              context: ExecutionContext | None = None,
+              timeout: float | None = None,
               **options: Any) -> Relation | np.ndarray:
     """Evaluate the p-skyline query ``M_pi(data)``.
 
@@ -58,6 +61,13 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
     stats:
         Optional :class:`~repro.algorithms.base.Stats` to fill with work
         counters.
+    context:
+        Optional :class:`~repro.engine.ExecutionContext` carrying a
+        deadline, cancellation token, memory budget, trace buffer and
+        compiled-preference cache.  Created on the fly when absent.
+    timeout:
+        Shorthand for ``context`` with only a deadline: the query raises
+        :class:`~repro.engine.QueryTimeout` after this many seconds.
     options:
         Forwarded to the algorithm (e.g. ``filter_size`` for LESS).
 
@@ -68,11 +78,17 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
     """
     expr = _resolve_expression(expression)
     names = expr.attributes()
+    if timeout is not None:
+        if context is not None:
+            raise ValueError("pass either timeout or context, not both")
+        context = ExecutionContext.create(stats=stats, timeout=timeout)
+    context = ensure_context(context, stats)
     if algorithm == "auto":
         from ..planner import DEFAULT_PLANNER
 
-        def function(ranks, graph, stats=None, **opts):
-            return DEFAULT_PLANNER.execute(ranks, graph, stats=stats)
+        def function(ranks, graph, stats=None, context=None, **opts):
+            return DEFAULT_PLANNER.execute(ranks, graph, stats=stats,
+                                           context=context)
     else:
         function = get_algorithm(algorithm)
     if isinstance(data, Relation):
@@ -84,7 +100,8 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
         columns = [data.names.index(name) for name in names]
         ranks = data.ranks[:, columns]
         graph = PGraph.from_expression(expr, names=names)
-        indices = function(ranks, graph, stats=stats, **options)
+        indices = function(ranks, graph, stats=stats, context=context,
+                           **options)
         return data.take(indices)
     matrix = np.asarray(data, dtype=np.float64)
     if matrix.ndim != 2:
@@ -98,11 +115,14 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
         )
     columns = [default_names.index(name) for name in names]
     graph = PGraph.from_expression(expr, names=names)
-    return function(matrix[:, columns], graph, stats=stats, **options)
+    return function(matrix[:, columns], graph, stats=stats,
+                    context=context, **options)
 
 
 def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",
-            stats: Stats | None = None, **options: Any
+            stats: Stats | None = None,
+            context: ExecutionContext | None = None,
+            timeout: float | None = None, **options: Any
             ) -> Relation | np.ndarray:
     """The plain skyline ``M_sky(data)`` over *all* attributes
     (Section 2.2: the Pareto accumulation of every column)."""
@@ -113,4 +133,4 @@ def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",
         names = tuple(f"A{j}" for j in range(matrix.shape[1]))
     from .expressions import sky
     return p_skyline(data, sky(names), algorithm=algorithm, stats=stats,
-                     **options)
+                     context=context, timeout=timeout, **options)

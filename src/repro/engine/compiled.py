@@ -1,0 +1,190 @@
+"""Compile-once preference machinery and its LRU cache.
+
+Every p-skyline algorithm hangs off the same per-query artifacts derived
+from the p-graph: the :class:`~repro.core.dominance.Dominance` oracle
+(whose coverage GEMM matrix costs ``O(d^2)`` Python work to build), the
+``≻ext`` extension weights (:class:`~repro.core.extension.ExtensionOrder`),
+the topological order, the transitive reduction / depth / root masks, the
+weak-order / chain / Pareto specialization flags the planner keys on, and
+the restricted sub-graphs PSCREEN descends into.  Before the engine layer
+each evaluation call rebuilt all of it from scratch.
+
+:class:`CompiledPreference` builds that machinery exactly once per
+p-graph; :class:`PreferenceCache` is a keyed LRU so repeated queries over
+the same p-expression skip all preprocessing.  A module-level default
+cache backs :func:`compile_preference`, which is what
+:meth:`repro.engine.context.ExecutionContext.compiled` resolves through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from ..core.dominance import Dominance
+from ..core.extension import ExtensionOrder
+from ..core.pgraph import PGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..algorithms.pscreen import PScreener
+
+__all__ = ["CompiledPreference", "PreferenceCache", "compile_preference",
+           "default_cache"]
+
+#: Cache key of a p-graph: its attribute names plus descendant closure.
+CacheKey = tuple[tuple[str, ...], tuple[int, ...]]
+
+
+def graph_key(graph: PGraph) -> CacheKey:
+    """The cache key identifying a p-graph (names + transitive closure)."""
+    return (graph.names, graph.closure)
+
+
+class CompiledPreference:
+    """All per-p-graph machinery, built once and shared across queries.
+
+    Instances are immutable after construction except for the two
+    memoised factories (:meth:`subgraph`, :meth:`screener`), which are
+    lock-protected so a compiled preference can be shared between
+    threads.
+    """
+
+    __slots__ = ("graph", "dominance", "extension", "topological_order",
+                 "is_weak_order", "is_chain", "is_pareto", "roots",
+                 "reduction", "depths", "_subgraphs", "_screeners", "_lock")
+
+    def __init__(self, graph: PGraph):
+        self.graph = graph
+        self.dominance = Dominance(graph)
+        self.extension = ExtensionOrder(graph)
+        self.topological_order = tuple(graph.topological_order())
+        # force the p-graph's lazy structure so cache hits never recompute
+        self.roots = graph.roots
+        self.reduction = graph.reduction
+        self.depths = graph.depths
+        # specialization flags the planner and layered evaluator key on
+        self.is_pareto = graph.num_edges == 0
+        self.is_weak_order = graph.is_weak_order()
+        # a chain (total priority order) has descendant-set sizes exactly
+        # d-1, d-2, ..., 0 -- the longest one dominates everything below it
+        self.is_chain = (graph.d <= 1 or sorted(
+            mask.bit_count() for mask in graph.closure
+        ) == list(range(graph.d)))
+        self._subgraphs: dict[int, PGraph] = {graph.all_mask: graph}
+        self._screeners: dict[tuple, "PScreener"] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> CacheKey:
+        return graph_key(self.graph)
+
+    @property
+    def d(self) -> int:
+        return self.graph.d
+
+    def subgraph(self, mask: int) -> PGraph:
+        """The induced sub-p-graph on ``mask``, memoised."""
+        with self._lock:
+            found = self._subgraphs.get(mask)
+            if found is None:
+                found = self.graph.restrict(mask)
+                self._subgraphs[mask] = found
+            return found
+
+    def screener(self, *, use_lowdim: bool = True,
+                 dense_cutoff: int = 4096) -> "PScreener":
+        """A memoised :class:`~repro.algorithms.pscreen.PScreener` bound
+        to this compiled preference (one per option combination)."""
+        from ..algorithms.pscreen import PScreener
+
+        options = (use_lowdim, dense_cutoff)
+        with self._lock:
+            found = self._screeners.get(options)
+            if found is None:
+                found = PScreener(self.graph, use_lowdim=use_lowdim,
+                                  dense_cutoff=dense_cutoff, compiled=self)
+                self._screeners[options] = found
+            return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = [name for name, value in
+                 (("pareto", self.is_pareto), ("weak-order",
+                  self.is_weak_order), ("chain", self.is_chain)) if value]
+        suffix = f"; {', '.join(flags)}" if flags else ""
+        return f"CompiledPreference({', '.join(self.graph.names)}{suffix})"
+
+
+class PreferenceCache:
+    """A keyed LRU cache of :class:`CompiledPreference` instances.
+
+    ``hits`` / ``misses`` expose the effectiveness of the cache (the
+    bench harness reports them); :meth:`clear` resets it, which the
+    cold/warm correctness tests rely on.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[CacheKey, CompiledPreference] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, graph: PGraph) -> CompiledPreference:
+        """The compiled preference for ``graph``, building it on a miss."""
+        key = graph_key(graph)
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return found
+        # build outside the lock: compilation is pure and idempotent, so
+        # a racing duplicate build is wasteful but harmless
+        compiled = CompiledPreference(graph)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return existing
+            self.misses += 1
+            self._entries[key] = compiled
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return compiled
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/size snapshot (JSON-serialisable)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize}
+
+
+#: The process-wide default cache behind :func:`compile_preference`.
+_DEFAULT_CACHE = PreferenceCache(maxsize=128)
+
+
+def default_cache() -> PreferenceCache:
+    """The process-wide compiled-preference cache."""
+    return _DEFAULT_CACHE
+
+
+def compile_preference(graph: PGraph,
+                       cache: PreferenceCache | None = None
+                       ) -> CompiledPreference:
+    """Compile ``graph`` through ``cache`` (the process default if
+    ``None``)."""
+    return (cache if cache is not None else _DEFAULT_CACHE).get(graph)

@@ -1,0 +1,34 @@
+"""Engine-level error types.
+
+Every evaluation path (scan, divide-and-conquer, external-memory,
+parallel, SQL) raises these -- and only these -- when a query exceeds an
+:class:`~repro.engine.context.ExecutionContext` limit, so callers can
+catch one exception family regardless of which algorithm the planner
+picked.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "QueryTimeout", "QueryCancelled",
+           "MemoryBudgetExceeded"]
+
+
+class EngineError(RuntimeError):
+    """Base class for engine control-flow errors."""
+
+
+class QueryTimeout(EngineError, TimeoutError):
+    """The query's deadline passed before evaluation finished.
+
+    Subclasses :class:`TimeoutError` so generic timeout handlers also
+    catch it.
+    """
+
+
+class QueryCancelled(EngineError):
+    """The query's cancellation token was triggered mid-evaluation."""
+
+
+class MemoryBudgetExceeded(EngineError):
+    """An operator asked for more tuples in memory than the context's
+    ``memory_budget`` allows."""

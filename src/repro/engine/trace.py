@@ -1,0 +1,77 @@
+"""Event tracing for query execution.
+
+:class:`TraceBuffer` is a bounded ring buffer of :class:`TraceEvent`
+records (``phase``, ``elapsed_ns``, free-form counters).  Algorithms and
+the planner append events at phase boundaries; the bench harness and
+``explain``-style tooling render or serialise the buffer afterwards.
+The buffer is deliberately lossy (oldest events drop first) so tracing
+can stay enabled on long-running queries without unbounded growth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "TraceBuffer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped engine event."""
+
+    phase: str
+    elapsed_ns: int
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"phase": self.phase, "elapsed_ns": self.elapsed_ns,
+                **self.counters}
+
+
+class TraceBuffer:
+    """A bounded ring buffer of :class:`TraceEvent` records."""
+
+    __slots__ = ("_events", "dropped")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("trace capacity must be at least 1")
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Number of events evicted by the ring buffer so far.
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._events.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, phase: str, elapsed_ns: int, **counters) -> None:
+        """Append one event (evicting the oldest when full)."""
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(phase, int(elapsed_ns), counters))
+
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def to_json(self) -> list[dict]:
+        """JSON-serialisable view of the buffer (for bench artifacts)."""
+        return [event.to_dict() for event in self._events]
+
+    def render(self) -> str:
+        """A human-readable table of the buffered events."""
+        lines = [f"{'elapsed':>12}  phase"]
+        for event in self._events:
+            extras = " ".join(f"{k}={v}" for k, v in event.counters.items())
+            milliseconds = event.elapsed_ns / 1e6
+            line = f"{milliseconds:>10.3f}ms  {event.phase}"
+            if extras:
+                line += f"  [{extras}]"
+            lines.append(line)
+        if self.dropped:
+            lines.append(f"... {self.dropped} earlier event(s) dropped")
+        return "\n".join(lines)

@@ -24,9 +24,10 @@ from typing import Callable
 
 import numpy as np
 
-from .algorithms import Stats, get_algorithm
+from .algorithms import Stats, ensure_context, get_algorithm
 from .algorithms.layered import layered
 from .core.pgraph import PGraph
+from .engine.context import ExecutionContext
 from .estimation.cardinality import estimate_pskyline_size
 
 __all__ = ["Plan", "Planner"]
@@ -43,9 +44,22 @@ class Plan:
     _function: Callable | None = None
 
     def execute(self, ranks: np.ndarray, graph: PGraph,
-                stats: Stats | None = None) -> np.ndarray:
+                stats: Stats | None = None,
+                context: ExecutionContext | None = None) -> np.ndarray:
+        context = ensure_context(context, stats)
+        self.record(context)
         function = self._function or get_algorithm(self.algorithm)
-        return function(ranks, graph, stats=stats, **self.options)
+        return function(ranks, graph, context=context, **self.options)
+
+    def record(self, context: ExecutionContext) -> None:
+        """Expose the decision in ``stats.extra["plan"]`` and the trace."""
+        if context.stats is not None:
+            context.stats.extra["plan"] = {
+                "algorithm": self.algorithm,
+                "reason": self.reason,
+                "estimated_output": self.estimated_output,
+            }
+        context.event("plan", chosen=self.algorithm)
 
     def explain(self) -> str:
         estimate = ("" if self.estimated_output is None
@@ -80,9 +94,13 @@ class Planner:
         self.sample_size = sample_size
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-    def plan(self, ranks: np.ndarray, graph: PGraph) -> Plan:
+    def plan(self, ranks: np.ndarray, graph: PGraph,
+             context: ExecutionContext | None = None) -> Plan:
         """Decide how to evaluate ``M_pi(ranks)``."""
         n = ranks.shape[0]
+        is_weak_order = (context.compiled(graph).is_weak_order
+                         if context is not None
+                         else graph.is_weak_order())
         if n <= self.naive_threshold:
             return Plan("naive", f"input has only {n} tuples")
         if self.memory_budget is not None and n > self.memory_budget:
@@ -92,13 +110,13 @@ class Planner:
                 f"{self.memory_budget} tuples",
                 options={"memory_budget": self.memory_budget},
             )
-        if graph.is_weak_order():
+        if is_weak_order:
             return Plan(
                 "layered",
                 "the priority order is a weak order: evaluate layer by "
                 "layer",
-                _function=lambda r, g, stats=None, **_: layered(
-                    r, g, stats=stats),
+                _function=lambda r, g, stats=None, context=None, **_:
+                    layered(r, g, stats=stats, context=context),
             )
         estimate = estimate_pskyline_size(ranks, graph, self.rng,
                                           sample_size=self.sample_size)
@@ -116,9 +134,12 @@ class Planner:
         )
 
     def execute(self, ranks: np.ndarray, graph: PGraph,
-                stats: Stats | None = None) -> np.ndarray:
+                stats: Stats | None = None,
+                context: ExecutionContext | None = None) -> np.ndarray:
         """Plan and run in one call."""
-        return self.plan(ranks, graph).execute(ranks, graph, stats=stats)
+        context = ensure_context(context, stats)
+        return self.plan(ranks, graph, context).execute(
+            ranks, graph, context=context)
 
 
 #: The planner behind ``p_skyline(..., algorithm="auto")``.

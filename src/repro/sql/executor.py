@@ -20,12 +20,12 @@ from typing import Any
 
 import numpy as np
 
-from ..algorithms.base import Stats
+from ..algorithms.base import Stats, ensure_context
 from ..core.attributes import Direction
-from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
 from ..core.preferring import evaluate_preferring
 from ..core.relation import Relation
+from ..engine.context import ExecutionContext
 from .ast import Comparison, Condition, Logical, Not, Query
 from .parser import parse_query
 
@@ -64,8 +64,21 @@ class PreferenceSQL:
     # -- execution ----------------------------------------------------------
     def execute(self, statement: str, *,
                 algorithm: str = "osdc",
-                stats: Stats | None = None) -> Relation:
-        """Run one statement and return the result relation."""
+                stats: Stats | None = None,
+                context: ExecutionContext | None = None,
+                timeout: float | None = None) -> Relation:
+        """Run one statement and return the result relation.
+
+        ``timeout`` (seconds) or a ``context`` carrying a deadline or
+        cancellation token makes the statement raise
+        :class:`~repro.engine.QueryTimeout` /
+        :class:`~repro.engine.QueryCancelled` mid-evaluation.
+        """
+        if timeout is not None:
+            if context is not None:
+                raise ValueError("pass either timeout or context, not both")
+            context = ExecutionContext.create(stats=stats, timeout=timeout)
+        context = ensure_context(context, stats)
         query = parse_query(statement)
         if query.table not in self._catalog:
             known = ", ".join(self.tables()) or "(none)"
@@ -75,15 +88,16 @@ class PreferenceSQL:
         relation = self._catalog[query.table]
 
         if query.where is not None:
+            context.check("sql-where")
             mask = self._evaluate(query.where, relation)
             relation = relation.take(np.flatnonzero(mask))
 
         if query.preferring is not None:
             relation = evaluate_preferring(relation, query.preferring,
                                            algorithm=algorithm,
-                                           stats=stats)
+                                           context=context)
             if query.order_by is None and query.top is not None:
-                relation = self._take_top(relation, query)
+                relation = self._take_top(relation, query, context)
                 if query.columns is None:
                     return relation
         if query.order_by is not None:
@@ -164,9 +178,11 @@ class PreferenceSQL:
 
     # -- TOP ----------------------------------------------------------------
     @staticmethod
-    def _take_top(relation: Relation, query: Query) -> Relation:
+    def _take_top(relation: Relation, query: Query,
+                  context: ExecutionContext) -> Relation:
         clause = query.preferring
         assert clause is not None and query.top is not None
+        context.check("sql-top")
         names = list(clause.attributes)
         columns = [relation.names.index(name) for name in names]
         matrix = relation.ranks[:, columns].copy()
@@ -176,5 +192,5 @@ class PreferenceSQL:
                     attribute.direction is not Direction.RANKED:
                 matrix[:, position] = -matrix[:, position]
         graph = PGraph.from_expression(clause.expression, names=names)
-        order = ExtensionOrder(graph).argsort(matrix)
+        order = context.compiled(graph).extension.argsort(matrix)
         return relation.take(order[: query.top])

@@ -1,0 +1,253 @@
+"""Tests for the engine layer: ExecutionContext, the compiled-preference
+cache, deadlines/cancellation on every evaluation path, tracing, and the
+memory budget."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, ensure_context
+from repro.algorithms.parallel import parallel_osdc
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.core.query import p_skyline
+from repro.core.relation import Relation
+from repro.engine import (CancellationToken, ExecutionContext,
+                          MemoryBudgetExceeded, PreferenceCache,
+                          QueryCancelled, QueryTimeout, TraceBuffer,
+                          compile_preference, default_cache)
+from repro.engine.compiled import graph_key
+from repro.sql.executor import PreferenceSQL
+
+
+GRAPH = PGraph.from_expression(parse("(A & B) * C"))
+
+
+def expired_context(**kwargs) -> ExecutionContext:
+    """A context whose deadline has already passed: the first check
+    raises, making timeout tests deterministic."""
+    return ExecutionContext(deadline=time.monotonic() - 1.0, **kwargs)
+
+
+def some_ranks(n: int = 2000, d: int = 3, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=(n, d)).astype(np.float64)
+
+
+class TestCompiledPreference:
+    def test_flags(self):
+        pareto = PGraph.from_expression(parse("A * B * C"))
+        chain = PGraph.from_expression(parse("A & B & C"))
+        assert compile_preference(pareto).is_pareto
+        assert not compile_preference(pareto).is_chain
+        assert compile_preference(chain).is_chain
+        assert compile_preference(chain).is_weak_order
+        assert compile_preference(GRAPH).is_weak_order is \
+            GRAPH.is_weak_order()
+
+    def test_same_graph_hits_the_cache(self):
+        cache = PreferenceCache()
+        first = compile_preference(GRAPH, cache)
+        twin = PGraph(GRAPH.names, GRAPH.closure)
+        second = compile_preference(twin, cache)
+        assert first is second
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = PreferenceCache(maxsize=2)
+        graphs = [PGraph.empty([f"A{i}", f"B{i}"]) for i in range(3)]
+        for graph in graphs:
+            compile_preference(graph, cache)
+        assert cache.stats()["size"] == 2
+        # graphs[0] was evicted: compiling it again is a miss
+        misses = cache.stats()["misses"]
+        compile_preference(graphs[0], cache)
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = PreferenceCache(maxsize=2)
+        a, b, c = (PGraph.empty([f"A{i}", f"B{i}"]) for i in range(3))
+        compile_preference(a, cache)
+        compile_preference(b, cache)
+        compile_preference(a, cache)  # refresh a; b is now oldest
+        compile_preference(c, cache)  # evicts b
+        misses = cache.stats()["misses"]
+        compile_preference(a, cache)
+        assert cache.stats()["misses"] == misses  # a survived
+
+    def test_graph_key_is_structural(self):
+        twin = PGraph(GRAPH.names, GRAPH.closure)
+        assert graph_key(GRAPH) == graph_key(twin)
+
+    def test_screener_is_memoised(self):
+        compiled = compile_preference(GRAPH, PreferenceCache())
+        assert compiled.screener() is compiled.screener()
+
+    def test_default_cache_is_used_by_algorithms(self):
+        default_cache().clear()
+        REGISTRY["osdc"](some_ranks(300), GRAPH)
+        stats = default_cache().stats()
+        assert stats["misses"] >= 1
+        REGISTRY["osdc"](some_ranks(300), GRAPH)
+        assert default_cache().stats()["hits"] > stats["hits"]
+
+
+class TestEnsureContext:
+    def test_none_creates_default(self):
+        context = ensure_context(None)
+        assert context.stats is None
+        assert not context.interruptible
+
+    def test_adopts_caller_stats(self):
+        from repro.algorithms import Stats
+        stats = Stats()
+        context = ExecutionContext()
+        assert ensure_context(context, stats) is context
+        assert context.stats is stats
+
+    def test_timeout_builds_deadline(self):
+        context = ExecutionContext.create(timeout=60.0)
+        assert context.interruptible
+        remaining = context.remaining()
+        assert remaining is not None and 0 < remaining <= 60.0
+
+
+class TestDeadlineEveryPath:
+    """Acceptance: deadline-expired queries raise QueryTimeout from every
+    evaluation path -- scan, divide & conquer, external, parallel, SQL."""
+
+    SCAN = ["naive", "bnl", "sfs", "less", "salsa", "bbs"]
+    DIVIDE = ["dc", "osdc", "osdc-linear"]
+    EXTERNAL = ["external-bnl", "external-sfs", "external-osdc"]
+
+    @pytest.mark.parametrize("name", SCAN + DIVIDE + EXTERNAL)
+    def test_registered_algorithms_time_out(self, name):
+        with pytest.raises(QueryTimeout):
+            REGISTRY[name](some_ranks(), GRAPH, context=expired_context())
+
+    def test_parallel_times_out(self):
+        # a deadline forces the serial bypass, where checks fire
+        with pytest.raises(QueryTimeout):
+            parallel_osdc(some_ranks(), GRAPH, context=expired_context())
+
+    def test_p_skyline_timeout_kwarg(self):
+        relation = Relation.from_array(some_ranks(),
+                                       names=["A", "B", "C"])
+        with pytest.raises(QueryTimeout):
+            p_skyline(relation, "(A & B) * C", context=expired_context())
+
+    def test_sql_times_out(self):
+        db = PreferenceSQL()
+        db.register("cars", Relation.from_array(some_ranks(),
+                                                names=["A", "B", "C"]))
+        with pytest.raises(QueryTimeout):
+            db.execute(
+                "SELECT * FROM cars PREFERRING (A & B) * C",
+                context=expired_context(),
+            )
+
+    def test_timeout_and_context_are_exclusive(self):
+        with pytest.raises(ValueError):
+            p_skyline(some_ranks(), "A0 * A1 * A2",
+                      context=ExecutionContext(), timeout=1.0)
+
+    def test_query_timeout_is_a_timeout_error(self):
+        # callers can catch the stdlib TimeoutError
+        assert issubclass(QueryTimeout, TimeoutError)
+
+
+class TestCancellation:
+    def test_cancelled_serial_path(self):
+        token = CancellationToken()
+        token.cancel()
+        context = ExecutionContext(cancel=token)
+        with pytest.raises(QueryCancelled):
+            REGISTRY["osdc"](some_ranks(), GRAPH, context=context)
+
+    def test_cancelled_parallel_path(self):
+        token = CancellationToken()
+        token.cancel()
+        context = ExecutionContext(cancel=token)
+        assert context.interruptible
+        with pytest.raises(QueryCancelled):
+            parallel_osdc(some_ranks(), GRAPH, context=context,
+                          processes=2, min_chunk=1)
+
+    def test_uncancelled_token_is_harmless(self):
+        token = CancellationToken()
+        context = ExecutionContext(cancel=token)
+        result = REGISTRY["osdc"](some_ranks(400), GRAPH, context=context)
+        expected = REGISTRY["naive"](some_ranks(400), GRAPH)
+        assert np.array_equal(result, expected)
+
+
+class TestParallelBypass:
+    def test_interruptible_context_bypasses_multiprocessing(self):
+        # With a (distant) deadline attached the parallel path must not
+        # fork: chunk_skylines is only recorded by the forking branch.
+        from repro.algorithms import Stats
+        stats = Stats()
+        context = ExecutionContext.create(stats=stats, timeout=3600.0)
+        parallel_osdc(some_ranks(), GRAPH, context=context,
+                      processes=2, min_chunk=1)
+        assert "chunk_skylines" not in stats.extra
+
+    def test_uninterruptible_context_forks(self):
+        from repro.algorithms import Stats
+        stats = Stats()
+        parallel_osdc(some_ranks(), GRAPH, stats=stats,
+                      processes=2, min_chunk=1)
+        assert "chunk_skylines" in stats.extra
+
+
+class TestMemoryBudget:
+    def test_bnl_window_exceeds_budget(self):
+        # a Pareto query over random data has a large skyline; a budget
+        # of one tuple cannot hold its window
+        pareto = PGraph.from_expression(parse("A * B * C"))
+        context = ExecutionContext(memory_budget=1)
+        with pytest.raises(MemoryBudgetExceeded):
+            REGISTRY["bnl"](some_ranks(), pareto, context=context)
+
+    def test_budget_large_enough_is_silent(self):
+        context = ExecutionContext(memory_budget=10**9)
+        result = REGISTRY["bnl"](some_ranks(500), GRAPH, context=context)
+        expected = REGISTRY["naive"](some_ranks(500), GRAPH)
+        assert np.array_equal(result, expected)
+
+
+class TestTrace:
+    def test_events_are_recorded(self):
+        trace = TraceBuffer()
+        context = ExecutionContext(trace=trace)
+        context.event("phase-one", rows=10)
+        context.event("phase-two")
+        phases = [event.phase for event in trace.events()]
+        assert phases == ["phase-one", "phase-two"]
+        assert trace.events()[0].counters == {"rows": 10}
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = TraceBuffer(capacity=2)
+        context = ExecutionContext(trace=trace)
+        for index in range(5):
+            context.event(f"e{index}")
+        assert [event.phase for event in trace.events()] == ["e3", "e4"]
+        assert trace.dropped == 3
+
+    def test_to_json_and_render(self):
+        trace = TraceBuffer()
+        context = ExecutionContext(trace=trace)
+        context.event("scan", rows=7)
+        payload = trace.to_json()
+        assert payload[0]["phase"] == "scan"
+        assert payload[0]["rows"] == 7
+        assert "scan" in trace.render()
+
+    def test_create_accepts_capacity(self):
+        context = ExecutionContext.create(trace=4)
+        assert context.trace is not None
+        assert context.trace.capacity == 4

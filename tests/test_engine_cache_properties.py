@@ -1,0 +1,38 @@
+"""Property test: compiled-preference caching never changes results.
+
+Every registered algorithm must return identical indices whether the
+compiled preference is built cold (empty cache) or served warm (already
+cached), across arbitrary p-expressions and duplicate-heavy inputs.
+Reuses the expression/ranks generators of ``test_properties``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from test_properties import expression_and_ranks
+from repro.algorithms import REGISTRY
+from repro.core.pgraph import PGraph
+from repro.engine import PreferenceCache, ExecutionContext
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=expression_and_ranks(max_rows=40, max_value=3),
+       algorithm=st.sampled_from(sorted(REGISTRY)))
+def test_cold_and_warm_cache_agree(data, algorithm):
+    expr, ranks = data
+    graph = PGraph.from_expression(expr, names=expr.attributes())
+    cache = PreferenceCache()
+
+    cold_context = ExecutionContext(cache=cache)
+    cold = REGISTRY[algorithm](ranks, graph, context=cold_context)
+    assert cache.stats()["misses"] >= (1 if ranks.shape[0] else 0)
+
+    warm_context = ExecutionContext(cache=cache)
+    misses_before = cache.stats()["misses"]
+    warm = REGISTRY[algorithm](ranks, graph, context=warm_context)
+    # the warm run must reuse the compiled preference, not rebuild it
+    assert cache.stats()["misses"] == misses_before
+
+    assert np.array_equal(np.asarray(cold), np.asarray(warm))

@@ -100,3 +100,44 @@ class TestAutoQuery:
         auto = p_skyline(ranks, "A0 & (A1 * A2)", algorithm="auto")
         explicit = p_skyline(ranks, "A0 & (A1 * A2)", algorithm="osdc")
         assert auto.tolist() == explicit.tolist()
+
+
+class TestPlanRecording:
+    def test_execute_records_plan_in_stats_extra(self, nrng):
+        from repro.algorithms import Stats
+        planner = Planner()
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        stats = Stats()
+        planner.execute(nrng.random((50, 3)), graph, stats=stats)
+        plan = stats.extra["plan"]
+        assert plan["algorithm"] == "naive"
+        assert "50 tuples" in plan["reason"]
+        assert plan["estimated_output"] is None
+
+    def test_recorded_estimate_for_general_case(self, nrng):
+        from repro.algorithms import Stats
+        planner = Planner()
+        graph = PGraph.from_expression(parse("(A & B) * C * D * E"))
+        stats = Stats()
+        planner.execute(nrng.random((5000, 5)), graph, stats=stats)
+        plan = stats.extra["plan"]
+        assert plan["algorithm"] in ("bnl", "osdc")
+        assert plan["estimated_output"] is not None
+
+    def test_plan_lands_in_trace(self, nrng):
+        from repro.engine import ExecutionContext
+        planner = Planner()
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        context = ExecutionContext.create(trace=True)
+        planner.execute(nrng.random((50, 3)), graph, context=context)
+        plans = [event for event in context.trace.events()
+                 if event.phase == "plan"]
+        assert len(plans) == 1
+        assert plans[0].counters["chosen"] == "naive"
+
+    def test_auto_query_records_plan(self, nrng):
+        from repro.algorithms import Stats
+        stats = Stats()
+        p_skyline(nrng.random((2000, 3)), "A0 & (A1 * A2)",
+                  algorithm="auto", stats=stats)
+        assert stats.extra["plan"]["algorithm"] == "layered"

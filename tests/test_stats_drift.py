@@ -1,0 +1,58 @@
+"""Drift guard: ``Stats.merge`` must keep up with the ``Stats`` field set.
+
+``merge`` combines counters field by field, so adding a counter without
+teaching ``merge`` about it would silently drop that counter's worker
+contributions (the parallel executor and the bench harness both rely on
+merging).  This test assigns a distinct value to every numeric field and
+fails -- naming the culprit -- if a merge leaves any of them behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.algorithms.base import Stats
+
+
+def numeric_fields() -> list[str]:
+    return [f.name for f in fields(Stats) if f.name != "extra"]
+
+
+def test_max_fields_are_real_fields():
+    names = set(numeric_fields())
+    for name in Stats.MAX_FIELDS:
+        assert name in names, (
+            f"Stats.MAX_FIELDS names {name!r} which is not a Stats field"
+        )
+
+
+def test_every_numeric_field_survives_merge():
+    left, right = Stats(), Stats()
+    left_values, right_values = {}, {}
+    for position, name in enumerate(numeric_fields()):
+        left_values[name] = 1000 + 2 * position
+        right_values[name] = 3 + position
+        setattr(left, name, left_values[name])
+        setattr(right, name, right_values[name])
+    left.merge(right)
+    for name in numeric_fields():
+        if name in Stats.MAX_FIELDS:
+            expected = max(left_values[name], right_values[name])
+        else:
+            expected = left_values[name] + right_values[name]
+        assert getattr(left, name) == expected, (
+            f"Stats.{name} was not merged: add it to Stats.merge "
+            "(and to Stats.MAX_FIELDS if it is a peak, not a sum)"
+        )
+
+
+def test_merge_into_fresh_stats_copies_counters():
+    source = Stats()
+    for position, name in enumerate(numeric_fields()):
+        setattr(source, name, position + 1)
+    target = Stats()
+    target.merge(source)
+    for name in numeric_fields():
+        assert getattr(target, name) == getattr(source, name), (
+            f"Stats.{name} was lost when merging into empty Stats"
+        )
