@@ -18,8 +18,9 @@ osdc-linear  OSDC with the Section 5 linear average-case pre-scan
 ========  ==========================================================
 """
 
-from .base import (REGISTRY, Algorithm, Stats, ensure_context,
-                   get_algorithm, register)
+from .base import (REGISTRY, REGISTRY_INFO, Algorithm, AlgorithmInfo,
+                   Stats, ensure_context, get_algorithm, get_info,
+                   register)
 from .bbs import bbs, bbs_iter
 from .bnl import bnl
 from .incremental import PSkylineMaintainer
@@ -41,10 +42,13 @@ from .special import pscreen_single_point, pskyline_single_point
 
 __all__ = [
     "REGISTRY",
+    "REGISTRY_INFO",
     "Algorithm",
+    "AlgorithmInfo",
     "Stats",
     "ensure_context",
     "get_algorithm",
+    "get_info",
     "register",
     "naive",
     "bbs",

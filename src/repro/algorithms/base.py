@@ -25,7 +25,8 @@ import numpy as np
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
 
-__all__ = ["Stats", "Algorithm", "REGISTRY", "register", "get_algorithm",
+__all__ = ["Stats", "Algorithm", "AlgorithmInfo", "REGISTRY",
+           "REGISTRY_INFO", "register", "get_algorithm", "get_info",
            "check_input", "ensure_context"]
 
 
@@ -89,13 +90,88 @@ class Algorithm(Protocol):
 REGISTRY: dict[str, Algorithm] = {}
 
 
-def register(name: str) -> Callable[[Algorithm], Algorithm]:
-    """Decorator adding an algorithm to :data:`REGISTRY` under ``name``."""
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Declared guarantees of a registered algorithm.
+
+    The verification harness (:mod:`repro.verify`) keys its invariant
+    checks on these flags instead of hard-coding algorithm names:
+
+    ``progressive``
+        The algorithm can emit p-skyline members incrementally in
+        ``≻ext`` order; ``iterator`` is the generator realising it
+        (e.g. :func:`~repro.algorithms.bbs.bbs_iter`).  Any prefix of
+        the emission must be a prefix of the full, deterministic
+        emission sequence.
+    ``bounded_window``
+        The algorithm honours a ``window_size`` option and reports the
+        high-water mark in ``Stats.window_peak`` (which must never
+        exceed the bound).
+    ``external``
+        The algorithm spills to disk and fills ``Stats.io_reads`` /
+        ``Stats.io_writes``.
+    ``parallel``
+        The algorithm may fan work out to worker processes (and must
+        fall back to a serial plan for interruptible contexts).
+    ``counts_dominance``
+        ``Stats.dominance_tests`` reflects every tuple-vs-tuple test,
+        so work lower bounds (each eliminated tuple was tested at
+        least once) can be asserted.
+    """
+
+    name: str
+    function: Algorithm
+    progressive: bool = False
+    iterator: Callable | None = None
+    bounded_window: bool = False
+    external: bool = False
+    parallel: bool = False
+    counts_dominance: bool = True
+
+    @property
+    def guarantees(self) -> frozenset[str]:
+        """The declared capabilities as a set of tags."""
+        return frozenset(
+            tag for tag, held in (
+                ("progressive", self.progressive),
+                ("bounded-window", self.bounded_window),
+                ("external", self.external),
+                ("parallel", self.parallel),
+                ("counts-dominance", self.counts_dominance),
+            ) if held
+        )
+
+
+REGISTRY_INFO: dict[str, AlgorithmInfo] = {}
+
+
+def register(name: str, *, progressive: bool = False,
+             iterator: Callable | None = None,
+             bounded_window: bool = False, external: bool = False,
+             parallel: bool = False,
+             counts_dominance: bool = True
+             ) -> Callable[[Algorithm], Algorithm]:
+    """Decorator adding an algorithm to :data:`REGISTRY` under ``name``.
+
+    Keyword flags declare the invariants the algorithm guarantees (see
+    :class:`AlgorithmInfo`); they are recorded in :data:`REGISTRY_INFO`
+    for the verification harness.
+    """
+    if progressive and iterator is None:
+        raise ValueError(
+            f"progressive algorithm {name!r} must declare its iterator"
+        )
 
     def decorator(function: Algorithm) -> Algorithm:
         if name in REGISTRY:
             raise ValueError(f"algorithm {name!r} registered twice")
         REGISTRY[name] = function
+        REGISTRY_INFO[name] = AlgorithmInfo(
+            name=name, function=function, progressive=progressive,
+            iterator=iterator, bounded_window=bounded_window,
+            external=external, parallel=parallel,
+            counts_dominance=counts_dominance,
+        )
         return function
 
     return decorator
@@ -110,6 +186,12 @@ def get_algorithm(name: str) -> Algorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {known}"
         ) from None
+
+
+def get_info(name: str) -> AlgorithmInfo:
+    """The declared :class:`AlgorithmInfo` of a registered algorithm."""
+    get_algorithm(name)  # raises the canonical KeyError when unknown
+    return REGISTRY_INFO[name]
 
 
 def ensure_context(context: ExecutionContext | None,

@@ -93,6 +93,9 @@ def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
             point = ranks[row]
             if dominated(point):
                 continue
+            # emission boundary: a consumer that cancelled after the
+            # previous result must see the error before the next one
+            context.check("bbs-emit")
             result_rows.append(row)
             result_block = np.vstack([result_block,
                                       point.reshape(1, -1)])
@@ -113,7 +116,9 @@ def bbs_iter(ranks: np.ndarray, graph: PGraph, *,
                     push_node(child)
 
 
-@register("bbs")
+# R-tree node pruning eliminates whole subtrees without per-tuple tests
+@register("bbs", progressive=True, iterator=bbs_iter,
+          counts_dominance=False)
 def bbs(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
         context: ExecutionContext | None = None,
         fanout: int = 32, tree: RTree | None = None) -> np.ndarray:

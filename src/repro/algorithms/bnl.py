@@ -159,7 +159,7 @@ def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
     return np.sort(np.asarray(result, dtype=np.intp))
 
 
-@register("bnl")
+@register("bnl", bounded_window=True)
 def bnl(ranks: np.ndarray, graph: PGraph, *,
         stats: Stats | None = None,
         context: ExecutionContext | None = None,

@@ -135,7 +135,9 @@ class _DivideAndConquer:
         return np.concatenate([better_sky, worse_sky])
 
 
-@register("dc")
+# eliminates via the vectorised low-dimensional merge, which does not
+# account per-tuple dominance tests
+@register("dc", counts_dominance=False)
 def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
        context: ExecutionContext | None = None,
        leaf_size: int = 16, use_lowdim: bool = True,

@@ -35,7 +35,7 @@ def _attach_ids(ranks: np.ndarray) -> np.ndarray:
     return np.hstack([ranks, ids])
 
 
-@register("external-bnl")
+@register("external-bnl", external=True, bounded_window=True)
 def external_bnl(ranks: np.ndarray, graph: PGraph, *,
                  stats: Stats | None = None,
                  context: ExecutionContext | None = None,
@@ -204,7 +204,7 @@ def _merge_runs(group: list[PagedFile], key_of, storage: StorageManager
     return output
 
 
-@register("external-sfs")
+@register("external-sfs", external=True)
 def external_sfs(ranks: np.ndarray, graph: PGraph, *,
                  stats: Stats | None = None,
                  context: ExecutionContext | None = None,

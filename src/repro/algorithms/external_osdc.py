@@ -212,7 +212,7 @@ class _ExternalOSDC:
         return survivors
 
 
-@register("external-osdc")
+@register("external-osdc", external=True)
 def external_osdc(ranks: np.ndarray, graph: PGraph, *,
                   stats: Stats | None = None,
                   context: ExecutionContext | None = None,

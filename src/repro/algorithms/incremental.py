@@ -90,7 +90,14 @@ class PSkylineMaintainer:
         return tuple_id
 
     def delete(self, tuple_id: int) -> None:
-        """Delete a tuple by id.  Promotes retained tuples if needed."""
+        """Delete a tuple by id.  Promotes retained tuples if needed.
+
+        Atomic with respect to cancellation: the promotion pass runs
+        through the shared context, so a deadline or cancel token can
+        fire mid-promotion.  If it does, the deletion is rolled back and
+        the maintainer still equals ``M_pi`` of the alive tuples -- the
+        caller may simply retry the delete.
+        """
         if tuple_id not in self:
             raise KeyError(f"tuple {tuple_id} is not alive")
         self.context.check("maintainer-delete")
@@ -99,19 +106,24 @@ class PSkylineMaintainer:
         self._in_skyline[tuple_id] = False
         if not was_maximal:
             return
-        # candidates: alive non-skyline tuples not dominated by the
-        # remaining skyline; their maxima join the skyline
-        alive = np.flatnonzero(self._alive[: self._size])
-        shadowed = alive[~self._in_skyline[alive]]
-        if shadowed.size == 0:
-            return
-        survivors_mask = self.dominance.screen_block(
-            self._ranks[shadowed], self.skyline_ranks())
-        candidates = shadowed[survivors_mask]
-        if candidates.size == 0:
-            return
-        local = osdc(self._ranks[candidates], self.graph,
-                     context=self.context)
+        try:
+            # candidates: alive non-skyline tuples not dominated by the
+            # remaining skyline; their maxima join the skyline
+            alive = np.flatnonzero(self._alive[: self._size])
+            shadowed = alive[~self._in_skyline[alive]]
+            if shadowed.size == 0:
+                return
+            survivors_mask = self.dominance.screen_block(
+                self._ranks[shadowed], self.skyline_ranks())
+            candidates = shadowed[survivors_mask]
+            if candidates.size == 0:
+                return
+            local = osdc(self._ranks[candidates], self.graph,
+                         context=self.context)
+        except BaseException:
+            self._alive[tuple_id] = True
+            self._in_skyline[tuple_id] = True
+            raise
         self._in_skyline[candidates[local]] = True
 
     # -- internals -------------------------------------------------------------

@@ -30,12 +30,27 @@ __all__ = ["parallel_osdc"]
 
 
 def _worker(payload) -> np.ndarray:
-    ranks, names, closure, options = payload
-    graph = PGraph(names, closure)
-    return osdc(ranks, graph, **options)
+    ranks, names, closure, orders, memory_budget, options = payload
+    graph = PGraph(names, closure, orders)
+    worker_context = ExecutionContext(memory_budget=memory_budget)
+    return osdc(ranks, graph, context=worker_context, **options)
 
 
-@register("parallel-osdc")
+def _must_run_serially(context: ExecutionContext) -> bool:
+    """True when forked workers could not honour the context's limits.
+
+    Only an *attached* deadline or cancellation token forces the serial
+    plan (workers cannot observe the parent's monotonic clock or cancel
+    event).  A context merely being present -- ``ensure_context``
+    fabricates one for every call nowadays -- or carrying stats, a
+    trace buffer, a cache or a memory budget must not disable the
+    parallel path: stats/trace stay parent-side and the memory budget
+    is shipped to the workers.
+    """
+    return context.deadline is not None or context.cancel is not None
+
+
+@register("parallel-osdc", parallel=True)
 def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
                   stats: Stats | None = None,
                   context: ExecutionContext | None = None,
@@ -46,9 +61,11 @@ def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
     Returns sorted row indices.  Falls back to plain OSDC when
     ``processes == 1``, the input is smaller than
     ``processes * min_chunk`` (forking would cost more than it saves), or
-    the context carries a deadline/cancellation token -- worker processes
-    cannot observe the parent's monotonic clock or cancel event, so
-    interruptible queries run serially where every ``check`` fires.
+    the context carries an actual deadline or cancellation token --
+    worker processes cannot observe the parent's monotonic clock or
+    cancel event, so interruptible queries run serially where every
+    ``check`` fires.  Any other context (fabricated, stats-only,
+    traced, cached, memory-budgeted) takes the parallel path.
     """
     ranks = check_input(ranks, graph)
     context = ensure_context(context, stats)
@@ -56,13 +73,15 @@ def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
     n = ranks.shape[0]
     if processes < 1:
         raise ValueError("processes must be positive")
+    context.check("parallel-setup")
     if (processes == 1 or n < processes * min_chunk
-            or context.interruptible):
+            or _must_run_serially(context)):
         return osdc(ranks, graph, context=context, **osdc_options)
 
     bounds = np.linspace(0, n, processes + 1, dtype=np.intp)
     chunks = [(ranks[bounds[i]:bounds[i + 1]], graph.names,
-               graph.closure, osdc_options)
+               graph.closure, graph.orders, context.memory_budget,
+               osdc_options)
               for i in range(processes)]
     mp_context = mp.get_context("fork" if "fork" in
                                 mp.get_all_start_methods() else "spawn")

@@ -24,7 +24,8 @@ from .base import Stats, check_input, ensure_context, register
 __all__ = ["salsa"]
 
 
-@register("salsa")
+# the sort-based stop point discards the input tail without testing it
+@register("salsa", counts_dominance=False)
 def salsa(ranks: np.ndarray, graph: PGraph, *,
           stats: Stats | None = None,
           context: ExecutionContext | None = None) -> np.ndarray:

@@ -107,11 +107,14 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
                 stats.dominance_tests += block.shape[0]
             if dominance.dominators_mask(block, ranks[row]).any():
                 continue
+        # emission boundary: a consumer that cancelled after the
+        # previous result must see the error before the next one
+        context.check("sfs-emit")
         window.append(int(row))
         yield int(row)
 
 
-@register("sfs")
+@register("sfs", progressive=True, iterator=sfs_iter)
 def sfs(ranks: np.ndarray, graph: PGraph, *,
         stats: Stats | None = None,
         context: ExecutionContext | None = None,

@@ -36,13 +36,25 @@ class SlidingWindowPSkyline:
 
     def append(self, values) -> int:
         """Add the newest stream item (evicting the expired one);
-        returns its tuple id."""
-        tuple_id = self._maintainer.insert(np.asarray(values,
-                                                      dtype=np.float64))
+        returns its tuple id.
+
+        Safe under cancellation: the expired item is evicted *before*
+        the new one is inserted, and the maintainer's delete rolls
+        itself back when a deadline/cancel fires mid-promotion -- so at
+        every exception point the answer still equals ``M_pi`` of the
+        window contents and the append can simply be retried.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.graph.d,):
+            raise ValueError(
+                f"expected a rank vector of length {self.graph.d}")
+        if np.isnan(values).any():
+            raise ValueError("NaN ranks are not allowed")
+        if len(self._queue) >= self.window:
+            self._maintainer.delete(self._queue[0])
+            self._queue.popleft()
+        tuple_id = self._maintainer.insert(values)
         self._queue.append(tuple_id)
-        if len(self._queue) > self.window:
-            expired = self._queue.popleft()
-            self._maintainer.delete(expired)
         return tuple_id
 
     def __len__(self) -> int:

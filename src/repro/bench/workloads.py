@@ -25,10 +25,10 @@ import numpy as np
 from ..core.pgraph import PGraph
 from ..data.correlation import mean_pairwise_correlation
 from ..data.covertype import COVERTYPE_ATTRIBUTES, covertype_dataset
-from ..data.gaussian import (alpha_for_correlation, equicorrelated_gaussian,
-                             min_correlation)
+from ..data.gaussian import alpha_for_correlation
 from ..data.nba import NBA_ATTRIBUTES, nba_dataset
 from ..sampling.random_pexpr import PExpressionSampler
+from ..verify.datasets import correlated_gaussian
 
 __all__ = ["Scale", "QUICK", "DEFAULT", "FULL", "Task",
            "gaussian_tasks", "nba_tasks", "covertype_tasks",
@@ -141,13 +141,11 @@ def gaussian_tasks(scale: Scale = QUICK, seed: int = 2015) -> list[Task]:
     data_rng = np.random.default_rng(seed)
     d = scale.gaussian_columns
     tasks: list[Task] = []
-    floor = min_correlation(d)
     for target in scale.correlation_targets:
-        rho = max(target, floor * 0.9)
+        data, rho = correlated_gaussian(
+            scale.gaussian_rows, d, target, data_rng,
+            round_decimals=scale.round_decimals)
         alpha = alpha_for_correlation(rho, d)
-        data = equicorrelated_gaussian(scale.gaussian_rows, d, alpha,
-                                       data_rng,
-                                       round_decimals=scale.round_decimals)
         measured = mean_pairwise_correlation(data)
         pool = _expression_pool(scale.gaussian_dims,
                                 scale.gaussian_expressions, d, rng)

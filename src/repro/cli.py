@@ -26,6 +26,12 @@ Sub-commands:
     ``examples/reproduce_figures.py``)::
 
         repro-skyline bench --scale quick
+
+``verify``
+    Run the differential/metamorphic correctness fuzzer (delegates to
+    ``python -m repro.verify``)::
+
+        repro-skyline verify --seed 0 --cases 100
 """
 
 from __future__ import annotations
@@ -109,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
     shell.add_argument("--load", action="append", default=[],
                        metavar="NAME=PATH",
                        help="register a CSV file as a table (repeatable)")
+
+    commands.add_parser(
+        "verify", help="differential/metamorphic correctness fuzzer "
+                       "(same flags as 'python -m repro.verify')",
+        add_help=False)
     return parser
 
 
@@ -259,6 +270,14 @@ def _cmd_shell(arguments: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        # Hand everything after the sub-command to the repro.verify CLI
+        # untouched (argparse.REMAINDER drops leading optionals, so the
+        # delegation happens before parsing).
+        from .verify.cli import main as verify_main
+        return verify_main(argv[1:])
     arguments = _build_parser().parse_args(argv)
     handlers = {
         "query": _cmd_query,

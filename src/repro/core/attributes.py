@@ -18,7 +18,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["Direction", "Attribute", "lowest", "highest", "ranked"]
+__all__ = ["Direction", "Attribute", "lowest", "highest", "ranked",
+           "orders_signature"]
 
 
 class Direction(enum.Enum):
@@ -107,6 +108,19 @@ class Attribute:
             return -np.asarray(ranks)
         return np.asarray(ranks)
 
+    def order_token(self) -> object:
+        """A hashable token identifying this attribute's total order.
+
+        ``"min"`` / ``"max"`` for directional preferences,
+        ``("ranked", values)`` for explicit rankings.  Used as the
+        per-attribute component of a p-graph's order signature so the
+        compiled-preference cache distinguishes isomorphic p-graphs
+        over differently ordered attributes.
+        """
+        if self.direction is Direction.RANKED:
+            return ("ranked", self.order)
+        return self.direction.value
+
     def __str__(self) -> str:
         if self.direction is Direction.RANKED:
             ordered = ", ".join(repr(v) for v in self.order)
@@ -127,3 +141,8 @@ def highest(name: str) -> Attribute:
 def ranked(name: str, order: Sequence[Any]) -> Attribute:
     """Prefer values of ``name`` following ``order`` (best value first)."""
     return Attribute(name, Direction.RANKED, tuple(order))
+
+
+def orders_signature(attributes: Sequence[Attribute]) -> tuple:
+    """The order signature of a schema slice, one token per attribute."""
+    return tuple(attribute.order_token() for attribute in attributes)

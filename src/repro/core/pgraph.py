@@ -40,13 +40,15 @@ class PGraph:
     __slots__ = (
         "names",
         "closure",
+        "orders",
         "ancestors_mask",
         "_reduction",
         "_depths",
         "_roots",
     )
 
-    def __init__(self, names: Sequence[str], closure: Sequence[int]):
+    def __init__(self, names: Sequence[str], closure: Sequence[int],
+                 orders: Sequence[object] | None = None):
         if len(names) != len(set(names)):
             raise ValueError("attribute names must be distinct")
         if len(names) > MAX_ATTRIBUTES:
@@ -55,8 +57,18 @@ class PGraph:
             )
         if len(closure) != len(names):
             raise ValueError("closure must have one mask per attribute")
+        if orders is not None and len(orders) != len(names):
+            raise ValueError("orders must have one entry per attribute")
         self.names = tuple(names)
         self.closure = tuple(int(m) for m in closure)
+        #: Optional per-attribute total-order signature (``"min"``,
+        #: ``"max"`` or ``("ranked", values)``), attached by callers that
+        #: re-encode raw columns.  It never affects the priority
+        #: structure -- algorithms only see ranks -- but it is part of
+        #: the identity of the preference, so the compiled-preference
+        #: cache keys on it (two isomorphic p-graphs over differently
+        #: directed attributes must not share a cache entry).
+        self.orders = tuple(orders) if orders is not None else None
         d = len(self.names)
         for i, mask in enumerate(self.closure):
             if mask >> d:
@@ -270,10 +282,15 @@ class PGraph:
             isinstance(other, PGraph)
             and self.names == other.names
             and self.closure == other.closure
+            and self.orders == other.orders
         )
 
     def __hash__(self) -> int:
-        return hash((self.names, self.closure))
+        return hash((self.names, self.closure, self.orders))
+
+    def with_orders(self, orders: Sequence[object] | None) -> "PGraph":
+        """A copy of this p-graph carrying the given order signature."""
+        return PGraph(self.names, self.closure, orders)
 
     # -- validity (Theorem 4) --------------------------------------------------
     def _check_transitive_acyclic(self) -> None:
@@ -354,7 +371,9 @@ class PGraph:
             for j in iter_bits(self.closure[i] & mask):
                 sub |= 1 << position[j]
             closure.append(sub)
-        return PGraph(names, closure)
+        orders = None if self.orders is None else \
+            [self.orders[i] for i in keep]
+        return PGraph(names, closure, orders)
 
     def __str__(self) -> str:
         if not self.num_edges:

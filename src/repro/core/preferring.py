@@ -180,6 +180,7 @@ def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
         clause = parse_preferring(clause)
     names = clause.attributes
     columns = []
+    orders = []
     for name in names:
         if name not in relation.names:
             raise KeyError(f"unknown attribute {name!r} in PREFERRING")
@@ -193,13 +194,17 @@ def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
                     f"highest({name}) is not allowed on a ranked attribute"
                 )
             columns.append(ranks)
+            orders.append(attribute.order_token())
         elif wanted is attribute.direction:
             columns.append(ranks)
+            orders.append(wanted.value)
         else:
             columns.append(-ranks)
+            orders.append(wanted.value)
     matrix = np.column_stack(columns) if names else \
         np.empty((len(relation), 0))
-    graph = PGraph.from_expression(clause.expression, names=names)
+    graph = PGraph.from_expression(clause.expression, names=names) \
+        .with_orders(orders)
     function = get_algorithm(algorithm)
     context = ensure_context(context, stats)
     indices = function(matrix, graph, context=context)

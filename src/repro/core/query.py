@@ -21,6 +21,7 @@ import numpy as np
 
 from ..algorithms.base import Stats, ensure_context, get_algorithm
 from ..engine.context import ExecutionContext
+from .attributes import orders_signature
 from .expressions import PExpr
 from .parser import parse
 from .pgraph import PGraph
@@ -99,7 +100,8 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
             )
         columns = [data.names.index(name) for name in names]
         ranks = data.ranks[:, columns]
-        graph = PGraph.from_expression(expr, names=names)
+        graph = PGraph.from_expression(expr, names=names).with_orders(
+            orders_signature([data.schema[c] for c in columns]))
         indices = function(ranks, graph, stats=stats, context=context,
                            **options)
         return data.take(indices)

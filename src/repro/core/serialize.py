@@ -61,17 +61,32 @@ def expression_from_json(payload: dict[str, Any]) -> PExpr:
 
 
 def pgraph_to_json(graph: PGraph) -> dict[str, Any]:
-    """Encode a p-graph as names + closure edges."""
-    return {
+    """Encode a p-graph as names + closure edges (+ order signature)."""
+    payload: dict[str, Any] = {
         "names": list(graph.names),
         "edges": sorted(graph.edges()),
     }
+    if graph.orders is not None:
+        payload["orders"] = [list(token) if isinstance(token, tuple)
+                             else token for token in graph.orders]
+    return payload
+
+
+def _order_token_from_json(token: Any) -> Any:
+    if isinstance(token, list):  # ("ranked", (values...)) round-trip
+        return tuple(_order_token_from_json(part) for part in token)
+    return token
 
 
 def pgraph_from_json(payload: dict[str, Any]) -> PGraph:
     """Inverse of :func:`pgraph_to_json`."""
-    return PGraph.from_edges(payload["names"],
-                             [tuple(edge) for edge in payload["edges"]])
+    graph = PGraph.from_edges(payload["names"],
+                              [tuple(edge) for edge in payload["edges"]])
+    orders = payload.get("orders")
+    if orders is not None:
+        graph = graph.with_orders(
+            [_order_token_from_json(token) for token in orders])
+    return graph
 
 
 def _schema_to_json(schema) -> str:

@@ -32,13 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["CompiledPreference", "PreferenceCache", "compile_preference",
            "default_cache"]
 
-#: Cache key of a p-graph: its attribute names plus descendant closure.
-CacheKey = tuple[tuple[str, ...], tuple[int, ...]]
+#: Cache key of a p-graph: attribute names, descendant closure, and the
+#: per-attribute order signature (MIN/MAX direction or custom ranking).
+CacheKey = tuple[tuple[str, ...], tuple[int, ...], tuple | None]
 
 
 def graph_key(graph: PGraph) -> CacheKey:
-    """The cache key identifying a p-graph (names + transitive closure)."""
-    return (graph.names, graph.closure)
+    """The cache key identifying a p-graph.
+
+    Structure alone (names + closure) is not enough: two isomorphic
+    p-graphs whose attributes are differently *directed* (``lowest(price)``
+    vs ``highest(price)``) or carry different custom total orders denote
+    different preferences, so they must not share a cache slot.  The
+    ``orders`` signature (attached by the relation/PREFERRING/SQL layers
+    that re-encode raw columns) is therefore part of the key; bare
+    rank-matrix callers leave it ``None``.
+    """
+    return (graph.names, graph.closure, graph.orders)
 
 
 class CompiledPreference:

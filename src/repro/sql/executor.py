@@ -186,11 +186,16 @@ class PreferenceSQL:
         names = list(clause.attributes)
         columns = [relation.names.index(name) for name in names]
         matrix = relation.ranks[:, columns].copy()
+        orders = []
         for position, name in enumerate(names):
             attribute = relation.schema[columns[position]]
-            if clause.directions[name] is not attribute.direction and \
-                    attribute.direction is not Direction.RANKED:
-                matrix[:, position] = -matrix[:, position]
-        graph = PGraph.from_expression(clause.expression, names=names)
+            if attribute.direction is Direction.RANKED:
+                orders.append(attribute.order_token())
+            else:
+                orders.append(clause.directions[name].value)
+                if clause.directions[name] is not attribute.direction:
+                    matrix[:, position] = -matrix[:, position]
+        graph = PGraph.from_expression(clause.expression, names=names) \
+            .with_orders(orders)
         order = context.compiled(graph).extension.argsort(matrix)
         return relation.take(order[: query.top])

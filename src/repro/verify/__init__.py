@@ -1,0 +1,50 @@
+"""Differential & metamorphic correctness harness.
+
+The verification subsystem cross-checks every registered p-skyline
+algorithm three independent ways:
+
+* **differential** (:mod:`repro.verify.differential`) -- all algorithms
+  on the same sampled (p-expression, dataset) pair must return the same
+  maximal set, progressive algorithms must emit it best-first, and the
+  work counters must satisfy the declared invariants
+  (:mod:`repro.verify.invariants`);
+* **metamorphic** (:mod:`repro.verify.metamorphic`) --
+  domination-preserving input transforms with exact oracles: shuffling,
+  duplication, monotone rescaling, p-graph isomorphism, appending
+  dominated tuples;
+* **fuzzing** (:mod:`repro.verify.fuzzer`) -- a seeded generator over
+  adversarial dataset shapes (:mod:`repro.verify.datasets`) and
+  exactly-uniform random p-graphs, with deterministic shrinking and a
+  replayable regression corpus (:mod:`repro.verify.corpus`).
+
+Run it from the command line::
+
+    python -m repro.verify --seed 0 --cases 100
+"""
+
+from .corpus import load_case, replay_case, replay_corpus, save_case
+from .datasets import (DATASET_SHAPES, correlated_gaussian, generate,
+                       random_dataset)
+from .differential import Mismatch, run_case
+from .fuzzer import FuzzReport, Fuzzer
+from .invariants import check_stats
+from .metamorphic import TRANSFORMS, MetamorphicTransform, run_transform
+
+__all__ = [
+    "DATASET_SHAPES",
+    "correlated_gaussian",
+    "generate",
+    "random_dataset",
+    "Mismatch",
+    "run_case",
+    "check_stats",
+    "TRANSFORMS",
+    "MetamorphicTransform",
+    "run_transform",
+    "Fuzzer",
+    "FuzzReport",
+    "save_case",
+    "load_case",
+    "replay_case",
+    "replay_corpus",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro.verify`` -- the verification harness front end.
+
+Modes:
+
+* fuzz (default): ``python -m repro.verify --seed 0 --cases 100`` runs
+  the differential + metamorphic fuzzer over every registered algorithm
+  and exits non-zero when any mismatch survives shrinking.  With
+  ``--artifacts DIR`` each shrunk failure is written as a JSON corpus
+  entry plus a standalone reproduction script.
+* replay: ``python -m repro.verify --replay tests/corpus`` re-runs every
+  stored failure; exit status reports whether all stay fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..algorithms.base import REGISTRY
+from .corpus import replay_corpus
+from .differential import BASELINE
+from .fuzzer import Fuzzer
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="differential & metamorphic verification of every "
+                    "registered p-skyline algorithm",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzzing seed (default 0)")
+    parser.add_argument("--cases", type=int, default=100,
+                        help="number of fuzz cases (default 100)")
+    parser.add_argument("--algorithms", default=None,
+                        help="comma-separated subset of the registry "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help=f"reference algorithm (default {BASELINE})")
+    parser.add_argument("--max-n", type=int, default=120,
+                        help="largest dataset size per case")
+    parser.add_argument("--max-d", type=int, default=6,
+                        help="largest attribute count per case")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-algorithm-run timeout in seconds")
+    parser.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic transform per case")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write shrunk failures + repro scripts here")
+    parser.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay a failure corpus instead of fuzzing")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    return parser
+
+
+def _resolve_algorithms(spec: str | None, baseline: str) -> dict:
+    if spec is None:
+        pool = dict(REGISTRY)
+    else:
+        names = [name.strip() for name in spec.split(",") if name.strip()]
+        unknown = sorted(set(names) - set(REGISTRY))
+        if unknown:
+            raise SystemExit(f"unknown algorithm(s): {', '.join(unknown)}")
+        pool = {name: REGISTRY[name] for name in names}
+    pool.setdefault(baseline, REGISTRY[baseline])
+    return pool
+
+
+def _cmd_replay(directory: str) -> int:
+    results = replay_corpus(directory)
+    if not results:
+        print(f"no corpus entries under {directory}")
+        return 0
+    broken = 0
+    for path, mismatches in sorted(results.items()):
+        status = "ok" if not mismatches else "REGRESSED"
+        print(f"{status:>9}  {path}")
+        for mismatch in mismatches:
+            broken += 1
+            print(f"           {mismatch}")
+    print(f"{len(results)} corpus case(s), {broken} regression(s)")
+    return 1 if broken else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.replay is not None:
+        return _cmd_replay(arguments.replay)
+
+    algorithms = _resolve_algorithms(arguments.algorithms,
+                                     arguments.baseline)
+    fuzzer = Fuzzer(
+        arguments.seed,
+        algorithms=algorithms,
+        baseline=arguments.baseline,
+        d_range=(1, max(1, arguments.max_d)),
+        n_range=(1, max(1, arguments.max_n)),
+        metamorphic=not arguments.no_metamorphic,
+        timeout=arguments.timeout,
+        artifacts_dir=arguments.artifacts,
+    )
+    progress = None if arguments.quiet else \
+        (lambda line: print(line, flush=True))
+    started = time.perf_counter()
+    report = fuzzer.run(arguments.cases, progress=progress)
+    elapsed = time.perf_counter() - started
+
+    names = sorted(algorithms)
+    print(f"verified {len(names)} algorithms "
+          f"({', '.join(names)})")
+    print(f"{report.cases} case(s) in {elapsed:.1f}s, seed "
+          f"{arguments.seed}: {len(report.failures)} failure(s)")
+    for failure in report.failures:
+        print(f"  {failure.algorithm} [{failure.kind}] case "
+              f"{failure.case_index} shape={failure.shape} shrunk to "
+              f"n={failure.ranks.shape[0]} d={failure.graph.d}"
+              + (f" transform={failure.transform}"
+                 if failure.transform else ""))
+        if failure.corpus_path:
+            print(f"    corpus: {failure.corpus_path}")
+            print(f"    repro:  {failure.script_path}")
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Dataset generators shared by the verifier, the fuzz tests and the
+bench harness.
+
+Each named *shape* stresses a different code path the targeted tests may
+miss: extreme duplication (``binary`` / ``tiny-domain``), all-distinct
+continuous values, power-law outliers, columns on wildly different
+scales, and constant columns (every tuple tied).  ``correlated_gaussian``
+wraps the paper's equicorrelated generator (Section 7.2) with the same
+feasibility clamp the bench workloads use, so both layers draw from one
+implementation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..data.gaussian import (alpha_for_correlation, equicorrelated_gaussian,
+                             min_correlation)
+
+__all__ = ["DATASET_SHAPES", "generate", "random_dataset",
+           "correlated_gaussian", "clamp_correlation"]
+
+
+def _binary(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    return nrng.integers(0, 2, size=(n, d)).astype(float)
+
+
+def _tiny_domain(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    return nrng.integers(-2, 3, size=(n, d)).astype(float)
+
+
+def _continuous(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    return nrng.normal(size=(n, d))
+
+
+def _powerlaw(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    return np.floor(nrng.pareto(1.2, size=(n, d)) * 3)
+
+
+def _mixed_scale(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    scales = 10.0 ** nrng.integers(-3, 6, size=d)
+    return np.round(nrng.random((n, d)) * scales, 2)
+
+
+def _constant_cols(nrng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    data = nrng.integers(0, 4, size=(n, d)).astype(float)
+    for column in range(0, d, 2):
+        data[:, column] = float(column)
+    return data
+
+
+def _duplicated_blocks(nrng: np.random.Generator, n: int,
+                       d: int) -> np.ndarray:
+    base = max(1, n // 4)
+    block = nrng.integers(0, 3, size=(base, d)).astype(float)
+    data = block[nrng.integers(0, base, size=n)]
+    return data
+
+
+#: name -> generator(nrng, n, d); every shape returns an (n, d) float64
+#: rank matrix with smaller-is-better semantics.
+DATASET_SHAPES = {
+    "binary": _binary,
+    "tiny-domain": _tiny_domain,
+    "continuous": _continuous,
+    "powerlaw": _powerlaw,
+    "mixed-scale": _mixed_scale,
+    "constant-cols": _constant_cols,
+    "duplicated-blocks": _duplicated_blocks,
+}
+
+
+def generate(shape: str, n: int, d: int,
+             nrng: np.random.Generator) -> np.ndarray:
+    """Draw an ``(n, d)`` rank matrix of the named shape."""
+    try:
+        generator = DATASET_SHAPES[shape]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_SHAPES))
+        raise KeyError(f"unknown dataset shape {shape!r}; one of: {known}") \
+            from None
+    return generator(nrng, n, d)
+
+
+def random_dataset(rng: random.Random, nrng: np.random.Generator,
+                   n: int, d: int) -> tuple[str, np.ndarray]:
+    """Draw a shape uniformly at random, then a matrix of that shape."""
+    shape = rng.choice(sorted(DATASET_SHAPES))
+    return shape, generate(shape, n, d, nrng)
+
+
+def clamp_correlation(target: float, d: int) -> float:
+    """Clamp a target pairwise correlation into the feasible range.
+
+    Equicorrelated Gaussians over ``d`` dimensions cannot go below
+    ``-1/(d-1)``; targets beyond the floor are pulled to 90% of it
+    (the bench workloads' convention).
+    """
+    if d < 2:
+        return 0.0
+    return max(target, min_correlation(d) * 0.9)
+
+
+def correlated_gaussian(n: int, d: int, target: float,
+                        nrng: np.random.Generator, *,
+                        round_decimals: int | None = 2
+                        ) -> tuple[np.ndarray, float]:
+    """Equicorrelated Gaussian data aiming for pairwise correlation
+    ``target``; returns ``(ranks, achieved_target)`` where the second
+    element is the clamped correlation actually parameterised.
+    """
+    if d < 2:
+        data = nrng.standard_normal((n, max(d, 1)))
+        if round_decimals is not None:
+            data = np.round(data, round_decimals)
+        return data, 0.0
+    rho = clamp_correlation(target, d)
+    alpha = alpha_for_correlation(rho, d)
+    data = equicorrelated_gaussian(n, d, alpha, nrng,
+                                   round_decimals=round_decimals)
+    return data, rho

@@ -1,0 +1,176 @@
+"""Differential execution: every algorithm, one case, one answer.
+
+:func:`run_case` runs a set of algorithms on the same ``(ranks, graph)``
+pair and reports every way they disagree:
+
+* a different maximal set than the baseline (``result-set``);
+* a progressive algorithm whose emission stream is not the result set
+  (``emission-set``), is not in best-first ``≻ext`` order
+  (``emission-order``), or whose partially-consumed stream is not a
+  prefix of the fully-consumed one (``emission-prefix``);
+* work counters violating the declared invariants (``stats-invariant``,
+  see :mod:`repro.verify.invariants`);
+* the baseline itself failing the independent soundness/completeness
+  oracle (``oracle``, :func:`repro.core.checks.verify_pskyline`);
+* any crash (``error``).
+
+Algorithms are passed as a ``{name: callable}`` mapping, so tests can
+inject deliberately broken mutants without touching the global registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..algorithms.base import REGISTRY, REGISTRY_INFO, Stats
+from ..core.checks import VerificationError, verify_pskyline
+from ..core.pgraph import PGraph
+from ..engine.compiled import compile_preference
+from ..engine.context import ExecutionContext
+from .invariants import check_stats
+
+__all__ = ["Mismatch", "run_case", "BASELINE"]
+
+#: The quadratic reference implementation every other algorithm is
+#: compared against.
+BASELINE = "naive"
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observed disagreement on one case."""
+
+    kind: str
+    algorithm: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.kind}] {self.algorithm}: {self.detail}"
+
+
+def _describe(indices: np.ndarray | set) -> str:
+    values = sorted(int(i) for i in
+                    (indices.tolist() if isinstance(indices, np.ndarray)
+                     else indices))
+    if len(values) > 12:
+        return f"{values[:12]}... ({len(values)} total)"
+    return str(values)
+
+
+def _check_progressive(name: str, info, ranks: np.ndarray, graph: PGraph,
+                       expected: set, timeout: float | None
+                       ) -> list[Mismatch]:
+    mismatches: list[Mismatch] = []
+    context = _make_context(timeout)
+    emitted = list(info.iterator(ranks, graph, context=context))
+    if set(emitted) != expected:
+        mismatches.append(Mismatch(
+            "emission-set", name,
+            f"iterator emitted {_describe(set(emitted))}, result is "
+            f"{_describe(expected)}"))
+    if len(emitted) != len(set(emitted)):
+        mismatches.append(Mismatch(
+            "emission-set", name, "iterator emitted duplicate rows"))
+    extension = compile_preference(graph).extension
+    if emitted:
+        keys = extension.keys(ranks[np.asarray(emitted, dtype=np.intp)])
+        for position in range(1, len(emitted)):
+            if tuple(keys[position]) < tuple(keys[position - 1]):
+                mismatches.append(Mismatch(
+                    "emission-order", name,
+                    f"row {emitted[position]} emitted after "
+                    f"{emitted[position - 1]} but strictly precedes it "
+                    "in the ≻ext order"))
+                break
+    # consuming only half must observe a prefix of the full stream
+    half = len(emitted) // 2
+    if half:
+        prefix = list(itertools.islice(
+            info.iterator(ranks, graph, context=_make_context(timeout)),
+            half))
+        if prefix != emitted[:half]:
+            mismatches.append(Mismatch(
+                "emission-prefix", name,
+                f"first {half} results of a fresh iterator differ from "
+                "the prefix of the full emission"))
+    return mismatches
+
+
+def _make_context(timeout: float | None) -> ExecutionContext:
+    if timeout is None:
+        return ExecutionContext()
+    return ExecutionContext.create(timeout=timeout)
+
+
+def run_case(ranks: np.ndarray, graph: PGraph, *,
+             algorithms: Mapping[str, Callable] | None = None,
+             baseline: str = BASELINE,
+             options: Mapping[str, dict] | None = None,
+             check_oracle: bool = True,
+             check_invariants: bool = True,
+             check_progressive: bool = True,
+             timeout: float | None = None) -> list[Mismatch]:
+    """Differentially test ``algorithms`` on one case; return mismatches.
+
+    ``algorithms`` defaults to the full registry.  ``options`` maps an
+    algorithm name to extra keyword options for its run.  ``timeout``
+    bounds each individual algorithm run in seconds.
+    """
+    if algorithms is None:
+        algorithms = dict(REGISTRY)
+    options = options or {}
+    mismatches: list[Mismatch] = []
+    if baseline not in algorithms:
+        raise KeyError(f"baseline {baseline!r} not among the algorithms")
+
+    expected_indices = algorithms[baseline](
+        ranks, graph, context=_make_context(timeout),
+        **options.get(baseline, {}))
+    expected = set(int(i) for i in expected_indices)
+    if check_oracle:
+        try:
+            verify_pskyline(ranks, graph,
+                            np.sort(np.asarray(expected_indices,
+                                               dtype=np.intp)))
+        except VerificationError as error:
+            mismatches.append(Mismatch("oracle", baseline, str(error)))
+
+    n = ranks.shape[0]
+    for name, function in algorithms.items():
+        if name == baseline:
+            continue
+        stats = Stats()
+        opts = dict(options.get(name, {}))
+        try:
+            result = function(ranks, graph, stats=stats,
+                              context=_make_context(timeout), **opts)
+        except Exception as error:
+            mismatches.append(Mismatch(
+                "error", name,
+                f"{type(error).__name__}: {error}\n"
+                f"{traceback.format_exc(limit=3)}"))
+            continue
+        got = set(int(i) for i in result)
+        if got != expected:
+            missing = expected - got
+            extra = got - expected
+            mismatches.append(Mismatch(
+                "result-set", name,
+                f"missing {_describe(missing)}, extra {_describe(extra)} "
+                f"(baseline {baseline})"))
+        info = REGISTRY_INFO.get(name)
+        if info is not None:
+            if check_invariants:
+                for violation in check_stats(info, stats, n,
+                                             len(expected), opts):
+                    mismatches.append(Mismatch(
+                        "stats-invariant", name, violation))
+            if check_progressive and info.progressive:
+                mismatches.extend(_check_progressive(
+                    name, info, ranks, graph, expected, timeout))
+    return mismatches

@@ -1,0 +1,266 @@
+"""Seeded fuzzing with deterministic shrinking.
+
+Each case is derived from ``(seed, case_index)`` alone, so any failure
+can be regenerated independently of how many cases ran before it.  A
+case samples a dimension count, an exactly-uniform random p-graph
+(:class:`~repro.sampling.exact_counting.ExactUniformSampler`), a dataset
+shape (:mod:`repro.verify.datasets`) and a size, then runs the full
+differential check plus one rotating metamorphic transform.
+
+When a check fails the input is *shrunk* while the failure persists --
+rows first (chunked removal), then columns (restricting the p-graph),
+then values (integer rounding, then rank-compression to a tiny domain)
+-- and the minimized case is written to the corpus with a standalone
+reproduction script (:mod:`repro.verify.corpus`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..algorithms.base import REGISTRY
+from ..core.pgraph import PGraph
+from ..sampling.exact_counting import ExactUniformSampler
+from .corpus import save_case, write_repro_script
+from .datasets import random_dataset
+from .differential import BASELINE, Mismatch, run_case
+from .metamorphic import TRANSFORMS, run_transform
+
+__all__ = ["Fuzzer", "FuzzReport", "FuzzFailure", "case_rng",
+           "shrink_case"]
+
+
+def case_rng(seed: int, case_index: int) -> random.Random:
+    """The deterministic per-case generator: independent of ordering."""
+    return random.Random(f"repro-verify:{seed}:{case_index}")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One (shrunk) failing case."""
+
+    case_index: int
+    algorithm: str
+    kind: str
+    detail: str
+    shape: str
+    ranks: np.ndarray
+    graph: PGraph
+    transform: str | None = None
+    corpus_path: str | None = None
+    script_path: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    cases: int = 0
+    algorithms: tuple[str, ...] = ()
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _predicate_for(mismatch: Mismatch, baseline: str,
+                   algorithms: Mapping[str, Callable],
+                   transform_rng_factory: Callable[[], random.Random],
+                   transform: str | None
+                   ) -> Callable[[np.ndarray, PGraph], bool]:
+    """Does a reduced case still provoke *some* failure of the same
+    algorithm?  (Any kind counts: shrinking may morph one symptom into
+    another while chasing the same bug.)"""
+    pool = {name: algorithms[name]
+            for name in {mismatch.algorithm, baseline}
+            if name in algorithms}
+
+    def predicate(ranks: np.ndarray, graph: PGraph) -> bool:
+        if ranks.shape[0] == 0 or graph.d != ranks.shape[1]:
+            return False
+        try:
+            if transform is None:
+                found = run_case(ranks, graph, algorithms=pool,
+                                 baseline=baseline)
+            else:
+                found = run_transform(
+                    TRANSFORMS[transform], ranks, graph,
+                    pool[mismatch.algorithm], transform_rng_factory(),
+                    algorithm=mismatch.algorithm)
+        except Exception:
+            return False
+        return any(m.algorithm == mismatch.algorithm for m in found)
+
+    return predicate
+
+
+def _shrink_rows(ranks: np.ndarray, graph: PGraph,
+                 predicate) -> np.ndarray:
+    chunk = max(1, ranks.shape[0] // 2)
+    while chunk >= 1:
+        start = 0
+        while start < ranks.shape[0] and ranks.shape[0] > 1:
+            candidate = np.delete(ranks, slice(start, start + chunk),
+                                  axis=0)
+            if candidate.shape[0] and predicate(candidate, graph):
+                ranks = candidate
+            else:
+                start += chunk
+        chunk //= 2
+    return ranks
+
+
+def _shrink_columns(ranks: np.ndarray,
+                    graph: PGraph, predicate) -> tuple[np.ndarray, PGraph]:
+    column = 0
+    while graph.d > 1 and column < graph.d:
+        mask = ((1 << graph.d) - 1) & ~(1 << column)
+        candidate_graph = graph.restrict(mask)
+        candidate_ranks = np.ascontiguousarray(
+            np.delete(ranks, column, axis=1))
+        if predicate(candidate_ranks, candidate_graph):
+            ranks, graph = candidate_ranks, candidate_graph
+        else:
+            column += 1
+    return ranks, graph
+
+
+def _shrink_values(ranks: np.ndarray, graph: PGraph,
+                   predicate) -> np.ndarray:
+    rounded = np.round(ranks)
+    if not np.array_equal(rounded, ranks) and predicate(rounded, graph):
+        ranks = rounded
+    # rank-compress every column to 0..k-1 (ties preserved exactly)
+    compressed = np.empty_like(ranks)
+    for column in range(ranks.shape[1]):
+        _, inverse = np.unique(ranks[:, column], return_inverse=True)
+        compressed[:, column] = inverse.astype(np.float64)
+    if not np.array_equal(compressed, ranks) and \
+            predicate(compressed, graph):
+        ranks = compressed
+    return ranks
+
+
+def shrink_case(ranks: np.ndarray, graph: PGraph,
+                predicate) -> tuple[np.ndarray, PGraph]:
+    """Greedily minimize ``(ranks, graph)`` while ``predicate`` holds."""
+    if not predicate(ranks, graph):
+        return ranks, graph
+    ranks = _shrink_rows(ranks, graph, predicate)
+    ranks, graph = _shrink_columns(ranks, graph, predicate)
+    ranks = _shrink_rows(ranks, graph, predicate)
+    ranks = _shrink_values(ranks, graph, predicate)
+    return ranks, graph
+
+
+class Fuzzer:
+    """Seeded differential + metamorphic fuzzing over the registry."""
+
+    def __init__(self, seed: int = 0, *,
+                 algorithms: Mapping[str, Callable] | None = None,
+                 baseline: str = BASELINE,
+                 d_range: tuple[int, int] = (1, 6),
+                 n_range: tuple[int, int] = (1, 120),
+                 metamorphic: bool = True,
+                 timeout: float | None = None,
+                 artifacts_dir: str | None = None):
+        self.seed = seed
+        self.algorithms = dict(algorithms if algorithms is not None
+                               else REGISTRY)
+        self.baseline = baseline
+        self.d_range = d_range
+        self.n_range = n_range
+        self.metamorphic = metamorphic
+        self.timeout = timeout
+        self.artifacts_dir = artifacts_dir
+        self._samplers: dict[int, ExactUniformSampler] = {}
+
+    # -- case generation -----------------------------------------------------
+    def _sampler(self, d: int) -> ExactUniformSampler:
+        if d not in self._samplers:
+            self._samplers[d] = ExactUniformSampler(
+                [f"A{i}" for i in range(d)])
+        return self._samplers[d]
+
+    def generate_case(self, case_index: int
+                      ) -> tuple[np.ndarray, PGraph, str]:
+        """The deterministic case for ``(self.seed, case_index)``."""
+        rng = case_rng(self.seed, case_index)
+        nrng = np.random.default_rng(rng.getrandbits(64))
+        d = rng.randint(*self.d_range)
+        graph = self._sampler(d).sample_graph(rng)
+        n = rng.randint(*self.n_range)
+        shape, ranks = random_dataset(rng, nrng, n, d)
+        return ranks, graph, shape
+
+    # -- running -------------------------------------------------------------
+    def run(self, cases: int,
+            progress: Callable[[str], None] | None = None) -> FuzzReport:
+        report = FuzzReport(seed=self.seed,
+                            algorithms=tuple(sorted(self.algorithms)))
+        transform_names = sorted(TRANSFORMS)
+        algorithm_names = sorted(set(self.algorithms) - {self.baseline})
+        for case_index in range(cases):
+            ranks, graph, shape = self.generate_case(case_index)
+            report.cases += 1
+            mismatches = [
+                (m, None) for m in run_case(
+                    ranks, graph, algorithms=self.algorithms,
+                    baseline=self.baseline, timeout=self.timeout)
+            ]
+            if self.metamorphic and algorithm_names:
+                transform = transform_names[case_index
+                                            % len(transform_names)]
+                target = algorithm_names[case_index
+                                         % len(algorithm_names)]
+                rng = case_rng(self.seed, case_index)
+                mismatches.extend(
+                    (m, transform) for m in run_transform(
+                        TRANSFORMS[transform], ranks, graph,
+                        self.algorithms[target], rng, algorithm=target))
+            for mismatch, transform in mismatches:
+                report.failures.append(self._minimize(
+                    case_index, mismatch, transform, ranks, graph, shape))
+            if progress is not None and (case_index + 1) % 10 == 0:
+                progress(f"case {case_index + 1}/{cases}: "
+                         f"{len(report.failures)} failure(s)")
+        return report
+
+    # -- failure handling ------------------------------------------------------
+    def _minimize(self, case_index: int, mismatch: Mismatch,
+                  transform: str | None, ranks: np.ndarray,
+                  graph: PGraph, shape: str) -> FuzzFailure:
+        predicate = _predicate_for(
+            mismatch, self.baseline, self.algorithms,
+            lambda: case_rng(self.seed, case_index), transform)
+        small_ranks, small_graph = shrink_case(ranks, graph, predicate)
+        failure = FuzzFailure(
+            case_index=case_index, algorithm=mismatch.algorithm,
+            kind=mismatch.kind, detail=mismatch.detail, shape=shape,
+            ranks=small_ranks, graph=small_graph, transform=transform)
+        if self.artifacts_dir is not None:
+            failure = self._persist(failure)
+        return failure
+
+    def _persist(self, failure: FuzzFailure) -> FuzzFailure:
+        os.makedirs(self.artifacts_dir, exist_ok=True)
+        name = (f"fail-seed{self.seed}-case{failure.case_index}"
+                f"-{failure.algorithm}-{failure.kind}.json")
+        path = os.path.join(self.artifacts_dir, name)
+        save_case(path, ranks=failure.ranks, graph=failure.graph,
+                  algorithm=failure.algorithm, kind=failure.kind,
+                  detail=failure.detail, baseline=self.baseline,
+                  transform=failure.transform, seed=self.seed,
+                  case_index=failure.case_index, shape=failure.shape)
+        script = write_repro_script(path)
+        return FuzzFailure(
+            case_index=failure.case_index, algorithm=failure.algorithm,
+            kind=failure.kind, detail=failure.detail, shape=failure.shape,
+            ranks=failure.ranks, graph=failure.graph,
+            transform=failure.transform, corpus_path=path,
+            script_path=script)

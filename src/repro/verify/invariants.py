@@ -1,0 +1,55 @@
+"""Work-counter invariants keyed on declared algorithm guarantees.
+
+The algorithms declare what their :class:`~repro.algorithms.base.Stats`
+counters mean at registration time
+(:class:`~repro.algorithms.base.AlgorithmInfo`); the differential runner
+asserts the implied arithmetic after every run instead of hard-coding
+algorithm names:
+
+* every counter is non-negative;
+* ``counts-dominance``: each of the ``n - v`` eliminated tuples was
+  found dominated by at least one tuple-vs-tuple test, so
+  ``dominance_tests >= n - v``;
+* ``bounded-window`` (when a ``window_size`` option was passed): the
+  reported high-water mark never exceeds the bound;
+* ``external``: an input larger than one page incurs page traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from ..algorithms.base import AlgorithmInfo, Stats
+
+__all__ = ["check_stats"]
+
+
+def check_stats(info: AlgorithmInfo, stats: Stats, n: int, v: int,
+                options: dict | None = None) -> list[str]:
+    """Return human-readable violation strings (empty = all good)."""
+    options = options or {}
+    violations: list[str] = []
+    for field in fields(Stats):
+        value = getattr(stats, field.name)
+        if isinstance(value, int) and value < 0:
+            violations.append(
+                f"{info.name}: counter {field.name} is negative ({value})")
+    if info.counts_dominance and n - v > 0:
+        if stats.dominance_tests < n - v:
+            violations.append(
+                f"{info.name}: eliminated {n - v} of {n} tuples with only "
+                f"{stats.dominance_tests} dominance tests (each eliminated "
+                "tuple must be tested at least once)")
+    window = options.get("window_size")
+    if info.bounded_window and window is not None:
+        if stats.window_peak > window:
+            violations.append(
+                f"{info.name}: window peak {stats.window_peak} exceeds the "
+                f"declared bound {window}")
+    if info.external:
+        page = options.get("page_size", 256)
+        if n > page and stats.io_reads + stats.io_writes == 0:
+            violations.append(
+                f"{info.name}: {n} tuples over {page}-tuple pages caused "
+                "no page I/O at all")
+    return violations

@@ -1,0 +1,179 @@
+"""Metamorphic testing: domination-preserving transforms with oracles.
+
+Each transform rewrites a case ``(ranks, graph)`` into a new case whose
+p-skyline is *exactly predictable* from the original answer:
+
+``shuffle``
+    Permuting rows permutes the result the same way (``M_pi`` is
+    order-insensitive).
+``duplicate``
+    Appending exact copies of existing rows adds exactly the copies of
+    maximal rows to the result (equal tuples never dominate each other,
+    dominance being strict).
+``monotone-rescale``
+    A strictly increasing affine map per column (positive scale plus
+    offset) preserves every rank comparison, hence the result.
+``relabel``
+    A p-graph isomorphism -- permuting columns together with the
+    priority graph's nodes -- leaves the result untouched.
+``append-dominated``
+    Appending tuples strictly worse than an existing tuple on every
+    attribute adds nothing: the new tuples are dominated, and by
+    transitivity of ``≻`` anything they dominate was already dominated.
+
+:func:`run_transform` checks the relation for one algorithm on one case
+and reports violations as :class:`~repro.verify.differential.Mismatch`
+records.  A correct algorithm passes every transform on every input; the
+mutation smoke-checks in the test suite show each transform catches a
+characteristic implementation bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.pgraph import PGraph
+from .differential import Mismatch, _describe
+
+__all__ = ["MetamorphicTransform", "TRANSFORMS", "run_transform",
+           "permute_graph"]
+
+#: apply(ranks, graph, rng) -> (new_ranks, new_graph, oracle) where
+#: oracle maps the original result set to the expected transformed one.
+Oracle = Callable[[set], set]
+
+
+@dataclass(frozen=True)
+class MetamorphicTransform:
+    name: str
+    description: str
+    apply: Callable[[np.ndarray, PGraph, random.Random],
+                    tuple[np.ndarray, PGraph, Oracle]]
+
+
+def permute_graph(graph: PGraph, sigma: list[int]) -> PGraph:
+    """The isomorphic p-graph with node ``sigma[j]`` moved to slot ``j``."""
+    d = graph.d
+    if sorted(sigma) != list(range(d)):
+        raise ValueError("sigma must be a permutation of the columns")
+    inverse = [0] * d
+    for new, old in enumerate(sigma):
+        inverse[old] = new
+    names = tuple(graph.names[old] for old in sigma)
+    closure = []
+    for old in sigma:
+        mask = graph.closure[old]
+        new_mask = 0
+        for old_descendant in range(d):
+            if mask >> old_descendant & 1:
+                new_mask |= 1 << inverse[old_descendant]
+        closure.append(new_mask)
+    orders = None if graph.orders is None else \
+        [graph.orders[old] for old in sigma]
+    return PGraph(names, tuple(closure), orders)
+
+
+def _shuffle(ranks: np.ndarray, graph: PGraph, rng: random.Random):
+    n = ranks.shape[0]
+    perm = list(range(n))
+    rng.shuffle(perm)
+    perm_array = np.asarray(perm, dtype=np.intp)
+    new_ranks = ranks[perm_array]
+
+    def oracle(original: set) -> set:
+        return {new for new, old in enumerate(perm) if old in original}
+
+    return new_ranks, graph, oracle
+
+
+def _duplicate(ranks: np.ndarray, graph: PGraph, rng: random.Random):
+    n = ranks.shape[0]
+    count = rng.randint(1, max(1, n // 2)) if n else 0
+    chosen = [rng.randrange(n) for _ in range(count)]
+    new_ranks = np.vstack([ranks, ranks[chosen]]) if chosen \
+        else ranks.copy()
+
+    def oracle(original: set) -> set:
+        copies = {n + j for j, row in enumerate(chosen) if row in original}
+        return original | copies
+
+    return new_ranks, graph, oracle
+
+
+def _monotone_rescale(ranks: np.ndarray, graph: PGraph,
+                      rng: random.Random):
+    d = ranks.shape[1]
+    scales = np.array([rng.choice([0.01, 0.5, 3.0, 1000.0])
+                       for _ in range(d)])
+    offsets = np.array([rng.uniform(-5.0, 5.0) for _ in range(d)])
+    new_ranks = ranks * scales + offsets
+    return new_ranks, graph, lambda original: set(original)
+
+
+def _relabel(ranks: np.ndarray, graph: PGraph, rng: random.Random):
+    d = ranks.shape[1]
+    sigma = list(range(d))
+    rng.shuffle(sigma)
+    new_ranks = np.ascontiguousarray(ranks[:, sigma])
+    return new_ranks, permute_graph(graph, sigma), \
+        lambda original: set(original)
+
+
+def _append_dominated(ranks: np.ndarray, graph: PGraph,
+                      rng: random.Random):
+    n, d = ranks.shape
+    count = rng.randint(1, 5) if n else 0
+    appended = []
+    for _ in range(count):
+        anchor = ranks[rng.randrange(n)]
+        worse = anchor + np.array([rng.uniform(0.5, 2.0)
+                                   for _ in range(d)])
+        appended.append(worse)
+    new_ranks = np.vstack([ranks, np.array(appended)]) if appended \
+        else ranks.copy()
+    return new_ranks, graph, lambda original: set(original)
+
+
+TRANSFORMS: dict[str, MetamorphicTransform] = {
+    transform.name: transform for transform in (
+        MetamorphicTransform(
+            "shuffle", "permute the rows; the result permutes alike",
+            _shuffle),
+        MetamorphicTransform(
+            "duplicate",
+            "append copies of rows; copies of maximal rows join the "
+            "result", _duplicate),
+        MetamorphicTransform(
+            "monotone-rescale",
+            "positively rescale each column; the result is unchanged",
+            _monotone_rescale),
+        MetamorphicTransform(
+            "relabel",
+            "apply a p-graph isomorphism (permute columns with nodes); "
+            "the result is unchanged", _relabel),
+        MetamorphicTransform(
+            "append-dominated",
+            "append tuples strictly worse than an existing tuple; the "
+            "result is unchanged", _append_dominated),
+    )
+}
+
+
+def run_transform(transform: MetamorphicTransform, ranks: np.ndarray,
+                  graph: PGraph, function, rng: random.Random, *,
+                  algorithm: str = "?") -> list[Mismatch]:
+    """Check one metamorphic relation for one algorithm on one case."""
+    original = set(int(i) for i in function(ranks, graph))
+    new_ranks, new_graph, oracle = transform.apply(ranks, graph, rng)
+    expected = oracle(original)
+    got = set(int(i) for i in function(new_ranks, new_graph))
+    if got != expected:
+        return [Mismatch(
+            f"metamorphic-{transform.name}", algorithm,
+            f"expected {_describe(expected)} after the transform, got "
+            f"{_describe(got)} (original result {_describe(original)})")]
+    return []

@@ -1,0 +1,97 @@
+"""The compiled-preference cache must key on attribute *orders*, not
+just p-graph structure.
+
+Two p-graphs that are isomorphic (same names, same priority closure)
+but differently directed -- ``lowest(price)`` vs ``highest(price)``, or
+different custom rankings -- denote different preferences.  Before the
+fix they collided on the structural key ``(names, closure)`` and shared
+one cache entry; these tests pin the corrected behaviour end to end.
+"""
+
+import numpy as np
+
+from repro.core.attributes import highest, lowest, orders_signature, ranked
+from repro.core.pgraph import PGraph
+from repro.core.preferring import evaluate_preferring
+from repro.core.query import p_skyline
+from repro.core.relation import Relation
+from repro.core.serialize import pgraph_from_json, pgraph_to_json
+from repro.engine import ExecutionContext, PreferenceCache
+from repro.engine.compiled import graph_key
+
+
+def _chain_graph(orders=None):
+    # price -> mileage: identical structure in every test
+    return PGraph(("price", "mileage"), (0b10, 0b00), orders)
+
+
+class TestGraphKey:
+    def test_isomorphic_but_differently_directed_graphs_do_not_collide(self):
+        cache = PreferenceCache()
+        min_min = cache.get(_chain_graph(("min", "min")))
+        max_min = cache.get(_chain_graph(("max", "min")))
+        assert min_min is not max_min
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+        # same signature again: a genuine hit
+        assert cache.get(_chain_graph(("max", "min"))) is max_min
+        assert cache.stats()["hits"] == 1
+
+    def test_custom_total_orders_are_part_of_the_key(self):
+        cache = PreferenceCache()
+        gold_first = _chain_graph((("ranked", ("gold", "silver")), "min"))
+        silver_first = _chain_graph((("ranked", ("silver", "gold")), "min"))
+        assert graph_key(gold_first) != graph_key(silver_first)
+        assert cache.get(gold_first) is not cache.get(silver_first)
+
+    def test_unsigned_graphs_keep_the_structural_key(self):
+        cache = PreferenceCache()
+        assert cache.get(_chain_graph()) is cache.get(_chain_graph())
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1,
+                                 "maxsize": cache.maxsize}
+
+    def test_orders_survive_restriction_and_equality(self):
+        graph = _chain_graph(("min", "max"))
+        sub = graph.restrict(0b10)  # keep only mileage
+        assert sub.orders == ("max",)
+        assert _chain_graph(("min", "max")) == graph
+        assert _chain_graph(("max", "min")) != graph
+        assert hash(_chain_graph(("min", "max"))) == hash(graph)
+
+    def test_orders_round_trip_through_json(self):
+        graph = _chain_graph((("ranked", ("gold", "silver")), "max"))
+        clone = pgraph_from_json(pgraph_to_json(graph))
+        assert clone == graph
+        assert graph_key(clone) == graph_key(graph)
+
+
+class TestQueryLayersSignTheirGraphs:
+    def test_preferring_directions_split_cache_entries(self):
+        records = [{"price": p, "hp": h}
+                   for p, h in [(1, 9), (2, 5), (3, 7), (1, 5)]]
+        relation = Relation.from_records(records,
+                                         [lowest("price"), lowest("hp")])
+        cache = PreferenceCache()
+        context = ExecutionContext(cache=cache)
+        cheap = evaluate_preferring(relation, "lowest(price) & lowest(hp)",
+                                    context=context)
+        fast = evaluate_preferring(relation, "lowest(price) & highest(hp)",
+                                   context=context)
+        # same p-graph structure, opposite hp direction: two entries and
+        # two genuinely different answers
+        assert cache.stats()["misses"] == 2
+        assert [r["hp"] for r in cheap] != [r["hp"] for r in fast]
+
+    def test_p_skyline_signs_relation_graphs_with_the_schema(self):
+        records = [{"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 1.0}]
+        low = Relation.from_records(records, [lowest("a"), lowest("b")])
+        high = Relation.from_records(records, [lowest("a"), highest("b")])
+        cache = PreferenceCache()
+        p_skyline(low, "a * b", context=ExecutionContext(cache=cache))
+        p_skyline(high, "a * b", context=ExecutionContext(cache=cache))
+        assert cache.stats()["misses"] == 2
+
+    def test_orders_signature_covers_ranked_attributes(self):
+        schema = [lowest("a"), highest("b"), ranked("c", ["x", "y"])]
+        assert orders_signature(schema) == \
+            ("min", "max", ("ranked", ("x", "y")))

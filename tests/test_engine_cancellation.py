@@ -1,0 +1,224 @@
+"""Cancellation mid-emission must be clean: progressive iterators stop
+with :class:`QueryCancelled` after a valid prefix, and the incremental /
+sliding-window maintainers roll back so no partial-window corruption is
+observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import naive, SlidingWindowPSkyline
+from repro.algorithms.bbs import bbs_iter
+from repro.algorithms.incremental import PSkylineMaintainer
+from repro.algorithms.ranked import top_k
+from repro.algorithms.sfs import sfs_iter
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.engine import (CancellationToken, ExecutionContext,
+                          QueryCancelled, QueryTimeout)
+
+
+class CountdownToken(CancellationToken):
+    """Trips after being consulted ``fire_after`` times -- a
+    deterministic stand-in for 'the user hits cancel mid-query'."""
+
+    def __init__(self, fire_after: int):
+        super().__init__()
+        self.fire_after = fire_after
+        self.consulted = 0
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        self.consulted += 1
+        if self.consulted >= self.fire_after:
+            self._event.set()
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._event.clear()
+        self.consulted = 0
+        self.fire_after = 10 ** 9
+
+
+def _workload(seed=7, n=200, d=3):
+    nrng = np.random.default_rng(seed)
+    names = [f"A{i}" for i in range(d)]
+    graph = PGraph.from_expression(parse(" * ".join(names)), names=names)
+    ranks = nrng.integers(0, 12, size=(n, d)).astype(float)
+    return ranks, graph
+
+
+class TestProgressiveIterators:
+    """Cancel after k emitted results: the k results already seen are a
+    valid prefix, the next pull raises QueryCancelled, nothing else."""
+
+    @pytest.mark.parametrize("make_iter", [bbs_iter, sfs_iter],
+                             ids=["bbs", "sfs"])
+    def test_cancel_after_k_results(self, make_iter):
+        ranks, graph = _workload()
+        skyline = set(naive(ranks, graph).tolist())
+        token = CancellationToken()
+        context = ExecutionContext(cancel=token)
+        iterator = make_iter(ranks, graph, context=context)
+        emitted = [next(iterator) for _ in range(3)]
+        assert set(emitted) <= skyline
+        assert len(set(emitted)) == 3
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            next(iterator)
+        # the generator is finished for good, not resumable
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    @pytest.mark.parametrize("make_iter", [bbs_iter, sfs_iter],
+                             ids=["bbs", "sfs"])
+    def test_pre_cancelled_token_emits_nothing(self, make_iter):
+        ranks, graph = _workload()
+        token = CancellationToken()
+        token.cancel()
+        iterator = make_iter(ranks, graph,
+                             context=ExecutionContext(cancel=token))
+        with pytest.raises(QueryCancelled):
+            next(iterator)
+
+    def test_top_k_cancel(self):
+        ranks, graph = _workload()
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            top_k(ranks, graph, 5,
+                  context=ExecutionContext(cancel=token))
+
+    def test_expired_deadline_raises_timeout(self):
+        ranks, graph = _workload()
+        context = ExecutionContext(deadline=-1.0)
+        iterator = bbs_iter(ranks, graph, context=context)
+        with pytest.raises(QueryTimeout):
+            next(iterator)
+
+
+class TestMaintainerAtomicDelete:
+    def _build_chain(self):
+        """Skyline = {0}; deleting 0 promotes via a real OSDC pass."""
+        graph = PGraph.from_expression(parse("A & B"))
+        token = CountdownToken(fire_after=10 ** 9)
+        context = ExecutionContext(cancel=token)
+        maintainer = PSkylineMaintainer(graph, context=context)
+        maintainer.insert([0.0, 0.0])             # id 0: dominates all
+        for k in range(1, 8):
+            maintainer.insert([float(k), float(k)])
+        assert maintainer.skyline_ids().tolist() == [0]
+        return maintainer, token
+
+    # fire_after=1 trips the up-front check, =2 trips the first check
+    # *inside* the OSDC promotion pass
+    @pytest.mark.parametrize("fire_after", [1, 2])
+    def test_cancel_mid_promotion_rolls_the_delete_back(self, fire_after):
+        maintainer, token = self._build_chain()
+        token.consulted = 0
+        token.fire_after = fire_after
+        with pytest.raises(QueryCancelled):
+            maintainer.delete(0)
+        # rolled back: tuple 0 is alive, maximal, and the answer is
+        # still exactly M_pi of the alive tuples
+        assert 0 in maintainer
+        assert maintainer.skyline_ids().tolist() == [0]
+        assert maintainer.num_alive == 8
+        # retrying after the cancellation clears succeeds cleanly
+        token.reset()
+        maintainer.delete(0)
+        assert 0 not in maintainer
+        assert maintainer.skyline_ids().tolist() == [1]
+
+    def test_cancel_before_any_mutation_on_insert(self):
+        maintainer, token = self._build_chain()
+        token.consulted = 0
+        token.fire_after = 1
+        with pytest.raises(QueryCancelled):
+            # insert checks the token up front, before storing anything
+            maintainer.insert([5.0, 5.0])
+        assert maintainer.num_alive == 8
+
+    def test_fuzz_delete_always_atomic(self):
+        """Cancel at every possible check point in turn; after each
+        failed delete the maintainer must equal M_pi of the alive set."""
+        graph = PGraph.from_expression(parse("A * B"))
+        nrng = np.random.default_rng(3)
+        for fire_after in range(1, 10):
+            token = CountdownToken(fire_after=fire_after)
+            context = ExecutionContext(cancel=token)
+            maintainer = PSkylineMaintainer(graph, context=context)
+            rows = nrng.integers(0, 5, size=(30, 2)).astype(float)
+            token.fire_after = 10 ** 9
+            ids = [maintainer.insert(row) for row in rows]
+            victim = int(maintainer.skyline_ids()[0])
+            token.consulted = 0
+            token.fire_after = fire_after
+            try:
+                maintainer.delete(victim)
+            except QueryCancelled:
+                assert victim in maintainer
+            token.reset()
+            alive = [i for i in ids if i in maintainer]
+            expected = {alive[j] for j in
+                        naive(maintainer._ranks[alive], graph)}
+            assert set(maintainer.skyline_ids().tolist()) == expected
+
+
+class TestSlidingWindowCancellation:
+    def test_cancelled_eviction_keeps_the_window_consistent(self):
+        graph = PGraph.from_expression(parse("A & B"))
+        token = CountdownToken(fire_after=10 ** 9)
+        stream = SlidingWindowPSkyline(
+            graph, window=4, context=ExecutionContext(cancel=token))
+        stream.append([0.0, 0.0])   # id 0 dominates everything after it
+        for k in range(1, 4):
+            stream.append([float(k), float(k)])
+        assert stream.skyline_ids().tolist() == [0]
+        # the next append evicts id 0 and must promote; cancel fires
+        # inside that promotion pass (check 1 = delete's up-front check,
+        # check 2 = the first OSDC recursion step)
+        token.consulted = 0
+        token.fire_after = 2
+        with pytest.raises(QueryCancelled):
+            stream.append([9.0, 9.0])
+        # no partial-window corruption: nothing was evicted or added
+        assert len(stream) == 4
+        assert stream.skyline_ids().tolist() == [0]
+        assert stream.contents().shape == (4, 2)
+        # retry once the cancellation clears: exactly one step forward
+        token.reset()
+        new_id = stream.append([9.0, 9.0])
+        assert len(stream) == 4
+        assert new_id == 4
+        expected = set(naive(stream.contents(), graph).tolist())
+        ids = stream.skyline_ids().tolist()
+        # ids are append order; window now holds ids 1..4
+        assert {i - 1 for i in ids} == expected
+
+    def test_windows_never_overfill_under_repeated_cancellation(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        token = CountdownToken(fire_after=10 ** 9)
+        stream = SlidingWindowPSkyline(
+            graph, window=3, context=ExecutionContext(cancel=token))
+        nrng = np.random.default_rng(11)
+        appended = 0
+        for step in range(40):
+            values = nrng.integers(0, 4, size=2).astype(float)
+            token.consulted = 0
+            token.fire_after = 1 + step % 5
+            try:
+                stream.append(values)
+                appended += 1
+            except QueryCancelled:
+                pass
+            token.reset()
+            assert len(stream) <= 3
+            if len(stream):
+                expected = set(naive(stream.contents(), graph).tolist())
+                got = set(stream.skyline_ids().tolist())
+                assert len(got) == len(expected)
+        assert appended > 0

@@ -1,9 +1,10 @@
 """Heavy randomized cross-checks ("fuzzing light").
 
-Every registered algorithm against the quadratic oracle, over adversarial
-input shapes the targeted tests may miss: extreme duplication, constant
-blocks, mixed scales, many columns, power-law values, negative values,
-and expressions drawn from the exactly-uniform sampler.
+Every registered algorithm against the quadratic oracle, over the
+adversarial input shapes of :mod:`repro.verify.datasets` the targeted
+tests may miss: extreme duplication, constant blocks, mixed scales, many
+columns, power-law values, negative values, and expressions drawn from
+the exactly-uniform sampler.
 """
 
 import random
@@ -14,29 +15,9 @@ import pytest
 from repro.algorithms import REGISTRY, naive
 from repro.core.checks import verify_pskyline
 from repro.sampling.exact_counting import ExactUniformSampler
+from repro.verify.datasets import random_dataset
 
 FAST_ALGORITHMS = sorted(set(REGISTRY) - {"naive"})
-
-
-def _adversarial_matrix(rng: random.Random, nrng: np.random.Generator,
-                        n: int, d: int) -> np.ndarray:
-    shape = rng.choice(["binary", "tiny-domain", "continuous",
-                        "powerlaw", "mixed-scale", "constant-cols"])
-    if shape == "binary":
-        return nrng.integers(0, 2, size=(n, d)).astype(float)
-    if shape == "tiny-domain":
-        return nrng.integers(-2, 3, size=(n, d)).astype(float)
-    if shape == "continuous":
-        return nrng.normal(size=(n, d))
-    if shape == "powerlaw":
-        return np.floor(nrng.pareto(1.2, size=(n, d)) * 3)
-    if shape == "mixed-scale":
-        scales = 10.0 ** nrng.integers(-3, 6, size=d)
-        return np.round(nrng.random((n, d)) * scales, 2)
-    data = nrng.integers(0, 4, size=(n, d)).astype(float)
-    for column in range(0, d, 2):
-        data[:, column] = float(column)
-    return data
 
 
 @pytest.mark.parametrize("seed", range(4))
@@ -48,7 +29,7 @@ def test_fuzz_all_algorithms_against_oracle(seed):
         sampler = ExactUniformSampler([f"A{i}" for i in range(d)])
         graph = sampler.sample_graph(rng)
         n = rng.randint(1, 250)
-        ranks = _adversarial_matrix(rng, nrng, n, d)
+        _, ranks = random_dataset(rng, nrng, n, d)
         expected = set(naive(ranks, graph).tolist())
         for name in FAST_ALGORITHMS:
             got = REGISTRY[name](ranks, graph)

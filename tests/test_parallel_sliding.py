@@ -9,6 +9,8 @@ from repro.algorithms.base import Stats
 from repro.algorithms.parallel import parallel_osdc
 from repro.core.parser import parse
 from repro.core.pgraph import PGraph
+from repro.engine import (CancellationToken, ExecutionContext,
+                          QueryCancelled, TraceBuffer)
 
 
 class TestParallelOSDC:
@@ -51,6 +53,61 @@ class TestParallelOSDC:
     def test_registered(self):
         from repro.algorithms import REGISTRY
         assert "parallel-osdc" in REGISTRY
+
+
+class TestParallelFallbackPolicy:
+    """The serial fallback must depend on an *actual* deadline or cancel
+    token -- not on a context merely being present, which is now every
+    call (``ensure_context`` fabricates one)."""
+
+    def _workload(self, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 50, size=(2000, 2)).astype(float)
+        return ranks, graph
+
+    def test_plain_context_takes_the_parallel_path(self, nrng):
+        ranks, graph = self._workload(nrng)
+        stats = Stats()
+        context = ExecutionContext(stats=stats, trace=TraceBuffer(),
+                                   memory_budget=10_000)
+        result = parallel_osdc(ranks, graph, context=context,
+                               processes=2, min_chunk=100)
+        assert len(stats.extra["chunk_skylines"]) == 2  # fan-out happened
+        assert set(result.tolist()) == set(naive(ranks, graph).tolist())
+
+    def test_fabricated_context_takes_the_parallel_path(self, nrng):
+        ranks, graph = self._workload(nrng)
+        stats = Stats()
+        parallel_osdc(ranks, graph, stats=stats, processes=2,
+                      min_chunk=100)
+        assert "chunk_skylines" in stats.extra
+
+    def test_deadline_forces_serial(self, nrng):
+        ranks, graph = self._workload(nrng)
+        stats = Stats()
+        context = ExecutionContext.create(stats=stats, timeout=60.0)
+        result = parallel_osdc(ranks, graph, context=context,
+                               processes=2, min_chunk=100)
+        assert "chunk_skylines" not in stats.extra
+        assert set(result.tolist()) == set(naive(ranks, graph).tolist())
+
+    def test_untriggered_cancel_token_forces_serial(self, nrng):
+        ranks, graph = self._workload(nrng)
+        stats = Stats()
+        context = ExecutionContext(stats=stats, cancel=CancellationToken())
+        result = parallel_osdc(ranks, graph, context=context,
+                               processes=2, min_chunk=100)
+        assert "chunk_skylines" not in stats.extra
+        assert set(result.tolist()) == set(naive(ranks, graph).tolist())
+
+    def test_pre_triggered_token_raises_before_forking(self, nrng):
+        ranks, graph = self._workload(nrng)
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            parallel_osdc(ranks, graph,
+                          context=ExecutionContext(cancel=token),
+                          processes=2, min_chunk=100)
 
 
 class TestSlidingWindow:

@@ -1,0 +1,42 @@
+"""Replay the checked-in regression corpus: every stored case must stay
+fixed on every test run (the tier-1 gate on the fuzz corpus)."""
+
+import pathlib
+
+import pytest
+
+from repro.verify.corpus import iter_corpus, load_case, replay_case
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_present_and_nonempty():
+    assert CORPUS_DIR.is_dir()
+    assert len(ENTRIES) >= 10
+
+
+def test_iter_corpus_finds_every_entry():
+    found = [path for path, _ in iter_corpus(str(CORPUS_DIR))]
+    assert [pathlib.Path(p).name for p in found] == \
+        [p.name for p in ENTRIES]
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_stays_fixed(path):
+    entry = load_case(str(path))
+    mismatches = replay_case(entry)
+    assert mismatches == [], "\n".join(str(m) for m in mismatches)
+
+
+def test_corpus_covers_every_metamorphic_transform():
+    from repro.verify.metamorphic import TRANSFORMS
+    stored = {load_case(str(path)).get("transform")
+              for path in ENTRIES}
+    assert set(TRANSFORMS) <= stored
+
+
+def test_corpus_covers_multiple_algorithm_families():
+    algorithms = {load_case(str(path))["algorithm"] for path in ENTRIES}
+    assert {"osdc", "bbs", "sfs", "external-bnl",
+            "parallel-osdc"} <= algorithms

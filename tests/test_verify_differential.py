@@ -1,0 +1,135 @@
+"""The differential runner: clean registry runs, injected-bug detection,
+emission and invariant checks."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, naive
+from repro.algorithms.base import REGISTRY_INFO
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.verify.differential import Mismatch, run_case
+from repro.verify.invariants import check_stats
+
+
+def _case(n=80, d=3, seed=4):
+    nrng = np.random.default_rng(seed)
+    names = [f"A{i}" for i in range(d)]
+    expr = " * ".join(names)
+    graph = PGraph.from_expression(parse(expr), names=names)
+    return nrng.integers(0, 6, size=(n, d)).astype(float), graph
+
+
+class TestRunCase:
+    def test_full_registry_agrees(self):
+        ranks, graph = _case()
+        assert run_case(ranks, graph) == []
+
+    def test_detects_a_wrong_result_set(self):
+        ranks, graph = _case()
+
+        def broken(ranks, graph, *, stats=None, **options):
+            correct = naive(ranks, graph)
+            return correct[:-1]  # silently drop one maximal tuple
+
+        mismatches = run_case(ranks, graph,
+                              algorithms={"naive": naive,
+                                          "broken": broken})
+        assert [m.kind for m in mismatches] == ["result-set"]
+        assert mismatches[0].algorithm == "broken"
+        assert "missing" in mismatches[0].detail
+
+    def test_detects_a_crash(self):
+        ranks, graph = _case()
+
+        def crashing(ranks, graph, *, stats=None, **options):
+            raise RuntimeError("boom")
+
+        mismatches = run_case(ranks, graph,
+                              algorithms={"naive": naive,
+                                          "crashing": crashing})
+        assert [m.kind for m in mismatches] == ["error"]
+        assert "boom" in mismatches[0].detail
+
+    def test_detects_a_broken_baseline_via_the_oracle(self):
+        ranks, graph = _case()
+
+        def bad_baseline(ranks, graph, *, stats=None, **options):
+            return naive(ranks, graph)[1:]
+
+        mismatches = run_case(ranks, graph,
+                              algorithms={"bad": bad_baseline},
+                              baseline="bad")
+        assert any(m.kind == "oracle" for m in mismatches)
+
+    def test_unknown_baseline_raises(self):
+        ranks, graph = _case()
+        with pytest.raises(KeyError):
+            run_case(ranks, graph, algorithms={"naive": naive},
+                     baseline="nope")
+
+    def test_progressive_emission_checked(self):
+        """Progressive algorithms are checked for best-first order and
+        prefix-consistency -- the registry's own iterators must pass."""
+        ranks, graph = _case(n=150)
+        progressive = {name for name, info in REGISTRY_INFO.items()
+                       if info.progressive}
+        assert progressive >= {"bbs", "sfs"}
+        pool = {name: REGISTRY[name]
+                for name in progressive | {"naive"}}
+        assert run_case(ranks, graph, algorithms=pool) == []
+
+
+class TestStatsInvariants:
+    def test_negative_counter_flagged(self):
+        from repro.algorithms.base import Stats
+        info = REGISTRY_INFO["osdc"]
+        stats = Stats()
+        stats.dominance_tests = -1
+        violations = check_stats(info, stats, n=10, v=5)
+        assert any("negative" in v for v in violations)
+
+    def test_eliminated_tuples_need_tests(self):
+        from repro.algorithms.base import Stats
+        info = REGISTRY_INFO["osdc"]
+        assert info.counts_dominance
+        violations = check_stats(info, Stats(), n=10, v=2)
+        assert any("dominance tests" in v for v in violations)
+        # a counting-exempt algorithm is not held to the bound
+        assert check_stats(REGISTRY_INFO["bbs"], Stats(), n=10, v=2) == []
+
+    def test_window_bound_enforced(self):
+        from repro.algorithms.base import Stats
+        info = REGISTRY_INFO["bnl"]
+        assert info.bounded_window
+        stats = Stats()
+        stats.window_peak = 99
+        stats.dominance_tests = 1000
+        violations = check_stats(info, stats, n=10, v=5,
+                                 options={"window_size": 8})
+        assert any("window peak" in v for v in violations)
+        stats.window_peak = 8
+        assert check_stats(info, stats, n=10, v=5,
+                           options={"window_size": 8}) == []
+
+    def test_bounded_window_run_satisfies_the_invariant(self):
+        ranks, graph = _case(n=200)
+        assert run_case(
+            ranks, graph,
+            algorithms={"naive": naive, "bnl": REGISTRY["bnl"]},
+            options={"bnl": {"window_size": 16}}) == []
+
+    def test_registry_declarations_cover_known_families(self):
+        assert REGISTRY_INFO["external-bnl"].external
+        assert REGISTRY_INFO["parallel-osdc"].parallel
+        assert REGISTRY_INFO["bbs"].progressive
+        assert REGISTRY_INFO["bbs"].iterator is not None
+        assert not REGISTRY_INFO["salsa"].counts_dominance
+        assert "bounded-window" in REGISTRY_INFO["bnl"].guarantees
+
+
+class TestMismatchDisplay:
+    def test_str_is_informative(self):
+        mismatch = Mismatch("result-set", "osdc", "missing [3]")
+        assert "osdc" in str(mismatch)
+        assert "result-set" in str(mismatch)

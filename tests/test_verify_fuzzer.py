@@ -1,0 +1,147 @@
+"""The shrinking fuzzer: determinism, minimization, artifacts, replay."""
+
+import os
+import random
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.algorithms import naive
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.verify.corpus import load_case, replay_case
+from repro.verify.fuzzer import Fuzzer, case_rng, shrink_case
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def _near_miss(ranks, graph, *, stats=None, **options):
+    """Correct everywhere except: drops the highest-index maximal row
+    whenever there are at least three of them."""
+    correct = naive(ranks, graph)
+    if correct.size >= 3:
+        return correct[:-1]
+    return correct
+
+
+class TestDeterminism:
+    def test_cases_depend_only_on_seed_and_index(self):
+        first = Fuzzer(42).generate_case(7)
+        second = Fuzzer(42).generate_case(7)
+        assert np.array_equal(first[0], second[0])
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+        different = Fuzzer(43).generate_case(7)
+        assert not (np.array_equal(first[0], different[0])
+                    and first[1] == different[1])
+
+    def test_case_rng_is_order_independent(self):
+        a = case_rng(0, 5).random()
+        case_rng(0, 4).random()
+        assert case_rng(0, 5).random() == a
+
+
+class TestShrinking:
+    def test_shrinks_to_the_essential_rows(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        nrng = np.random.default_rng(0)
+        ranks = nrng.integers(0, 50, size=(200, 2)).astype(float)
+        ranks[137] = [-1.0, -1.0]  # the single interesting row
+
+        def predicate(ranks, graph):
+            return bool((ranks == -1.0).all(axis=1).any())
+
+        small, small_graph = shrink_case(ranks, graph, predicate)
+        assert small.shape[0] == 1
+        assert small_graph.d == 1  # columns shrink too
+        assert (small == -1.0).all()
+
+    def test_value_shrinking_compresses_domains(self):
+        graph = PGraph.from_expression(parse("A"))
+        ranks = np.array([[1234.5], [9000.25], [77.125]])
+
+        def predicate(ranks, graph):
+            return ranks.shape[0] == 3  # values are free to change
+
+        small, _ = shrink_case(ranks, graph, predicate)
+        # rank-compression maps the three distinct values to 0, 1, 2
+        assert sorted(small[:, 0].tolist()) == [0.0, 1.0, 2.0]
+
+    def test_non_failing_input_returned_unchanged(self):
+        graph = PGraph.from_expression(parse("A * B"))
+        ranks = np.zeros((5, 2))
+        small, small_graph = shrink_case(ranks, graph,
+                                         lambda r, g: False)
+        assert small.shape == (5, 2)
+        assert small_graph is graph
+
+
+class TestFuzzerRuns:
+    def test_clean_registry_yields_no_failures(self):
+        report = Fuzzer(3, n_range=(1, 40)).run(8)
+        assert report.ok
+        assert report.cases == 8
+
+    def test_finds_and_shrinks_an_injected_bug(self, tmp_path):
+        fuzzer = Fuzzer(
+            0,
+            algorithms={"naive": naive, "near-miss": _near_miss},
+            metamorphic=False,
+            n_range=(20, 60),
+            artifacts_dir=str(tmp_path),
+        )
+        report = fuzzer.run(10)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.algorithm == "near-miss"
+        assert failure.kind == "result-set"
+        # shrunk below the trigger threshold's neighbourhood: the bug
+        # needs >= 3 maximal rows, so the minimum has exactly 3
+        assert failure.ranks.shape[0] <= 5
+        assert failure.corpus_path is not None
+        assert os.path.exists(failure.corpus_path)
+        assert os.path.exists(failure.script_path)
+
+    def test_artifact_round_trips_and_reproduces(self, tmp_path):
+        fuzzer = Fuzzer(
+            0,
+            algorithms={"naive": naive, "near-miss": _near_miss},
+            metamorphic=False,
+            n_range=(20, 60),
+            artifacts_dir=str(tmp_path),
+        )
+        failure = fuzzer.run(10).failures[0]
+        entry = load_case(failure.corpus_path)
+        assert entry["algorithm"] == "near-miss"
+        assert np.array_equal(entry["ranks"], failure.ranks)
+        assert entry["graph"] == failure.graph
+        # replaying against the same pool reproduces the mismatch ...
+        mismatches = replay_case(
+            entry, algorithms={"naive": naive, "near-miss": _near_miss})
+        assert any(m.kind == "result-set" for m in mismatches)
+        # ... and against a fixed pool it comes back clean
+        assert replay_case(entry,
+                           algorithms={"naive": naive,
+                                       "near-miss": naive}) == []
+
+
+class TestCommandLine:
+    def test_module_entry_point_passes_on_the_registry(self):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.verify", "--seed", "0",
+             "--cases", "5", "--quiet", "--max-n", "40"],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert completed.returncode == 0, completed.stdout
+        assert "0 failure(s)" in completed.stdout
+
+    def test_replay_of_empty_directory_is_a_pass(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.verify", "--replay",
+             str(tmp_path)],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert completed.returncode == 0
+        assert "no corpus entries" in completed.stdout

@@ -1,0 +1,83 @@
+"""Property test: cold vs warm preference cache and every registered
+algorithm agree on 200 seeded (p-expression, dataset) pairs.
+
+Datasets are equicorrelated Gaussians over d ∈ {2, 3, 5} at target
+correlations α ∈ {-0.4, 0, 0.8} (clamped into the feasible range for
+each d, as the bench workloads do); p-graphs are drawn from the
+exactly-uniform sampler.  The warm context reuses one
+:class:`PreferenceCache` across all 200 pairs, so later cases hit
+compiled preferences built by earlier ones -- any direction/order keying
+bug or stale-cache corruption shows up as a cold/warm disagreement.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, naive
+from repro.engine import ExecutionContext, PreferenceCache
+from repro.sampling.exact_counting import ExactUniformSampler
+from repro.verify.datasets import correlated_gaussian
+
+CASES = 200
+DIMENSIONS = (2, 3, 5)
+ALPHAS = (-0.4, 0.0, 0.8)
+ROWS = 48
+
+OTHERS = sorted(set(REGISTRY) - {"naive", "osdc"})
+
+
+def _pairs():
+    rng = random.Random(20150531)
+    samplers = {d: ExactUniformSampler([f"A{i}" for i in range(d)])
+                for d in DIMENSIONS}
+    for case in range(CASES):
+        d = DIMENSIONS[case % len(DIMENSIONS)]
+        alpha = ALPHAS[(case // len(DIMENSIONS)) % len(ALPHAS)]
+        nrng = np.random.default_rng(1_000_000 + case)
+        ranks, _ = correlated_gaussian(ROWS, d, alpha, nrng,
+                                       round_decimals=1)
+        graph = samplers[d].sample_graph(rng)
+        yield case, alpha, ranks, graph
+
+
+def test_cold_vs_warm_cache_and_all_algorithms_agree():
+    warm_cache = PreferenceCache()
+    covered_alphas = set()
+    covered_dims = set()
+    for case, alpha, ranks, graph in _pairs():
+        covered_alphas.add(alpha)
+        covered_dims.add(graph.d)
+        expected = set(naive(ranks, graph).tolist())
+
+        cold = REGISTRY["osdc"](
+            ranks, graph,
+            context=ExecutionContext(cache=PreferenceCache()))
+        warm = REGISTRY["osdc"](
+            ranks, graph, context=ExecutionContext(cache=warm_cache))
+        assert set(cold.tolist()) == expected, (case, alpha, "cold")
+        assert set(warm.tolist()) == expected, (case, alpha, "warm")
+
+        # every other registered algorithm agrees on the same pair
+        for name in OTHERS:
+            got = REGISTRY[name](ranks, graph)
+            assert set(got.tolist()) == expected, (case, alpha, name)
+
+    assert covered_alphas == set(ALPHAS)
+    assert covered_dims == set(DIMENSIONS)
+    # the warm cache genuinely got reused across cases
+    stats = warm_cache.stats()
+    assert stats["hits"] > 0
+    assert stats["misses"] <= CASES
+
+
+@pytest.mark.parametrize("d", DIMENSIONS)
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_targets_clamped_into_feasible_range(d, alpha):
+    nrng = np.random.default_rng(0)
+    ranks, achieved = correlated_gaussian(32, d, alpha, nrng)
+    assert ranks.shape == (32, d)
+    assert achieved > -1.0 / (d - 1)
+    if alpha >= 0:
+        assert achieved == alpha
