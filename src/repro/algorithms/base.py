@@ -27,7 +27,7 @@ from ..engine.context import ExecutionContext
 
 __all__ = ["Stats", "Algorithm", "AlgorithmInfo", "REGISTRY",
            "REGISTRY_INFO", "register", "get_algorithm", "get_info",
-           "check_input", "ensure_context"]
+           "check_input", "ensure_context", "resolve_kernel"]
 
 
 @dataclass
@@ -210,6 +210,26 @@ def ensure_context(context: ExecutionContext | None,
     if context.stats is None and stats is not None:
         context.stats = stats
     return context
+
+
+def resolve_kernel(dominance, context: ExecutionContext,
+                   kernel: str | None = None,
+                   pairs: int | None = None) -> str:
+    """Resolve an algorithm's dominance-kernel choice once per run.
+
+    Returns the concrete kernel name (``"bitmask"`` / ``"gemm"`` /
+    ``"scalar"``), recording it in ``Stats.extra["kernel"]`` and as a
+    ``kernel-select`` trace event so bench artifacts and ``explain``
+    output show which family did the work.  ``pairs`` is the expected
+    per-block comparison count the auto policy sizes against.
+    """
+    from ..core.dominance import select_kernel
+
+    resolved = select_kernel(kernel, d=dominance.graph.d, pairs=pairs)
+    if context.stats is not None:
+        context.stats.extra["kernel"] = resolved
+    context.event("kernel-select", kernel=resolved)
+    return resolved
 
 
 def check_input(ranks: np.ndarray, graph: PGraph) -> np.ndarray:

@@ -22,14 +22,15 @@ import numpy as np
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 
 __all__ = ["bnl"]
 
 
 def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
                    context: ExecutionContext,
-                   chunk_size: int) -> np.ndarray:
+                   chunk_size: int, kernel: str) -> np.ndarray:
     """Single-pass in-memory BNL with a chunked, vectorised window."""
     stats = context.stats
     n = ranks.shape[0]
@@ -45,13 +46,16 @@ def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
         for part in window_parts:
             if stats is not None:
                 stats.dominance_tests += int(alive.sum()) * part.shape[0]
-            alive[alive] = dominance.screen_block(chunk[alive], part)
+            alive[alive] = dominance.screen_block(chunk[alive], part,
+                                                  kernel=kernel)
             if not alive.any():
                 break
         if alive.any():
             if stats is not None:
                 stats.dominance_tests += int(alive.sum()) ** 2
-            alive[alive] = dominance.screen_block(chunk[alive], chunk[alive])
+            alive[alive] = dominance.screen_block(chunk[alive],
+                                                  chunk[alive],
+                                                  kernel=kernel)
         if not alive.any():
             continue
         new_rows = chunk_rows[alive]
@@ -61,7 +65,8 @@ def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
             part = window_parts[index]
             if stats is not None:
                 stats.dominance_tests += part.shape[0] * new_block.shape[0]
-            keep = dominance.screen_block(part, new_block)
+            keep = dominance.screen_block(part, new_block,
+                                          kernel=kernel)
             if not keep.all():
                 window_size -= int((~keep).sum())
                 window_parts[index] = part[keep]
@@ -80,7 +85,8 @@ def _bnl_unbounded(ranks: np.ndarray, dominance: Dominance,
 
 def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
                  context: ExecutionContext, window_size: int,
-                 policy: str = "append") -> np.ndarray:
+                 policy: str = "append",
+                 kernel: str | None = None) -> np.ndarray:
     """Classic multi-pass BNL with a window of at most ``window_size``.
 
     ``policy="move-to-front"`` enables the original paper's
@@ -114,7 +120,8 @@ def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
                     block = ranks[np.asarray(part, dtype=np.intp)]
                     if stats is not None:
                         stats.dominance_tests += len(part)
-                    hits = dominance.dominators_mask(block, tuple_ranks)
+                    hits = dominance.dominators_mask(block, tuple_ranks,
+                                                     kernel=kernel)
                     if hits.any():
                         dominated = True
                         dominator = start + int(np.argmax(hits))
@@ -128,7 +135,8 @@ def _bnl_bounded(ranks: np.ndarray, dominance: Dominance,
                 block = ranks[np.asarray(window, dtype=np.intp)]
                 if stats is not None:
                     stats.dominance_tests += len(window)
-                beaten = dominance.dominated_mask(block, tuple_ranks)
+                beaten = dominance.dominated_mask(block, tuple_ranks,
+                                                  kernel=kernel)
                 if beaten.any():
                     keep = ~beaten
                     window = [w for w, k in zip(window, keep) if k]
@@ -164,7 +172,8 @@ def bnl(ranks: np.ndarray, graph: PGraph, *,
         stats: Stats | None = None,
         context: ExecutionContext | None = None,
         window_size: int | None = None,
-        chunk_size: int = 256, policy: str = "append") -> np.ndarray:
+        chunk_size: int = 256, policy: str = "append",
+        kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` with a (possibly bounded) BNL window.
 
     Returns sorted row indices.  ``window_size=None`` keeps every
@@ -180,10 +189,17 @@ def bnl(ranks: np.ndarray, graph: PGraph, *,
     if policy not in ("append", "move-to-front"):
         raise ValueError(f"unknown window policy {policy!r}")
     if window_size is None:
+        kernel = resolve_kernel(dominance, context, kernel,
+                                pairs=min(chunk_size, ranks.shape[0])
+                                * ranks.shape[0])
         if context.stats is not None:
             context.stats.passes += 1
         return _bnl_unbounded(ranks, dominance, context,
-                              max(1, chunk_size))
+                              max(1, chunk_size), kernel)
     if window_size < 1:
         raise ValueError("window_size must be at least 1")
-    return _bnl_bounded(ranks, dominance, context, window_size, policy)
+    # the bounded window is probed in 32-row blocks (see below)
+    kernel = resolve_kernel(dominance, context, kernel,
+                            pairs=min(window_size, 32))
+    return _bnl_bounded(ranks, dominance, context, window_size, policy,
+                        kernel)

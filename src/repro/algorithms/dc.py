@@ -14,7 +14,8 @@ import numpy as np
 from ..core.bitsets import iter_bits
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 from .naive import maximal_mask
 from .pscreen import PScreener, split_threshold
 
@@ -68,7 +69,8 @@ class _DivideAndConquer:
         if idx.size <= self.leaf_size:
             if self.stats is not None:
                 self.stats.dominance_tests += idx.size * (idx.size - 1)
-            keep = maximal_mask(self.ranks[idx], self.screener.dominance)
+            keep = maximal_mask(self.ranks[idx], self.screener.dominance,
+                                kernel=self.screener.kernel)
             return idx[keep]
         # pick a candidate attribute; promote constant ones into E
         attribute = None
@@ -141,7 +143,8 @@ class _DivideAndConquer:
 def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
        context: ExecutionContext | None = None,
        leaf_size: int = 16, use_lowdim: bool = True,
-       dense_cutoff: int = 4096, select: str = "first") -> np.ndarray:
+       dense_cutoff: int = 4096, select: str = "first",
+       kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` with the paper's Algorithm DC.
 
     Returns sorted row indices.  ``leaf_size`` switches to the quadratic
@@ -153,8 +156,12 @@ def dc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
     context = ensure_context(context, stats)
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-    screener = context.compiled(graph).screener(
-        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    compiled = context.compiled(graph)
+    resolve_kernel(compiled.dominance, context, kernel,
+                   pairs=dense_cutoff)
+    screener = compiled.screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff,
+        kernel=None if kernel == "auto" else kernel)
     driver = _DivideAndConquer(ranks, graph, screener, context, leaf_size,
                                select)
     return driver.run()

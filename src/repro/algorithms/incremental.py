@@ -39,10 +39,12 @@ class PSkylineMaintainer:
     """
 
     def __init__(self, graph: PGraph, capacity: int = 1024,
-                 context: ExecutionContext | None = None):
+                 context: ExecutionContext | None = None,
+                 kernel: str = "auto"):
         self.graph = graph
         self.context = ensure_context(context)
         self.dominance = self.context.compiled(graph).dominance
+        self.kernel = None if kernel == "auto" else kernel
         self._ranks = np.empty((capacity, graph.d), dtype=np.float64)
         self._alive = np.zeros(capacity, dtype=bool)
         self._in_skyline = np.zeros(capacity, dtype=bool)
@@ -81,9 +83,11 @@ class PSkylineMaintainer:
         # the new tuple id is already stored but not yet in the skyline
         if skyline.size:
             block = self._ranks[skyline]
-            if self.dominance.dominators_mask(block, values).any():
+            if self.dominance.dominators_mask(
+                    block, values, kernel=self.kernel).any():
                 return tuple_id  # shadowed: retained but not maximal
-            beaten = self.dominance.dominated_mask(block, values)
+            beaten = self.dominance.dominated_mask(block, values,
+                                                   kernel=self.kernel)
             if beaten.any():
                 self._in_skyline[skyline[beaten]] = False
         self._in_skyline[tuple_id] = True
@@ -114,12 +118,14 @@ class PSkylineMaintainer:
             if shadowed.size == 0:
                 return
             survivors_mask = self.dominance.screen_block(
-                self._ranks[shadowed], self.skyline_ranks())
+                self._ranks[shadowed], self.skyline_ranks(),
+                kernel=self.kernel)
             candidates = shadowed[survivors_mask]
             if candidates.size == 0:
                 return
             local = osdc(self._ranks[candidates], self.graph,
-                         context=self.context)
+                         context=self.context,
+                         kernel=self.kernel or "auto")
         except BaseException:
             self._alive[tuple_id] = True
             self._in_skyline[tuple_id] = True

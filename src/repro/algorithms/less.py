@@ -20,7 +20,8 @@ import numpy as np
 
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 from .sfs import sfs_scan
 
 __all__ = ["less"]
@@ -31,7 +32,7 @@ def less(ranks: np.ndarray, graph: PGraph, *,
          stats: Stats | None = None,
          context: ExecutionContext | None = None,
          filter_size: int | None = None,
-         chunk_size: int = 512) -> np.ndarray:
+         chunk_size: int = 512, kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` with an elimination-filter pass plus SFS.
 
     Returns sorted row indices.  ``filter_size=None`` picks an adaptive
@@ -53,6 +54,8 @@ def less(ranks: np.ndarray, graph: PGraph, *,
         return np.empty(0, dtype=np.intp)
 
     extension = compiled.extension
+    kernel = resolve_kernel(dominance, context, kernel,
+                            pairs=min(chunk_size, n) * n)
 
     # -- elimination-filter pass ---------------------------------------------
     # Filter candidates: the tuples with the smallest aggregate score (the
@@ -66,13 +69,15 @@ def less(ranks: np.ndarray, graph: PGraph, *,
     candidate_rows = np.argpartition(scores, k - 1)[:k]
     # Keep only mutually undominated filter tuples (cheap, k is small).
     filter_block = ranks[candidate_rows]
-    mutual = dominance.screen_block(filter_block, filter_block)
+    mutual = dominance.screen_block(filter_block, filter_block,
+                                    kernel=kernel)
     filter_rows = candidate_rows[mutual]
     filter_block = ranks[filter_rows]
     if stats is not None:
         stats.dominance_tests += k * k + n * filter_block.shape[0]
     survivors_mask = dominance.screen_block(ranks, filter_block,
-                                            check=context.check)
+                                            check=context.check,
+                                            kernel=kernel)
     survivors = np.flatnonzero(survivors_mask)
     if stats is not None:
         stats.pruned_by_filter += n - survivors.size
@@ -85,6 +90,6 @@ def less(ranks: np.ndarray, graph: PGraph, *,
     sub = ranks[survivors]
     order = extension.argsort(sub)
     kept_local = sfs_scan(sub, order, dominance, chunk_size=chunk_size,
-                          context=context)
+                          context=context, kernel=kernel)
     result = survivors[np.asarray(kept_local, dtype=np.intp)]
     return np.sort(result)

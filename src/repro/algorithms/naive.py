@@ -12,32 +12,37 @@ import numpy as np
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 
 __all__ = ["naive", "maximal_mask"]
 
 
 def maximal_mask(ranks: np.ndarray, dominance: Dominance,
                  stats: Stats | None = None, chunk: int = 256,
-                 check=None) -> np.ndarray:
+                 check=None, kernel: str | None = None) -> np.ndarray:
     """Boolean mask of the maximal rows of ``ranks`` (the p-skyline)."""
     n = ranks.shape[0]
     if stats is not None:
         stats.dominance_tests += n * max(n - 1, 0)
-    return dominance.screen_block(ranks, ranks, chunk=chunk, check=check)
+    return dominance.screen_block(ranks, ranks, chunk=chunk, check=check,
+                                  kernel=kernel)
 
 
 @register("naive")
 def naive(ranks: np.ndarray, graph: PGraph, *,
           stats: Stats | None = None,
           context: ExecutionContext | None = None,
-          chunk: int = 256) -> np.ndarray:
+          chunk: int = 256, kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` by exhaustive pairwise dominance tests."""
     ranks = check_input(ranks, graph)
     context = ensure_context(context, stats)
     dominance = context.compiled(graph).dominance
+    kernel = resolve_kernel(dominance, context, kernel,
+                            pairs=min(chunk, ranks.shape[0])
+                            * ranks.shape[0])
     mask = maximal_mask(ranks, dominance, stats=context.stats, chunk=chunk,
-                        check=context.check)
+                        check=context.check, kernel=kernel)
     result = np.flatnonzero(mask)
     context.event("naive-screen", rows=ranks.shape[0],
                   survivors=int(result.size))

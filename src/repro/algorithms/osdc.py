@@ -16,7 +16,8 @@ import numpy as np
 from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 from .dc import _DivideAndConquer
 from .pscreen import PScreener, split_threshold
 from .special import pscreen_single_point, pskyline_single_point
@@ -53,9 +54,11 @@ class _OutputSensitiveDC(_DivideAndConquer):
         if self.stats is not None:
             self.stats.dominance_tests += others.size + worse.size
         better_kept = others[pscreen_single_point(
-            pivot_ranks, self.ranks[others], self.screener.dominance)]
+            pivot_ranks, self.ranks[others], self.screener.dominance,
+            kernel=self.screener.kernel)]
         worse_kept = worse[pscreen_single_point(
-            pivot_ranks, self.ranks[worse], self.screener.dominance)]
+            pivot_ranks, self.ranks[worse], self.screener.dominance,
+            kernel=self.screener.kernel)]
         if self.stats is not None:
             pruned = (others.size - better_kept.size
                       + worse.size - worse_kept.size)
@@ -75,7 +78,8 @@ class _OutputSensitiveDC(_DivideAndConquer):
 def osdc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
          context: ExecutionContext | None = None,
          leaf_size: int = 16, use_lowdim: bool = True,
-         dense_cutoff: int = 4096, select: str = "first") -> np.ndarray:
+         dense_cutoff: int = 4096, select: str = "first",
+         kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` with the output-sensitive Algorithm OSDC.
 
     Returns sorted row indices.  Worst case ``O(n log^{d-2} v)``; ``O(n)``
@@ -88,8 +92,12 @@ def osdc(ranks: np.ndarray, graph: PGraph, *, stats: Stats | None = None,
     context = ensure_context(context, stats)
     if ranks.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-    screener = context.compiled(graph).screener(
-        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    compiled = context.compiled(graph)
+    resolve_kernel(compiled.dominance, context, kernel,
+                   pairs=dense_cutoff)
+    screener = compiled.screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff,
+        kernel=None if kernel == "auto" else kernel)
     driver = _OutputSensitiveDC(ranks, graph, screener, context, leaf_size,
                                 select)
     return driver.run()

@@ -32,7 +32,7 @@ from ..core.bitsets import iter_bits
 from ..core.dominance import Dominance
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context
+from .base import Stats, check_input, ensure_context, resolve_kernel
 from .lowdim import screen_small
 from .special import pscreen_single_point
 
@@ -67,13 +67,15 @@ class PScreener:
 
     def __init__(self, graph: PGraph, *, use_lowdim: bool = True,
                  dense_cutoff: int = 4096,
-                 compiled: "CompiledPreference | None" = None):
+                 compiled: "CompiledPreference | None" = None,
+                 kernel: str | None = None):
         self.graph = graph
         self.compiled = compiled
         self.dominance = compiled.dominance if compiled is not None \
             else Dominance(graph)
         self.use_lowdim = use_lowdim
         self.dense_cutoff = dense_cutoff
+        self.kernel = kernel
         self._subgraphs: dict[int, PGraph] = {}
 
     def _subgraph(self, mask: int) -> PGraph:
@@ -124,14 +126,16 @@ class PScreener:
             if stats is not None:
                 stats.dominance_tests += w
             survivors = pscreen_single_point(ranks[b_idx[0]], ranks[w_idx],
-                                             self.dominance)
+                                             self.dominance,
+                                             kernel=self.kernel)
             return w_idx[survivors]
         if b * w <= self.dense_cutoff:
             # Dense base case: exact full-dimensional block screening.
             if stats is not None:
                 stats.dominance_tests += b * w
             survivors = self.dominance.screen_block(ranks[w_idx],
-                                                    ranks[b_idx])
+                                                    ranks[b_idx],
+                                                    kernel=self.kernel)
             return w_idx[survivors]
         relevant = (cand | (self.graph.desc_of_set(cand)
                             & ~self.graph.desc_of_set(dropped)))
@@ -199,11 +203,16 @@ class PScreener:
 def pscreen(ranks: np.ndarray, graph: PGraph, b_idx: np.ndarray,
             w_idx: np.ndarray, *, stats: Stats | None = None,
             context: ExecutionContext | None = None,
-            use_lowdim: bool = True, dense_cutoff: int = 4096) -> np.ndarray:
+            use_lowdim: bool = True, dense_cutoff: int = 4096,
+            kernel: str = "auto") -> np.ndarray:
     """Functional entry point: p-screen ``W`` (rows ``w_idx``) against ``B``
     (rows ``b_idx``) under the precondition ``W ⋡_pi B``."""
     ranks = check_input(ranks, graph)
     context = ensure_context(context, stats)
-    screener = context.compiled(graph).screener(
-        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff)
+    compiled = context.compiled(graph)
+    resolve_kernel(compiled.dominance, context, kernel,
+                   pairs=dense_cutoff)
+    screener = compiled.screener(
+        use_lowdim=use_lowdim, dense_cutoff=dense_cutoff,
+        kernel=None if kernel == "auto" else kernel)
     return screener.screen(ranks, b_idx, w_idx, context=context)

@@ -19,7 +19,8 @@ import numpy as np
 
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 
 __all__ = ["salsa"]
 
@@ -28,7 +29,8 @@ __all__ = ["salsa"]
 @register("salsa", counts_dominance=False)
 def salsa(ranks: np.ndarray, graph: PGraph, *,
           stats: Stats | None = None,
-          context: ExecutionContext | None = None) -> np.ndarray:
+          context: ExecutionContext | None = None,
+          kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` with minC-sorting and an early-stop window."""
     ranks = check_input(ranks, graph)
     context = ensure_context(context, stats)
@@ -37,6 +39,8 @@ def salsa(ranks: np.ndarray, graph: PGraph, *,
     n = ranks.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
+    # one-vs-window comparisons whose window grows with the output
+    kernel = resolve_kernel(dominance, context, kernel)
     min_coord = ranks.min(axis=1)
     max_coord = ranks.max(axis=1)
     order = np.argsort(min_coord, kind="stable")
@@ -59,9 +63,11 @@ def salsa(ranks: np.ndarray, graph: PGraph, *,
             block = ranks[np.asarray(window, dtype=np.intp)]
             if stats is not None:
                 stats.dominance_tests += 2 * len(window)
-            if dominance.dominators_mask(block, tuple_ranks).any():
+            if dominance.dominators_mask(block, tuple_ranks,
+                                         kernel=kernel).any():
                 continue
-            beaten = dominance.dominated_mask(block, tuple_ranks)
+            beaten = dominance.dominated_mask(block, tuple_ranks,
+                                              kernel=kernel)
             if beaten.any():
                 window = [w for w, dead in zip(window, beaten) if not dead]
         window.append(row)

@@ -23,7 +23,8 @@ from ..core.dominance import Dominance
 from ..core.extension import ExtensionOrder
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
-from .base import Stats, check_input, ensure_context, register
+from .base import (Stats, check_input, ensure_context, register,
+                   resolve_kernel)
 
 __all__ = ["sfs", "sfs_scan", "sfs_iter"]
 
@@ -31,7 +32,8 @@ __all__ = ["sfs", "sfs_scan", "sfs_iter"]
 def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
              stats: Stats | None = None,
              chunk_size: int = 512,
-             context: ExecutionContext | None = None) -> np.ndarray:
+             context: ExecutionContext | None = None,
+             kernel: str | None = None) -> np.ndarray:
     """Filtering scan over the rows of ``ranks`` taken in ``order``.
 
     Requires ``order`` to be a topological sort of ``≻_pi`` (dominators
@@ -51,7 +53,8 @@ def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
         for part in window_parts:
             if stats is not None:
                 stats.dominance_tests += int(alive.sum()) * part.shape[0]
-            alive[alive] = dominance.screen_block(chunk[alive], part)
+            alive[alive] = dominance.screen_block(chunk[alive], part,
+                                                  kernel=kernel)
             if not alive.any():
                 break
         if alive.any():
@@ -60,7 +63,9 @@ def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
             # tuple-at-a-time window updates
             if stats is not None:
                 stats.dominance_tests += int(alive.sum()) ** 2
-            alive[alive] = dominance.screen_block(chunk[alive], chunk[alive])
+            alive[alive] = dominance.screen_block(chunk[alive],
+                                                  chunk[alive],
+                                                  kernel=kernel)
         if alive.any():
             kept = chunk_rows[alive]
             survivors.append(kept)
@@ -80,7 +85,8 @@ def sfs_scan(ranks: np.ndarray, order: np.ndarray, dominance: Dominance,
 
 def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
              stats: Stats | None = None,
-             context: ExecutionContext | None = None):
+             context: ExecutionContext | None = None,
+             kernel: str = "auto"):
     """Progressive SFS: yield p-skyline row indices as the presorted scan
     confirms them (Section 6's pipelineability, as a generator).
 
@@ -94,6 +100,9 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
     dominance = compiled.dominance
     if ranks.shape[0] == 0:
         return
+    # the window (one-vs-many comparisons) grows with the output size, so
+    # resolve by dimensionality alone
+    kernel = resolve_kernel(dominance, context, kernel)
     if stats is not None:
         stats.passes += 1
     order = compiled.extension.argsort(ranks)
@@ -105,7 +114,8 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
             block = ranks[np.asarray(window, dtype=np.intp)]
             if stats is not None:
                 stats.dominance_tests += block.shape[0]
-            if dominance.dominators_mask(block, ranks[row]).any():
+            if dominance.dominators_mask(block, ranks[row],
+                                         kernel=kernel).any():
                 continue
         # emission boundary: a consumer that cancelled after the
         # previous result must see the error before the next one
@@ -118,7 +128,8 @@ def sfs_iter(ranks: np.ndarray, graph: PGraph, *,
 def sfs(ranks: np.ndarray, graph: PGraph, *,
         stats: Stats | None = None,
         context: ExecutionContext | None = None,
-        presort: bool = True, chunk_size: int = 512) -> np.ndarray:
+        presort: bool = True, chunk_size: int = 512,
+        kernel: str = "auto") -> np.ndarray:
     """Compute ``M_pi(D)`` by presorting with ``≻ext`` and filtering.
 
     ``presort=False`` is the ablation switch: without the sort the scan
@@ -134,10 +145,13 @@ def sfs(ranks: np.ndarray, graph: PGraph, *,
     if context.stats is not None:
         context.stats.passes += 1
     if presort:
+        resolved = resolve_kernel(compiled.dominance, context, kernel,
+                                  pairs=min(chunk_size, n) * n)
         order = compiled.extension.argsort(ranks)
         context.event("sfs-presort", rows=n)
         kept = sfs_scan(ranks, order, compiled.dominance,
-                        chunk_size=chunk_size, context=context)
+                        chunk_size=chunk_size, context=context,
+                        kernel=resolved)
         return np.sort(kept)
     from .bnl import bnl
-    return bnl(ranks, graph, context=context)
+    return bnl(ranks, graph, context=context, kernel=kernel)

@@ -24,14 +24,16 @@ class SlidingWindowPSkyline:
     """Exact ``M_pi`` of the last ``window`` appended tuples."""
 
     def __init__(self, graph: PGraph, window: int,
-                 context: ExecutionContext | None = None):
+                 context: ExecutionContext | None = None,
+                 kernel: str = "auto"):
         if window < 1:
             raise ValueError("window must hold at least one tuple")
         self.graph = graph
         self.window = window
         self._maintainer = PSkylineMaintainer(graph,
                                               capacity=2 * window,
-                                              context=context)
+                                              context=context,
+                                              kernel=kernel)
         self._queue: deque[int] = deque()
 
     def append(self, values) -> int:

@@ -51,11 +51,12 @@ def pskyline_single_point(ranks: np.ndarray, graph: PGraph,
 
 def pscreen_single_point(point: np.ndarray, block: np.ndarray,
                          dominance: Dominance,
-                         stats: Stats | None = None) -> np.ndarray:
+                         stats: Stats | None = None,
+                         kernel: str | None = None) -> np.ndarray:
     """Survivors mask of ``block`` screened against the single ``point``.
 
     Lemma 2: one dominance test per element of ``block`` -- ``O(w)``.
     """
     if stats is not None:
         stats.dominance_tests += block.shape[0]
-    return ~dominance.dominated_mask(block, point)
+    return ~dominance.dominated_mask(block, point, kernel=kernel)

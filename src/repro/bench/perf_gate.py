@@ -1,0 +1,320 @@
+"""The CI performance gate: pinned workloads, committed baseline.
+
+``python -m repro.bench.perf_gate`` runs a fixed set of workloads --
+per-kernel ``screen_block`` microbenchmarks at three dimensionalities
+plus end-to-end runs of the scan and divide-and-conquer algorithms --
+and writes a JSON artifact (``BENCH_4.json`` at the repo root is the
+committed baseline).  ``--check`` compares a fresh run against the
+baseline and fails on regressions beyond tolerance.
+
+Three classes of checks, ordered from strict to loose:
+
+* **work counters** (survivor counts, output sizes) are deterministic
+  given the pinned seeds and must match the baseline exactly;
+* **speedup ratios** (bitmask over GEMM, measured within the current
+  run) are machine-independent to first order and must stay above
+  ``--min-speedup``;
+* **wall-clock timings** are machine-dependent, so they are only
+  compared against the baseline with a generous ``--time-factor``.
+
+Structural counters (dominance tests, recursion) may shift slightly
+across NumPy versions (tie-breaking in ``argpartition``/``argsort``),
+so they get a relative tolerance rather than exact equality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.bitsets import iter_bits
+
+__all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
+           "run_gate", "compare", "main"]
+
+SCHEMA = "repro-perf-gate/1"
+
+#: Pinned workload parameters.  Changing any of these invalidates the
+#: committed baseline -- regenerate it in the same commit.
+SEED = 2015
+KERNEL_DIMS = (4, 8, 16)
+KERNEL_ROWS = 100_000
+ALGO_ROWS = 20_000
+ALGO_DIMS = 6
+GATE_ALGORITHMS = ("bnl", "sfs", "less", "salsa", "osdc")
+
+#: Default gate thresholds (see the module docstring).
+MIN_SPEEDUP = 2.0
+TIME_FACTOR = 5.0
+COUNTER_TOLERANCE = 0.2
+
+
+def _pinned_case(rows: int, dims: int, seed: int):
+    """The deterministic ``(ranks, graph)`` pair for one workload."""
+    from ..sampling.random_pexpr import PExpressionSampler
+
+    rng = random.Random(f"perf-gate:{seed}:{dims}")
+    nrng = np.random.default_rng(seed + dims)
+    graph = PExpressionSampler(
+        [f"A{i}" for i in range(dims)],
+        method="counting").sample_graph(rng)
+    ranks = np.ascontiguousarray(nrng.normal(size=(rows, dims)).round(3))
+    return ranks, graph
+
+
+def kernel_workload(ranks: np.ndarray, graph):
+    """Split a dataset into the ``bench_pscreen``-style screening pair.
+
+    Median split on the first root attribute: the better half is the
+    ``against`` set, the worse half is the ``block`` to screen -- the
+    exact shape of PSCREEN's dense base case at scale.
+    """
+    root = next(iter_bits(graph.roots))
+    column = ranks[:, root]
+    tau = float(np.median(column))
+    against = np.ascontiguousarray(ranks[column < tau])
+    block = np.ascontiguousarray(ranks[column >= tau])
+    if against.shape[0] == 0 or block.shape[0] == 0:  # degenerate median
+        half = ranks.shape[0] // 2
+        against, block = ranks[:half], ranks[half:]
+    return block, against
+
+
+def run_kernel_bench(dims: int, rows: int, seed: int = SEED,
+                     kernels: Sequence[str] = ("bitmask", "gemm")) -> dict:
+    """Time ``screen_block`` per kernel on one pinned workload."""
+    from ..core.dominance import Dominance
+
+    ranks, graph = _pinned_case(rows, dims, seed)
+    dominance = Dominance(graph).prepare()
+    block, against = kernel_workload(ranks, graph)
+    record = {
+        "name": f"screen-d{dims}",
+        "d": dims,
+        "rows": int(rows),
+        "block_rows": int(block.shape[0]),
+        "against_rows": int(against.shape[0]),
+        "timings": {},
+    }
+    survivors = None
+    for kernel in kernels:
+        # warm up workspaces and tables off the clock
+        dominance.screen_block(block[:512], against[:512], kernel=kernel)
+        start = time.perf_counter()
+        mask = dominance.screen_block(block, against, kernel=kernel)
+        record["timings"][kernel] = time.perf_counter() - start
+        count = int(mask.sum())
+        if survivors is None:
+            survivors = count
+        elif count != survivors:
+            raise AssertionError(
+                f"kernel {kernel!r} disagrees on screen-d{dims}: "
+                f"{count} survivors vs {survivors}")
+    record["survivors"] = survivors
+    if "bitmask" in record["timings"] and "gemm" in record["timings"]:
+        record["speedup_bitmask_over_gemm"] = (
+            record["timings"]["gemm"] / record["timings"]["bitmask"])
+    return record
+
+
+def run_algorithm_bench(name: str, ranks: np.ndarray, graph) -> dict:
+    """One end-to-end algorithm run with counters and the chosen kernel."""
+    from ..algorithms.base import Stats, get_algorithm
+    from ..engine import ExecutionContext
+
+    stats = Stats()
+    context = ExecutionContext.create(stats=stats, trace=64)
+    function = get_algorithm(name)
+    function(ranks, graph, context=context)  # warm caches off the clock
+    stats = Stats()
+    context = ExecutionContext.create(stats=stats, trace=64)
+    start = time.perf_counter()
+    result = function(ranks, graph, context=context)
+    seconds = time.perf_counter() - start
+    return {
+        "name": name,
+        "rows": int(ranks.shape[0]),
+        "d": int(graph.d),
+        "seconds": seconds,
+        "output_size": int(np.asarray(result).size),
+        "kernel": stats.extra.get("kernel"),
+        "dominance_tests": stats.dominance_tests,
+        "passes": stats.passes,
+        "recursive_calls": stats.recursive_calls,
+        "pruned_by_filter": stats.pruned_by_filter,
+    }
+
+
+def run_gate(*, seed: int = SEED, quick: bool = False) -> dict:
+    """Run every pinned workload; return the JSON-serialisable artifact."""
+    kernel_rows = 4_000 if quick else KERNEL_ROWS
+    algo_rows = 2_000 if quick else ALGO_ROWS
+    kernels = [run_kernel_bench(dims, kernel_rows, seed)
+               for dims in KERNEL_DIMS]
+    # scalar parity probe: tiny, but pins all three families to the same
+    # survivor count on a shared workload
+    parity = run_kernel_bench(KERNEL_DIMS[0], 400, seed,
+                              kernels=("bitmask", "gemm", "scalar"))
+    parity["name"] = "scalar-parity-d4"
+    # too small to gate on a timing ratio -- only survivor parity matters
+    parity.pop("speedup_bitmask_over_gemm", None)
+    ranks, graph = _pinned_case(algo_rows, ALGO_DIMS, seed)
+    algorithms = [run_algorithm_bench(name, ranks, graph)
+                  for name in GATE_ALGORITHMS]
+    return {
+        "schema": SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "kernel_rows": kernel_rows,
+            "kernel_dims": list(KERNEL_DIMS),
+            "algorithm_rows": algo_rows,
+            "algorithm_dims": ALGO_DIMS,
+            "algorithms": list(GATE_ALGORITHMS),
+        },
+        "kernels": kernels + [parity],
+        "algorithms": algorithms,
+    }
+
+
+def _close(current: float, baseline: float, tolerance: float) -> bool:
+    scale = max(abs(baseline), 1.0)
+    return abs(current - baseline) <= tolerance * scale
+
+
+def compare(current: dict, baseline: dict | None, *,
+            min_speedup: float = MIN_SPEEDUP,
+            time_factor: float = TIME_FACTOR,
+            counter_tolerance: float = COUNTER_TOLERANCE) -> list[str]:
+    """Gate a fresh artifact; return the list of violations (empty = ok).
+
+    ``baseline`` may be ``None`` (no committed baseline yet): the
+    within-run checks -- kernel agreement and speedup thresholds -- still
+    apply.
+    """
+    violations: list[str] = []
+    base_kernels = {record["name"]: record
+                    for record in (baseline or {}).get("kernels", [])}
+    base_algorithms = {record["name"]: record
+                      for record in (baseline or {}).get("algorithms", [])}
+    for record in current.get("kernels", []):
+        speedup = record.get("speedup_bitmask_over_gemm")
+        if speedup is not None and speedup < min_speedup:
+            violations.append(
+                f"{record['name']}: bitmask speedup over gemm is "
+                f"{speedup:.2f}x, below the {min_speedup:.2f}x gate")
+        base = base_kernels.get(record["name"])
+        if base is None:
+            continue
+        if record["survivors"] != base["survivors"]:
+            violations.append(
+                f"{record['name']}: survivors {record['survivors']} != "
+                f"baseline {base['survivors']}")
+        for kernel, seconds in record["timings"].items():
+            base_seconds = base.get("timings", {}).get(kernel)
+            if base_seconds and seconds > base_seconds * time_factor:
+                violations.append(
+                    f"{record['name']}/{kernel}: {seconds:.4f}s is more "
+                    f"than {time_factor:.1f}x the baseline "
+                    f"{base_seconds:.4f}s")
+    for record in current.get("algorithms", []):
+        base = base_algorithms.get(record["name"])
+        if base is None:
+            continue
+        if record["output_size"] != base["output_size"]:
+            violations.append(
+                f"{record['name']}: output size {record['output_size']} "
+                f"!= baseline {base['output_size']}")
+        if record["kernel"] != base["kernel"]:
+            violations.append(
+                f"{record['name']}: kernel policy drifted to "
+                f"{record['kernel']!r} (baseline {base['kernel']!r})")
+        for counter in ("dominance_tests", "passes", "recursive_calls"):
+            if not _close(record[counter], base[counter],
+                          counter_tolerance):
+                violations.append(
+                    f"{record['name']}: {counter} {record[counter]} "
+                    f"drifted more than {counter_tolerance:.0%} from "
+                    f"baseline {base[counter]}")
+        base_seconds = base.get("seconds")
+        if base_seconds and record["seconds"] > base_seconds * time_factor:
+            violations.append(
+                f"{record['name']}: {record['seconds']:.4f}s is more than "
+                f"{time_factor:.1f}x the baseline {base_seconds:.4f}s")
+    return violations
+
+
+def _render(artifact: dict) -> str:
+    lines = ["perf gate workloads:"]
+    for record in artifact["kernels"]:
+        timings = "  ".join(
+            f"{kernel} {seconds * 1000:8.2f}ms"
+            for kernel, seconds in record["timings"].items())
+        speedup = record.get("speedup_bitmask_over_gemm")
+        suffix = f"  ({speedup:.2f}x)" if speedup is not None else ""
+        lines.append(f"  {record['name']:>16}: {timings}{suffix}")
+    for record in artifact["algorithms"]:
+        lines.append(
+            f"  {record['name']:>16}: {record['seconds'] * 1000:8.2f}ms  "
+            f"kernel={record['kernel']}  out={record['output_size']}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pinned-workload performance gate (CI artifact)")
+    parser.add_argument("--out", default="BENCH_4.json",
+                        help="path of the JSON artifact to write")
+    parser.add_argument("--baseline", default="BENCH_4.json",
+                        help="committed baseline to compare against "
+                             "with --check")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regressions against the baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads (smoke testing the gate "
+                             "itself; not comparable to a full baseline)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
+    parser.add_argument("--time-factor", type=float, default=TIME_FACTOR)
+    arguments = parser.parse_args(argv)
+    artifact = run_gate(seed=arguments.seed, quick=arguments.quick)
+    print(_render(artifact))
+    status = 0
+    if arguments.check:
+        try:
+            with open(arguments.baseline, "r", encoding="utf-8") as source:
+                baseline = json.load(source)
+        except FileNotFoundError:
+            baseline = None
+            print(f"no baseline at {arguments.baseline}; "
+                  "running within-run checks only")
+        if baseline is not None and \
+                baseline.get("workload", {}).get("quick") != \
+                artifact["workload"]["quick"]:
+            baseline = None
+            print("baseline workload scale differs; "
+                  "running within-run checks only")
+        violations = compare(artifact, baseline,
+                             min_speedup=arguments.min_speedup,
+                             time_factor=arguments.time_factor)
+        if violations:
+            status = 1
+            print(f"PERF GATE FAILED ({len(violations)} violation(s)):")
+            for violation in violations:
+                print(f"  - {violation}")
+        else:
+            print("perf gate passed")
+    with open(arguments.out, "w", encoding="utf-8") as sink:
+        json.dump(artifact, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {arguments.out}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

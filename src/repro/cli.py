@@ -27,6 +27,12 @@ Sub-commands:
 
         repro-skyline bench --scale quick
 
+``bench-kernels``
+    Time the three dominance kernels (bitmask / gemm / scalar) on a
+    screening workload::
+
+        repro-skyline bench-kernels --rows 20000 --dims 4 8 16
+
 ``verify``
     Run the differential/metamorphic correctness fuzzer (delegates to
     ``python -m repro.verify``)::
@@ -109,6 +115,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", default="quick", choices=sorted(_SCALES))
     bench.add_argument("--workload", default="gaussian",
                        choices=["gaussian", "nba", "covertype"])
+
+    kernels = commands.add_parser(
+        "bench-kernels",
+        help="time the dominance kernels on a screening workload")
+    kernels.add_argument("--rows", type=int, default=20_000)
+    kernels.add_argument("--dims", type=int, nargs="+",
+                         default=[4, 8, 16])
+    kernels.add_argument("--seed", type=int, default=2015)
+    kernels.add_argument("--scalar", action="store_true",
+                         help="also time the scalar kernel (slow; keep "
+                              "--rows small)")
 
     shell = commands.add_parser(
         "shell", help="interactive Preference SQL over CSV files")
@@ -222,6 +239,25 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(arguments: argparse.Namespace) -> int:
+    from .bench.perf_gate import run_kernel_bench
+    kernels = ("bitmask", "gemm", "scalar") if arguments.scalar \
+        else ("bitmask", "gemm")
+    for dims in arguments.dims:
+        record = run_kernel_bench(dims, arguments.rows, arguments.seed,
+                                  kernels=kernels)
+        timings = "  ".join(
+            f"{kernel} {seconds * 1000:8.2f}ms"
+            for kernel, seconds in record["timings"].items())
+        speedup = record.get("speedup_bitmask_over_gemm")
+        suffix = f"  ({speedup:.2f}x bitmask over gemm)" \
+            if speedup is not None else ""
+        print(f"d={dims:2d} block={record['block_rows']} "
+              f"against={record['against_rows']} "
+              f"survivors={record['survivors']}: {timings}{suffix}")
+    return 0
+
+
 def _load_csv_as_relation(path: str) -> Relation:
     """All-numeric CSV -> relation with lowest-preferred columns."""
     with open(path, newline="") as handle:
@@ -284,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "sample": _cmd_sample,
         "bench": _cmd_bench,
+        "bench-kernels": _cmd_bench_kernels,
         "shell": _cmd_shell,
     }
     return handlers[arguments.command](arguments)

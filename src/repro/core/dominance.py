@@ -6,16 +6,29 @@ distinguishable and
 
 .. math::  Desc(Better(t', t)) \\supseteq Better(t, t')
 
-Two kernel families implement this:
+Three kernel families implement this:
 
 * **scalar** kernels represent attribute sets as Python-int bitmasks --
   ``(b1 | b2) != 0 and b2 & ~desc_union(b1) == 0`` -- and serve the
   structural algorithms and tests;
-* **bulk** kernels recast the subset condition as a *coverage* test --
+* **gemm** kernels recast the subset condition as a *coverage* test --
   an attribute won by ``t`` must have an ancestor won by ``t'`` -- which
-  turns into one small GEMM per comparison block
-  (``covered = better_flags @ descendant_matrix``), the fastest
-  formulation NumPy offers for many-vs-many dominance.
+  turns into one small float32 GEMM per comparison block
+  (``covered = better_flags @ descendant_matrix``);
+* **bitmask** kernels pack the ``Better`` sets of whole comparison
+  blocks into unsigned-integer mask matrices (one bit per attribute,
+  narrowest dtype that fits) and evaluate Proposition 1 as pure integer
+  vector ops.  For ``d <= DENSE_TABLE_LIMIT`` the descendant union is a
+  single gather from a precomputed dense ``desc_union[mask]`` table of
+  ``2^d`` entries; above that it is an OR-reduction over the set-bit
+  columns.  All temporaries live in a per-thread workspace arena, so
+  steady-state screening performs no allocation.
+
+The per-call kernel is picked by :func:`select_kernel` (``"auto"``
+resolves by dimensionality and block size); :func:`forced_kernel` is a
+context manager that overrides every selection on the current thread,
+which the verification harness uses to cross-check kernels without
+touching algorithm signatures.
 
 All kernels operate on *rank* matrices produced by
 :class:`~repro.core.relation.Relation`.
@@ -23,18 +36,159 @@ All kernels operate on *rank* matrices produced by
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 import numpy as np
 
 from .bitsets import iter_bits
 from .pgraph import PGraph
 
-__all__ = ["Dominance"]
+__all__ = ["Dominance", "KERNELS", "DENSE_TABLE_LIMIT",
+           "BITMASK_WIDTH_LIMIT", "select_kernel", "forced_kernel",
+           "current_forced_kernel"]
+
+#: The concrete kernel families (``"auto"`` additionally resolves to one
+#: of these through :func:`select_kernel`).
+KERNELS = ("bitmask", "gemm", "scalar")
+
+#: Largest dimensionality for which the bitmask family materialises the
+#: dense ``desc_union[mask]`` lookup table (``2^d`` entries).
+DENSE_TABLE_LIMIT = 16
+
+#: Largest dimensionality the bitmask family supports at all (one bit
+#: per attribute in a uint64 lane).
+BITMASK_WIDTH_LIMIT = 64
+
+#: Below this many pairwise comparisons ``auto`` stays on the GEMM
+#: kernel: the bitmask family's per-call packing loop (a few ufunc
+#: launches per attribute) only amortises on real blocks.
+SMALL_BLOCK_PAIRS = 256
+
+#: Rows of ``against`` processed per inner screening block; bounds the
+#: workspace footprint at ``chunk x AGAINST_CHUNK`` masks.
+AGAINST_CHUNK = 4096
+
+
+def _mask_dtype_for(d: int) -> np.dtype:
+    """The narrowest unsigned dtype holding ``d`` attribute bits."""
+    if d <= 8:
+        return np.dtype(np.uint8)
+    if d <= 16:
+        return np.dtype(np.uint16)
+    if d <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+# -- kernel selection --------------------------------------------------------
+
+_FORCED = threading.local()
+
+
+def current_forced_kernel() -> str | None:
+    """The kernel forced on this thread, or ``None``."""
+    return getattr(_FORCED, "kernel", None)
+
+
+@contextmanager
+def forced_kernel(name: str):
+    """Force every kernel selection on this thread to ``name``.
+
+    Wins over both ``"auto"`` resolution and explicit per-call kernel
+    arguments, so a caller can cross-check any algorithm on any kernel
+    without plumbing options through its signature.  Nestable; restores
+    the previous force on exit.
+    """
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {KERNELS}")
+    previous = current_forced_kernel()
+    _FORCED.kernel = name
+    try:
+        yield
+    finally:
+        _FORCED.kernel = previous
+
+
+def select_kernel(kernel: str | None = None, *, d: int,
+                  pairs: int | None = None) -> str:
+    """Resolve a kernel request to a concrete kernel name.
+
+    ``kernel`` may be ``None`` / ``"auto"`` (pick by ``d`` and the
+    expected number of ``pairs`` per block) or a concrete name.  A
+    :func:`forced_kernel` override on the current thread wins over
+    everything.
+    """
+    forced = current_forced_kernel()
+    if forced is not None:
+        kernel = forced
+    if kernel is None or kernel == "auto":
+        if d > BITMASK_WIDTH_LIMIT:
+            return "gemm"
+        if pairs is not None and pairs < SMALL_BLOCK_PAIRS:
+            return "gemm"
+        return "bitmask"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {KERNELS} or 'auto'")
+    if kernel == "bitmask" and d > BITMASK_WIDTH_LIMIT:
+        raise ValueError(
+            f"bitmask kernels support at most {BITMASK_WIDTH_LIMIT} "
+            f"attributes, got {d}")
+    return kernel
+
+
+# -- workspace arena ---------------------------------------------------------
+
+class _Workspace:
+    """A per-thread arena of reusable flat arrays.
+
+    ``get`` returns a contiguous view of the named backing array,
+    reshaped to the requested shape, growing the backing only when a
+    request exceeds its capacity.  Views from one kernel invocation are
+    invalidated by the next -- public methods returning workspace-backed
+    results must copy.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: dict[tuple, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...],
+            dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        key = (name, dtype)
+        backing = self._arrays.get(key)
+        if backing is None or backing.size < size:
+            capacity = max(size, 1024)
+            if backing is not None:
+                capacity = max(capacity, 2 * backing.size)
+            backing = np.empty(capacity, dtype=dtype)
+            self._arrays[key] = backing
+        return backing[:size].reshape(shape)
+
+
+_WORKSPACES = threading.local()
+
+
+def _workspace() -> _Workspace:
+    workspace = getattr(_WORKSPACES, "arena", None)
+    if workspace is None:
+        workspace = _Workspace()
+        _WORKSPACES.arena = workspace
+    return workspace
 
 
 class Dominance:
     """Dominance oracle for a fixed p-graph over ``d`` rank columns."""
 
-    __slots__ = ("graph", "desc", "_desc_matrix", "_ones")
+    __slots__ = ("graph", "desc", "_desc_matrix", "_ones", "_mask_dtype",
+                 "_powers64", "_closure_masks", "_table")
 
     def __init__(self, graph: PGraph):
         self.graph = graph
@@ -49,17 +203,66 @@ class Dominance:
                 matrix[i, j] = 1.0
         self._desc_matrix = matrix
         self._ones = np.ones((d, 1), dtype=np.float32)
+        if d <= BITMASK_WIDTH_LIMIT:
+            self._mask_dtype = _mask_dtype_for(d)
+            self._powers64 = np.left_shift(
+                np.uint64(1), np.arange(d, dtype=np.uint64))
+            self._closure_masks = np.array(
+                [self.desc[i] for i in range(d)],
+                dtype=self._mask_dtype) if d else \
+                np.zeros(0, dtype=self._mask_dtype)
+        else:  # masks no longer fit a machine word: bitmask family off
+            self._mask_dtype = None
+            self._powers64 = None
+            self._closure_masks = None
+        self._table = None  # dense desc_union table, built lazily
+
+    def prepare(self) -> "Dominance":
+        """Eagerly build the lazy bitmask tables (idempotent).
+
+        :class:`~repro.engine.compiled.CompiledPreference` calls this at
+        compile time so cached preferences never pay the table build on
+        the query path.
+        """
+        self._dense_table()
+        return self
+
+    def _dense_table(self) -> np.ndarray | None:
+        """The ``desc_union[mask]`` table, or ``None`` when ``d`` exceeds
+        :data:`DENSE_TABLE_LIMIT`."""
+        d = self.graph.d
+        if d > DENSE_TABLE_LIMIT:
+            return None
+        table = self._table
+        if table is None:
+            # doubling build: entries [2^i, 2^{i+1}) equal the lower half
+            # with attribute i's descendants OR-ed in
+            table = np.zeros(1 << d, dtype=self._mask_dtype)
+            for i in range(d):
+                size = 1 << i
+                table[size:2 * size] = table[:size] | \
+                    self._mask_dtype.type(self.desc[i])
+            table.setflags(write=False)
+            self._table = table
+        return table
 
     # -- scalar kernels ------------------------------------------------------
     def better_masks(self, u: np.ndarray, v: np.ndarray) -> tuple[int, int]:
         """Return ``(Better(u, v), Better(v, u))`` as bitmasks."""
-        b_uv = 0
-        b_vu = 0
-        for i in range(self.graph.d):
-            if u[i] < v[i]:
-                b_uv |= 1 << i
-            elif v[i] < u[i]:
-                b_vu |= 1 << i
+        powers = self._powers64
+        if powers is None:  # d > 64: python-int masks stay exact
+            b_uv = 0
+            b_vu = 0
+            for i in range(self.graph.d):
+                if u[i] < v[i]:
+                    b_uv |= 1 << i
+                elif v[i] < u[i]:
+                    b_vu |= 1 << i
+            return b_uv, b_vu
+        u = np.asarray(u)
+        v = np.asarray(v)
+        b_uv = int(powers[np.less(u, v)].sum(dtype=np.uint64))
+        b_vu = int(powers[np.less(v, u)].sum(dtype=np.uint64))
         return b_uv, b_vu
 
     def dominates(self, u: np.ndarray, v: np.ndarray) -> bool:
@@ -108,6 +311,9 @@ class Dominance:
         return top
 
     def _desc_union(self, mask: int) -> int:
+        table = self._dense_table()
+        if table is not None:
+            return int(table[mask])
         union = 0
         for i in iter_bits(mask):
             union |= self.desc[i]
@@ -115,7 +321,7 @@ class Dominance:
 
     # -- bulk kernels ----------------------------------------------------------
     def _dominated_flags(self, lt: np.ndarray, gt: np.ndarray) -> np.ndarray:
-        """Pairwise dominance from comparison flags.
+        """Pairwise dominance from comparison flags (the GEMM kernel).
 
         ``lt``/``gt`` are ``(..., d)`` booleans: the *dominator candidate*
         is better / worse on each attribute.  Returns a boolean array of
@@ -132,59 +338,152 @@ class Dominance:
         distinguishable = ((lt_flat + gt_flat) @ self._ones)[:, 0] > 0
         return (distinguishable & ~fatal_any).reshape(shape)
 
-    def dominators_mask(self, candidates: np.ndarray,
-                        target: np.ndarray) -> np.ndarray:
+    def _bitmask_flags(self, block: np.ndarray,
+                       against: np.ndarray) -> np.ndarray:
+        """``(b, a)`` booleans: ``against[j] ≻_pi block[i]``.
+
+        The returned array is workspace-backed: it is only valid until
+        the next kernel call on this thread, so callers either consume
+        it immediately or copy.
+        """
+        d = self.graph.d
+        mdtype = self._mask_dtype
+        b = block.shape[0]
+        a = against.shape[0]
+        arena = _workspace()
+        buv = arena.get("buv", (b, a), mdtype)      # Better(against, block)
+        bvu = arena.get("bvu", (b, a), mdtype)      # Better(block, against)
+        utmp = arena.get("utmp", (b, a), mdtype)
+        union = arena.get("union", (b, a), mdtype)
+        bool_tmp = arena.get("btmp", (b, a), np.bool_)
+        out = arena.get("out", (b, a), np.bool_)
+        buv[...] = 0
+        bvu[...] = 0
+        # column-wise packing: per attribute, two comparisons against the
+        # broadcast column, weighted by the attribute's bit -- no (b, a, d)
+        # tensor is ever materialised
+        for i in range(d):
+            bit = mdtype.type(1 << i)
+            block_col = block[:, i:i + 1]           # (b, 1)
+            against_col = against[None, :, i]       # (1, a)
+            np.greater(block_col, against_col, out=bool_tmp)
+            np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
+            np.bitwise_or(buv, utmp, out=buv)
+            np.less(block_col, against_col, out=bool_tmp)
+            np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
+            np.bitwise_or(bvu, utmp, out=bvu)
+        table = self._dense_table()
+        if table is not None:
+            indices = arena.get("idx", (b, a), np.intp)
+            np.copyto(indices, buv, casting="unsafe")
+            np.take(table, indices, out=union)
+        else:
+            # OR-reduce the descendant masks of buv's set bits
+            union[...] = 0
+            closures = self._closure_masks
+            for i in range(d):
+                np.bitwise_and(buv, mdtype.type(1 << i), out=utmp)
+                np.not_equal(utmp, 0, out=bool_tmp)
+                np.multiply(bool_tmp, closures[i], out=utmp,
+                            casting="unsafe")
+                np.bitwise_or(union, utmp, out=union)
+        np.bitwise_not(union, out=union)
+        np.bitwise_and(bvu, union, out=union)       # uncovered block wins
+        np.equal(union, 0, out=out)                 # coverage holds
+        np.bitwise_or(buv, bvu, out=utmp)
+        np.not_equal(utmp, 0, out=bool_tmp)         # distinguishable
+        np.logical_and(out, bool_tmp, out=out)
+        return out
+
+    def _scalar_flags(self, block: np.ndarray,
+                      against: np.ndarray) -> np.ndarray:
+        """``(b, a)`` booleans via per-pair scalar tests (reference)."""
+        out = np.empty((block.shape[0], against.shape[0]), dtype=bool)
+        for i in range(block.shape[0]):
+            u = block[i]
+            for j in range(against.shape[0]):
+                out[i, j] = self.dominates(against[j], u)
+        return out
+
+    def _pair_flags(self, block: np.ndarray, against: np.ndarray,
+                    kernel: str) -> np.ndarray:
+        """Dispatch ``(b, a)`` pairwise flags to a concrete kernel.
+
+        ``kernel`` must already be concrete (see :func:`select_kernel`).
+        The result may be workspace-backed (bitmask family).
+        """
+        if kernel == "bitmask":
+            return self._bitmask_flags(block, against)
+        if kernel == "scalar":
+            return self._scalar_flags(block, against)
+        lt = against[None, :, :] < block[:, None, :]  # against better
+        gt = against[None, :, :] > block[:, None, :]  # block better
+        return self._dominated_flags(lt, gt)
+
+    def dominators_mask(self, candidates: np.ndarray, target: np.ndarray,
+                        kernel: str | None = None) -> np.ndarray:
         """Boolean vector: ``candidates[i] ≻_pi target`` for each row.
 
         ``candidates`` is an ``(m, d)`` rank matrix, ``target`` a length-``d``
         vector.
         """
-        lt = candidates < target  # candidate better
-        gt = candidates > target  # target better
-        return self._dominated_flags(lt, gt)
+        kernel = select_kernel(kernel, d=self.graph.d,
+                               pairs=candidates.shape[0])
+        target = np.asarray(target)
+        flags = self._pair_flags(target.reshape(1, -1), candidates, kernel)
+        result = flags[0]
+        # workspace-backed results must not outlive the next kernel call
+        return result.copy() if kernel == "bitmask" else result
 
-    def dominated_mask(self, candidates: np.ndarray,
-                       target: np.ndarray) -> np.ndarray:
+    def dominated_mask(self, candidates: np.ndarray, target: np.ndarray,
+                       kernel: str | None = None) -> np.ndarray:
         """Boolean vector: ``target ≻_pi candidates[i]`` for each row."""
-        lt = candidates < target
-        gt = candidates > target
-        return self._dominated_flags(gt, lt)
+        kernel = select_kernel(kernel, d=self.graph.d,
+                               pairs=candidates.shape[0])
+        target = np.asarray(target)
+        flags = self._pair_flags(candidates, target.reshape(1, -1), kernel)
+        result = flags[:, 0]
+        return result.copy() if kernel == "bitmask" else result
 
-    def any_dominator(self, candidates: np.ndarray,
-                      target: np.ndarray) -> bool:
+    def any_dominator(self, candidates: np.ndarray, target: np.ndarray,
+                      kernel: str | None = None) -> bool:
         """True iff some row of ``candidates`` dominates ``target``."""
-        return bool(self.dominators_mask(candidates, target).any())
+        return bool(self.dominators_mask(candidates, target,
+                                         kernel=kernel).any())
 
     def screen_block(self, block: np.ndarray, against: np.ndarray,
-                     chunk: int = 256, check=None) -> np.ndarray:
+                     chunk: int = 256, check=None,
+                     kernel: str | None = None) -> np.ndarray:
         """Boolean survivors mask: rows of ``block`` not dominated by any
         row of ``against``.
 
         Quadratic but fully vectorised; used as the oracle, as the dense
         base case of recursive screening, and by the scan-based algorithms.
-        ``chunk`` bounds the temporary ``(chunk, m, d)`` comparison tensors.
-        ``check`` (e.g. ``ExecutionContext.check``) is invoked once per
-        chunk so deadlines and cancellations interrupt long screenings.
+        ``chunk`` bounds the per-block workspace (``chunk x AGAINST_CHUNK``
+        mask matrices).  ``check`` (e.g. ``ExecutionContext.check``) is
+        invoked once per outer chunk and between inner ``against`` blocks,
+        so deadlines and cancellations interrupt long screenings even when
+        the early exit below keeps firing on the first inner block.
         """
         n = block.shape[0]
         m = against.shape[0]
         survivors = np.ones(n, dtype=bool)
         if n == 0 or m == 0:
             return survivors
-        # chunk both sides: the temporaries stay (chunk, against_chunk, d)
-        # regardless of m, and deadline checks fire between inner blocks
-        against_chunk = 4096
+        kernel = select_kernel(kernel, d=self.graph.d,
+                               pairs=min(chunk, n) * min(AGAINST_CHUNK, m))
         for start in range(0, n, chunk):
+            if check is not None:
+                check("screen-block")
             stop = min(start + chunk, n)
             sub = block[start:stop]  # (c, d)
             dominated = np.zeros(stop - start, dtype=bool)
-            for a_start in range(0, m, against_chunk):
-                if check is not None:
+            for a_start in range(0, m, AGAINST_CHUNK):
+                if a_start and check is not None:
                     check("screen-block")
-                part = against[a_start:a_start + against_chunk]
-                lt = part[None, :, :] < sub[:, None, :]  # against better
-                gt = part[None, :, :] > sub[:, None, :]  # block better
-                dominated |= self._dominated_flags(lt, gt).any(axis=1)
+                part = against[a_start:a_start + AGAINST_CHUNK]
+                flags = self._pair_flags(sub, part, kernel)
+                dominated |= flags.any(axis=1)
                 if dominated.all():
                     break
             survivors[start:stop] = ~dominated

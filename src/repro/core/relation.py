@@ -37,7 +37,9 @@ class Relation:
 
     def __init__(self, schema: Sequence[Attribute], ranks: np.ndarray,
                  values: np.ndarray | None = None):
-        ranks = np.asarray(ranks, dtype=np.float64)
+        # one C-contiguous conversion here means no per-kernel layout
+        # conversion downstream: every algorithm sees the same buffer
+        ranks = np.ascontiguousarray(ranks, dtype=np.float64)
         if ranks.ndim != 2:
             raise ValueError("ranks must be a 2-d matrix")
         if ranks.shape[1] != len(schema):
@@ -163,14 +165,15 @@ class Relation:
         """A new relation containing the given rows (in the given order)."""
         indices = np.asarray(indices, dtype=np.intp)
         values = self._values[indices] if self._values is not None else None
-        return Relation(self.schema, self.ranks[indices].copy(), values)
+        # fancy indexing already yields a fresh contiguous matrix
+        return Relation(self.schema, self.ranks[indices], values)
 
     def project(self, names: Sequence[str]) -> "Relation":
         """A new relation with only the given columns, in the given order."""
         cols = [self._index(name) for name in names]
         values = self._values[:, cols] if self._values is not None else None
         schema = [self.schema[c] for c in cols]
-        return Relation(schema, self.ranks[:, cols].copy(), values)
+        return Relation(schema, self.ranks[:, cols], values)
 
     def head(self, count: int = 10) -> "Relation":
         """The first ``count`` tuples (fewer if the relation is smaller)."""

@@ -66,7 +66,9 @@ class CompiledPreference:
 
     def __init__(self, graph: PGraph):
         self.graph = graph
-        self.dominance = Dominance(graph)
+        # prepare() builds the bitmask kernel's dense desc-union table at
+        # compile time, so cached preferences never pay it mid-query
+        self.dominance = Dominance(graph).prepare()
         self.extension = ExtensionOrder(graph)
         self.topological_order = tuple(graph.topological_order())
         # force the p-graph's lazy structure so cache hits never recompute
@@ -103,17 +105,19 @@ class CompiledPreference:
             return found
 
     def screener(self, *, use_lowdim: bool = True,
-                 dense_cutoff: int = 4096) -> "PScreener":
+                 dense_cutoff: int = 4096,
+                 kernel: str | None = None) -> "PScreener":
         """A memoised :class:`~repro.algorithms.pscreen.PScreener` bound
         to this compiled preference (one per option combination)."""
         from ..algorithms.pscreen import PScreener
 
-        options = (use_lowdim, dense_cutoff)
+        options = (use_lowdim, dense_cutoff, kernel)
         with self._lock:
             found = self._screeners.get(options)
             if found is None:
                 found = PScreener(self.graph, use_lowdim=use_lowdim,
-                                  dense_cutoff=dense_cutoff, compiled=self)
+                                  dense_cutoff=dense_cutoff, compiled=self,
+                                  kernel=kernel)
                 self._screeners[options] = found
             return found
 

@@ -20,6 +20,13 @@ p-skyline is *exactly predictable* from the original answer:
     Appending tuples strictly worse than an existing tuple on every
     attribute adds nothing: the new tuples are dominated, and by
     transitivity of ``≻`` anything they dominate was already dominated.
+``kernel-bitmask`` / ``kernel-gemm`` / ``kernel-scalar``
+    Identity transforms that re-run the algorithm with the named
+    dominance kernel forced (:func:`repro.core.dominance.forced_kernel`):
+    the three kernel families implement the same Proposition 1 test, so
+    the result must be identical.  Registering the kernel choice as a
+    metamorphic axis makes the differential fuzzer cross-check kernels
+    on every rotating case with no algorithm-specific plumbing.
 
 :func:`run_transform` checks the relation for one algorithm on one case
 and reports violations as :class:`~repro.verify.differential.Mismatch`
@@ -36,6 +43,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.dominance import forced_kernel
 from ..core.pgraph import PGraph
 from .differential import Mismatch, _describe
 
@@ -53,6 +61,9 @@ class MetamorphicTransform:
     description: str
     apply: Callable[[np.ndarray, PGraph, random.Random],
                     tuple[np.ndarray, PGraph, Oracle]]
+    #: When set, the transformed run executes under
+    #: :func:`~repro.core.dominance.forced_kernel` with this kernel.
+    kernel: str | None = None
 
 
 def permute_graph(graph: PGraph, sigma: list[int]) -> PGraph:
@@ -138,6 +149,17 @@ def _append_dominated(ranks: np.ndarray, graph: PGraph,
     return new_ranks, graph, lambda original: set(original)
 
 
+def _identity(ranks: np.ndarray, graph: PGraph, rng: random.Random):
+    return ranks, graph, lambda original: set(original)
+
+
+def _kernel_transform(kernel: str) -> MetamorphicTransform:
+    return MetamorphicTransform(
+        f"kernel-{kernel}",
+        f"re-run with the {kernel} dominance kernel forced; the result "
+        "is unchanged", _identity, kernel=kernel)
+
+
 TRANSFORMS: dict[str, MetamorphicTransform] = {
     transform.name: transform for transform in (
         MetamorphicTransform(
@@ -159,6 +181,9 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
             "append-dominated",
             "append tuples strictly worse than an existing tuple; the "
             "result is unchanged", _append_dominated),
+        _kernel_transform("bitmask"),
+        _kernel_transform("gemm"),
+        _kernel_transform("scalar"),
     )
 }
 
@@ -170,7 +195,11 @@ def run_transform(transform: MetamorphicTransform, ranks: np.ndarray,
     original = set(int(i) for i in function(ranks, graph))
     new_ranks, new_graph, oracle = transform.apply(ranks, graph, rng)
     expected = oracle(original)
-    got = set(int(i) for i in function(new_ranks, new_graph))
+    if transform.kernel is not None:
+        with forced_kernel(transform.kernel):
+            got = set(int(i) for i in function(new_ranks, new_graph))
+    else:
+        got = set(int(i) for i in function(new_ranks, new_graph))
     if got != expected:
         return [Mismatch(
             f"metamorphic-{transform.name}", algorithm,
