@@ -1,0 +1,129 @@
+"""Macro-benchmark of the persistent worker pool.
+
+Three comparisons on one pinned equicorrelated workload
+(:func:`repro.bench.pool_bench.pinned_parallel_case`):
+
+* cold fork-per-query pool vs warm persistent pool vs serial OSDC --
+  the cold run re-forks its workers and re-registers the rank matrix
+  into shared memory on every query (the pre-pool behaviour of
+  ``parallel-osdc``), the warm run ships only descriptors;
+* warm-pool wall clock as a function of the worker count;
+* the batched query service (one registration, ``k`` p-expressions)
+  against ``k`` independent cold parallel calls.
+
+Like ``bench_engine_cache.py``, the amortisation claims are asserted
+directly (warm strictly cheaper than cold), so the acceptance criterion
+is checked by the benchmark itself, not only eyeballed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.parallel import parallel_osdc
+from repro.bench.pool_bench import (pinned_batch_expressions,
+                                    pinned_parallel_case)
+from repro.core.pgraph import PGraph
+from repro.engine.pool import WorkerPool
+
+N = 100_000
+D = 6
+WORKERS = 4
+BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return pinned_parallel_case(N, D)
+
+
+@pytest.fixture(scope="module")
+def warm_pool(workload):
+    ranks, graph = workload
+    with WorkerPool(WORKERS) as pool:
+        pool.run_query(ranks, graph, chunks=WORKERS)  # register + warm
+        yield pool
+
+
+def test_serial_osdc(benchmark, workload):
+    ranks, graph = workload
+    benchmark.group = f"pool n={N} d={D}"
+    result = benchmark.pedantic(
+        lambda: parallel_osdc(ranks, graph, processes=1),
+        rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["output"] = int(np.asarray(result).size)
+
+
+def test_cold_pool_per_query(benchmark, workload):
+    ranks, graph = workload
+    benchmark.group = f"pool n={N} d={D}"
+    benchmark.pedantic(
+        lambda: parallel_osdc(ranks, graph, processes=WORKERS,
+                              min_chunk=1, fresh_pool=True),
+        rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_warm_pool(benchmark, workload, warm_pool):
+    ranks, graph = workload
+    benchmark.group = f"pool n={N} d={D}"
+    benchmark.pedantic(
+        lambda: warm_pool.run_query(ranks, graph, chunks=WORKERS),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_warm_pool_scaling(benchmark, workload, workers):
+    ranks, graph = workload
+    benchmark.group = f"pool scaling n={N} d={D}"
+    with WorkerPool(workers) as pool:
+        pool.run_query(ranks, graph, chunks=workers)
+        benchmark.pedantic(
+            lambda: pool.run_query(ranks, graph, chunks=workers),
+            rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_batch_amortisation(workload):
+    """One warm batch must beat independent cold calls outright."""
+    import time
+
+    ranks, _graph = workload
+    expressions = pinned_batch_expressions(D, BATCH)
+    names = tuple(f"A{i}" for i in range(D))
+    graphs = [PGraph.from_expression(e, names=names)
+              for e in expressions]
+
+    start = time.perf_counter()
+    cold = [parallel_osdc(ranks, graph, processes=WORKERS, min_chunk=1,
+                          fresh_pool=True) for graph in graphs]
+    cold_seconds = time.perf_counter() - start
+
+    with WorkerPool(WORKERS) as pool:
+        pool.map_queries(ranks, [(g, None) for g in graphs[:1]],
+                         chunks=WORKERS)
+        start = time.perf_counter()
+        warm = pool.map_queries(ranks, [(g, None) for g in graphs],
+                                chunks=WORKERS)
+        warm_seconds = time.perf_counter() - start
+
+    for cold_result, warm_result in zip(cold, warm):
+        assert np.array_equal(cold_result, warm_result)
+    assert warm_seconds < cold_seconds, (
+        f"warm batch {warm_seconds:.3f}s should beat {BATCH} cold "
+        f"calls {cold_seconds:.3f}s")
+
+
+def test_warm_beats_cold(workload):
+    import time
+
+    ranks, graph = workload
+    start = time.perf_counter()
+    parallel_osdc(ranks, graph, processes=WORKERS, min_chunk=1,
+                  fresh_pool=True)
+    cold_seconds = time.perf_counter() - start
+    with WorkerPool(WORKERS) as pool:
+        pool.run_query(ranks, graph, chunks=WORKERS)
+        start = time.perf_counter()
+        pool.run_query(ranks, graph, chunks=WORKERS)
+        warm_seconds = time.perf_counter() - start
+    assert warm_seconds < cold_seconds

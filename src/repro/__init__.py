@@ -26,7 +26,7 @@ from .core import (Att, Attribute, Direction, Dominance, ExtensionOrder,
                    sky)
 from .core.preferring import (PreferringClause, evaluate_preferring,
                               parse_preferring)
-from .core.query import p_skyline, skyline
+from .core.query import p_skyline, p_skyline_batch, skyline
 from .core.checks import VerificationError, verify_pskyline
 from .core.explain import PairExplanation, explain_not_maximal, explain_pair
 from .core.semantics import equivalent, normal_form, refines, to_dot
@@ -46,6 +46,7 @@ __all__ = [
     "__version__",
     # query API
     "p_skyline",
+    "p_skyline_batch",
     "skyline",
     "parse_preferring",
     "evaluate_preferring",

@@ -111,8 +111,10 @@ class AlgorithmInfo:
         The algorithm spills to disk and fills ``Stats.io_reads`` /
         ``Stats.io_writes``.
     ``parallel``
-        The algorithm may fan work out to worker processes (and must
-        fall back to a serial plan for interruptible contexts).
+        The algorithm may fan work out to worker processes.  Deadlines
+        and cancellation tokens are honoured *on* the parallel path:
+        the pool ships the absolute deadline and mirrors the token
+        into a shared cancel event (see :mod:`repro.engine.pool`).
     ``counts_dominance``
         ``Stats.dominance_tests`` reflects every tuple-vs-tuple test,
         so work lower bounds (each eliminated tuple was tested at

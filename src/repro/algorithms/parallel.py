@@ -1,102 +1,120 @@
-"""Partition-parallel p-skyline evaluation across worker processes.
+"""Partition-parallel p-skyline evaluation on the persistent pool.
 
 The divide-and-conquer identity behind multi-core evaluation is the
 classic one: for any partition ``D = D_1 ∪ ... ∪ D_p``,
 
 .. math::  M_pi(D) = M_pi( M_pi(D_1) ∪ ... ∪ M_pi(D_p) )
 
-(every global maximum survives in its own chunk; the merge removes
-cross-chunk dominated tuples).  Workers run the in-memory OSDC on their
-chunk; the parent merges the per-chunk p-skylines with one more OSDC
-call.  With small outputs the merge is negligible and speed-up tracks
-the worker count; with huge outputs the merge dominates, as expected.
+(every global maximum survives in its own chunk; merging removes
+cross-chunk dominated tuples).  Workers run the in-memory OSDC on a
+zero-copy shared-memory slice of their chunk; the survivors are reduced
+with a tree of pairwise merges, also on the pool (see
+:mod:`repro.engine.pool`).
 
-``processes=1`` (or tiny inputs) bypasses multiprocessing entirely, so
-the function is safe to use unconditionally.
+Compared to the historical implementation this keeps worker processes
+warm across queries, ships ``(segment, row-range)`` descriptors instead
+of pickled chunk arrays, merges every worker's
+:class:`~repro.algorithms.base.Stats` back into the parent context, and
+runs deadline/cancellation queries **on the parallel path**: workers
+observe the absolute monotonic deadline and a shared cancel event at
+every block boundary.  The serial fallback is reserved for inputs too
+small to be worth dispatching and for daemonic processes (which cannot
+host worker children).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
+import os
 
 import numpy as np
 
 from ..core.pgraph import PGraph
 from ..engine.context import ExecutionContext
+from ..engine.pool import WorkerPool, get_default_pool, pool_available
 from .base import Stats, check_input, ensure_context, register
 from .osdc import osdc
 
-__all__ = ["parallel_osdc"]
+__all__ = ["parallel_osdc", "auto_processes"]
 
 
-def _worker(payload) -> np.ndarray:
-    ranks, names, closure, orders, memory_budget, options = payload
-    graph = PGraph(names, closure, orders)
-    worker_context = ExecutionContext(memory_budget=memory_budget)
-    return osdc(ranks, graph, context=worker_context, **options)
+def auto_processes(n: int, min_chunk: int) -> int:
+    """The ``processes=None`` policy: one process per ``min_chunk`` rows,
+    capped by the CPU count (never below 1)."""
+    return max(1, min(os.cpu_count() or 1, n // max(1, min_chunk)))
 
 
-def _must_run_serially(context: ExecutionContext) -> bool:
-    """True when forked workers could not honour the context's limits.
+def _must_run_serially() -> bool:
+    """True when this process cannot host pool workers.
 
-    Only an *attached* deadline or cancellation token forces the serial
-    plan (workers cannot observe the parent's monotonic clock or cancel
-    event).  A context merely being present -- ``ensure_context``
-    fabricates one for every call nowadays -- or carrying stats, a
-    trace buffer, a cache or a memory budget must not disable the
-    parallel path: stats/trace stay parent-side and the memory budget
-    is shipped to the workers.
+    Only start-method edge cases remain here: a daemonic process may
+    not fork children.  Deadlines and cancellation tokens no longer
+    force the serial plan -- the pool propagates both into workers.
     """
-    return context.deadline is not None or context.cancel is not None
+    return not pool_available()
 
 
 @register("parallel-osdc", parallel=True)
 def parallel_osdc(ranks: np.ndarray, graph: PGraph, *,
                   stats: Stats | None = None,
                   context: ExecutionContext | None = None,
-                  processes: int = 2,
-                  min_chunk: int = 4096, **osdc_options) -> np.ndarray:
-    """Compute ``M_pi(D)`` with ``processes`` worker processes.
+                  processes: int | None = None,
+                  min_chunk: int = 4096,
+                  pool: WorkerPool | None = None,
+                  fresh_pool: bool = False,
+                  **osdc_options) -> np.ndarray:
+    """Compute ``M_pi(D)`` partitioned across pool workers.
 
-    Returns sorted row indices.  Falls back to plain OSDC when
-    ``processes == 1``, the input is smaller than
-    ``processes * min_chunk`` (forking would cost more than it saves), or
-    the context carries an actual deadline or cancellation token --
-    worker processes cannot observe the parent's monotonic clock or
-    cancel event, so interruptible queries run serially where every
-    ``check`` fires.  Any other context (fabricated, stats-only,
-    traced, cached, memory-budgeted) takes the parallel path.
+    Returns sorted row indices.
+
+    Parameters
+    ----------
+    processes:
+        Number of partitions to evaluate in parallel.  ``None`` (the
+        default) applies :func:`auto_processes`:
+        ``min(cpu_count, n // min_chunk)``.
+    min_chunk:
+        Smallest chunk worth shipping to a worker; inputs below
+        ``2 * min_chunk`` run plain OSDC in-process.
+    pool:
+        A specific :class:`~repro.engine.pool.WorkerPool` to run on;
+        by default the process-wide warm pool
+        (:func:`~repro.engine.pool.get_default_pool`).
+    fresh_pool:
+        Fork a dedicated pool for this one call and tear it down after
+        (the historical cold-start behaviour; benchmarks use it as the
+        cold comparator).
+
+    Deadline and cancellation contexts execute on the parallel path:
+    the absolute monotonic deadline is shipped with every task and the
+    context's :class:`~repro.engine.context.CancellationToken` mirrors
+    into the pool's shared cancel event, so workers stop within one
+    chunk/block boundary.  Only daemonic processes (which cannot host
+    children) and tiny inputs fall back to serial OSDC.
     """
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be positive")
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be at least 1")
     ranks = check_input(ranks, graph)
     context = ensure_context(context, stats)
-    stats = context.stats
     n = ranks.shape[0]
-    if processes < 1:
-        raise ValueError("processes must be positive")
+    if processes is None:
+        processes = auto_processes(n, min_chunk)
     context.check("parallel-setup")
-    if (processes == 1 or n < processes * min_chunk
-            or _must_run_serially(context)):
+    if processes == 1 or n < 2 * min_chunk or _must_run_serially():
         return osdc(ranks, graph, context=context, **osdc_options)
 
-    bounds = np.linspace(0, n, processes + 1, dtype=np.intp)
-    chunks = [(ranks[bounds[i]:bounds[i + 1]], graph.names,
-               graph.closure, graph.orders, context.memory_budget,
-               osdc_options)
-              for i in range(processes)]
-    mp_context = mp.get_context("fork" if "fork" in
-                                mp.get_all_start_methods() else "spawn")
-    with mp_context.Pool(processes) as pool:
-        partials = pool.map(_worker, chunks)
-    context.check("parallel-merge")
-    survivors = np.concatenate([
-        np.asarray(local, dtype=np.intp) + bounds[i]
-        for i, local in enumerate(partials)
-    ])
-    if stats is not None:
-        stats.passes += 1
-        stats.extra["chunk_skylines"] = [int(p.size) for p in partials]
-    context.event("parallel-merge", workers=processes,
-                  candidates=int(survivors.size))
-    merged_local = osdc(ranks[survivors], graph, context=context,
-                        **osdc_options)
-    return np.sort(survivors[merged_local])
+    chunks = min(processes, max(1, n // min_chunk))
+    own_pool = False
+    if fresh_pool:
+        pool = WorkerPool(processes)
+        own_pool = True
+    elif pool is None:
+        pool = get_default_pool()
+    try:
+        return pool.run_query(ranks, graph, algorithm="osdc",
+                              chunks=chunks, options=osdc_options,
+                              context=context)
+    finally:
+        if own_pool:
+            pool.close()

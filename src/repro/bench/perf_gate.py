@@ -20,6 +20,15 @@ Three classes of checks, ordered from strict to loose:
 Structural counters (dominance tests, recursion) may shift slightly
 across NumPy versions (tie-breaking in ``argpartition``/``argsort``),
 so they get a relative tolerance rather than exact equality.
+
+A second artifact, ``BENCH_5.json``, gates the persistent worker pool
+(:mod:`repro.engine.pool`): a pinned low-output workload run serially,
+on a cold fork-per-query pool and on a warm pool, plus a batch of
+pinned p-expressions answered warm versus as independent cold calls
+(:mod:`repro.bench.pool_bench`).  Warm-over-cold and batch-over-cold
+ratios gate everywhere; the warm-over-*serial* speedup only gates on
+hosts with as many cores as workers -- on smaller hosts it degrades to
+a bounded-overhead check recorded as a waiver in the artifact.
 """
 
 from __future__ import annotations
@@ -35,9 +44,11 @@ import numpy as np
 from ..core.bitsets import iter_bits
 
 __all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
-           "run_gate", "compare", "main"]
+           "run_gate", "compare", "run_parallel_gate", "compare_parallel",
+           "main"]
 
 SCHEMA = "repro-perf-gate/1"
+PARALLEL_SCHEMA = "repro-perf-gate-parallel/1"
 
 #: Pinned workload parameters.  Changing any of these invalidates the
 #: committed baseline -- regenerate it in the same commit.
@@ -52,6 +63,27 @@ GATE_ALGORITHMS = ("bnl", "sfs", "less", "salsa", "osdc")
 MIN_SPEEDUP = 2.0
 TIME_FACTOR = 5.0
 COUNTER_TOLERANCE = 0.2
+
+#: Pinned workloads of the worker-pool gate (``BENCH_5.json``).
+PARALLEL_ROWS = 500_000
+PARALLEL_DIMS = 6
+PARALLEL_WORKERS = 4
+BATCH_ROWS = 64_000
+BATCH_QUERIES = 16
+
+#: Worker-pool gate thresholds.  ``MIN_PARALLEL_SPEEDUP`` (warm pool
+#: over serial OSDC) only engages on hosts with at least
+#: ``PARALLEL_WORKERS`` cores -- a single-core box cannot speed anything
+#: up by partitioning, so there the gate degrades to a bounded-overhead
+#: check (warm pooled time at most ``SINGLE_CORE_OVERHEAD`` times the
+#: serial time) and the waiver is recorded in the artifact.  The
+#: warm-over-cold and batch-amortisation checks measure orchestration
+#: savings (process start-up, shared-memory registration), which are
+#: real on any core count, so they engage everywhere.
+MIN_PARALLEL_SPEEDUP = 2.0
+SINGLE_CORE_OVERHEAD = 2.5
+MIN_WARM_OVER_COLD = 1.5
+MIN_BATCH_SPEEDUP = 2.5
 
 
 def _pinned_case(rows: int, dims: int, seed: int):
@@ -249,6 +281,151 @@ def compare(current: dict, baseline: dict | None, *,
     return violations
 
 
+def run_parallel_gate(*, seed: int = SEED, quick: bool = False) -> dict:
+    """Run the worker-pool workloads; returns the ``BENCH_5`` artifact."""
+    import os
+
+    from .pool_bench import measure_batch, measure_parallel
+
+    parallel_rows = 40_000 if quick else PARALLEL_ROWS
+    batch_rows = 8_000 if quick else BATCH_ROWS
+    batch_queries = 6 if quick else BATCH_QUERIES
+    cores = os.cpu_count() or 1
+    parallel = measure_parallel(parallel_rows, PARALLEL_DIMS,
+                                workers=PARALLEL_WORKERS, seed=seed)
+    batch = measure_batch(batch_rows, PARALLEL_DIMS,
+                          queries=batch_queries,
+                          workers=PARALLEL_WORKERS, seed=seed)
+    artifact = {
+        "schema": PARALLEL_SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "parallel_rows": parallel_rows,
+            "batch_rows": batch_rows,
+            "batch_queries": batch_queries,
+            "dims": PARALLEL_DIMS,
+            "workers": PARALLEL_WORKERS,
+        },
+        "cores": cores,
+        "parallel": parallel,
+        "batch": batch,
+    }
+    if cores < PARALLEL_WORKERS:
+        artifact["waivers"] = [
+            f"host has {cores} core(s) < {PARALLEL_WORKERS} workers: the "
+            f"{MIN_PARALLEL_SPEEDUP:.1f}x parallel-over-serial check is "
+            f"replaced by the {SINGLE_CORE_OVERHEAD:.1f}x bounded-"
+            "overhead check"]
+    return artifact
+
+
+def compare_parallel(current: dict, baseline: dict | None, *,
+                     min_parallel_speedup: float = MIN_PARALLEL_SPEEDUP,
+                     single_core_overhead: float = SINGLE_CORE_OVERHEAD,
+                     min_warm_over_cold: float = MIN_WARM_OVER_COLD,
+                     min_batch_speedup: float = MIN_BATCH_SPEEDUP,
+                     time_factor: float = TIME_FACTOR,
+                     counter_tolerance: float = COUNTER_TOLERANCE
+                     ) -> list[str]:
+    """Gate a fresh ``BENCH_5`` artifact (see :data:`MIN_PARALLEL_SPEEDUP`
+    for the core-count scaling); returns the violations (empty = ok)."""
+    violations: list[str] = []
+    parallel = current["parallel"]
+    batch = current["batch"]
+    cores = current.get("cores", 1)
+
+    # -- within-run checks (no baseline needed) -----------------------------
+    if parallel["speedup_warm_over_cold"] < min_warm_over_cold:
+        violations.append(
+            f"{parallel['name']}: warm pool is only "
+            f"{parallel['speedup_warm_over_cold']:.2f}x faster than a "
+            f"cold fork-per-query pool, below the "
+            f"{min_warm_over_cold:.2f}x gate")
+    if cores >= current["workload"]["workers"]:
+        if parallel["speedup_warm_over_serial"] < min_parallel_speedup:
+            violations.append(
+                f"{parallel['name']}: warm pooled run is only "
+                f"{parallel['speedup_warm_over_serial']:.2f}x faster "
+                f"than serial OSDC on {cores} cores, below the "
+                f"{min_parallel_speedup:.2f}x gate")
+    elif parallel["warm_seconds"] > \
+            parallel["serial_seconds"] * single_core_overhead:
+        violations.append(
+            f"{parallel['name']}: warm pooled run takes "
+            f"{parallel['warm_seconds']:.4f}s vs {parallel['serial_seconds']:.4f}s "
+            f"serial on a {cores}-core host -- beyond the "
+            f"{single_core_overhead:.1f}x bounded-overhead waiver")
+    if batch["speedup_batch_over_cold"] < min_batch_speedup:
+        violations.append(
+            f"{batch['name']}: warm batch is only "
+            f"{batch['speedup_batch_over_cold']:.2f}x faster than "
+            f"{batch['queries']} cold parallel calls, below the "
+            f"{min_batch_speedup:.2f}x gate")
+
+    # -- baseline checks ----------------------------------------------------
+    if baseline is not None:
+        base_parallel = baseline["parallel"]
+        base_batch = baseline["batch"]
+        if parallel["output_size"] != base_parallel["output_size"]:
+            violations.append(
+                f"{parallel['name']}: output size "
+                f"{parallel['output_size']} != baseline "
+                f"{base_parallel['output_size']}")
+        if parallel["chunk_skylines"] != base_parallel["chunk_skylines"]:
+            violations.append(
+                f"{parallel['name']}: chunk skylines "
+                f"{parallel['chunk_skylines']} != baseline "
+                f"{base_parallel['chunk_skylines']}")
+        if parallel["kernel"] != base_parallel["kernel"]:
+            violations.append(
+                f"{parallel['name']}: kernel policy drifted to "
+                f"{parallel['kernel']!r} (baseline "
+                f"{base_parallel['kernel']!r})")
+        for counter in ("serial_dominance_tests",
+                        "pooled_dominance_tests"):
+            if not _close(parallel[counter], base_parallel[counter],
+                          counter_tolerance):
+                violations.append(
+                    f"{parallel['name']}: {counter} {parallel[counter]} "
+                    f"drifted more than {counter_tolerance:.0%} from "
+                    f"baseline {base_parallel[counter]}")
+        if batch["output_sizes"] != base_batch["output_sizes"]:
+            violations.append(
+                f"{batch['name']}: per-query output sizes differ from "
+                "the baseline")
+        for record, base in ((parallel, base_parallel),
+                             (batch, base_batch)):
+            for key in ("warm_seconds", "cold_seconds"):
+                if base.get(key) and record[key] > base[key] * time_factor:
+                    violations.append(
+                        f"{record['name']}/{key}: {record[key]:.4f}s is "
+                        f"more than {time_factor:.1f}x the baseline "
+                        f"{base[key]:.4f}s")
+    return violations
+
+
+def _render_parallel(artifact: dict) -> str:
+    parallel = artifact["parallel"]
+    batch = artifact["batch"]
+    lines = [f"worker-pool gate ({artifact['cores']} core(s)):"]
+    lines.append(
+        f"  {parallel['name']:>28}: serial "
+        f"{parallel['serial_seconds'] * 1000:8.2f}ms  cold "
+        f"{parallel['cold_seconds'] * 1000:8.2f}ms  warm "
+        f"{parallel['warm_seconds'] * 1000:8.2f}ms  "
+        f"(warm/cold {parallel['speedup_warm_over_cold']:.2f}x)  "
+        f"out={parallel['output_size']}")
+    lines.append(
+        f"  {batch['name']:>28}: cold "
+        f"{batch['cold_seconds'] * 1000:8.2f}ms  warm "
+        f"{batch['warm_seconds'] * 1000:8.2f}ms  "
+        f"(batch {batch['speedup_batch_over_cold']:.2f}x)")
+    for waiver in artifact.get("waivers", []):
+        lines.append(f"  waiver: {waiver}")
+    return "\n".join(lines)
+
+
 def _render(artifact: dict) -> str:
     lines = ["perf gate workloads:"]
     for record in artifact["kernels"]:
@@ -281,38 +458,72 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
     parser.add_argument("--time-factor", type=float, default=TIME_FACTOR)
+    parser.add_argument("--parallel-out", default="BENCH_5.json",
+                        help="path of the worker-pool artifact to write")
+    parser.add_argument("--parallel-baseline", default="BENCH_5.json",
+                        help="committed worker-pool baseline to compare "
+                             "against with --check")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="run only the kernel/algorithm gate")
+    parser.add_argument("--min-batch-speedup", type=float,
+                        default=MIN_BATCH_SPEEDUP)
     arguments = parser.parse_args(argv)
+
+    def load_baseline(path: str, workload_quick: bool) -> dict | None:
+        try:
+            with open(path, "r", encoding="utf-8") as source:
+                baseline = json.load(source)
+        except FileNotFoundError:
+            print(f"no baseline at {path}; "
+                  "running within-run checks only")
+            return None
+        if baseline.get("workload", {}).get("quick") != workload_quick:
+            print(f"{path}: baseline workload scale differs; "
+                  "running within-run checks only")
+            return None
+        return baseline
+
+    def report(label: str, violations: list[str]) -> int:
+        if violations:
+            print(f"PERF GATE FAILED on {label} "
+                  f"({len(violations)} violation(s)):")
+            for violation in violations:
+                print(f"  - {violation}")
+            return 1
+        print(f"perf gate passed ({label})")
+        return 0
+
+    def write(path: str, artifact: dict) -> None:
+        with open(path, "w", encoding="utf-8") as sink:
+            json.dump(artifact, sink, indent=2)
+            sink.write("\n")
+        print(f"wrote {path}")
+
     artifact = run_gate(seed=arguments.seed, quick=arguments.quick)
     print(_render(artifact))
     status = 0
     if arguments.check:
-        try:
-            with open(arguments.baseline, "r", encoding="utf-8") as source:
-                baseline = json.load(source)
-        except FileNotFoundError:
-            baseline = None
-            print(f"no baseline at {arguments.baseline}; "
-                  "running within-run checks only")
-        if baseline is not None and \
-                baseline.get("workload", {}).get("quick") != \
-                artifact["workload"]["quick"]:
-            baseline = None
-            print("baseline workload scale differs; "
-                  "running within-run checks only")
-        violations = compare(artifact, baseline,
-                             min_speedup=arguments.min_speedup,
-                             time_factor=arguments.time_factor)
-        if violations:
-            status = 1
-            print(f"PERF GATE FAILED ({len(violations)} violation(s)):")
-            for violation in violations:
-                print(f"  - {violation}")
-        else:
-            print("perf gate passed")
-    with open(arguments.out, "w", encoding="utf-8") as sink:
-        json.dump(artifact, sink, indent=2)
-        sink.write("\n")
-    print(f"wrote {arguments.out}")
+        baseline = load_baseline(arguments.baseline,
+                                 artifact["workload"]["quick"])
+        status |= report("kernels/algorithms", compare(
+            artifact, baseline,
+            min_speedup=arguments.min_speedup,
+            time_factor=arguments.time_factor))
+    write(arguments.out, artifact)
+
+    if not arguments.skip_parallel:
+        parallel_artifact = run_parallel_gate(seed=arguments.seed,
+                                              quick=arguments.quick)
+        print(_render_parallel(parallel_artifact))
+        if arguments.check:
+            baseline = load_baseline(
+                arguments.parallel_baseline,
+                parallel_artifact["workload"]["quick"])
+            status |= report("worker pool", compare_parallel(
+                parallel_artifact, baseline,
+                min_batch_speedup=arguments.min_batch_speedup,
+                time_factor=arguments.time_factor))
+        write(arguments.parallel_out, parallel_artifact)
     return status
 
 

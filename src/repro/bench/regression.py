@@ -72,7 +72,9 @@ def smoke_run(*, rows: int = 1500, dims: int = 6, expressions: int = 3,
     For each sampled p-expression every algorithm in
     :data:`SMOKE_ALGORITHMS` runs twice against a shared preference
     cache (first run cold, second warm) with tracing enabled.  Raises
-    if any algorithm disagrees with the ``naive`` oracle.
+    if any algorithm disagrees with the ``naive`` oracle.  A final
+    2-worker :class:`~repro.engine.pool.WorkerPool` run cross-checks
+    the pooled execution path against the same oracle.
     """
     from ..algorithms.base import Stats, get_algorithm
     from ..engine import ExecutionContext, PreferenceCache
@@ -126,11 +128,37 @@ def smoke_run(*, rows: int = 1500, dims: int = 6, expressions: int = 3,
                 "trace": context.trace.to_json() if context.trace else [],
             })
     drain_counters()
+
+    # a 2-worker pool run over the last sampled expression: checks the
+    # whole pooled path (shared memory, chunk dispatch, tree merge,
+    # stats aggregation) agrees with the oracle on every CI push
+    from ..engine.pool import WorkerPool
+
+    pool_stats = Stats()
+    with WorkerPool(2) as pool:
+        pool.run_query(ranks, graph)  # cold: fork + registration
+        start = time.perf_counter()
+        pooled = pool.run_query(ranks, graph, chunks=2,
+                                context=ExecutionContext(
+                                    stats=pool_stats))
+        pool_seconds = time.perf_counter() - start
+    if not np.array_equal(pooled, expected):
+        raise AssertionError("pooled run disagrees with the oracle")
+
     return {
         "workload": {"rows": rows, "dims": dims,
                      "expressions": expressions, "seed": seed},
         "runs": runs,
         "cache": {**cache.stats(), **totals},
+        "pool": {
+            "workers": 2,
+            "warm_seconds": pool_seconds,
+            "output_size": int(np.asarray(pooled).size),
+            "chunk_skylines": [
+                int(s) for s in pool_stats.extra["chunk_skylines"]],
+            "dominance_tests": pool_stats.dominance_tests,
+            "kernel": pool_stats.extra.get("kernel"),
+        },
     }
 
 
@@ -153,7 +181,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     warm = sum(run["warm_seconds"] for run in artifact["runs"])
     print(f"smoke run: {len(artifact['runs'])} runs, "
           f"cold {cold:.3f}s vs warm {warm:.3f}s, "
-          f"cache {artifact['cache']}; wrote {arguments.out}")
+          f"cache {artifact['cache']}, "
+          f"pool out={artifact['pool']['output_size']} in "
+          f"{artifact['pool']['warm_seconds']:.3f}s; "
+          f"wrote {arguments.out}")
     return 0
 
 

@@ -33,6 +33,13 @@ Sub-commands:
 
         repro-skyline bench-kernels --rows 20000 --dims 4 8 16
 
+``pool-bench``
+    Benchmark the persistent worker pool: serial vs cold-pool vs
+    warm-pool wall clock, warm speedup per worker count, and the
+    batched query service's amortisation::
+
+        repro-skyline pool-bench --rows 200000 --queries 16
+
 ``verify``
     Run the differential/metamorphic correctness fuzzer (delegates to
     ``python -m repro.verify``)::
@@ -126,6 +133,23 @@ def _build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--scalar", action="store_true",
                          help="also time the scalar kernel (slow; keep "
                               "--rows small)")
+
+    pool = commands.add_parser(
+        "pool-bench",
+        help="benchmark the persistent worker pool (cold vs warm vs "
+             "serial, scaling, batched queries)")
+    pool.add_argument("--rows", type=int, default=200_000)
+    pool.add_argument("--dims", type=int, default=6)
+    pool.add_argument("--alpha", type=float, default=0.2,
+                      help="equicorrelation of the generated data")
+    pool.add_argument("--workers", type=int, default=4)
+    pool.add_argument("--queries", type=int, default=16,
+                      help="batch size for the map_queries measurement")
+    pool.add_argument("--scaling", type=int, nargs="*", default=None,
+                      metavar="W",
+                      help="also time the warm pool at these worker "
+                           "counts")
+    pool.add_argument("--seed", type=int, default=2015)
 
     shell = commands.add_parser(
         "shell", help="interactive Preference SQL over CSV files")
@@ -258,6 +282,39 @@ def _cmd_bench_kernels(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pool_bench(arguments: argparse.Namespace) -> int:
+    from .bench.pool_bench import (measure_batch, measure_parallel,
+                                   measure_scaling)
+    record = measure_parallel(arguments.rows, arguments.dims,
+                              workers=arguments.workers,
+                              alpha=arguments.alpha, seed=arguments.seed)
+    print(f"{record['name']}: out={record['output_size']} "
+          f"kernel={record['kernel']} "
+          f"chunks={record['chunk_skylines']}")
+    print(f"  serial {record['serial_seconds'] * 1000:8.2f}ms   "
+          f"cold {record['cold_seconds'] * 1000:8.2f}ms   "
+          f"warm {record['warm_seconds'] * 1000:8.2f}ms")
+    print(f"  warm over cold {record['speedup_warm_over_cold']:5.2f}x   "
+          f"warm over serial "
+          f"{record['speedup_warm_over_serial']:5.2f}x")
+    batch = measure_batch(arguments.rows // 8 or 1, arguments.dims,
+                          queries=arguments.queries,
+                          workers=arguments.workers,
+                          alpha=arguments.alpha, seed=arguments.seed)
+    print(f"{batch['name']}: cold {batch['cold_seconds'] * 1000:8.2f}ms  "
+          f"warm {batch['warm_seconds'] * 1000:8.2f}ms  "
+          f"({batch['speedup_batch_over_cold']:.2f}x amortised)")
+    if arguments.scaling is not None:
+        counts = arguments.scaling or [1, 2, 4, 8]
+        for point in measure_scaling(arguments.rows, arguments.dims,
+                                     counts, alpha=arguments.alpha,
+                                     seed=arguments.seed):
+            print(f"  workers={point['workers']:2d}: "
+                  f"{point['seconds'] * 1000:8.2f}ms  "
+                  f"out={point['output_size']}")
+    return 0
+
+
 def _load_csv_as_relation(path: str) -> Relation:
     """All-numeric CSV -> relation with lowest-preferred columns."""
     with open(path, newline="") as handle:
@@ -321,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "sample": _cmd_sample,
         "bench": _cmd_bench,
         "bench-kernels": _cmd_bench_kernels,
+        "pool-bench": _cmd_pool_bench,
         "shell": _cmd_shell,
     }
     return handlers[arguments.command](arguments)

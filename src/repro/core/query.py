@@ -27,7 +27,7 @@ from .parser import parse
 from .pgraph import PGraph
 from .relation import Relation
 
-__all__ = ["p_skyline", "skyline"]
+__all__ = ["p_skyline", "p_skyline_batch", "skyline"]
 
 
 def _resolve_expression(expression: PExpr | str) -> PExpr:
@@ -119,6 +119,61 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
     graph = PGraph.from_expression(expr, names=names)
     return function(matrix[:, columns], graph, stats=stats,
                     context=context, **options)
+
+
+def p_skyline_batch(data: Relation | np.ndarray,
+                    expressions, *,
+                    algorithm: str = "osdc",
+                    stats: Stats | None = None,
+                    context: ExecutionContext | None = None,
+                    timeout: float | None = None,
+                    processes: int | None = None,
+                    min_chunk: int = 4096,
+                    **options: Any) -> list:
+    """Evaluate many p-skyline queries against **one** data set.
+
+    The "many users, one data set" shape of a loaded service: the rank
+    matrix is registered into the worker pool's shared memory once and
+    each p-expression ships only descriptors
+    (:meth:`repro.engine.pool.WorkerPool.map_queries`), so a batch of
+    ``k`` queries costs one registration instead of ``k`` cold
+    registrations and pool start-ups.  ``algorithm`` names the
+    *per-chunk* evaluator (``osdc`` by default).  Stats from every
+    worker of every query are merged into ``stats``/``context.stats``.
+
+    Falls back to sequential :func:`p_skyline` calls when the process
+    cannot host a pool (daemonic) or the input is too small to be
+    worth dispatching.
+
+    Returns one result per expression, in order: a :class:`Relation`
+    when ``data`` is a relation, else a sorted index array.
+    """
+    from ..engine.pool import get_default_pool, pool_available
+
+    expressions = list(expressions)
+    if timeout is not None:
+        if context is not None:
+            raise ValueError("pass either timeout or context, not both")
+        context = ExecutionContext.create(stats=stats, timeout=timeout)
+    context = ensure_context(context, stats)
+    n = len(data) if isinstance(data, Relation) else \
+        np.asarray(data).shape[0]
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be at least 1")
+    if not pool_available() or n < 2 * min_chunk \
+            or algorithm == "auto":
+        return [p_skyline(data, expression, algorithm=algorithm,
+                          context=context, **options)
+                for expression in expressions]
+    pool = get_default_pool()
+    chunks = None if processes is None else \
+        max(1, min(processes, n // min_chunk))
+    indices = pool.map_queries(data, expressions, algorithm=algorithm,
+                               chunks=chunks, min_chunk=min_chunk,
+                               options=options, context=context)
+    if isinstance(data, Relation):
+        return [data.take(index) for index in indices]
+    return indices
 
 
 def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",

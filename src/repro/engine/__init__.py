@@ -18,6 +18,9 @@ from .compiled import (CompiledPreference, PreferenceCache,
 from .context import CancellationToken, ExecutionContext
 from .errors import (EngineError, MemoryBudgetExceeded, QueryCancelled,
                      QueryTimeout)
+from .pool import (SharedRegistration, WorkerPool, default_worker_count,
+                   get_default_pool, pool_available,
+                   shutdown_default_pool)
 from .trace import TraceBuffer, TraceEvent
 
 __all__ = [
@@ -33,4 +36,10 @@ __all__ = [
     "MemoryBudgetExceeded",
     "TraceBuffer",
     "TraceEvent",
+    "WorkerPool",
+    "SharedRegistration",
+    "get_default_pool",
+    "shutdown_default_pool",
+    "pool_available",
+    "default_worker_count",
 ]

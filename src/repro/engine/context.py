@@ -42,16 +42,45 @@ __all__ = ["CancellationToken", "ExecutionContext"]
 
 
 class CancellationToken:
-    """A thread-safe flag a caller flips to abort an in-flight query."""
+    """A thread-safe flag a caller flips to abort an in-flight query.
 
-    __slots__ = ("_event",)
+    Besides the in-process event, a token can *mirror* into other
+    event-like objects (anything with ``set()``): the worker pool links
+    its shared :class:`multiprocessing.Event` here so a ``cancel()``
+    in the parent is observed by worker processes at their next block
+    boundary.  Mirrors are linked for the duration of one pooled query
+    and unlinked afterwards.
+    """
+
+    __slots__ = ("_event", "_mirrors", "_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._mirrors: list = []
+        self._lock = threading.Lock()
 
     def cancel(self) -> None:
         """Request cancellation: the next context check raises."""
         self._event.set()
+        with self._lock:
+            mirrors = list(self._mirrors)
+        for mirror in mirrors:
+            mirror.set()
+
+    def link(self, event) -> None:
+        """Mirror future (and past) cancellations into ``event``."""
+        with self._lock:
+            self._mirrors.append(event)
+        if self.cancelled:
+            event.set()
+
+    def unlink(self, event) -> None:
+        """Stop mirroring into ``event`` (no-op when not linked)."""
+        with self._lock:
+            try:
+                self._mirrors.remove(event)
+            except ValueError:
+                pass
 
     @property
     def cancelled(self) -> bool:

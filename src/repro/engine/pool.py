@@ -1,0 +1,682 @@
+"""The persistent worker-pool execution service.
+
+``parallel-osdc`` used to fork a fresh ``multiprocessing.Pool`` per
+call, pickle every chunk's full rank array into its workers, discard
+the workers' :class:`~repro.algorithms.base.Stats`, and refuse to run
+at all under a deadline or cancellation token.  This module replaces
+that with a warm, reusable execution service:
+
+* :class:`WorkerPool` keeps worker *processes* alive across queries.
+  Any registered algorithm can run on the pool (workers dispatch by
+  registry name), so the same pool serves partition-parallel OSDC,
+  pooled merges and batched query service.
+* Rank matrices are registered **once** into
+  :mod:`multiprocessing.shared_memory`; chunk dispatch ships only a
+  ``(segment name, shape, dtype, row range)`` descriptor.  Workers map
+  the segment and slice it -- a zero-copy read for row ranges.
+  Registrations are cached per pool (keyed by the array object) and
+  unlinked deterministically on :meth:`WorkerPool.close`, via the
+  context-manager protocol, and from an ``atexit`` hook.
+* Interruption propagates *into* workers: each task ships the absolute
+  :func:`time.monotonic` deadline (CLOCK_MONOTONIC is system-wide on
+  every platform we support, so parent and worker read the same clock)
+  and every worker polls a shared :class:`multiprocessing.Event` that
+  the parent's :class:`~repro.engine.context.CancellationToken` mirrors
+  into.  Workers observe a cancellation at their next context check --
+  within one chunk/block boundary -- and the parent raises
+  :class:`~repro.engine.errors.QueryCancelled` /
+  :class:`~repro.engine.errors.QueryTimeout` exactly as the serial path
+  does.
+* The final merge is a **tree of pairwise merges executed on the
+  pool** instead of one serial pass over all survivors, and every
+  worker's :class:`Stats` is merged back into the parent context
+  (dominance tests, kernel choice, per-chunk skyline sizes,
+  per-worker totals).
+* :meth:`WorkerPool.map_queries` amortises one shared-memory
+  registration across many p-expressions -- the "many users, one data
+  set" shape of a loaded service.
+
+The module-level :func:`get_default_pool` serves the process-wide warm
+pool used by :func:`repro.algorithms.parallel.parallel_osdc` when the
+caller does not bring their own.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue as queue_module
+import threading
+import uuid
+import weakref
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .context import ExecutionContext
+
+__all__ = ["SharedArraySpec", "SharedRegistration", "WorkerPool",
+           "get_default_pool", "shutdown_default_pool", "pool_available",
+           "default_worker_count"]
+
+#: Shared-memory segments created by this module are named
+#: ``repro-pool-<pid>-<nonce>`` so leak checks can find strays.
+SEGMENT_PREFIX = "repro-pool"
+
+#: Upper bound on the default pool's worker count (a service box with 64
+#: cores should not fork 64 Python interpreters for one library user).
+DEFAULT_MAX_WORKERS = 8
+
+#: Seconds between parent-side context checks while waiting on workers.
+_POLL_INTERVAL = 0.02
+
+
+def default_worker_count() -> int:
+    """The default pool size: the CPU count, at least 2, at most
+    :data:`DEFAULT_MAX_WORKERS`."""
+    return min(DEFAULT_MAX_WORKERS, max(2, os.cpu_count() or 1))
+
+
+def pool_available() -> bool:
+    """True when this process may host a worker pool.
+
+    Daemonic processes cannot have children -- the one genuine reason
+    left to run serially.
+    """
+    return not mp.current_process().daemon
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """A picklable descriptor of one registered array: everything a
+    worker needs to map the segment, and nothing else."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SharedRegistration:
+    """A parent-side handle on one shared-memory copy of an array.
+
+    The registration owns the segment: :meth:`close` (idempotent, also
+    run by ``with``-blocks and the pool's own shutdown) closes *and
+    unlinks* it, so no segment outlives the process even when a query
+    raises mid-flight.
+    """
+
+    __slots__ = ("spec", "_shm", "__weakref__")
+
+    def __init__(self, array: np.ndarray):
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        nbytes = max(1, array.nbytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes,
+                                               name=name)
+        self.spec = SharedArraySpec(name, tuple(array.shape),
+                                    array.dtype.str)
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=self._shm.buf)
+        view[...] = array
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedRegistration":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- worker side -------------------------------------------------------------
+
+
+class _EventCancelToken:
+    """Duck-typed :class:`CancellationToken` over a shared ``mp.Event``.
+
+    Workers attach it to their :class:`ExecutionContext`, so every
+    ``context.check`` at a block boundary observes a parent-side
+    cancellation.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:  # pragma: no cover - parent cancels
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting its lifetime.
+
+    Python's resource tracker assumes whoever opens a segment owns it
+    and will unlink it at interpreter exit; suppressing the
+    registration keeps ownership with the parent's
+    :class:`SharedRegistration` (Python 3.13's ``track=False``
+    parameter, backported by hand).  Merely attaching and then
+    un-registering would race the parent: with the fork start method
+    both sides talk to one tracker process, and the parent's own
+    unlink-time unregister would arrive second and error out.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    try:
+        resource_tracker.register = lambda *args, **kwargs: None
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _run_task(spec: dict, attachments: dict, cancel_event):
+    """Execute one task spec; returns ``(global_indices, stats)``."""
+    from .. import algorithms as _algorithms  # fills the registry
+    from ..core.dominance import forced_kernel
+    from ..core.pgraph import PGraph
+
+    array_spec: SharedArraySpec = spec["array"]
+    cached = attachments.get(array_spec.name)
+    if cached is None:
+        shm = _attach(array_spec.name)
+        view = np.ndarray(array_spec.shape,
+                          dtype=np.dtype(array_spec.dtype),
+                          buffer=shm.buf)
+        view.setflags(write=False)
+        cached = (shm, view)
+        attachments[array_spec.name] = cached
+    view = cached[1]
+
+    kind, payload = spec["rows"]
+    if kind == "slice":
+        start, stop = payload
+        rows = view[start:stop]  # zero-copy view of the segment
+
+        def to_global(local: np.ndarray) -> np.ndarray:
+            return local + start
+    else:  # "indices": merge tasks and arbitrary subsets
+        indices = np.asarray(payload, dtype=np.intp)
+        rows = view[indices]
+
+        def to_global(local: np.ndarray) -> np.ndarray:
+            return indices[local]
+
+    columns = spec["columns"]
+    if columns is not None:
+        rows = rows[:, list(columns)]
+
+    names, closure, orders = spec["graph"]
+    graph = PGraph(names, closure, orders)
+    stats = _algorithms.Stats()
+    context = ExecutionContext(
+        stats=stats,
+        deadline=spec["deadline"],
+        cancel=_EventCancelToken(cancel_event),
+        memory_budget=spec["memory_budget"],
+    )
+    function = _algorithms.REGISTRY[spec["algorithm"]]
+    guard = forced_kernel(spec["forced_kernel"]) \
+        if spec["forced_kernel"] else nullcontext()
+    with guard:
+        local = function(rows, graph, context=context, **spec["options"])
+    return to_global(np.asarray(local, dtype=np.intp)), stats
+
+
+def _worker_main(worker_id: int, tasks, results, cancel_event) -> None:
+    """The worker loop: pull task specs until the ``None`` sentinel."""
+    attachments: dict = {}
+    try:
+        while True:
+            item = tasks.get()
+            if item is None:
+                break
+            query_id, task_id, spec = item
+            try:
+                indices, stats = _run_task(spec, attachments, cancel_event)
+                results.put((query_id, task_id, worker_id, True,
+                             indices, stats))
+            except BaseException as error:
+                try:
+                    results.put((query_id, task_id, worker_id, False,
+                                 error, None))
+                except Exception:  # unpicklable exception: degrade
+                    results.put((query_id, task_id, worker_id, False,
+                                 RuntimeError(repr(error)), None))
+    finally:
+        for shm, _view in attachments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - shutdown best effort
+                pass
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent pool of worker processes for p-skyline evaluation.
+
+    Parameters
+    ----------
+    processes:
+        Worker count (default :func:`default_worker_count`).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (zero-cost inheritance of the registry), ``spawn``
+        otherwise (workers re-import :mod:`repro.algorithms`).
+
+    The pool is a context manager; :meth:`close` (also registered with
+    ``atexit``) joins the workers and unlinks every live shared-memory
+    registration.  Queries are serialised through an internal lock --
+    the pool is safe to share between threads, one query in flight at a
+    time.
+    """
+
+    def __init__(self, processes: int | None = None, *,
+                 start_method: str | None = None):
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be positive")
+        if not pool_available():
+            raise RuntimeError(
+                "cannot start a WorkerPool inside a daemonic process")
+        self.processes = processes or default_worker_count()
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() \
+                else "spawn"
+        self._mp = mp.get_context(start_method)
+        self.start_method = start_method
+        self._cancel_event = self._mp.Event()
+        self._tasks = self._mp.Queue()
+        self._results = self._mp.Queue()
+        self._workers = []
+        for worker_id in range(self.processes):
+            process = self._mp.Process(
+                target=_worker_main,
+                args=(worker_id, self._tasks, self._results,
+                      self._cancel_event),
+                daemon=True,
+                name=f"repro-pool-worker-{worker_id}",
+            )
+            process.start()
+            self._workers.append(process)
+        #: id(array) -> (weakref to the array, SharedRegistration)
+        self._registrations: dict = {}
+        self._lock = threading.Lock()
+        self._query_ids = itertools.count(1)
+        self._closed = False
+        atexit.register(self.close)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Join the workers and unlink every registration (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        self._cancel_event.set()
+        for _ in self._workers:
+            try:
+                self._tasks.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                break
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - shutdown best effort
+                pass
+        self._release_registrations()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _release_registrations(self) -> None:
+        registrations, self._registrations = self._registrations, {}
+        for _ref, registration in registrations.values():
+            registration.close()
+
+    # -- shared-memory registration ------------------------------------------
+    def register(self, array: np.ndarray) -> SharedRegistration:
+        """Copy ``array`` into shared memory once; reuse on repeat calls.
+
+        The cache keys on the array *object* (arrays are assumed frozen
+        once registered, as :class:`~repro.core.relation.Relation`
+        guarantees); registrations whose array has been garbage
+        collected are unlinked on the next call.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        array = np.ascontiguousarray(array)
+        for key, (ref, registration) in list(self._registrations.items()):
+            if ref() is None:
+                registration.close()
+                del self._registrations[key]
+        entry = self._registrations.get(id(array))
+        if entry is not None and entry[0]() is array \
+                and not entry[1].closed:
+            return entry[1]
+        registration = SharedRegistration(array)
+        self._registrations[id(array)] = (weakref.ref(array), registration)
+        return registration
+
+    def live_segments(self) -> tuple[str, ...]:
+        """Names of the shared-memory segments this pool currently owns
+        (leak tests assert this is empty after :meth:`close`)."""
+        return tuple(registration.name
+                     for _ref, registration in self._registrations.values()
+                     if not registration.closed)
+
+    # -- query execution -----------------------------------------------------
+    def run_query(self, ranks: np.ndarray, graph, *,
+                  algorithm: str = "osdc", chunks: int | None = None,
+                  columns=None, options: dict | None = None,
+                  context: ExecutionContext | None = None) -> np.ndarray:
+        """Evaluate ``M_pi(ranks)`` on the pool; returns sorted indices.
+
+        The input is partitioned into ``chunks`` row ranges (default:
+        one per worker), each evaluated by ``algorithm`` in a worker
+        against the shared segment, then reduced with a tree of
+        pairwise merges -- the partition identity ``M_pi(D) =
+        M_pi(union of the M_pi(D_i))`` applied level by level, also on
+        the pool.  Worker stats are merged into ``context.stats``.
+        """
+        from ..algorithms.base import ensure_context
+        from ..core.dominance import current_forced_kernel
+
+        context = ensure_context(context)
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        n = int(ranks.shape[0])
+        chunks = self.processes if chunks is None else int(chunks)
+        chunks = max(1, min(chunks, n if n else 1))
+        context.check("pool-setup")
+        with self._lock:
+            registration = self.register(ranks)
+            query_id = next(self._query_ids)
+            self._drain_stale()
+            self._cancel_event.clear()
+            token = context.cancel
+            if token is not None and hasattr(token, "link"):
+                token.link(self._cancel_event)
+                linked = True
+            else:
+                linked = False
+            base_spec = {
+                "array": registration.spec,
+                "columns": tuple(columns) if columns is not None else None,
+                "graph": (graph.names, graph.closure, graph.orders),
+                "algorithm": algorithm,
+                "options": dict(options or {}),
+                "deadline": context.deadline,
+                "memory_budget": context.memory_budget,
+                "forced_kernel": current_forced_kernel(),
+            }
+            try:
+                bounds = np.linspace(0, n, chunks + 1, dtype=np.intp)
+                specs = [dict(base_spec,
+                              rows=("slice", (int(bounds[i]),
+                                              int(bounds[i + 1]))))
+                         for i in range(chunks)]
+                context.event("pool-dispatch", chunks=chunks,
+                              workers=self.processes)
+                parts, worker_stats = self._execute_tasks(
+                    query_id, specs, context, "pool-chunk")
+                chunk_sizes = [int(part.size) for part in parts]
+                parts, merge_rounds = self._tree_merge(
+                    query_id, parts, base_spec, context, worker_stats)
+                result = np.sort(parts[0]) if parts else \
+                    np.empty(0, dtype=np.intp)
+            except BaseException:
+                # wake the workers out of any in-flight sibling task;
+                # their (stale) results are discarded by query id
+                self._cancel_event.set()
+                raise
+            finally:
+                if linked:
+                    token.unlink(self._cancel_event)
+            self._aggregate_stats(context, worker_stats, chunk_sizes,
+                                  chunks, merge_rounds)
+            context.event("pool-query", chunks=chunks,
+                          merge_rounds=merge_rounds,
+                          result=int(result.size))
+            return result
+
+    def map_queries(self, data, queries, *, algorithm: str = "osdc",
+                    chunks: int | None = None, min_chunk: int = 4096,
+                    options: dict | None = None,
+                    context: ExecutionContext | None = None) -> list:
+        """Evaluate many p-expressions against one data set.
+
+        ``data`` is a :class:`~repro.core.relation.Relation` or an
+        ``(n, d)`` matrix; ``queries`` is a sequence of p-expressions
+        (AST or text), p-graphs, or pre-resolved ``(graph, columns)``
+        pairs.  The rank matrix is registered into shared memory
+        **once** and every query ships only descriptors -- the "many
+        users, one data set" batch shape.  Returns one sorted index
+        array per query.
+        """
+        from ..algorithms.base import ensure_context
+
+        context = ensure_context(context)
+        ranks, resolved = _resolve_batch(data, queries)
+        n = int(ranks.shape[0])
+        if chunks is None:
+            if min_chunk < 1:
+                raise ValueError("min_chunk must be at least 1")
+            chunks = max(1, min(self.processes, n // max(1, min_chunk)))
+        results = []
+        for graph, columns in resolved:
+            results.append(self.run_query(
+                ranks, graph, algorithm=algorithm, chunks=chunks,
+                columns=columns, options=options, context=context))
+        return results
+
+    # -- internals -----------------------------------------------------------
+    def _drain_stale(self) -> None:
+        """Throw away results of queries that raised mid-flight."""
+        while True:
+            try:
+                self._results.get_nowait()
+            except queue_module.Empty:
+                return
+
+    def _ensure_workers_alive(self) -> None:
+        dead = [p.name for p in self._workers if not p.is_alive()]
+        if dead:
+            raise RuntimeError(
+                f"pool worker(s) died unexpectedly: {', '.join(dead)}")
+
+    def _execute_tasks(self, query_id: int, specs: list[dict],
+                       context: ExecutionContext, phase: str):
+        """Dispatch ``specs`` and gather their results in task order."""
+        for task_id, spec in enumerate(specs):
+            self._tasks.put((query_id, task_id, spec))
+        results: list = [None] * len(specs)
+        stats: list = []
+        pending = set(range(len(specs)))
+        while pending:
+            context.check(phase)
+            try:
+                item = self._results.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                self._ensure_workers_alive()
+                continue
+            item_query, task_id, worker_id, ok, payload, task_stats = item
+            if item_query != query_id:
+                continue  # stale result of an aborted earlier query
+            if not ok:
+                raise payload
+            results[task_id] = payload
+            stats.append((worker_id, task_stats))
+            pending.discard(task_id)
+        return results, stats
+
+    def _tree_merge(self, query_id: int, parts: list, base_spec: dict,
+                    context: ExecutionContext, worker_stats: list):
+        """Pairwise pooled merges until a single survivor set remains."""
+        rounds = 0
+        while len(parts) > 1:
+            rounds += 1
+            specs = []
+            carried = []
+            for i in range(0, len(parts) - 1, 2):
+                union = np.concatenate([parts[i], parts[i + 1]])
+                specs.append(dict(base_spec, rows=("indices", union)))
+            if len(parts) % 2:
+                carried.append(parts[-1])
+            context.event("pool-merge", round=rounds, pairs=len(specs))
+            merged, stats = self._execute_tasks(
+                query_id, specs, context, "pool-merge")
+            worker_stats.extend(stats)
+            parts = merged + carried
+        return parts, rounds
+
+    @staticmethod
+    def _aggregate_stats(context: ExecutionContext, worker_stats: list,
+                         chunk_sizes: list[int], chunks: int,
+                         merge_rounds: int) -> None:
+        stats = context.stats
+        if stats is None:
+            return
+        per_worker: dict[int, int] = {}
+        kernel = None
+        for worker_id, task_stats in worker_stats:
+            stats.merge(task_stats)
+            per_worker[worker_id] = (per_worker.get(worker_id, 0)
+                                     + task_stats.dominance_tests)
+            if kernel is None:
+                kernel = task_stats.extra.get("kernel")
+        stats.extra["chunk_skylines"] = chunk_sizes
+        if kernel is not None and "kernel" not in stats.extra:
+            stats.extra["kernel"] = kernel
+        stats.extra["pool"] = {
+            "chunks": chunks,
+            "merge_rounds": merge_rounds,
+            "tasks": len(worker_stats),
+            "per_worker_dominance_tests": {
+                str(worker_id): count
+                for worker_id, count in sorted(per_worker.items())},
+        }
+
+
+def _resolve_batch(data, queries):
+    """Normalise ``map_queries`` inputs to (ranks, [(graph, columns)])."""
+    from ..core.attributes import orders_signature
+    from ..core.expressions import PExpr
+    from ..core.parser import parse
+    from ..core.pgraph import PGraph
+    from ..core.relation import Relation
+
+    if isinstance(data, Relation):
+        ranks = data.ranks
+        names = data.names
+        schema = data.schema
+    else:
+        ranks = np.ascontiguousarray(data, dtype=np.float64)
+        if ranks.ndim != 2:
+            raise ValueError("expected a 2-d matrix")
+        names = tuple(f"A{j}" for j in range(ranks.shape[1]))
+        schema = None
+
+    resolved = []
+    for query in queries:
+        if isinstance(query, tuple):
+            graph, columns = query
+            resolved.append((graph, columns))
+            continue
+        if isinstance(query, str):
+            query = parse(query)
+        if isinstance(query, PExpr):
+            used = query.attributes()
+            missing = [name for name in used if name not in names]
+            if missing:
+                raise KeyError(
+                    f"expression uses attributes not in the data: "
+                    f"{missing}")
+            columns = [names.index(name) for name in used]
+            graph = PGraph.from_expression(query, names=used)
+            if schema is not None:
+                graph = graph.with_orders(orders_signature(
+                    [schema[c] for c in columns]))
+            resolved.append((graph, columns))
+        elif isinstance(query, PGraph):
+            columns = [names.index(name) for name in query.names]
+            resolved.append((query, columns))
+        else:
+            raise TypeError(
+                f"expected a p-expression, p-graph or (graph, columns) "
+                f"pair, got {type(query)}")
+    return ranks, resolved
+
+
+# -- default pool ------------------------------------------------------------
+
+_default_pool: WorkerPool | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_pool(processes: int | None = None) -> WorkerPool:
+    """The process-wide warm pool (created lazily, resurrected after a
+    :func:`shutdown_default_pool`).  ``processes`` only sizes a pool
+    being created; an existing pool is returned as is."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool.closed:
+            _default_pool = WorkerPool(processes)
+        return _default_pool
+
+
+def shutdown_default_pool() -> None:
+    """Close the default pool (it will be recreated on next use)."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is not None:
+            _default_pool.close()
+            _default_pool = None

@@ -9,7 +9,10 @@ measurable rules:
 2. weak-order priority graphs -> the specialised ``layered`` evaluator
    (lexicographic layers of Pareto bundles);
 3. inputs beyond the memory budget -> ``external-osdc``;
-4. otherwise estimate the output size by sampling
+4. inputs at or beyond ``parallel_threshold`` -> ``parallel-osdc`` on
+   the persistent worker pool (the per-query cost of shipping
+   shared-memory descriptors is negligible at that scale);
+5. otherwise estimate the output size by sampling
    (:func:`repro.estimation.estimate_pskyline_size`): very selective
    queries -> ``bnl`` (a short scan with a one-tuple window beats the
    divide-and-conquer set-up cost), everything else -> ``osdc``.
@@ -28,6 +31,7 @@ from .algorithms import Stats, ensure_context, get_algorithm
 from .algorithms.layered import layered
 from .core.pgraph import PGraph
 from .engine.context import ExecutionContext
+from .engine.pool import pool_available
 from .estimation.cardinality import estimate_pskyline_size
 
 __all__ = ["Plan", "Planner"]
@@ -79,6 +83,11 @@ class Planner:
     memory_budget:
         Inputs beyond this many tuples use the external-memory OSDC
         (``None`` disables the rule -- everything is assumed to fit).
+    parallel_threshold:
+        Inputs with at least this many tuples are partitioned across
+        the persistent worker pool (``parallel-osdc`` with the auto
+        process policy).  ``None`` disables the rule; it is also
+        skipped in daemonic processes, which cannot host workers.
     sample_size:
         Sample size for the output estimator.
     """
@@ -86,11 +95,13 @@ class Planner:
     def __init__(self, *, naive_threshold: int = 128,
                  bnl_selectivity: float = 0.002,
                  memory_budget: int | None = None,
+                 parallel_threshold: int | None = 200_000,
                  sample_size: int = 64,
                  rng: np.random.Generator | None = None):
         self.naive_threshold = naive_threshold
         self.bnl_selectivity = bnl_selectivity
         self.memory_budget = memory_budget
+        self.parallel_threshold = parallel_threshold
         self.sample_size = sample_size
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
@@ -117,6 +128,15 @@ class Planner:
                 "layer",
                 _function=lambda r, g, stats=None, context=None, **_:
                     layered(r, g, stats=stats, context=context),
+            )
+        if self.parallel_threshold is not None \
+                and n >= self.parallel_threshold and pool_available():
+            return Plan(
+                "parallel-osdc",
+                f"input of {n} tuples is at or beyond the parallel "
+                f"threshold of {self.parallel_threshold}: partition "
+                "across the worker pool",
+                options={"processes": None},
             )
         estimate = estimate_pskyline_size(ranks, graph, self.rng,
                                           sample_size=self.sample_size)

@@ -80,6 +80,37 @@ class PreferenceSQL:
             context = ExecutionContext.create(stats=stats, timeout=timeout)
         context = ensure_context(context, stats)
         query = parse_query(statement)
+        return self._execute_parsed(query, algorithm=algorithm,
+                                    context=context)
+
+    def execute_batch(self, statements, *,
+                      algorithm: str = "osdc",
+                      stats: Stats | None = None,
+                      context: ExecutionContext | None = None,
+                      timeout: float | None = None) -> list[Relation]:
+        """Run many statements as one batch; returns one relation each.
+
+        All statements share a single :class:`ExecutionContext` (one
+        deadline and cancellation token covering the whole batch, work
+        counters accumulated across statements).  With a pool-backed
+        algorithm (``parallel-osdc``) the persistent worker pool stays
+        warm across the batch and its shared-memory registration cache
+        is reused whenever statements hit the same relation object, so
+        a batch of ``k`` preference queries costs one pool start-up
+        instead of ``k``.
+        """
+        if timeout is not None:
+            if context is not None:
+                raise ValueError("pass either timeout or context, not both")
+            context = ExecutionContext.create(stats=stats, timeout=timeout)
+        context = ensure_context(context, stats)
+        queries = [parse_query(statement) for statement in statements]
+        return [self._execute_parsed(query, algorithm=algorithm,
+                                     context=context)
+                for query in queries]
+
+    def _execute_parsed(self, query: Query, *, algorithm: str,
+                        context: ExecutionContext) -> Relation:
         if query.table not in self._catalog:
             known = ", ".join(self.tables()) or "(none)"
             raise SqlExecutionError(

@@ -27,6 +27,15 @@ p-skyline is *exactly predictable* from the original answer:
     the result must be identical.  Registering the kernel choice as a
     metamorphic axis makes the differential fuzzer cross-check kernels
     on every rotating case with no algorithm-specific plumbing.
+``pool-chunked``
+    Identity transform executed on the persistent worker pool: the
+    case is partitioned into chunks, evaluated by worker processes
+    against shared memory and tree-merged
+    (:func:`repro.algorithms.parallel.parallel_osdc`).  By the
+    partition identity ``M_pi(D) = M_pi(union of chunk skylines)`` the
+    result must equal the algorithm-under-test's answer, so the fuzzer
+    cross-checks the whole pool execution machinery -- shared-memory
+    descriptors, chunk bounds, pooled merges -- on every rotating case.
 
 :func:`run_transform` checks the relation for one algorithm on one case
 and reports violations as :class:`~repro.verify.differential.Mismatch`
@@ -64,6 +73,10 @@ class MetamorphicTransform:
     #: When set, the transformed run executes under
     #: :func:`~repro.core.dominance.forced_kernel` with this kernel.
     kernel: str | None = None
+    #: When set, the transformed run executes on the persistent worker
+    #: pool with this many partitions instead of calling the algorithm
+    #: under test directly.
+    pool_chunks: int | None = None
 
 
 def permute_graph(graph: PGraph, sigma: list[int]) -> PGraph:
@@ -184,6 +197,11 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
         _kernel_transform("bitmask"),
         _kernel_transform("gemm"),
         _kernel_transform("scalar"),
+        MetamorphicTransform(
+            "pool-chunked",
+            "re-evaluate on the persistent worker pool (2 chunks, "
+            "shared memory, tree merge); the result is unchanged",
+            _identity, pool_chunks=2),
     )
 }
 
@@ -195,7 +213,13 @@ def run_transform(transform: MetamorphicTransform, ranks: np.ndarray,
     original = set(int(i) for i in function(ranks, graph))
     new_ranks, new_graph, oracle = transform.apply(ranks, graph, rng)
     expected = oracle(original)
-    if transform.kernel is not None:
+    if transform.pool_chunks is not None:
+        from ..algorithms.parallel import parallel_osdc
+
+        got = set(int(i) for i in parallel_osdc(
+            new_ranks, new_graph, processes=transform.pool_chunks,
+            min_chunk=8))
+    elif transform.kernel is not None:
         with forced_kernel(transform.kernel):
             got = set(int(i) for i in function(new_ranks, new_graph))
     else:

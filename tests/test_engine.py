@@ -185,18 +185,22 @@ class TestCancellation:
         assert np.array_equal(result, expected)
 
 
-class TestParallelBypass:
-    def test_interruptible_context_bypasses_multiprocessing(self):
-        # With a (distant) deadline attached the parallel path must not
-        # fork: chunk_skylines is only recorded by the forking branch.
+class TestParallelInterruptibility:
+    def test_interruptible_context_still_runs_on_the_pool(self):
+        # The worker pool ships the absolute deadline and mirrors the
+        # cancellation token into a shared event, so an interruptible
+        # context no longer forces the serial fallback:
+        # chunk_skylines is only recorded by the pooled branch.
         from repro.algorithms import Stats
         stats = Stats()
         context = ExecutionContext.create(stats=stats, timeout=3600.0)
-        parallel_osdc(some_ranks(), GRAPH, context=context,
-                      processes=2, min_chunk=1)
-        assert "chunk_skylines" not in stats.extra
+        result = parallel_osdc(some_ranks(), GRAPH, context=context,
+                               processes=2, min_chunk=1)
+        assert "chunk_skylines" in stats.extra
+        expected = REGISTRY["naive"](some_ranks(), GRAPH)
+        assert np.array_equal(result, expected)
 
-    def test_uninterruptible_context_forks(self):
+    def test_plain_context_runs_on_the_pool(self):
         from repro.algorithms import Stats
         stats = Stats()
         parallel_osdc(some_ranks(), GRAPH, stats=stats,

@@ -50,15 +50,38 @@ class TestParallelOSDC:
         with pytest.raises(ValueError):
             parallel_osdc(nrng.random((10, 1)), graph, processes=0)
 
+    def test_invalid_min_chunk(self, nrng):
+        graph = PGraph.from_expression(parse("A"))
+        with pytest.raises(ValueError):
+            parallel_osdc(nrng.random((10, 1)), graph, min_chunk=0)
+
+    def test_validation_fires_before_side_effects(self):
+        """Bad knobs must raise before check_input/ensure_context get a
+        chance to touch the (deliberately invalid) inputs."""
+        with pytest.raises(ValueError, match="processes"):
+            parallel_osdc("not a matrix", object(), processes=0)
+        with pytest.raises(ValueError, match="min_chunk"):
+            parallel_osdc("not a matrix", object(), min_chunk=0)
+
+    def test_auto_processes_policy(self):
+        import os
+        from repro.algorithms.parallel import auto_processes
+        cpus = os.cpu_count() or 1
+        assert auto_processes(0, 4096) == 1
+        assert auto_processes(10_000_000, 4096) == \
+            min(cpus, 10_000_000 // 4096)
+        assert auto_processes(100, 4096) == 1
+
     def test_registered(self):
         from repro.algorithms import REGISTRY
         assert "parallel-osdc" in REGISTRY
 
 
-class TestParallelFallbackPolicy:
-    """The serial fallback must depend on an *actual* deadline or cancel
-    token -- not on a context merely being present, which is now every
-    call (``ensure_context`` fabricates one)."""
+class TestParallelInterruptionPolicy:
+    """Deadline and cancellation queries now run *on* the parallel
+    path: the pool ships the absolute monotonic deadline to workers and
+    mirrors the cancellation token into a shared event, so exactly the
+    queries a loaded service runs keep their speed-up."""
 
     def _workload(self, nrng):
         graph = PGraph.from_expression(parse("A & B"))
@@ -82,25 +105,25 @@ class TestParallelFallbackPolicy:
                       min_chunk=100)
         assert "chunk_skylines" in stats.extra
 
-    def test_deadline_forces_serial(self, nrng):
+    def test_deadline_takes_the_parallel_path(self, nrng):
         ranks, graph = self._workload(nrng)
         stats = Stats()
         context = ExecutionContext.create(stats=stats, timeout=60.0)
         result = parallel_osdc(ranks, graph, context=context,
                                processes=2, min_chunk=100)
-        assert "chunk_skylines" not in stats.extra
+        assert len(stats.extra["chunk_skylines"]) == 2
         assert set(result.tolist()) == set(naive(ranks, graph).tolist())
 
-    def test_untriggered_cancel_token_forces_serial(self, nrng):
+    def test_untriggered_cancel_token_takes_the_parallel_path(self, nrng):
         ranks, graph = self._workload(nrng)
         stats = Stats()
         context = ExecutionContext(stats=stats, cancel=CancellationToken())
         result = parallel_osdc(ranks, graph, context=context,
                                processes=2, min_chunk=100)
-        assert "chunk_skylines" not in stats.extra
+        assert len(stats.extra["chunk_skylines"]) == 2
         assert set(result.tolist()) == set(naive(ranks, graph).tolist())
 
-    def test_pre_triggered_token_raises_before_forking(self, nrng):
+    def test_pre_triggered_token_raises_before_dispatch(self, nrng):
         ranks, graph = self._workload(nrng)
         token = CancellationToken()
         token.cancel()

@@ -1,0 +1,320 @@
+"""Tests for the persistent shared-memory worker pool (engine.pool)."""
+
+import glob
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import random_expression
+from repro import Relation, p_skyline, p_skyline_batch
+from repro.algorithms import naive, osdc
+from repro.algorithms.parallel import parallel_osdc
+from repro.algorithms.base import Stats
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.engine import (CancellationToken, ExecutionContext,
+                          QueryCancelled, QueryTimeout, WorkerPool,
+                          get_default_pool, shutdown_default_pool)
+from repro.engine.pool import SEGMENT_PREFIX
+
+
+def _our_segments():
+    """Shared-memory segments created by this module's prefix."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-{os.getpid()}-*")
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(2) as pool:
+        yield pool
+
+
+class TestEquivalenceProperty:
+    """Pool result == serial OSDC, across kernels x chunk counts x
+    interruption modes (the satellite equivalence property)."""
+
+    @pytest.mark.parametrize("kernel", ["bitmask", "gemm"])
+    @pytest.mark.parametrize("chunks", [1, 2, 4])
+    @pytest.mark.parametrize("with_deadline", [False, True])
+    def test_matches_serial_osdc(self, pool, kernel, chunks,
+                                 with_deadline, rng):
+        rng.seed(1000 * chunks + (kernel == "gemm"))
+        nrng = np.random.default_rng(17 + chunks)
+        d = rng.randint(2, 5)
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 12, size=(1500, d)).astype(float)
+        expected = osdc(ranks, graph, kernel=kernel).tolist()
+        stats = Stats()
+        if with_deadline:
+            context = ExecutionContext.create(stats=stats, timeout=120.0)
+        else:
+            context = ExecutionContext(stats=stats)
+        got = pool.run_query(ranks, graph, chunks=chunks,
+                             options={"kernel": kernel}, context=context)
+        assert got.tolist() == expected
+        assert stats.extra["pool"]["chunks"] == chunks
+        assert stats.extra["kernel"] == kernel
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_parallel_osdc_matches_naive(self, seed, rng, nrng):
+        rng.seed(seed)
+        nrng = np.random.default_rng(seed)
+        d = rng.randint(1, 5)
+        names = [f"A{i}" for i in range(d)]
+        graph = PGraph.from_expression(random_expression(names, rng),
+                                       names=names)
+        ranks = nrng.integers(0, 10, size=(2500, d)).astype(float)
+        expected = set(naive(ranks, graph).tolist())
+        got = parallel_osdc(ranks, graph, processes=4, min_chunk=64)
+        assert set(got.tolist()) == expected
+
+
+class TestWorkerStatsAggregation:
+    def test_chunk_skylines_kernel_and_per_worker_counts(self, pool, nrng):
+        graph = PGraph.from_expression(parse("A & (B * C)"))
+        ranks = nrng.integers(0, 40, size=(4000, 3)).astype(float)
+        stats = Stats()
+        context = ExecutionContext(stats=stats)
+        result = pool.run_query(ranks, graph, chunks=4, context=context)
+        assert len(stats.extra["chunk_skylines"]) == 4
+        assert stats.extra["kernel"] is not None
+        per_worker = stats.extra["pool"]["per_worker_dominance_tests"]
+        assert sum(per_worker.values()) == stats.dominance_tests
+        assert stats.dominance_tests > 0
+        # the partition identity: chunk skylines bound the merge input
+        assert result.size <= sum(stats.extra["chunk_skylines"])
+        assert stats.extra["pool"]["merge_rounds"] == 2
+
+    def test_no_double_counted_merge_pass(self, pool, nrng):
+        """Parent-side bookkeeping must not inflate worker counters."""
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 30, size=(2000, 2)).astype(float)
+        stats = Stats()
+        pool.run_query(ranks, graph, chunks=2,
+                       context=ExecutionContext(stats=stats))
+        # passes are exactly the workers' own counts (2 chunks + 1 merge
+        # tasks, each contributing what its inner OSDC recorded)
+        worker_total = sum(
+            stats.extra["pool"]["per_worker_dominance_tests"].values())
+        assert stats.dominance_tests == worker_total
+
+
+class TestInterruption:
+    def test_cancel_mid_query_from_the_pool(self, nrng):
+        """A token cancelled mid-flight aborts the pooled query with
+        QueryCancelled and leaks no shared-memory segments."""
+        before = set(_our_segments())
+        graph = PGraph.from_expression(
+            parse("A0 * A1 * A2 * A3 * A4 * A5"),
+            names=[f"A{i}" for i in range(6)])
+        ranks = nrng.normal(size=(400_000, 6))  # anticorrelated-ish, slow
+        token = CancellationToken()
+        context = ExecutionContext(cancel=token)
+        with WorkerPool(2) as pool:
+            timer = threading.Timer(0.05, token.cancel)
+            timer.start()
+            started = time.monotonic()
+            try:
+                with pytest.raises(QueryCancelled):
+                    pool.run_query(ranks, graph, chunks=4,
+                                   context=context)
+                    token.cancel()  # pathological fast finish: re-check
+                    context.check("post")
+            finally:
+                timer.cancel()
+            # the pool reacted promptly, not after finishing the query
+            assert time.monotonic() - started < 30.0
+        assert set(_our_segments()) <= before  # nothing leaked
+
+    def test_expired_deadline_raises_query_timeout(self, pool, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 30, size=(3000, 2)).astype(float)
+        context = ExecutionContext(deadline=time.monotonic() - 1.0)
+        with pytest.raises(QueryTimeout):
+            pool.run_query(ranks, graph, chunks=2, context=context)
+
+    def test_pool_usable_after_interruption(self, pool, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 30, size=(3000, 2)).astype(float)
+        with pytest.raises(QueryTimeout):
+            pool.run_query(ranks, graph, chunks=2, context=ExecutionContext(
+                deadline=time.monotonic() - 1.0))
+        expected = set(naive(ranks, graph).tolist())
+        got = pool.run_query(ranks, graph, chunks=2)
+        assert set(got.tolist()) == expected
+
+
+class TestSharedMemoryLifecycle:
+    def test_no_orphans_after_exception_and_shutdown(self, nrng):
+        before = set(_our_segments())
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = nrng.integers(0, 30, size=(3000, 2)).astype(float)
+        pool = WorkerPool(2)
+        try:
+            pool.run_query(ranks, graph, chunks=2)
+            assert len(pool.live_segments()) == 1
+            with pytest.raises(QueryTimeout):
+                pool.run_query(ranks, graph, chunks=2,
+                               context=ExecutionContext(
+                                   deadline=time.monotonic() - 1.0))
+        finally:
+            pool.close()
+        assert pool.live_segments() == ()
+        assert set(_our_segments()) <= before
+
+    def test_registration_is_cached_per_array_object(self, pool, nrng):
+        graph = PGraph.from_expression(parse("A & B"))
+        ranks = np.ascontiguousarray(
+            nrng.integers(0, 30, size=(3000, 2)).astype(float))
+        first = pool.register(ranks)
+        second = pool.register(ranks)
+        assert first is second
+        assert len([name for name in pool.live_segments()
+                    if name == first.name]) == 1
+
+    def test_registration_context_manager_unlinks(self, nrng):
+        from repro.engine import SharedRegistration
+        array = np.ascontiguousarray(nrng.random((100, 2)))
+        with SharedRegistration(array) as registration:
+            name = registration.name
+            assert glob.glob(f"/dev/shm/{name}") or \
+                not os.path.isdir("/dev/shm")
+        assert not glob.glob(f"/dev/shm/{name}")
+
+    def test_closed_pool_rejects_queries(self, nrng):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run_query(nrng.random((10, 2)),
+                           PGraph.from_expression(parse("A & B")))
+
+
+class TestBatchService:
+    def test_map_queries_amortizes_one_registration(self, pool, nrng):
+        relation = Relation.from_array(
+            nrng.integers(0, 25, size=(3000, 4)).astype(float))
+        queries = ["A0 & A1", "(A0 * A2) & A3", "A1 * A3"]
+        results = pool.map_queries(relation, queries, min_chunk=64)
+        assert len(pool.live_segments()) >= 1
+        for text, indices in zip(queries, results):
+            expected = p_skyline(relation, text, algorithm="naive")
+            got = relation.take(indices)
+            assert sorted(map(tuple, got.ranks.tolist())) == \
+                sorted(map(tuple, expected.ranks.tolist()))
+
+    def test_p_skyline_batch_matches_sequential(self, nrng):
+        relation = Relation.from_array(
+            nrng.integers(0, 25, size=(9000, 4)).astype(float))
+        queries = ["A0 & A1", "A2 * A3"]
+        stats = Stats()
+        batch = p_skyline_batch(relation, queries, stats=stats,
+                                min_chunk=1000)
+        assert "chunk_skylines" in stats.extra  # ran on the pool
+        for text, got in zip(queries, batch):
+            expected = p_skyline(relation, text, algorithm="naive")
+            assert sorted(map(tuple, got.ranks.tolist())) == \
+                sorted(map(tuple, expected.ranks.tolist()))
+
+    def test_p_skyline_batch_small_inputs_fall_back(self, nrng):
+        relation = Relation.from_array(nrng.random((50, 3)))
+        batch = p_skyline_batch(relation, ["A0 & A1", "A1 * A2"])
+        assert len(batch) == 2
+
+    def test_sql_execute_batch(self, nrng):
+        from repro.sql import PreferenceSQL
+        engine = PreferenceSQL()
+        engine.register("cars", Relation.from_array(
+            nrng.integers(0, 20, size=(400, 3)).astype(float),
+            names=["price", "mileage", "age"]))
+        statements = [
+            "SELECT * FROM cars PREFERRING lowest(price)",
+            "SELECT * FROM cars PREFERRING lowest(mileage) & lowest(age)",
+        ]
+        stats = Stats()
+        batch = engine.execute_batch(statements, stats=stats)
+        assert len(batch) == 2
+        singles = [engine.execute(statement) for statement in statements]
+        for got, expected in zip(batch, singles):
+            assert len(got) == len(expected)
+        assert stats.dominance_tests > 0  # counters accumulate across
+
+
+class TestPlannerParallelRule:
+    # "(A & B) * C" is NOT a weak order, so the layered rule (which
+    # precedes the parallel rule) cannot shadow what we are testing.
+
+    def test_huge_inputs_plan_parallel(self, nrng):
+        from repro.planner import Planner
+        planner = Planner(parallel_threshold=10_000)
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        ranks = nrng.integers(0, 50, size=(20_000, 3)).astype(float)
+        plan = planner.plan(ranks, graph)
+        assert plan.algorithm == "parallel-osdc"
+        assert plan.options == {"processes": None}
+
+    def test_threshold_disabled(self, nrng):
+        from repro.planner import Planner
+        planner = Planner(parallel_threshold=None)
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        ranks = nrng.integers(0, 50, size=(20_000, 3)).astype(float)
+        assert planner.plan(ranks, graph).algorithm != "parallel-osdc"
+
+    def test_plan_executes_on_the_pool(self, nrng):
+        from repro.planner import Planner
+        planner = Planner(parallel_threshold=5_000)
+        graph = PGraph.from_expression(parse("(A & B) * C"))
+        ranks = nrng.integers(0, 50, size=(10_000, 3)).astype(float)
+        stats = Stats()
+        result = planner.execute(ranks, graph, stats=stats)
+        assert stats.extra["plan"]["algorithm"] == "parallel-osdc"
+        assert set(result.tolist()) == set(naive(ranks, graph).tolist())
+
+
+class TestCancellationTokenMirrors:
+    def test_link_sets_already_cancelled(self):
+        class FakeEvent:
+            def __init__(self):
+                self.was_set = False
+
+            def set(self):
+                self.was_set = True
+
+        token = CancellationToken()
+        token.cancel()
+        event = FakeEvent()
+        token.link(event)
+        assert event.was_set
+
+    def test_unlink_stops_mirroring(self):
+        class FakeEvent:
+            def __init__(self):
+                self.was_set = False
+
+            def set(self):
+                self.was_set = True
+
+        token = CancellationToken()
+        event = FakeEvent()
+        token.link(event)
+        token.unlink(event)
+        token.unlink(event)  # double-unlink is a no-op
+        token.cancel()
+        assert not event.was_set
+
+
+class TestDefaultPool:
+    def test_default_pool_resurrects_after_shutdown(self):
+        pool = get_default_pool()
+        assert not pool.closed
+        shutdown_default_pool()
+        assert pool.closed
+        again = get_default_pool()
+        assert again is not pool
+        assert not again.closed
