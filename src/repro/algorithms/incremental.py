@@ -62,6 +62,14 @@ class PSkylineMaintainer:
     def skyline_ranks(self) -> np.ndarray:
         return self._ranks[self.skyline_ids()]
 
+    def ranks_of(self, ids) -> np.ndarray:
+        """Rank vectors for the given tuple ids (in the given order)."""
+        return self._ranks[np.asarray(ids, dtype=np.intp)].copy()
+
+    def alive_ids(self) -> np.ndarray:
+        """All alive tuple ids, sorted."""
+        return np.flatnonzero(self._alive[: self._size])
+
     def __contains__(self, tuple_id: int) -> bool:
         return (0 <= tuple_id < self._size
                 and bool(self._alive[tuple_id]))
@@ -92,6 +100,39 @@ class PSkylineMaintainer:
                 self._in_skyline[skyline[beaten]] = False
         self._in_skyline[tuple_id] = True
         return tuple_id
+
+    def bulk_load(self, block) -> np.ndarray:
+        """Insert a block of tuples in one pass; returns their ids.
+
+        Equivalent to inserting row by row but pays one OSDC run over
+        the old skyline plus the block instead of ``n`` per-row skyline
+        comparisons -- the fast path for building a maintainer over an
+        existing relation (or shard).
+        """
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.graph.d:
+            raise ValueError(
+                f"expected an (n, {self.graph.d}) rank matrix")
+        if np.isnan(block).any():
+            raise ValueError("NaN ranks are not allowed")
+        self.context.check("maintainer-bulk-load")
+        ids = np.arange(self._size, self._size + block.shape[0],
+                        dtype=np.intp)
+        if block.shape[0] == 0:
+            return ids
+        self._reserve(block.shape[0])
+        self._ranks[ids] = block
+        self._alive[ids] = True
+        self._size += block.shape[0]
+        # the new skyline is M_pi of (old skyline + new block): old
+        # non-skyline tuples stay shadowed because their dominators are
+        # all among the candidates
+        candidates = np.concatenate([self.skyline_ids(), ids])
+        local = osdc(self._ranks[candidates], self.graph,
+                     context=self.context, kernel=self.kernel or "auto")
+        self._in_skyline[: self._size] = False
+        self._in_skyline[candidates[local]] = True
+        return ids
 
     def delete(self, tuple_id: int) -> None:
         """Delete a tuple by id.  Promotes retained tuples if needed.
@@ -133,15 +174,24 @@ class PSkylineMaintainer:
         self._in_skyline[candidates[local]] = True
 
     # -- internals -------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._ranks.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        grown = np.empty((new_capacity, self.graph.d))
+        grown[: self._size] = self._ranks[: self._size]
+        self._ranks = grown
+        self._alive = np.concatenate(
+            [self._alive,
+             np.zeros(new_capacity - capacity, dtype=bool)])
+        self._in_skyline = np.concatenate(
+            [self._in_skyline,
+             np.zeros(new_capacity - capacity, dtype=bool)])
+
     def _append(self, values: np.ndarray) -> int:
-        if self._size == self._ranks.shape[0]:
-            grown = np.empty((2 * self._size, self.graph.d))
-            grown[: self._size] = self._ranks
-            self._ranks = grown
-            self._alive = np.concatenate(
-                [self._alive, np.zeros(self._size, dtype=bool)])
-            self._in_skyline = np.concatenate(
-                [self._in_skyline, np.zeros(self._size, dtype=bool)])
+        self._reserve(1)
         tuple_id = self._size
         self._ranks[tuple_id] = values
         self._alive[tuple_id] = True

@@ -29,6 +29,16 @@ pinned p-expressions answered warm versus as independent cold calls
 ratios gate everywhere; the warm-over-*serial* speedup only gates on
 hosts with as many cores as workers -- on smaller hosts it degrades to
 a bounded-overhead check recorded as a waiver in the artifact.
+
+A third artifact, ``BENCH_6.json``, gates the sharded relation layer
+(:mod:`repro.core.sharding`): the maintained serve path -- tree-merging
+the tracked per-shard skylines on a warm pool -- must beat a monolithic
+warm scatter/gather over the same pinned workload, and per-row inserts
+into a sharded maintainer must stay within a small constant factor of a
+single flat maintainer (:mod:`repro.bench.shard_bench`).  The serve
+speedup degrades to the same bounded-overhead waiver as the pool gate
+on hosts with fewer cores than workers; the insert-overhead ratio is
+core-count independent and gates everywhere.
 """
 
 from __future__ import annotations
@@ -45,10 +55,11 @@ from ..core.bitsets import iter_bits
 
 __all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
            "run_gate", "compare", "run_parallel_gate", "compare_parallel",
-           "main"]
+           "run_sharded_gate", "compare_sharded", "main"]
 
 SCHEMA = "repro-perf-gate/1"
 PARALLEL_SCHEMA = "repro-perf-gate-parallel/1"
+SHARDED_SCHEMA = "repro-perf-gate-sharded/1"
 
 #: Pinned workload parameters.  Changing any of these invalidates the
 #: committed baseline -- regenerate it in the same commit.
@@ -84,6 +95,25 @@ MIN_PARALLEL_SPEEDUP = 2.0
 SINGLE_CORE_OVERHEAD = 2.5
 MIN_WARM_OVER_COLD = 1.5
 MIN_BATCH_SPEEDUP = 2.5
+
+#: Pinned workloads of the sharded-relation gate (``BENCH_6.json``).
+SHARDED_ROWS = 100_000
+SHARDED_DIMS = 6
+SHARDED_SHARDS = 4
+SHARDED_WORKERS = 4
+INSERT_BASE_ROWS = 20_000
+INSERT_STREAM = 2_000
+
+#: Sharded-relation gate thresholds.  The serve path merges only the
+#: tracked per-shard skylines -- a few hundred rows instead of the full
+#: relation -- so on a multi-core host it must beat a monolithic warm
+#: scatter/gather by ``MIN_SHARDED_SPEEDUP``; with fewer cores than
+#: workers the check degrades to the same bounded-overhead waiver as
+#: the pool gate.  A routed insert touches exactly one shard, so the
+#: ``MAX_INSERT_OVERHEAD`` ratio is core-count independent and gates
+#: everywhere.
+MIN_SHARDED_SPEEDUP = 1.3
+MAX_INSERT_OVERHEAD = 1.2
 
 
 def _pinned_case(rows: int, dims: int, seed: int):
@@ -405,6 +435,133 @@ def compare_parallel(current: dict, baseline: dict | None, *,
     return violations
 
 
+def run_sharded_gate(*, seed: int = SEED, quick: bool = False) -> dict:
+    """Run the sharded-relation workloads; returns the ``BENCH_6``
+    artifact."""
+    import os
+
+    from .shard_bench import measure_insert_overhead, measure_sharded
+
+    sharded_rows = 10_000 if quick else SHARDED_ROWS
+    insert_base = 4_000 if quick else INSERT_BASE_ROWS
+    insert_stream = 400 if quick else INSERT_STREAM
+    cores = os.cpu_count() or 1
+    sharded = measure_sharded(sharded_rows, SHARDED_DIMS,
+                              shards=SHARDED_SHARDS,
+                              workers=SHARDED_WORKERS, seed=seed)
+    insert = measure_insert_overhead(insert_base, insert_stream,
+                                     SHARDED_DIMS,
+                                     shards=SHARDED_SHARDS, seed=seed)
+    artifact = {
+        "schema": SHARDED_SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "sharded_rows": sharded_rows,
+            "insert_base_rows": insert_base,
+            "insert_stream": insert_stream,
+            "dims": SHARDED_DIMS,
+            "shards": SHARDED_SHARDS,
+            "workers": SHARDED_WORKERS,
+        },
+        "cores": cores,
+        "sharded": sharded,
+        "insert": insert,
+    }
+    if cores < SHARDED_WORKERS:
+        artifact["waivers"] = [
+            f"host has {cores} core(s) < {SHARDED_WORKERS} workers: the "
+            f"{MIN_SHARDED_SPEEDUP:.1f}x serve-over-monolithic check is "
+            f"replaced by the {SINGLE_CORE_OVERHEAD:.1f}x bounded-"
+            "overhead check"]
+    return artifact
+
+
+def compare_sharded(current: dict, baseline: dict | None, *,
+                    min_sharded_speedup: float = MIN_SHARDED_SPEEDUP,
+                    max_insert_overhead: float = MAX_INSERT_OVERHEAD,
+                    single_core_overhead: float = SINGLE_CORE_OVERHEAD,
+                    time_factor: float = TIME_FACTOR) -> list[str]:
+    """Gate a fresh ``BENCH_6`` artifact (see :data:`MIN_SHARDED_SPEEDUP`
+    for the core-count scaling); returns the violations (empty = ok)."""
+    violations: list[str] = []
+    sharded = current["sharded"]
+    insert = current["insert"]
+    cores = current.get("cores", 1)
+
+    # -- within-run checks (no baseline needed) -----------------------------
+    if cores >= current["workload"]["workers"]:
+        if sharded["speedup_serve_over_monolithic"] < min_sharded_speedup:
+            violations.append(
+                f"{sharded['name']}: maintained serve is only "
+                f"{sharded['speedup_serve_over_monolithic']:.2f}x faster "
+                f"than the monolithic scatter/gather on {cores} cores, "
+                f"below the {min_sharded_speedup:.2f}x gate")
+    elif sharded["serve_seconds"] > \
+            sharded["monolithic_seconds"] * single_core_overhead:
+        violations.append(
+            f"{sharded['name']}: maintained serve takes "
+            f"{sharded['serve_seconds']:.4f}s vs "
+            f"{sharded['monolithic_seconds']:.4f}s monolithic on a "
+            f"{cores}-core host -- beyond the "
+            f"{single_core_overhead:.1f}x bounded-overhead waiver")
+    if insert["insert_overhead"] > max_insert_overhead:
+        violations.append(
+            f"{insert['name']}: per-row inserts into the sharded "
+            f"maintainer cost {insert['insert_overhead']:.2f}x a single "
+            f"flat maintainer, above the {max_insert_overhead:.2f}x gate")
+
+    # -- baseline checks ----------------------------------------------------
+    if baseline is not None:
+        base_sharded = baseline["sharded"]
+        base_insert = baseline["insert"]
+        for key in ("output_size", "shard_skylines", "shard_rows",
+                    "version"):
+            if sharded[key] != base_sharded[key]:
+                violations.append(
+                    f"{sharded['name']}: {key} {sharded[key]} != "
+                    f"baseline {base_sharded[key]}")
+        for key in ("output_size", "shard_skylines"):
+            if insert[key] != base_insert[key]:
+                violations.append(
+                    f"{insert['name']}: {key} {insert[key]} != "
+                    f"baseline {base_insert[key]}")
+        for record, base, keys in (
+                (sharded, base_sharded,
+                 ("monolithic_seconds", "scatter_seconds",
+                  "serve_seconds")),
+                (insert, base_insert,
+                 ("single_seconds", "sharded_seconds"))):
+            for key in keys:
+                if base.get(key) and record[key] > base[key] * time_factor:
+                    violations.append(
+                        f"{record['name']}/{key}: {record[key]:.4f}s is "
+                        f"more than {time_factor:.1f}x the baseline "
+                        f"{base[key]:.4f}s")
+    return violations
+
+
+def _render_sharded(artifact: dict) -> str:
+    sharded = artifact["sharded"]
+    insert = artifact["insert"]
+    lines = [f"sharded-relation gate ({artifact['cores']} core(s)):"]
+    lines.append(
+        f"  {sharded['name']:>28}: monolithic "
+        f"{sharded['monolithic_seconds'] * 1000:8.2f}ms  scatter "
+        f"{sharded['scatter_seconds'] * 1000:8.2f}ms  serve "
+        f"{sharded['serve_seconds'] * 1000:8.2f}ms  "
+        f"(serve {sharded['speedup_serve_over_monolithic']:.2f}x)  "
+        f"out={sharded['output_size']}")
+    lines.append(
+        f"  {insert['name']:>28}: single "
+        f"{insert['single_seconds'] * 1000:8.2f}ms  sharded "
+        f"{insert['sharded_seconds'] * 1000:8.2f}ms  "
+        f"({insert['insert_overhead']:.2f}x overhead)")
+    for waiver in artifact.get("waivers", []):
+        lines.append(f"  waiver: {waiver}")
+    return "\n".join(lines)
+
+
 def _render_parallel(artifact: dict) -> str:
     parallel = artifact["parallel"]
     batch = artifact["batch"]
@@ -467,6 +624,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="run only the kernel/algorithm gate")
     parser.add_argument("--min-batch-speedup", type=float,
                         default=MIN_BATCH_SPEEDUP)
+    parser.add_argument("--sharded-out", default="BENCH_6.json",
+                        help="path of the sharded-relation artifact to "
+                             "write")
+    parser.add_argument("--sharded-baseline", default="BENCH_6.json",
+                        help="committed sharded-relation baseline to "
+                             "compare against with --check")
+    parser.add_argument("--skip-sharded", action="store_true",
+                        help="skip the sharded-relation gate")
+    parser.add_argument("--min-sharded-speedup", type=float,
+                        default=MIN_SHARDED_SPEEDUP)
+    parser.add_argument("--max-insert-overhead", type=float,
+                        default=MAX_INSERT_OVERHEAD)
     arguments = parser.parse_args(argv)
 
     def load_baseline(path: str, workload_quick: bool) -> dict | None:
@@ -524,6 +693,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 min_batch_speedup=arguments.min_batch_speedup,
                 time_factor=arguments.time_factor))
         write(arguments.parallel_out, parallel_artifact)
+
+    if not arguments.skip_sharded:
+        sharded_artifact = run_sharded_gate(seed=arguments.seed,
+                                            quick=arguments.quick)
+        print(_render_sharded(sharded_artifact))
+        if arguments.check:
+            baseline = load_baseline(
+                arguments.sharded_baseline,
+                sharded_artifact["workload"]["quick"])
+            status |= report("sharded relations", compare_sharded(
+                sharded_artifact, baseline,
+                min_sharded_speedup=arguments.min_sharded_speedup,
+                max_insert_overhead=arguments.max_insert_overhead,
+                time_factor=arguments.time_factor))
+        write(arguments.sharded_out, sharded_artifact)
     return status
 
 

@@ -40,6 +40,13 @@ Sub-commands:
 
         repro-skyline pool-bench --rows 200000 --queries 16
 
+``shard-bench``
+    Benchmark sharded relations: maintained per-shard serve vs
+    monolithic scatter/gather on a warm pool, per-row insert overhead
+    of the sharded maintainer, optional shard-count sweep::
+
+        repro-skyline shard-bench --rows 100000 --shards 4
+
 ``verify``
     Run the differential/metamorphic correctness fuzzer (delegates to
     ``python -m repro.verify``)::
@@ -150,6 +157,26 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also time the warm pool at these worker "
                            "counts")
     pool.add_argument("--seed", type=int, default=2015)
+
+    shard = commands.add_parser(
+        "shard-bench",
+        help="benchmark sharded relations (maintained serve vs "
+             "monolithic scatter/gather, insert overhead, shard "
+             "scaling)")
+    shard.add_argument("--rows", type=int, default=100_000)
+    shard.add_argument("--dims", type=int, default=6)
+    shard.add_argument("--alpha", type=float, default=0.2,
+                       help="equicorrelation of the generated data")
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--workers", type=int, default=4)
+    shard.add_argument("--inserts", type=int, default=2_000,
+                       help="stream length for the insert-overhead "
+                            "measurement")
+    shard.add_argument("--scaling", type=int, nargs="*", default=None,
+                       metavar="S",
+                       help="also time the serve path at these shard "
+                            "counts")
+    shard.add_argument("--seed", type=int, default=2015)
 
     shell = commands.add_parser(
         "shell", help="interactive Preference SQL over CSV files")
@@ -315,6 +342,46 @@ def _cmd_pool_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_bench(arguments: argparse.Namespace) -> int:
+    from .bench.shard_bench import (measure_insert_overhead,
+                                    measure_shard_scaling,
+                                    measure_sharded)
+    record = measure_sharded(arguments.rows, arguments.dims,
+                             shards=arguments.shards,
+                             workers=arguments.workers,
+                             alpha=arguments.alpha, seed=arguments.seed)
+    print(f"{record['name']}: out={record['output_size']} "
+          f"version={record['version']} "
+          f"shard skylines={record['shard_skylines']}")
+    print(f"  monolithic {record['monolithic_seconds'] * 1000:8.2f}ms   "
+          f"scatter {record['scatter_seconds'] * 1000:8.2f}ms   "
+          f"serve {record['serve_seconds'] * 1000:8.2f}ms")
+    print(f"  serve over monolithic "
+          f"{record['speedup_serve_over_monolithic']:5.2f}x   "
+          f"scatter over monolithic "
+          f"{record['speedup_scatter_over_monolithic']:5.2f}x")
+    insert = measure_insert_overhead(
+        arguments.rows // 5 or 1, arguments.inserts, arguments.dims,
+        shards=arguments.shards, alpha=arguments.alpha,
+        seed=arguments.seed)
+    print(f"{insert['name']}: single "
+          f"{insert['single_seconds'] * 1000:8.2f}ms  sharded "
+          f"{insert['sharded_seconds'] * 1000:8.2f}ms  "
+          f"({insert['insert_overhead']:.2f}x overhead)")
+    if arguments.scaling is not None:
+        counts = arguments.scaling or [2, 4, 8]
+        for point in measure_shard_scaling(arguments.rows,
+                                           arguments.dims, counts,
+                                           workers=arguments.workers,
+                                           alpha=arguments.alpha,
+                                           seed=arguments.seed):
+            print(f"  shards={point['shards']:2d}: serve "
+                  f"{point['serve_seconds'] * 1000:8.2f}ms  "
+                  f"({point['speedup_serve_over_monolithic']:.2f}x)  "
+                  f"skylines={point['shard_skylines']}")
+    return 0
+
+
 def _load_csv_as_relation(path: str) -> Relation:
     """All-numeric CSV -> relation with lowest-preferred columns."""
     with open(path, newline="") as handle:
@@ -379,6 +446,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "bench-kernels": _cmd_bench_kernels,
         "pool-bench": _cmd_pool_bench,
+        "shard-bench": _cmd_shard_bench,
         "shell": _cmd_shell,
     }
     return handlers[arguments.command](arguments)

@@ -77,6 +77,13 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
     A :class:`Relation` of the maximal tuples (when given a relation) or
     the sorted row-index array (when given a matrix).
     """
+    from .sharding import ShardedRelation
+
+    if isinstance(data, ShardedRelation):
+        # sharded relations pin a snapshot and plan per shard
+        return data.p_skyline(expression, algorithm=algorithm,
+                              stats=stats, context=context,
+                              timeout=timeout, **options)
     expr = _resolve_expression(expression)
     names = expr.attributes()
     if timeout is not None:
@@ -149,7 +156,19 @@ def p_skyline_batch(data: Relation | np.ndarray,
     when ``data`` is a relation, else a sorted index array.
     """
     from ..engine.pool import get_default_pool, pool_available
+    from .sharding import ShardedRelation
 
+    if isinstance(data, ShardedRelation):
+        # pin ONE snapshot for the whole batch: every expression sees
+        # the same version even while writes land concurrently
+        with data.snapshot() as snap:
+            order = np.argsort(snap.global_ids, kind="stable")
+            stable = snap.relation.take(order)
+        return p_skyline_batch(stable, expressions,
+                               algorithm=algorithm, stats=stats,
+                               context=context, timeout=timeout,
+                               processes=processes,
+                               min_chunk=min_chunk, **options)
     expressions = list(expressions)
     if timeout is not None:
         if context is not None:
@@ -183,7 +202,7 @@ def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",
             ) -> Relation | np.ndarray:
     """The plain skyline ``M_sky(data)`` over *all* attributes
     (Section 2.2: the Pareto accumulation of every column)."""
-    if isinstance(data, Relation):
+    if hasattr(data, "names"):  # Relation and ShardedRelation alike
         names = data.names
     else:
         matrix = np.asarray(data)

@@ -47,11 +47,24 @@ class Relation:
                 f"rank matrix has {ranks.shape[1]} columns but the schema "
                 f"declares {len(schema)} attributes"
             )
-        if np.isnan(ranks).any():
-            raise ValueError("rank matrix contains NaNs")
+        finite = np.isfinite(ranks)
+        if not finite.all():
+            # pinpoint the first bad cell -- without this, bad rows
+            # surface later as confusing kernel output in dominance.py
+            row, col = np.argwhere(~finite)[0]
+            names = [attribute.name for attribute in schema]
+            raise ValueError(
+                f"rank matrix contains non-finite values: "
+                f"{ranks[row, col]!r} at row {row}, attribute "
+                f"{names[col]!r}")
         names = [attribute.name for attribute in schema]
         if len(set(names)) != len(names):
-            raise ValueError("schema contains duplicate attribute names")
+            seen: set[str] = set()
+            duplicates = sorted({name for name in names
+                                 if name in seen or seen.add(name)})
+            raise ValueError(
+                "schema contains duplicate attribute names: "
+                f"{duplicates}")
         self.schema = tuple(schema)
         self.ranks = ranks
         self.ranks.setflags(write=False)

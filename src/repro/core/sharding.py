@@ -1,0 +1,1090 @@
+"""Sharded, MVCC-versioned relations with partition-parallel maintenance.
+
+The paper's partition/merge identity ``M_pi(D) = M_pi(U_i M_pi(D_i))``
+(the correctness backbone of OSDC's divide step and of the pool's tree
+merge) makes p-skylines embarrassingly partitionable.  This module turns
+that identity into a storage architecture:
+
+* :class:`ShardMap` -- a deterministic row-to-shard router, either by a
+  platform-independent hash of the rank vector or by range partitioning
+  on one column.
+* :class:`ShardedPSkylineMaintainer` -- ``k`` independent
+  :class:`~repro.algorithms.incremental.PSkylineMaintainer` instances,
+  one per shard; inserts and deletes are routed to the owning shard and
+  the global answer is the merge of the per-shard skylines.
+* :class:`ShardedRelation` -- a mutable, hash- or range-partitioned
+  relation.  Each shard materialises as an ordinary immutable
+  :class:`~repro.core.relation.Relation` (so every registry algorithm
+  consumes it unchanged, and the worker pool can pre-register each
+  shard into shared memory once), writes bump a monotonically
+  increasing **version**, and readers pin copy-on-write
+  :class:`ShardSnapshot` views: a long-running or deadline query reads
+  a stable version while writes land concurrently.  A stale snapshot's
+  materialisations are reclaimed when its last reader closes.
+
+Serving a query over a tracked p-graph reduces to merging the per-shard
+skylines -- exactly the second application of the partition identity --
+either serially or through :meth:`WorkerPool.merge_sharded_skylines
+<repro.engine.pool.WorkerPool.merge_sharded_skylines>`'s tree of
+pairwise merges.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .attributes import Attribute, lowest, orders_signature
+from .pgraph import PGraph
+from .relation import Relation
+
+__all__ = ["ShardMap", "ShardedPSkylineMaintainer", "ShardedRelation",
+           "ShardSnapshot", "sharded_pskyline"]
+
+
+def _row_hash(vector: np.ndarray) -> int:
+    """A deterministic, platform-independent hash of one rank vector.
+
+    CRC32 over the float64 bytes: stable across processes (unlike
+    ``hash()``, which is salted) and fast enough to sit on the insert
+    path.  ``-0.0`` is normalised so bitwise-different equal ranks
+    land on the same shard.
+    """
+    vector = np.ascontiguousarray(vector, dtype=np.float64) + 0.0
+    return zlib.crc32(vector.tobytes())
+
+
+class ShardMap:
+    """Deterministic row-to-shard routing.
+
+    Two partitioning schemes:
+
+    * ``ShardMap.hashed(k)`` -- shard ``crc32(row) % k``; balanced in
+      expectation and oblivious to the data distribution.
+    * ``ShardMap.ranged(k, column, boundaries)`` -- range partitioning
+      on one rank column with ``k - 1`` sorted cut points
+      (``ShardMap.ranged_from`` derives quantile boundaries from data).
+    """
+
+    __slots__ = ("shards", "kind", "column", "boundaries")
+
+    def __init__(self, shards: int, kind: str = "hash", *,
+                 column: int = 0,
+                 boundaries: Sequence[float] | None = None):
+        if shards < 1:
+            raise ValueError("a shard map needs at least one shard")
+        if kind not in ("hash", "range"):
+            raise ValueError(f"unknown partitioning scheme {kind!r}")
+        if kind == "range":
+            if boundaries is None:
+                raise ValueError("range partitioning requires boundaries")
+            boundaries = tuple(float(b) for b in boundaries)
+            if list(boundaries) != sorted(boundaries):
+                raise ValueError("range boundaries must be sorted")
+            if len(boundaries) != shards - 1:
+                raise ValueError(
+                    f"{shards} shards need {shards - 1} boundaries, got "
+                    f"{len(boundaries)}")
+        self.shards = int(shards)
+        self.kind = kind
+        self.column = int(column)
+        self.boundaries = boundaries if kind == "range" else None
+
+    @classmethod
+    def hashed(cls, shards: int) -> "ShardMap":
+        return cls(shards, "hash")
+
+    @classmethod
+    def ranged(cls, shards: int, column: int,
+               boundaries: Sequence[float]) -> "ShardMap":
+        return cls(shards, "range", column=column, boundaries=boundaries)
+
+    @classmethod
+    def ranged_from(cls, ranks: np.ndarray, shards: int,
+                    column: int = 0) -> "ShardMap":
+        """Range boundaries at the column's ``k``-quantiles."""
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.ndim != 2 or ranks.shape[0] == 0:
+            raise ValueError(
+                "quantile boundaries need a non-empty 2-d matrix")
+        quantiles = np.linspace(0.0, 1.0, shards + 1)[1:-1]
+        boundaries = np.quantile(ranks[:, column], quantiles)
+        return cls.ranged(shards, column, boundaries)
+
+    def shard_of(self, vector: np.ndarray) -> int:
+        """The owning shard of one rank vector."""
+        if self.kind == "hash":
+            return _row_hash(vector) % self.shards
+        value = float(np.asarray(vector, dtype=np.float64)[self.column])
+        return int(np.searchsorted(self.boundaries, value, side="right"))
+
+    def shard_of_block(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`shard_of` for an ``(n, d)`` block."""
+        ranks = np.ascontiguousarray(ranks, dtype=np.float64)
+        if self.kind == "range":
+            return np.searchsorted(self.boundaries, ranks[:, self.column],
+                                   side="right").astype(np.intp)
+        return np.fromiter((_row_hash(row) % self.shards for row in ranks),
+                           dtype=np.intp, count=ranks.shape[0])
+
+    def __repr__(self) -> str:
+        if self.kind == "hash":
+            return f"ShardMap(hash, {self.shards} shards)"
+        return (f"ShardMap(range on column {self.column}, "
+                f"{self.shards} shards)")
+
+
+def sharded_pskyline(ranks: np.ndarray, graph: PGraph, *,
+                     shards: int = 2,
+                     function: Callable | None = None,
+                     shard_map: ShardMap | None = None,
+                     context=None) -> np.ndarray:
+    """Evaluate ``M_pi(ranks)`` by partition and merge, serially.
+
+    Splits the rows with ``shard_map`` (hash by default), evaluates
+    ``function`` (OSDC by default) per shard, then once more on the
+    union of the per-shard skylines -- the partition identity applied
+    directly.  Returns sorted original row indices; the reference
+    implementation the pool-backed sharded paths are verified against.
+    """
+    from ..algorithms.base import get_algorithm
+
+    ranks = np.ascontiguousarray(ranks, dtype=np.float64)
+    if function is None:
+        function = get_algorithm("osdc")
+    shard_map = shard_map if shard_map is not None \
+        else ShardMap.hashed(shards)
+    assignment = shard_map.shard_of_block(ranks)
+    union: list[np.ndarray] = []
+    for shard in range(shard_map.shards):
+        rows = np.flatnonzero(assignment == shard)
+        if rows.size == 0:
+            continue
+        local = function(np.ascontiguousarray(ranks[rows]), graph)
+        union.append(rows[np.asarray(local, dtype=np.intp)])
+    if not union:
+        return np.empty(0, dtype=np.intp)
+    candidates = np.sort(np.concatenate(union))
+    local = function(np.ascontiguousarray(ranks[candidates]), graph)
+    return np.sort(candidates[np.asarray(local, dtype=np.intp)])
+
+
+class ShardedPSkylineMaintainer:
+    """``M_pi`` maintenance over ``k`` independent shards.
+
+    The public surface mirrors
+    :class:`~repro.algorithms.incremental.PSkylineMaintainer`: tuples
+    are identified by the id :meth:`insert` returns, and the maintained
+    answer always equals ``M_pi`` of the alive tuples.  Internally each
+    insert is routed to its owning shard's maintainer (one comparison
+    against that shard's -- smaller -- skyline) and the global skyline
+    is the merge of the per-shard skylines, cached per write version.
+    """
+
+    def __init__(self, graph: PGraph, shards: int | ShardMap = 4, *,
+                 context=None, kernel: str = "auto",
+                 capacity: int = 1024):
+        from ..algorithms.base import ensure_context
+        from ..algorithms.incremental import PSkylineMaintainer
+
+        self.graph = graph
+        self.shard_map = shards if isinstance(shards, ShardMap) \
+            else ShardMap.hashed(shards)
+        self.context = ensure_context(context)
+        self.kernel = kernel
+        self._maintainers = [
+            PSkylineMaintainer(graph, capacity=capacity,
+                               context=self.context, kernel=kernel)
+            for _ in range(self.shard_map.shards)]
+        #: global id -> (shard, shard-local id); append-only
+        self._shard_of: list[int] = []
+        self._slot_of: list[int] = []
+        self._version = 0
+        self._merged: tuple[int, np.ndarray] | None = None
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.shards
+
+    @property
+    def version(self) -> int:
+        """Bumped by every insert and delete."""
+        return self._version
+
+    @property
+    def num_alive(self) -> int:
+        return sum(m.num_alive for m in self._maintainers)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        if not 0 <= tuple_id < len(self._shard_of):
+            return False
+        shard, slot = self._shard_of[tuple_id], self._slot_of[tuple_id]
+        return slot in self._maintainers[shard]
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, values) -> int:
+        """Insert a rank vector; returns its global tuple id."""
+        values = np.asarray(values, dtype=np.float64)
+        shard = self.shard_map.shard_of(values)
+        slot = self._maintainers[shard].insert(values)
+        tuple_id = len(self._shard_of)
+        self._shard_of.append(shard)
+        self._slot_of.append(slot)
+        self._version += 1
+        self._merged = None
+        return tuple_id
+
+    def bulk_load(self, block) -> np.ndarray:
+        """Insert a block of rows in one routed pass; returns their ids."""
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.graph.d:
+            raise ValueError(
+                f"expected an (n, {self.graph.d}) rank matrix")
+        ids = np.arange(len(self._shard_of),
+                        len(self._shard_of) + block.shape[0],
+                        dtype=np.intp)
+        if block.shape[0] == 0:
+            return ids
+        assignment = self.shard_map.shard_of_block(block)
+        slots = np.empty(block.shape[0], dtype=np.intp)
+        for shard in range(self.num_shards):
+            rows = np.flatnonzero(assignment == shard)
+            if rows.size:
+                slots[rows] = self._maintainers[shard].bulk_load(
+                    block[rows])
+        self._shard_of.extend(int(s) for s in assignment)
+        self._slot_of.extend(int(s) for s in slots)
+        self._version += 1
+        self._merged = None
+        return ids
+
+    def delete(self, tuple_id: int) -> None:
+        """Delete a tuple by its global id (promotion stays shard-local)."""
+        if not 0 <= tuple_id < len(self._shard_of):
+            raise KeyError(f"tuple {tuple_id} is not alive")
+        shard, slot = self._shard_of[tuple_id], self._slot_of[tuple_id]
+        self._maintainers[shard].delete(slot)  # raises if not alive
+        self._version += 1
+        self._merged = None
+
+    # -- views ---------------------------------------------------------------
+    def shard_skyline_sizes(self) -> list[int]:
+        return [int(m.skyline_ids().size) for m in self._maintainers]
+
+    def skyline_ids(self) -> np.ndarray:
+        """The global p-skyline as sorted global ids (merged, cached)."""
+        if self._merged is not None and self._merged[0] == self._version:
+            return self._merged[1]
+        from ..algorithms.osdc import osdc
+
+        slot_to_global: list[np.ndarray] = []
+        offset = 0
+        pieces_ranks: list[np.ndarray] = []
+        pieces_ids: list[np.ndarray] = []
+        globals_by_shard = self._globals_by_shard()
+        for shard, maintainer in enumerate(self._maintainers):
+            slots = maintainer.skyline_ids()
+            if slots.size == 0:
+                continue
+            pieces_ranks.append(maintainer.ranks_of(slots))
+            pieces_ids.append(globals_by_shard[shard][slots])
+        if not pieces_ids:
+            merged = np.empty(0, dtype=np.intp)
+        else:
+            union_ids = np.concatenate(pieces_ids)
+            union_ranks = np.ascontiguousarray(np.vstack(pieces_ranks))
+            local = osdc(union_ranks, self.graph, context=self.context,
+                         kernel=self.kernel)
+            merged = np.sort(union_ids[local])
+        self._merged = (self._version, merged)
+        return merged
+
+    def skyline_ranks(self) -> np.ndarray:
+        return self.ranks_of(self.skyline_ids())
+
+    def ranks_of(self, ids) -> np.ndarray:
+        """Rank vectors for the given global ids (in the given order)."""
+        ids = np.asarray(ids, dtype=np.intp)
+        out = np.empty((ids.size, self.graph.d), dtype=np.float64)
+        for position, tuple_id in enumerate(ids):
+            shard = self._shard_of[tuple_id]
+            slot = self._slot_of[tuple_id]
+            out[position] = self._maintainers[shard].ranks_of([slot])[0]
+        return out
+
+    def _globals_by_shard(self) -> list[np.ndarray]:
+        """Per shard, the global id of each shard-local slot."""
+        by_shard: list[list[int]] = [[] for _ in self._maintainers]
+        for tuple_id, shard in enumerate(self._shard_of):
+            by_shard[shard].append(tuple_id)
+        return [np.asarray(ids, dtype=np.intp) for ids in by_shard]
+
+
+# -- the sharded relation ----------------------------------------------------
+
+
+class _Shard:
+    """Mutable storage of one shard: growable buffers plus a per-shard
+    version and a copy-on-write :class:`Relation` materialisation cache
+    (unchanged shards keep handing out the same immutable object, so
+    the pool's shared-memory registration cache keeps hitting)."""
+
+    __slots__ = ("ranks", "values", "gids", "alive", "size", "version",
+                 "_cache")
+
+    def __init__(self, arity: int, store_values: bool,
+                 capacity: int = 64):
+        self.ranks = np.empty((capacity, arity), dtype=np.float64)
+        self.values = np.empty((capacity, arity), dtype=object) \
+            if store_values else None
+        self.gids = np.empty(capacity, dtype=np.intp)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.size = 0
+        self.version = 0
+        self._cache: tuple[int, Relation, np.ndarray, np.ndarray] | None \
+            = None
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self.ranks.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        grown = np.empty((new_capacity, self.ranks.shape[1]))
+        grown[: self.size] = self.ranks[: self.size]
+        self.ranks = grown
+        if self.values is not None:
+            grown_values = np.empty((new_capacity, self.values.shape[1]),
+                                    dtype=object)
+            grown_values[: self.size] = self.values[: self.size]
+            self.values = grown_values
+        self.gids = np.concatenate(
+            [self.gids, np.empty(new_capacity - capacity, dtype=np.intp)])
+        self.alive = np.concatenate(
+            [self.alive, np.zeros(new_capacity - capacity, dtype=bool)])
+
+    def append_block(self, ranks: np.ndarray, gids: np.ndarray,
+                     values: np.ndarray | None) -> np.ndarray:
+        count = ranks.shape[0]
+        self._reserve(count)
+        slots = np.arange(self.size, self.size + count, dtype=np.intp)
+        self.ranks[slots] = ranks
+        if self.values is not None:
+            self.values[slots] = values if values is not None else None
+        self.gids[slots] = gids
+        self.alive[slots] = True
+        self.size += count
+        self.version += 1
+        return slots
+
+    def kill(self, slot: int) -> None:
+        self.alive[slot] = False
+        self.version += 1
+
+    def materialize(self, schema: tuple[Attribute, ...]
+                    ) -> tuple[Relation, np.ndarray, np.ndarray]:
+        """``(relation, gids, slots)`` of the alive rows, slot order.
+
+        Copy-on-write: cached per shard version, so an unchanged shard
+        returns the identical immutable objects on every call.
+        """
+        if self._cache is not None and self._cache[0] == self.version:
+            return self._cache[1], self._cache[2], self._cache[3]
+        slots = np.flatnonzero(self.alive[: self.size])
+        values = self.values[slots] if self.values is not None else None
+        relation = Relation(schema, self.ranks[slots], values)
+        gids = self.gids[slots].copy()
+        gids.setflags(write=False)
+        slots.setflags(write=False)
+        self._cache = (self.version, relation, gids, slots)
+        return relation, gids, slots
+
+
+class ShardSnapshot:
+    """An immutable, versioned view of a :class:`ShardedRelation`.
+
+    Holds one materialised :class:`Relation` per shard (shared with
+    every other snapshot of the same shard version), the global id of
+    each row, and the relation version the snapshot pinned.  Closing
+    the snapshot (idempotent; also via ``with``) releases the reader
+    reference -- once a version's last reader closes, its shard
+    materialisations become unreachable and are reclaimed.
+    """
+
+    __slots__ = ("version", "shards", "gids", "slots", "_owner",
+                 "_relation", "_offsets")
+
+    def __init__(self, owner: "ShardedRelation", version: int,
+                 shards: tuple[Relation, ...],
+                 gids: tuple[np.ndarray, ...],
+                 slots: tuple[np.ndarray, ...]):
+        self.version = version
+        self.shards = shards
+        self.gids = gids
+        self.slots = slots
+        self._owner = owner
+        self._relation: Relation | None = None
+        self._offsets: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def closed(self) -> bool:
+        return self._owner is None
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Row offset of each shard in :attr:`relation` (length k+1)."""
+        if self._offsets is None:
+            self._offsets = np.concatenate(
+                [[0], np.cumsum([len(s) for s in self.shards])]
+            ).astype(np.intp)
+        return self._offsets
+
+    @property
+    def relation(self) -> Relation:
+        """The full snapshot as one relation (shards concatenated;
+        materialised lazily and cached on the snapshot)."""
+        if self._relation is None:
+            self._relation = Relation.concat(self.shards) \
+                if self.shards else Relation((), np.empty((0, 0)))
+        return self._relation
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        """The global id of each :attr:`relation` row."""
+        if not self.gids:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(self.gids)
+
+    def take_gids(self, gids) -> Relation:
+        """The snapshot rows with the given global ids, in id order."""
+        wanted = np.sort(np.asarray(gids, dtype=np.intp))
+        pieces: list[Relation] = []
+        piece_gids: list[np.ndarray] = []
+        for shard, shard_gids in zip(self.shards, self.gids):
+            positions = np.searchsorted(shard_gids, wanted)
+            positions = positions[positions < shard_gids.size]
+            hits = positions[np.isin(shard_gids[positions], wanted)]
+            hits = np.unique(hits)
+            if hits.size:
+                pieces.append(shard.take(hits))
+                piece_gids.append(shard_gids[hits])
+        if not pieces:
+            return self.relation.take(np.empty(0, dtype=np.intp))
+        found = np.concatenate(piece_gids)
+        if found.size != wanted.size:
+            missing = sorted(set(wanted.tolist()) - set(found.tolist()))
+            raise KeyError(
+                f"global id(s) not in snapshot version {self.version}: "
+                f"{missing[:8]}")
+        combined = Relation.concat(pieces)
+        return combined.take(np.argsort(found, kind="stable"))
+
+    def close(self) -> None:
+        """Release the reader reference (idempotent)."""
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner._release(self.version)
+
+    def __enter__(self) -> "ShardSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"ShardSnapshot(version={self.version}, "
+                f"{len(self)} tuples over {self.num_shards} shards, "
+                f"{state})")
+
+
+class _TrackedGraph:
+    """Per-shard incremental maintenance of one tracked p-graph.
+
+    The shard-local maintainers are fed in storage slot order, so a
+    maintainer tuple id *is* the shard storage slot -- deletes route by
+    slot with no extra translation.
+    """
+
+    __slots__ = ("graph", "columns", "maintainers")
+
+    def __init__(self, graph: PGraph, columns: list[int],
+                 maintainers: list) -> None:
+        self.graph = graph
+        self.columns = columns
+        self.maintainers = maintainers
+
+
+class ShardedRelation:
+    """A mutable, partitioned, MVCC-versioned relation.
+
+    Rows are routed to one of ``k`` shards by a :class:`ShardMap` and
+    identified by the monotonically increasing global id that
+    :meth:`insert` returns.  Every write bumps :attr:`version`;
+    :meth:`snapshot` pins an immutable :class:`ShardSnapshot` of the
+    current version, so queries run on stable data while writes land
+    concurrently (writers never block readers).  :meth:`track` attaches
+    per-shard incremental maintainers for a p-graph, after which
+    :meth:`p_skyline` serves that query by merging the per-shard
+    skylines instead of recomputing from scratch.
+
+    All mutating and snapshot-taking methods are thread-safe behind one
+    reentrant lock; snapshots themselves are immutable and may be read
+    from any thread.
+    """
+
+    def __init__(self, schema: Sequence[Attribute], *,
+                 shards: int | ShardMap = 4, partition: str = "hash",
+                 column: str | None = None,
+                 boundaries: Sequence[float] | None = None,
+                 store_values: bool = False,
+                 context=None, kernel: str = "auto"):
+        from ..algorithms.base import ensure_context
+
+        self.schema = tuple(schema)
+        names = [attribute.name for attribute in self.schema]
+        if len(set(names)) != len(names):
+            raise ValueError("schema contains duplicate attribute names")
+        if isinstance(shards, ShardMap):
+            self.shard_map = shards
+        elif partition == "hash":
+            self.shard_map = ShardMap.hashed(shards)
+        elif partition == "range":
+            if column is None or boundaries is None:
+                raise ValueError(
+                    "range partitioning requires column and boundaries")
+            self.shard_map = ShardMap.ranged(
+                shards, names.index(column), boundaries)
+        else:
+            raise ValueError(f"unknown partitioning scheme {partition!r}")
+        self.context = ensure_context(context)
+        self.kernel = kernel
+        arity = len(self.schema)
+        self._shards = [_Shard(arity, store_values)
+                        for _ in range(self.shard_map.shards)]
+        #: global id -> (shard, slot); append-only
+        self._gid_shard: list[int] = []
+        self._gid_slot: list[int] = []
+        self._version = 0
+        self._tracked: dict[tuple, _TrackedGraph] = {}
+        self._readers: dict[int, int] = {}
+        self._lock = threading.RLock()
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation, *,
+                      shards: int | ShardMap = 4,
+                      partition: str = "hash",
+                      column: str | None = None,
+                      context=None, kernel: str = "auto"
+                      ) -> "ShardedRelation":
+        """Partition an existing relation (global ids = its row order).
+
+        With ``partition="range"`` and no explicit boundaries, the cut
+        points are the ``column`` quantiles of the given data.
+        """
+        boundaries = None
+        if partition == "range" and not isinstance(shards, ShardMap):
+            if column is None:
+                raise ValueError("range partitioning requires a column")
+            names = list(relation.names)
+            boundaries = tuple(
+                float(b) for b in np.quantile(
+                    relation.ranks[:, names.index(column)],
+                    np.linspace(0.0, 1.0, int(shards) + 1)[1:-1]))
+        sharded = cls(relation.schema, shards=shards, partition=partition,
+                      column=column, boundaries=boundaries,
+                      store_values=relation._values is not None,
+                      context=context, kernel=kernel)
+        sharded._bulk_insert(relation.ranks, relation._values)
+        return sharded
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]
+                                            | Sequence[Any]],
+                     schema: Sequence[Attribute], **kwargs
+                     ) -> "ShardedRelation":
+        return cls.from_relation(Relation.from_records(records, schema),
+                                 **kwargs)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray,
+                   names: Sequence[str] | None = None,
+                   schema: Sequence[Attribute] | None = None,
+                   **kwargs) -> "ShardedRelation":
+        return cls.from_relation(
+            Relation.from_array(array, names=names, schema=schema),
+            **kwargs)
+
+    # -- relation interface --------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.schema)
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.shards
+
+    @property
+    def version(self) -> int:
+        """The current write version (bumped by every insert/delete)."""
+        return self._version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(int(shard.alive[: shard.size].sum())
+                       for shard in self._shards)
+
+    def __contains__(self, gid: int) -> bool:
+        with self._lock:
+            if not 0 <= gid < len(self._gid_shard):
+                return False
+            shard = self._shards[self._gid_shard[gid]]
+            return bool(shard.alive[self._gid_slot[gid]])
+
+    def shard_sizes(self) -> list[int]:
+        """Alive rows per shard."""
+        with self._lock:
+            return [int(shard.alive[: shard.size].sum())
+                    for shard in self._shards]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        with self.snapshot() as snap:
+            order = np.argsort(snap.global_ids, kind="stable")
+            return snap.relation.take(order).to_records()
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, record: Mapping[str, Any] | Sequence[Any]) -> int:
+        """Insert one record (dict or schema-ordered sequence); returns
+        its global id."""
+        if isinstance(record, Mapping):
+            row = []
+            for attribute in self.schema:
+                if attribute.name not in record:
+                    raise ValueError(
+                        f"record is missing attribute {attribute.name!r}")
+                row.append(record[attribute.name])
+        else:
+            row = list(record)
+            if len(row) != self.arity:
+                raise ValueError(
+                    f"record of arity {len(row)} does not match the "
+                    f"schema arity {self.arity}")
+        ranks = np.array([attribute.encode([value])[0]
+                          for attribute, value in zip(self.schema, row)],
+                         dtype=np.float64)
+        values = np.empty(self.arity, dtype=object)
+        values[:] = row
+        return self.insert_ranks(ranks, values)
+
+    def insert_ranks(self, vector, values: np.ndarray | None = None
+                     ) -> int:
+        """Insert one pre-encoded rank vector; returns its global id."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.arity,):
+            raise ValueError(
+                f"expected a rank vector of length {self.arity}")
+        if not np.isfinite(vector).all():
+            raise ValueError("rank vector contains non-finite values")
+        with self._lock:
+            shard_index = self.shard_map.shard_of(vector)
+            shard = self._shards[shard_index]
+            gid = len(self._gid_shard)
+            slot = int(shard.append_block(
+                vector[None, :], np.asarray([gid], dtype=np.intp),
+                values[None, :] if values is not None else None)[0])
+            self._gid_shard.append(shard_index)
+            self._gid_slot.append(slot)
+            for tracked in self._tracked.values():
+                maintainer_slot = tracked.maintainers[shard_index].insert(
+                    vector[tracked.columns])
+                assert maintainer_slot == slot
+            self._version += 1
+            return gid
+
+    def delete(self, gid: int) -> None:
+        """Delete a row by global id."""
+        with self._lock:
+            if gid not in self:
+                raise KeyError(f"tuple {gid} is not alive")
+            shard_index = self._gid_shard[gid]
+            slot = self._gid_slot[gid]
+            for tracked in self._tracked.values():
+                tracked.maintainers[shard_index].delete(slot)
+            self._shards[shard_index].kill(slot)
+            self._version += 1
+
+    def _bulk_insert(self, ranks: np.ndarray,
+                     values: np.ndarray | None) -> np.ndarray:
+        ranks = np.ascontiguousarray(ranks, dtype=np.float64)
+        with self._lock:
+            base = len(self._gid_shard)
+            gids = np.arange(base, base + ranks.shape[0], dtype=np.intp)
+            if ranks.shape[0] == 0:
+                return gids
+            assignment = self.shard_map.shard_of_block(ranks)
+            slot_of = np.empty(ranks.shape[0], dtype=np.intp)
+            for shard_index in range(self.num_shards):
+                rows = np.flatnonzero(assignment == shard_index)
+                if rows.size == 0:
+                    continue
+                slots = self._shards[shard_index].append_block(
+                    ranks[rows], gids[rows],
+                    values[rows] if values is not None else None)
+                slot_of[rows] = slots
+                for tracked in self._tracked.values():
+                    self._tracked_bulk_load(tracked, shard_index,
+                                            ranks[rows])
+            self._gid_shard.extend(int(s) for s in assignment)
+            self._gid_slot.extend(int(s) for s in slot_of)
+            self._version += 1
+            return gids
+
+    @staticmethod
+    def _tracked_bulk_load(tracked: _TrackedGraph, shard_index: int,
+                           ranks: np.ndarray) -> None:
+        tracked.maintainers[shard_index].bulk_load(
+            ranks[:, tracked.columns])
+
+    # -- tracked maintenance -------------------------------------------------
+    def track(self, expression) -> PGraph:
+        """Attach per-shard incremental maintainers for a p-expression
+        (or p-graph); existing rows are bulk-loaded.  Returns the
+        normalised p-graph, usable as a key for :meth:`skyline_gids`."""
+        from ..algorithms.incremental import PSkylineMaintainer
+
+        graph, columns = self._resolve(expression)
+        key = self._graph_key(graph)
+        with self._lock:
+            if key in self._tracked:
+                return self._tracked[key].graph
+            maintainers = []
+            for shard in self._shards:
+                maintainer = PSkylineMaintainer(
+                    graph, capacity=max(64, shard.size),
+                    context=self.context, kernel=self.kernel)
+                # replay the shard in slot order so maintainer ids align
+                # with storage slots, dead rows included
+                if shard.size:
+                    maintainer.bulk_load(
+                        shard.ranks[: shard.size][:, columns])
+                    for slot in np.flatnonzero(
+                            ~shard.alive[: shard.size]):
+                        maintainer.delete(int(slot))
+                maintainers.append(maintainer)
+            self._tracked[key] = _TrackedGraph(graph, columns, maintainers)
+            return graph
+
+    def tracked(self) -> list[PGraph]:
+        with self._lock:
+            return [tracked.graph for tracked in self._tracked.values()]
+
+    def skyline_gids(self, expression) -> np.ndarray:
+        """The maintained ``M_pi`` of a tracked p-graph, as sorted
+        global ids (merged from the per-shard skylines)."""
+        from ..algorithms.osdc import osdc
+
+        graph, _columns = self._resolve(expression)
+        with self._lock:
+            tracked = self._tracked.get(self._graph_key(graph))
+            if tracked is None:
+                raise KeyError(
+                    f"p-graph over {graph.names} is not tracked; call "
+                    "track() first")
+            pieces = self._shard_skylines(tracked)
+        if not pieces:
+            return np.empty(0, dtype=np.intp)
+        union_gids = np.concatenate([gids for _i, _r, gids in pieces])
+        union_ranks = np.ascontiguousarray(
+            np.vstack([ranks for _i, ranks, _g in pieces]))
+        local = osdc(union_ranks, graph, context=self.context,
+                     kernel=self.kernel)
+        return np.sort(union_gids[local])
+
+    def _shard_skylines(self, tracked: _TrackedGraph
+                        ) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        """Per-shard skyline as ``(shard index, projected ranks, global
+        ids)`` triples, empty shards skipped; caller holds the lock."""
+        pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for index, (shard, maintainer) in enumerate(
+                zip(self._shards, tracked.maintainers)):
+            slots = maintainer.skyline_ids()
+            if slots.size == 0:
+                continue
+            pieces.append((index, maintainer.ranks_of(slots),
+                           shard.gids[slots].copy()))
+        return pieces
+
+    # -- MVCC snapshots ------------------------------------------------------
+    def snapshot(self) -> ShardSnapshot:
+        """Pin an immutable view of the current version.
+
+        Copy-on-write: shards untouched since the last snapshot hand
+        out the same materialised :class:`Relation` objects, so
+        repeated snapshots are cheap and the pool's shared-memory
+        registrations stay valid per unchanged shard.
+        """
+        with self._lock:
+            shards = []
+            gids = []
+            slots = []
+            for shard in self._shards:
+                relation, shard_gids, shard_slots = \
+                    shard.materialize(self.schema)
+                shards.append(relation)
+                gids.append(shard_gids)
+                slots.append(shard_slots)
+            self._readers[self._version] = \
+                self._readers.get(self._version, 0) + 1
+            return ShardSnapshot(self, self._version, tuple(shards),
+                                 tuple(gids), tuple(slots))
+
+    def _release(self, version: int) -> None:
+        with self._lock:
+            remaining = self._readers.get(version, 0) - 1
+            if remaining > 0:
+                self._readers[version] = remaining
+            else:
+                # last reader gone: the version's materialisations are
+                # now unreferenced and reclaimed by the collector
+                self._readers.pop(version, None)
+
+    def live_versions(self) -> tuple[int, ...]:
+        """Versions still pinned by open snapshots (introspection)."""
+        with self._lock:
+            return tuple(sorted(self._readers))
+
+    # -- queries -------------------------------------------------------------
+    def p_skyline(self, expression, *, algorithm: str = "auto",
+                  stats=None, context=None, timeout: float | None = None,
+                  snapshot: ShardSnapshot | None = None,
+                  pool=None, planner=None, **options) -> Relation:
+        """Evaluate ``M_pi`` over a pinned snapshot; returns a
+        :class:`Relation` of the maximal tuples in global-id order.
+
+        Reads run on the snapshot (the one given, or a fresh pin), so
+        concurrent writes never shift the answer mid-query.  Tracked
+        p-graphs are served by merging the per-shard skylines --
+        through the worker pool's tree merge when one is available --
+        and untracked queries go through the planner's shard-aware rule
+        (scatter/gather over pre-registered shards, single-shard, or
+        serial).  An explicit ``algorithm`` runs that registry
+        algorithm over the materialised snapshot unchanged.
+        """
+        from ..algorithms.base import ensure_context
+        from ..engine.context import ExecutionContext
+
+        graph, columns = self._resolve(expression)
+        if timeout is not None:
+            if context is not None:
+                raise ValueError(
+                    "pass either timeout or context, not both")
+            context = ExecutionContext.create(stats=stats,
+                                              timeout=timeout)
+        context = ensure_context(context, stats)
+        owned = snapshot is None
+        with self._lock:
+            snap = self.snapshot() if owned else snapshot
+            tracked = self._tracked.get(self._graph_key(graph)) \
+                if algorithm in ("auto", "maintained") else None
+            serve = None
+            if tracked is not None and snap.version == self._version:
+                serve = self._shard_skylines(tracked)
+        try:
+            if serve is not None:
+                return self._serve_tracked(snap, graph, columns, serve,
+                                           pool, context)
+            return self._query_snapshot(snap, graph, columns, algorithm,
+                                        pool, planner, context, options)
+        finally:
+            if owned:
+                snap.close()
+
+    def _serve_tracked(self, snap: ShardSnapshot, graph: PGraph,
+                       columns: list[int], serve, pool,
+                       context) -> Relation:
+        """Merge per-shard skylines (the second half of the partition
+        identity), on the pool when available."""
+        from ..algorithms.osdc import osdc
+        from ..engine.pool import pool_available
+
+        self._annotate(context, snap, "maintained",
+                       [int(gids.size) for _i, _r, gids in serve])
+        if not serve:
+            return snap.relation.take(np.empty(0, dtype=np.intp))
+        union = int(sum(gids.size for _i, _r, gids in serve))
+        if pool is None and pool_available() and union >= 2048:
+            from ..engine.pool import get_default_pool
+            pool = get_default_pool()
+        if pool is not None and len(serve) > 1:
+            gids = self._pool_merge(snap, graph, columns, serve, pool,
+                                    context)
+        else:
+            union_gids = np.concatenate([gids for _i, _r, gids in serve])
+            union_ranks = np.ascontiguousarray(
+                np.vstack([ranks for _i, ranks, _g in serve]))
+            local = osdc(union_ranks, graph, context=context,
+                         kernel=self.kernel)
+            gids = np.sort(union_gids[local])
+        return snap.take_gids(gids)
+
+    def _pool_merge(self, snap: ShardSnapshot, graph: PGraph,
+                    columns: list[int], serve, pool,
+                    context) -> np.ndarray:
+        """Tree-merge the per-shard skylines on the worker pool against
+        the per-shard shared-memory registrations."""
+        nonempty = [index for index, shard in enumerate(snap.shards)
+                    if len(shard)]
+        position_of = {index: position
+                       for position, index in enumerate(nonempty)}
+        arrays = [snap.shards[index].ranks for index in nonempty]
+        offsets = np.concatenate(
+            [[0], np.cumsum([a.shape[0] for a in arrays])]).astype(np.intp)
+        parts = []
+        for index, _ranks, gids in serve:
+            # gids are strictly increasing within a shard (appends only
+            # ever grow them), so the skyline's snapshot rows fall out
+            # of one searchsorted
+            shard_gids = snap.gids[index]
+            rows = np.searchsorted(shard_gids, gids)
+            parts.append(offsets[position_of[index]] + rows)
+        virtual_gids = np.concatenate(
+            [snap.gids[index] for index in nonempty])
+        merged = pool.merge_sharded_skylines(
+            arrays, graph, parts, columns=columns, context=context)
+        return np.sort(virtual_gids[merged])
+
+    def _query_snapshot(self, snap: ShardSnapshot, graph: PGraph,
+                        columns: list[int], algorithm: str, pool,
+                        planner, context, options) -> Relation:
+        """Untracked path: planner-chosen scatter/gather, single-shard
+        or serial evaluation over the snapshot."""
+        from ..algorithms.base import get_algorithm
+        from ..engine.pool import get_default_pool, pool_available
+
+        if algorithm not in ("auto", "maintained"):
+            # any registry algorithm consumes the materialised snapshot
+            # relation unchanged
+            self._annotate(context, snap, algorithm, None)
+            function = get_algorithm(algorithm)
+            ranks = snap.relation.ranks[:, columns]
+            local = function(ranks, graph, context=context, **options)
+            return self._finish(snap, np.asarray(local, dtype=np.intp))
+        if planner is None:
+            from ..planner import DEFAULT_PLANNER
+            planner = DEFAULT_PLANNER
+        plan = planner.plan_sharded(snap, graph, context,
+                                    columns=columns)
+        plan.record(context)
+        self._annotate(context, snap, plan.algorithm, None)
+        if plan.algorithm == "sharded-scatter-gather" \
+                and (pool is not None or pool_available()):
+            if pool is None:
+                pool = get_default_pool()
+            nonempty = [index for index, shard in enumerate(snap.shards)
+                        if len(shard)]
+            arrays = [snap.shards[index].ranks for index in nonempty]
+            indices = pool.run_sharded(arrays, graph, columns=columns,
+                                       context=context)
+            virtual_gids = np.concatenate(
+                [snap.gids[index] for index in nonempty])
+            return snap.take_gids(np.sort(virtual_gids[indices]))
+        if plan.algorithm == "single-shard":
+            index = plan.options["shard"]
+            shard = snap.shards[index]
+            local = planner.execute(
+                np.ascontiguousarray(shard.ranks[:, columns]), graph,
+                context=context)
+            return snap.take_gids(
+                np.sort(snap.gids[index][np.asarray(local,
+                                                    dtype=np.intp)]))
+        local = planner.execute(snap.relation.ranks[:, columns], graph,
+                                context=context)
+        return self._finish(snap, np.asarray(local, dtype=np.intp))
+
+    @staticmethod
+    def _finish(snap: ShardSnapshot, positions: np.ndarray) -> Relation:
+        """Snapshot row positions -> result relation in global-id order."""
+        gids = snap.global_ids[positions]
+        order = np.argsort(gids, kind="stable")
+        return snap.relation.take(positions[order])
+
+    def _annotate(self, context, snap: ShardSnapshot, mode: str,
+                  skylines: list[int] | None) -> None:
+        info = {
+            "count": self.num_shards,
+            "partition": self.shard_map.kind,
+            "version": snap.version,
+            "rows": [len(shard) for shard in snap.shards],
+            "mode": mode,
+        }
+        if skylines is not None:
+            info["skylines"] = skylines
+        if context.stats is not None:
+            context.stats.extra["shards"] = info
+            context.stats.extra["relation_version"] = snap.version
+        context.event("shard-query", mode=mode, shards=self.num_shards,
+                      version=snap.version)
+
+    # -- helpers -------------------------------------------------------------
+    def _resolve(self, expression) -> tuple[PGraph, list[int]]:
+        """Normalise an expression/graph exactly like
+        :func:`repro.core.query.p_skyline` does for relations, so a
+        tracked graph and a queried graph compare equal."""
+        from .expressions import PExpr
+        from .parser import parse
+
+        names = self.names
+        if isinstance(expression, PGraph):
+            missing = [name for name in expression.names
+                       if name not in names]
+            if missing:
+                raise KeyError(
+                    f"p-graph uses attributes not in the relation: "
+                    f"{missing}")
+            columns = [names.index(name) for name in expression.names]
+            graph = expression
+            if graph.orders is None:
+                graph = graph.with_orders(orders_signature(
+                    [self.schema[c] for c in columns]))
+            return graph, columns
+        if isinstance(expression, str):
+            expression = parse(expression)
+        if not isinstance(expression, PExpr):
+            raise TypeError(
+                f"expected a p-expression, its textual form or a "
+                f"p-graph, got {type(expression)}")
+        used = expression.attributes()
+        missing = [name for name in used if name not in names]
+        if missing:
+            raise KeyError(
+                f"expression uses attributes not in the relation: "
+                f"{missing}")
+        columns = [names.index(name) for name in used]
+        graph = PGraph.from_expression(expression, names=used) \
+            .with_orders(orders_signature(
+                [self.schema[c] for c in columns]))
+        return graph, columns
+
+    @staticmethod
+    def _graph_key(graph: PGraph) -> tuple:
+        return (graph.names, graph.closure, graph.orders)
+
+    def __repr__(self) -> str:
+        return (f"ShardedRelation({len(self)} tuples over "
+                f"[{', '.join(self.names)}], {self.num_shards} shards, "
+                f"version {self.version})")

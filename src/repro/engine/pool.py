@@ -60,9 +60,9 @@ import numpy as np
 
 from .context import ExecutionContext
 
-__all__ = ["SharedArraySpec", "SharedRegistration", "WorkerPool",
-           "get_default_pool", "shutdown_default_pool", "pool_available",
-           "default_worker_count"]
+__all__ = ["SharedArraySpec", "ShardedArraySpec", "SharedRegistration",
+           "WorkerPool", "get_default_pool", "shutdown_default_pool",
+           "pool_available", "default_worker_count"]
 
 #: Shared-memory segments created by this module are named
 #: ``repro-pool-<pid>-<nonce>`` so leak checks can find strays.
@@ -106,6 +106,34 @@ class SharedArraySpec:
         for extent in self.shape:
             count *= extent
         return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ShardedArraySpec:
+    """A picklable descriptor of one *virtually concatenated* array made
+    of independently registered parts (the shards of a
+    :class:`~repro.core.sharding.ShardedRelation`).
+
+    ``offsets`` has ``len(parts) + 1`` entries: part ``i`` covers virtual
+    rows ``offsets[i]:offsets[i + 1]``.  Workers address rows in the
+    virtual coordinate space and gather across part segments -- a write
+    to one shard therefore only invalidates that shard's registration,
+    not the whole relation's.
+    """
+
+    parts: tuple[SharedArraySpec, ...]
+    offsets: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.offsets) != len(self.parts) + 1:
+            raise ValueError(
+                f"{len(self.parts)} parts need {len(self.parts) + 1} "
+                f"offsets, got {len(self.offsets)}")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        width = self.parts[0].shape[1] if self.parts else 0
+        return (self.offsets[-1], width)
 
 
 class SharedRegistration:
@@ -204,13 +232,9 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original_register
 
 
-def _run_task(spec: dict, attachments: dict, cancel_event):
-    """Execute one task spec; returns ``(global_indices, stats)``."""
-    from .. import algorithms as _algorithms  # fills the registry
-    from ..core.dominance import forced_kernel
-    from ..core.pgraph import PGraph
-
-    array_spec: SharedArraySpec = spec["array"]
+def _attach_view(array_spec: SharedArraySpec,
+                 attachments: dict) -> np.ndarray:
+    """Map one registered segment (cached per worker by segment name)."""
     cached = attachments.get(array_spec.name)
     if cached is None:
         shm = _attach(array_spec.name)
@@ -220,16 +244,74 @@ def _run_task(spec: dict, attachments: dict, cancel_event):
         view.setflags(write=False)
         cached = (shm, view)
         attachments[array_spec.name] = cached
-    view = cached[1]
+    return cached[1]
 
-    kind, payload = spec["rows"]
+
+def _gather_sharded(spec: ShardedArraySpec, kind: str, payload,
+                    attachments: dict):
+    """Gather rows of a virtually concatenated array across its part
+    segments; returns ``(rows, to_global)`` like the single-segment
+    path.  Stays zero-copy when a slice falls inside one part."""
+    offsets = np.asarray(spec.offsets, dtype=np.intp)
     if kind == "slice":
+        start, stop = payload
+        # side="right" - 1 lands on the part containing the row even
+        # when empty parts produce repeated offsets
+        first = int(np.searchsorted(offsets, start, side="right")) - 1
+        if stop <= offsets[first + 1]:  # inside one part: zero-copy
+            view = _attach_view(spec.parts[first], attachments)
+            rows = view[start - offsets[first]:stop - offsets[first]]
+        else:
+            pieces = []
+            cursor = start
+            part = first
+            while cursor < stop:
+                view = _attach_view(spec.parts[part], attachments)
+                lo = cursor - offsets[part]
+                hi = min(stop, int(offsets[part + 1])) - offsets[part]
+                if hi > lo:
+                    pieces.append(view[lo:hi])
+                cursor = int(offsets[part + 1])
+                part += 1
+            rows = np.vstack(pieces)
+
+        def to_global(local: np.ndarray) -> np.ndarray:
+            return local + start
+    else:
+        indices = np.asarray(payload, dtype=np.intp)
+        part_of = np.searchsorted(offsets, indices, side="right") - 1
+        width = spec.shape[1]
+        rows = np.empty((indices.size, width), dtype=np.float64)
+        for part in np.unique(part_of):
+            mask = part_of == part
+            view = _attach_view(spec.parts[part], attachments)
+            rows[mask] = view[indices[mask] - offsets[part]]
+
+        def to_global(local: np.ndarray) -> np.ndarray:
+            return indices[local]
+    return rows, to_global
+
+
+def _run_task(spec: dict, attachments: dict, cancel_event):
+    """Execute one task spec; returns ``(global_indices, stats)``."""
+    from .. import algorithms as _algorithms  # fills the registry
+    from ..core.dominance import forced_kernel
+    from ..core.pgraph import PGraph
+
+    array_spec = spec["array"]
+    kind, payload = spec["rows"]
+    if isinstance(array_spec, ShardedArraySpec):
+        rows, to_global = _gather_sharded(array_spec, kind, payload,
+                                          attachments)
+    elif kind == "slice":
+        view = _attach_view(array_spec, attachments)
         start, stop = payload
         rows = view[start:stop]  # zero-copy view of the segment
 
         def to_global(local: np.ndarray) -> np.ndarray:
             return local + start
     else:  # "indices": merge tasks and arbitrary subsets
+        view = _attach_view(array_spec, attachments)
         indices = np.asarray(payload, dtype=np.intp)
         rows = view[indices]
 
@@ -428,7 +510,6 @@ class WorkerPool:
         the pool.  Worker stats are merged into ``context.stats``.
         """
         from ..algorithms.base import ensure_context
-        from ..core.dominance import current_forced_kernel
 
         context = ensure_context(context)
         if self._closed:
@@ -439,54 +520,162 @@ class WorkerPool:
         context.check("pool-setup")
         with self._lock:
             registration = self.register(ranks)
-            query_id = next(self._query_ids)
-            self._drain_stale()
-            self._cancel_event.clear()
-            token = context.cancel
-            if token is not None and hasattr(token, "link"):
-                token.link(self._cancel_event)
-                linked = True
-            else:
-                linked = False
-            base_spec = {
-                "array": registration.spec,
-                "columns": tuple(columns) if columns is not None else None,
-                "graph": (graph.names, graph.closure, graph.orders),
-                "algorithm": algorithm,
-                "options": dict(options or {}),
-                "deadline": context.deadline,
-                "memory_budget": context.memory_budget,
-                "forced_kernel": current_forced_kernel(),
-            }
-            try:
-                bounds = np.linspace(0, n, chunks + 1, dtype=np.intp)
-                specs = [dict(base_spec,
-                              rows=("slice", (int(bounds[i]),
-                                              int(bounds[i + 1]))))
+            bounds = np.linspace(0, n, chunks + 1, dtype=np.intp)
+            row_tasks = [("slice", (int(bounds[i]), int(bounds[i + 1])))
                          for i in range(chunks)]
-                context.event("pool-dispatch", chunks=chunks,
+            return self._scatter_gather(
+                registration.spec, graph, row_tasks=row_tasks,
+                algorithm=algorithm, columns=columns, options=options,
+                context=context)
+
+    def run_sharded(self, arrays, graph, *, algorithm: str = "osdc",
+                    columns=None, options: dict | None = None,
+                    context: ExecutionContext | None = None
+                    ) -> np.ndarray:
+        """Evaluate ``M_pi`` over the virtual concatenation of
+        independently registered shard arrays; returns sorted indices in
+        the virtual (concatenated) coordinate space.
+
+        Each shard is registered into shared memory on its own, so a
+        mutation to one shard of a
+        :class:`~repro.core.sharding.ShardedRelation` invalidates only
+        that shard's registration on the next query.  Chunk boundaries
+        never cross shards: each shard is split into enough slices that
+        no task exceeds roughly ``n / processes`` rows, then all slices
+        are scattered and tree-merged exactly like :meth:`run_query`.
+        """
+        from ..algorithms.base import ensure_context
+
+        context = ensure_context(context)
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        arrays = [np.ascontiguousarray(a, dtype=np.float64)
+                  for a in arrays if a.shape[0]]
+        n = sum(int(a.shape[0]) for a in arrays)
+        context.check("pool-setup")
+        with self._lock:
+            if not arrays:
+                return np.empty(0, dtype=np.intp)
+            spec = self._register_sharded(arrays)
+            target = max(1, -(-n // self.processes))  # ceil division
+            row_tasks = []
+            for index, array in enumerate(arrays):
+                base = spec.offsets[index]
+                rows = int(array.shape[0])
+                pieces = max(1, -(-rows // target))
+                bounds = np.linspace(0, rows, pieces + 1, dtype=np.intp)
+                row_tasks.extend(
+                    ("slice", (int(base + bounds[i]),
+                               int(base + bounds[i + 1])))
+                    for i in range(pieces))
+            return self._scatter_gather(
+                spec, graph, row_tasks=row_tasks, algorithm=algorithm,
+                columns=columns, options=options, context=context,
+                pool_extra={"shards": len(arrays)})
+
+    def merge_sharded_skylines(self, arrays, graph, parts, *,
+                               algorithm: str = "osdc", columns=None,
+                               options: dict | None = None,
+                               context: ExecutionContext | None = None
+                               ) -> np.ndarray:
+        """Tree-merge pre-computed per-shard skylines on the pool.
+
+        ``parts`` holds one index array per shard skyline, in the
+        virtual coordinate space of the concatenated ``arrays``.  This
+        is the serving path for maintained sharded relations: the
+        per-shard skylines are already known, so the chunk-evaluation
+        stage is skipped entirely and only the merge tree runs.
+        Returns sorted virtual indices of the global skyline.
+        """
+        from ..algorithms.base import ensure_context
+
+        context = ensure_context(context)
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        context.check("pool-setup")
+        with self._lock:
+            arrays = [np.ascontiguousarray(a, dtype=np.float64)
+                      for a in arrays]
+            spec = self._register_sharded(arrays)
+            parts = [np.asarray(part, dtype=np.intp) for part in parts]
+            return self._scatter_gather(
+                spec, graph, parts=parts, algorithm=algorithm,
+                columns=columns, options=options, context=context,
+                phase="pool-shard-merge",
+                pool_extra={"shards": len(parts), "merge_only": True})
+
+    def _register_sharded(self, arrays) -> ShardedArraySpec:
+        """Register each shard array independently; caller holds the
+        lock."""
+        offsets = [0]
+        specs = []
+        for array in arrays:
+            specs.append(self.register(array).spec)
+            offsets.append(offsets[-1] + int(array.shape[0]))
+        return ShardedArraySpec(tuple(specs), tuple(offsets))
+
+    def _scatter_gather(self, array_spec, graph, *, row_tasks=None,
+                        parts=None, algorithm: str, columns,
+                        options: dict | None,
+                        context: ExecutionContext,
+                        phase: str = "pool-chunk",
+                        pool_extra: dict | None = None) -> np.ndarray:
+        """The shared scatter/gather engine behind every pooled query.
+
+        Either evaluates ``row_tasks`` (chunk stage + merge tree) or
+        adopts pre-computed ``parts`` (merge tree only).  Caller holds
+        the pool lock.  Returns sorted global/virtual indices.
+        """
+        from ..core.dominance import current_forced_kernel
+
+        query_id = next(self._query_ids)
+        self._drain_stale()
+        self._cancel_event.clear()
+        token = context.cancel
+        if token is not None and hasattr(token, "link"):
+            token.link(self._cancel_event)
+            linked = True
+        else:
+            linked = False
+        base_spec = {
+            "array": array_spec,
+            "columns": tuple(columns) if columns is not None else None,
+            "graph": (graph.names, graph.closure, graph.orders),
+            "algorithm": algorithm,
+            "options": dict(options or {}),
+            "deadline": context.deadline,
+            "memory_budget": context.memory_budget,
+            "forced_kernel": current_forced_kernel(),
+        }
+        worker_stats: list = []
+        try:
+            if row_tasks is not None:
+                specs = [dict(base_spec, rows=rows)
+                         for rows in row_tasks]
+                context.event("pool-dispatch", chunks=len(specs),
                               workers=self.processes)
                 parts, worker_stats = self._execute_tasks(
-                    query_id, specs, context, "pool-chunk")
-                chunk_sizes = [int(part.size) for part in parts]
-                parts, merge_rounds = self._tree_merge(
-                    query_id, parts, base_spec, context, worker_stats)
-                result = np.sort(parts[0]) if parts else \
-                    np.empty(0, dtype=np.intp)
-            except BaseException:
-                # wake the workers out of any in-flight sibling task;
-                # their (stale) results are discarded by query id
-                self._cancel_event.set()
-                raise
-            finally:
-                if linked:
-                    token.unlink(self._cancel_event)
-            self._aggregate_stats(context, worker_stats, chunk_sizes,
-                                  chunks, merge_rounds)
-            context.event("pool-query", chunks=chunks,
-                          merge_rounds=merge_rounds,
-                          result=int(result.size))
-            return result
+                    query_id, specs, context, phase)
+            chunks = len(parts)
+            chunk_sizes = [int(part.size) for part in parts]
+            parts, merge_rounds = self._tree_merge(
+                query_id, parts, base_spec, context, worker_stats)
+            result = np.sort(parts[0]) if parts else \
+                np.empty(0, dtype=np.intp)
+        except BaseException:
+            # wake the workers out of any in-flight sibling task;
+            # their (stale) results are discarded by query id
+            self._cancel_event.set()
+            raise
+        finally:
+            if linked:
+                token.unlink(self._cancel_event)
+        self._aggregate_stats(context, worker_stats, chunk_sizes,
+                              chunks, merge_rounds, pool_extra)
+        context.event("pool-query", chunks=chunks,
+                      merge_rounds=merge_rounds,
+                      result=int(result.size))
+        return result
 
     def map_queries(self, data, queries, *, algorithm: str = "osdc",
                     chunks: int | None = None, min_chunk: int = 4096,
@@ -581,7 +770,8 @@ class WorkerPool:
     @staticmethod
     def _aggregate_stats(context: ExecutionContext, worker_stats: list,
                          chunk_sizes: list[int], chunks: int,
-                         merge_rounds: int) -> None:
+                         merge_rounds: int,
+                         pool_extra: dict | None = None) -> None:
         stats = context.stats
         if stats is None:
             return
@@ -604,6 +794,8 @@ class WorkerPool:
                 str(worker_id): count
                 for worker_id, count in sorted(per_worker.items())},
         }
+        if pool_extra:
+            stats.extra["pool"].update(pool_extra)
 
 
 def _resolve_batch(data, queries):

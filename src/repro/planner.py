@@ -90,6 +90,11 @@ class Planner:
         skipped in daemonic processes, which cannot host workers.
     sample_size:
         Sample size for the output estimator.
+    sharded_threshold:
+        Snapshots of a sharded relation with at least this many tuples
+        (and more than one non-empty shard) are scattered across the
+        worker pool per shard; below it the merge overhead is not worth
+        paying and the snapshot is evaluated serially.
     """
 
     def __init__(self, *, naive_threshold: int = 128,
@@ -97,12 +102,14 @@ class Planner:
                  memory_budget: int | None = None,
                  parallel_threshold: int | None = 200_000,
                  sample_size: int = 64,
+                 sharded_threshold: int = 50_000,
                  rng: np.random.Generator | None = None):
         self.naive_threshold = naive_threshold
         self.bnl_selectivity = bnl_selectivity
         self.memory_budget = memory_budget
         self.parallel_threshold = parallel_threshold
         self.sample_size = sample_size
+        self.sharded_threshold = sharded_threshold
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def plan(self, ranks: np.ndarray, graph: PGraph,
@@ -151,6 +158,56 @@ class Planner:
             "osdc",
             "general case: output-sensitive divide and conquer",
             estimated_output=estimate,
+        )
+
+    def plan_sharded(self, snapshot, graph: PGraph,
+                     context: ExecutionContext | None = None,
+                     columns=None) -> Plan:
+        """The shard-aware rule for a
+        :class:`~repro.core.sharding.ShardSnapshot` of an *untracked*
+        p-graph.
+
+        * one (or zero) non-empty shards -> evaluate that shard alone
+          (``single-shard``: partitioning adds nothing);
+        * large snapshots with a live worker pool ->
+          ``sharded-scatter-gather`` over the per-shard shared-memory
+          registrations;
+        * everything else -> ``sharded-serial``, i.e. the ordinary
+          single-matrix plan over the materialised snapshot.
+        """
+        n = len(snapshot)
+        populated = [index for index, shard in enumerate(snapshot.shards)
+                     if len(shard)]
+        if len(populated) <= 1:
+            shard = populated[0] if populated else 0
+            return Plan(
+                "single-shard",
+                f"only {len(populated)} of {snapshot.num_shards} shards "
+                "hold tuples: evaluate that shard directly",
+                options={"shard": shard},
+            )
+        if n >= self.sharded_threshold and pool_available():
+            estimate = None
+            if n and (columns is not None
+                      or snapshot.relation.arity == graph.d):
+                sample = snapshot.relation.ranks
+                if columns is not None:
+                    sample = sample[:, list(columns)]
+                estimate = estimate_pskyline_size(
+                    sample, graph, self.rng,
+                    sample_size=self.sample_size)
+            return Plan(
+                "sharded-scatter-gather",
+                f"snapshot of {n} tuples across {len(populated)} "
+                "populated shards: scatter per shard and tree-merge on "
+                "the pool",
+                estimated_output=estimate,
+            )
+        return Plan(
+            "sharded-serial",
+            f"snapshot of {n} tuples is below the sharded threshold of "
+            f"{self.sharded_threshold} (or no pool is available): "
+            "evaluate the materialised snapshot serially",
         )
 
     def execute(self, ranks: np.ndarray, graph: PGraph,

@@ -111,13 +111,34 @@ class PreferenceSQL:
 
     def _execute_parsed(self, query: Query, *, algorithm: str,
                         context: ExecutionContext) -> Relation:
+        from ..core.sharding import ShardedRelation
+
         if query.table not in self._catalog:
             known = ", ".join(self.tables()) or "(none)"
             raise SqlExecutionError(
                 f"unknown table {query.table!r}; registered: {known}"
             )
         relation = self._catalog[query.table]
+        if isinstance(relation, ShardedRelation):
+            # pin one MVCC snapshot for the whole statement: concurrent
+            # writes bump the version but never shift this query's rows
+            with relation.snapshot() as snapshot:
+                context.event("sql-snapshot",
+                              version=snapshot.version,
+                              shards=snapshot.num_shards)
+                if context.stats is not None:
+                    context.stats.extra["relation_version"] = \
+                        snapshot.version
+                order = np.argsort(snapshot.global_ids, kind="stable")
+                stable = snapshot.relation.take(order)
+            return self._execute_on(stable, query, algorithm=algorithm,
+                                    context=context)
+        return self._execute_on(relation, query, algorithm=algorithm,
+                                context=context)
 
+    def _execute_on(self, relation: Relation, query: Query, *,
+                    algorithm: str,
+                    context: ExecutionContext) -> Relation:
         if query.where is not None:
             context.check("sql-where")
             mask = self._evaluate(query.where, relation)

@@ -36,6 +36,21 @@ p-skyline is *exactly predictable* from the original answer:
     result must equal the algorithm-under-test's answer, so the fuzzer
     cross-checks the whole pool execution machinery -- shared-memory
     descriptors, chunk bounds, pooled merges -- on every rotating case.
+``sharded-2`` / ``sharded-3``
+    Identity transforms executed by hash-partitioning the rows ``k``
+    ways and merging the per-shard answers
+    (:func:`repro.core.sharding.sharded_pskyline` running the
+    algorithm under test per shard and on the union).  Again by the
+    partition identity the result must be unchanged -- the
+    sharded-vs-monolithic equivalence axis, cross-checking the shard
+    router and partition/merge plumbing on every rotating case.
+``snapshot-isolation``
+    Identity transform executed against a pinned MVCC snapshot of a
+    :class:`~repro.core.sharding.ShardedRelation` built from the case,
+    *after* dominating inserts and random deletes have landed at later
+    versions.  Snapshot isolation demands the snapshot's answer equal
+    the original one -- a differential check that writes at version
+    ``v + 1`` never leak into a reader pinned at ``v``.
 
 :func:`run_transform` checks the relation for one algorithm on one case
 and reports violations as :class:`~repro.verify.differential.Mismatch`
@@ -77,6 +92,10 @@ class MetamorphicTransform:
     #: pool with this many partitions instead of calling the algorithm
     #: under test directly.
     pool_chunks: int | None = None
+    #: When set, the transformed run is delegated entirely to this
+    #: callable -- ``executor(new_ranks, new_graph, function, rng)``
+    #: returns the result indices (the sharded and snapshot axes).
+    executor: Callable | None = None
 
 
 def permute_graph(graph: PGraph, sigma: list[int]) -> PGraph:
@@ -173,6 +192,59 @@ def _kernel_transform(kernel: str) -> MetamorphicTransform:
         "is unchanged", _identity, kernel=kernel)
 
 
+def _sharded_executor(shards: int) -> Callable:
+    def execute(ranks: np.ndarray, graph: PGraph, function,
+                rng: random.Random):
+        from ..core.sharding import sharded_pskyline
+
+        return sharded_pskyline(ranks, graph, shards=shards,
+                                function=function)
+    return execute
+
+
+def _sharded_transform(shards: int) -> MetamorphicTransform:
+    return MetamorphicTransform(
+        f"sharded-{shards}",
+        f"hash-partition the rows {shards} ways, evaluate per shard and "
+        "merge; the result is unchanged (partition identity)",
+        _identity, executor=_sharded_executor(shards))
+
+
+def _snapshot_isolation_executor(ranks: np.ndarray, graph: PGraph,
+                                 function, rng: random.Random):
+    """Pin a snapshot, land writes at later versions, answer from the
+    snapshot -- it must still see the original case."""
+    from ..core.sharding import ShardedRelation
+
+    relation = ShardedRelation.from_array(ranks, names=graph.names,
+                                          shards=2)
+    snapshot = relation.snapshot()
+    try:
+        pinned = snapshot.version
+        n, d = ranks.shape
+        for _ in range(rng.randint(1, 4)):
+            if n:
+                anchor = ranks[rng.randrange(n)]
+                better = anchor - np.array(
+                    [rng.uniform(0.5, 2.0) for _ in range(d)])
+            else:
+                better = np.zeros(d)
+            relation.insert_ranks(better)
+        if n:
+            for gid in rng.sample(range(n), min(n, rng.randint(1, 3))):
+                relation.delete(gid)
+        if relation.version <= pinned:
+            raise AssertionError(
+                "writes did not advance the relation version")
+        # global ids of the bulk-built rows are the original row order,
+        # so snapshot positions map straight back to case indices
+        local = np.asarray(function(snapshot.relation.ranks, graph),
+                           dtype=np.intp)
+        return snapshot.global_ids[local]
+    finally:
+        snapshot.close()
+
+
 TRANSFORMS: dict[str, MetamorphicTransform] = {
     transform.name: transform for transform in (
         MetamorphicTransform(
@@ -202,6 +274,13 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
             "re-evaluate on the persistent worker pool (2 chunks, "
             "shared memory, tree merge); the result is unchanged",
             _identity, pool_chunks=2),
+        _sharded_transform(2),
+        _sharded_transform(3),
+        MetamorphicTransform(
+            "snapshot-isolation",
+            "answer from a pinned MVCC snapshot after writes land at "
+            "later versions; the result is unchanged",
+            _identity, executor=_snapshot_isolation_executor),
     )
 }
 
@@ -213,7 +292,10 @@ def run_transform(transform: MetamorphicTransform, ranks: np.ndarray,
     original = set(int(i) for i in function(ranks, graph))
     new_ranks, new_graph, oracle = transform.apply(ranks, graph, rng)
     expected = oracle(original)
-    if transform.pool_chunks is not None:
+    if transform.executor is not None:
+        got = set(int(i) for i in transform.executor(
+            new_ranks, new_graph, function, rng))
+    elif transform.pool_chunks is not None:
         from ..algorithms.parallel import parallel_osdc
 
         got = set(int(i) for i in parallel_osdc(

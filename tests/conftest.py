@@ -5,16 +5,31 @@ definitions* of Pareto and prioritized accumulation (Section 2.1), by
 structural recursion over the expression -- no p-graphs involved.  It is
 the ground-truth oracle against which the Proposition 1 bitmask machinery
 and every algorithm are validated.
+
+``pool_segments`` lists the worker-pool shared-memory segments this
+process currently owns, so pool and sharding tests can assert nothing
+leaked across a query.
 """
 
 from __future__ import annotations
 
+import glob
+import os
 import random
 
 import numpy as np
 import pytest
 
 from repro.core.expressions import Att, Pareto, PExpr, Prioritized, pareto, prioritized
+
+
+def pool_segments() -> list[str]:
+    """Shared-memory segments created by this process's worker pools."""
+    from repro.engine.pool import SEGMENT_PREFIX
+
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-{os.getpid()}-*")
 
 
 def semantic_compare(expr: PExpr, u: dict, v: dict) -> str:

@@ -8,7 +8,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import random_expression
+from conftest import pool_segments, random_expression
 from repro import Relation, p_skyline, p_skyline_batch
 from repro.algorithms import naive, osdc
 from repro.algorithms.parallel import parallel_osdc
@@ -18,14 +18,8 @@ from repro.core.pgraph import PGraph
 from repro.engine import (CancellationToken, ExecutionContext,
                           QueryCancelled, QueryTimeout, WorkerPool,
                           get_default_pool, shutdown_default_pool)
-from repro.engine.pool import SEGMENT_PREFIX
-
-
-def _our_segments():
-    """Shared-memory segments created by this module's prefix."""
-    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
-        return []
-    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-{os.getpid()}-*")
+# segment enumeration lives in conftest so the sharding tests share it
+_our_segments = pool_segments
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,429 @@
+"""Tests for sharded, MVCC-versioned relations (core.sharding)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import pool_segments, random_expression
+from repro import Relation, lowest, highest, p_skyline, p_skyline_batch
+from repro.algorithms.base import Stats
+from repro.algorithms.incremental import PSkylineMaintainer
+from repro.algorithms.osdc import osdc
+from repro.algorithms.sliding import SlidingWindowPSkyline
+from repro.core.parser import parse
+from repro.core.pgraph import PGraph
+from repro.core.sharding import (ShardMap, ShardedPSkylineMaintainer,
+                                 ShardedRelation, sharded_pskyline)
+from repro.engine import ExecutionContext, WorkerPool
+from repro.planner import Planner
+from repro.sql import PreferenceSQL
+
+
+def _graph(expression: str, d: int) -> PGraph:
+    return PGraph.from_expression(parse(expression),
+                                  names=[f"A{i}" for i in range(d)])
+
+
+class TestShardMap:
+    def test_hash_routing_is_deterministic(self, nrng):
+        shard_map = ShardMap.hashed(5)
+        block = nrng.normal(size=(64, 3))
+        routed = shard_map.shard_of_block(block)
+        assert routed.shape == (64,)
+        assert ((routed >= 0) & (routed < 5)).all()
+        # row-at-a-time and block routing agree, and repeat exactly
+        for row, shard in zip(block, routed):
+            assert shard_map.shard_of(row) == shard
+        assert np.array_equal(shard_map.shard_of_block(block), routed)
+
+    def test_negative_zero_routes_like_zero(self):
+        shard_map = ShardMap.hashed(7)
+        assert shard_map.shard_of(np.array([-0.0, 1.0])) == \
+            shard_map.shard_of(np.array([0.0, 1.0]))
+
+    def test_range_routing_follows_boundaries(self):
+        shard_map = ShardMap.ranged(3, 0, [0.0, 10.0])
+        assert shard_map.shard_of(np.array([-5.0, 99.0])) == 0
+        assert shard_map.shard_of(np.array([5.0, 99.0])) == 1
+        assert shard_map.shard_of(np.array([50.0, 99.0])) == 2
+        block = np.array([[-1.0, 0.0], [0.5, 0.0], [11.0, 0.0]])
+        assert shard_map.shard_of_block(block).tolist() == [0, 1, 2]
+
+    def test_invalid_maps_are_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+        with pytest.raises(ValueError):
+            ShardMap(2, "modulo")
+        with pytest.raises(ValueError):
+            ShardMap(3, "range", boundaries=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            ShardMap(3, "range")
+
+
+class TestShardedPSkyline:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_equals_monolithic_osdc(self, nrng, shards):
+        ranks = nrng.normal(size=(400, 4))
+        graph = _graph("(A0 & A1) * (A2 & A3)", 4)
+        expected = osdc(ranks, graph)
+        got = sharded_pskyline(ranks, graph, shards=shards)
+        assert np.array_equal(got, expected)
+
+    def test_random_expressions(self, nrng, rng):
+        names = [f"A{i}" for i in range(5)]
+        for _ in range(10):
+            graph = PGraph.from_expression(
+                random_expression(names, rng), names=names)
+            ranks = nrng.integers(0, 8, size=(120, 5)).astype(float)
+            assert np.array_equal(
+                sharded_pskyline(ranks, graph, shards=3),
+                osdc(ranks, graph))
+
+    def test_range_shard_map(self, nrng):
+        ranks = nrng.normal(size=(300, 3))
+        graph = _graph("A0 * A1 * A2", 3)
+        shard_map = ShardMap.ranged(4, 1, [-0.5, 0.0, 0.5])
+        assert np.array_equal(
+            sharded_pskyline(ranks, graph, shard_map=shard_map),
+            osdc(ranks, graph))
+
+
+class TestShardedMaintainer:
+    def test_matches_recompute_under_churn(self, nrng, rng):
+        graph = _graph("A0 & (A1 * A2)", 3)
+        maintainer = ShardedPSkylineMaintainer(graph, 3)
+        rows: dict[int, np.ndarray] = {}
+        for _ in range(200):
+            if rows and rng.random() < 0.3:
+                victim = rng.choice(sorted(rows))
+                maintainer.delete(victim)
+                del rows[victim]
+            else:
+                row = nrng.integers(0, 10, size=3).astype(float)
+                rows[maintainer.insert(row)] = row
+            alive = sorted(rows)
+            expected = {alive[j] for j in osdc(
+                np.array([rows[i] for i in alive]), graph)} \
+                if alive else set()
+            assert set(maintainer.skyline_ids().tolist()) == expected
+        assert maintainer.num_alive == len(rows)
+
+    def test_bulk_load_equals_sequential_inserts(self, nrng):
+        graph = _graph("A0 * (A1 & A2)", 3)
+        block = nrng.normal(size=(150, 3))
+        bulk = ShardedPSkylineMaintainer(graph, 4)
+        ids = bulk.bulk_load(block)
+        assert ids.tolist() == list(range(150))
+        sequential = ShardedPSkylineMaintainer(graph, 4)
+        for row in block:
+            sequential.insert(row)
+        assert np.array_equal(bulk.skyline_ids(),
+                              sequential.skyline_ids())
+        assert np.array_equal(bulk.skyline_ids(),
+                              np.sort(osdc(block, graph)))
+
+    def test_matches_flat_maintainer(self, nrng):
+        graph = _graph("(A0 & A1) * A2", 3)
+        block = nrng.normal(size=(100, 3))
+        flat = PSkylineMaintainer(graph)
+        sharded = ShardedPSkylineMaintainer(graph, 3)
+        for row in block:
+            flat.insert(row)
+            sharded.insert(row)
+        assert np.array_equal(flat.skyline_ids(), sharded.skyline_ids())
+        flat.delete(int(flat.skyline_ids()[0]))
+        sharded.delete(int(sharded.skyline_ids()[0]))
+        assert np.array_equal(flat.skyline_ids(), sharded.skyline_ids())
+
+
+class TestShardedRelation:
+    def test_roundtrip_and_version_bumps(self):
+        relation = ShardedRelation.from_records(
+            [{"price": 3.0, "hp": 100.0}, {"price": 2.0, "hp": 90.0}],
+            [lowest("price"), highest("hp")], shards=2)
+        assert relation.names == ("price", "hp")
+        assert len(relation) == 2
+        assert relation.version == 1  # one bulk load
+        gid = relation.insert({"price": 1.0, "hp": 120.0})
+        assert relation.version == 2
+        relation.delete(gid)
+        assert relation.version == 3
+        assert gid not in relation
+
+    def test_insert_validation(self):
+        relation = ShardedRelation.from_records(
+            [{"a": 1.0, "b": 2.0}], [lowest("a"), lowest("b")],
+            shards=2)
+        with pytest.raises(ValueError, match="missing attribute"):
+            relation.insert({"a": 1.0})
+        with pytest.raises(ValueError, match="non-finite"):
+            relation.insert_ranks([1.0, float("nan")])
+        with pytest.raises(ValueError, match="non-finite"):
+            relation.insert_ranks([1.0, float("inf")])
+        with pytest.raises(KeyError):
+            relation.delete(99)
+
+    def test_tracked_serve_tracks_churn(self, nrng, rng):
+        ranks = nrng.integers(0, 12, size=(80, 3)).astype(float)
+        graph = _graph("A0 * (A1 & A2)", 3)
+        relation = ShardedRelation.from_array(
+            ranks, names=["A0", "A1", "A2"], shards=3)
+        relation.track(graph)
+        rows = {gid: row for gid, row in enumerate(ranks)}
+        for _ in range(60):
+            if rows and rng.random() < 0.4:
+                victim = rng.choice(sorted(rows))
+                relation.delete(victim)
+                del rows[victim]
+            else:
+                row = nrng.integers(0, 12, size=3).astype(float)
+                rows[relation.insert_ranks(row)] = row
+            alive = sorted(rows)
+            expected = np.asarray(alive, dtype=np.intp)[
+                np.sort(osdc(np.array([rows[i] for i in alive]), graph))]
+            assert np.array_equal(relation.skyline_gids(graph),
+                                  np.sort(expected))
+
+    def test_track_after_writes_replays_existing_rows(self, nrng):
+        ranks = nrng.normal(size=(50, 2))
+        relation = ShardedRelation.from_array(ranks, names=["A0", "A1"],
+                                              shards=2)
+        relation.delete(3)
+        relation.insert_ranks([-9.0, -9.0])
+        graph = relation.track("A0 & A1")
+        alive_rows = np.vstack([np.delete(ranks, 3, axis=0),
+                                [[-9.0, -9.0]]])
+        alive_gids = np.array([g for g in range(51) if g != 3])
+        expected = np.sort(alive_gids[osdc(alive_rows, graph)])
+        assert np.array_equal(relation.skyline_gids(graph), expected)
+
+    def test_range_partitioning_from_quantiles(self, nrng):
+        ranks = nrng.normal(size=(200, 2))
+        relation = ShardedRelation.from_array(
+            ranks, names=["A0", "A1"], shards=4, partition="range",
+            column="A0")
+        assert relation.shard_map.kind == "range"
+        with relation.snapshot() as snapshot:
+            sizes = [len(shard) for shard in snapshot.shards]
+        assert sum(sizes) == 200
+        assert min(sizes) > 0  # quantile cuts balance the load
+        result = relation.p_skyline("A0 & A1", algorithm="osdc")
+        expected = osdc(ranks, _graph("A0 & A1", 2))
+        assert np.array_equal(result.ranks, ranks[np.sort(expected)])
+
+
+class TestSnapshotIsolation:
+    def test_pinned_snapshot_ignores_later_writes(self, nrng):
+        ranks = nrng.normal(size=(60, 2))
+        relation = ShardedRelation.from_array(ranks, names=["A0", "A1"],
+                                              shards=2)
+        graph = _graph("A0 & A1", 2)
+        snapshot = relation.snapshot()
+        before = snapshot.relation.ranks.copy()
+        relation.insert_ranks([-99.0, -99.0])  # dominates everything
+        relation.delete(0)
+        assert np.array_equal(snapshot.relation.ranks, before)
+        local = osdc(snapshot.relation.ranks, graph)
+        expected = np.sort(snapshot.global_ids[local])
+        served = relation.p_skyline(graph, snapshot=snapshot)
+        assert np.array_equal(served.ranks,
+                              snapshot.take_gids(expected).ranks)
+        snapshot.close()
+
+    def test_versions_are_reclaimed_on_close(self, nrng):
+        relation = ShardedRelation.from_array(
+            nrng.normal(size=(20, 2)), names=["A0", "A1"], shards=2)
+        first = relation.snapshot()
+        relation.insert_ranks([0.0, 0.0])
+        second = relation.snapshot()
+        assert relation.live_versions() == (first.version,
+                                            second.version)
+        first.close()
+        first.close()  # idempotent
+        assert relation.live_versions() == (second.version,)
+        assert first.closed
+        second.close()
+        assert relation.live_versions() == ()
+
+    def test_take_gids_rejects_missing_ids(self, nrng):
+        relation = ShardedRelation.from_array(
+            nrng.normal(size=(10, 2)), names=["A0", "A1"], shards=2)
+        with relation.snapshot() as snapshot:
+            with pytest.raises(KeyError, match="not in snapshot"):
+                snapshot.take_gids([0, 77])
+
+
+class TestQueryDispatch:
+    def test_p_skyline_accepts_sharded_relations(self, nrng):
+        ranks = nrng.normal(size=(150, 3))
+        names = ["A0", "A1", "A2"]
+        flat = Relation.from_array(ranks, names=names)
+        sharded = ShardedRelation.from_array(ranks, names=names,
+                                             shards=3)
+        expression = "A0 & (A1 * A2)"
+        expected = p_skyline(flat, expression)
+        stats = Stats()
+        got = p_skyline(sharded, expression, stats=stats)
+        assert np.array_equal(got.ranks, expected.ranks)
+        info = stats.extra["shards"]
+        assert info["count"] == 3
+        assert info["version"] == sharded.version
+        assert stats.extra["relation_version"] == sharded.version
+
+    def test_tracked_relation_serves_through_p_skyline(self, nrng):
+        ranks = nrng.normal(size=(150, 3))
+        names = ["A0", "A1", "A2"]
+        sharded = ShardedRelation.from_array(ranks, names=names,
+                                             shards=3)
+        sharded.track("A0 & A1 & A2")
+        stats = Stats()
+        got = p_skyline(sharded, "A0 & A1 & A2", algorithm="auto",
+                        stats=stats)
+        assert stats.extra["shards"]["mode"] == "maintained"
+        expected = p_skyline(Relation.from_array(ranks, names=names),
+                             "A0 & A1 & A2")
+        assert np.array_equal(got.ranks, expected.ranks)
+
+    def test_batch_pins_one_snapshot(self, nrng):
+        ranks = nrng.normal(size=(100, 3))
+        names = ["A0", "A1", "A2"]
+        sharded = ShardedRelation.from_array(ranks, names=names,
+                                             shards=2)
+        flat = Relation.from_array(ranks, names=names)
+        expressions = ["A0 & A1", "A1 * A2", "(A0 & A2) * A1"]
+        got = p_skyline_batch(sharded, expressions)
+        expected = p_skyline_batch(flat, expressions)
+        for got_relation, expected_relation in zip(got, expected):
+            assert np.array_equal(got_relation.ranks,
+                                  expected_relation.ranks)
+
+
+class TestPlannerShardRule:
+    def test_single_populated_shard(self, nrng):
+        ranks = np.abs(nrng.normal(size=(50, 2))) + 10.0
+        relation = ShardedRelation.from_array(
+            ranks, names=["A0", "A1"],
+            shards=ShardMap.ranged(3, 0, [-2.0, -1.0]))
+        with relation.snapshot() as snapshot:
+            plan = Planner().plan_sharded(snapshot, _graph("A0 & A1", 2))
+        assert plan.algorithm == "single-shard"
+        assert plan.options["shard"] == 2
+
+    def test_small_snapshots_stay_serial(self, nrng):
+        relation = ShardedRelation.from_array(
+            nrng.normal(size=(100, 2)), names=["A0", "A1"], shards=2)
+        with relation.snapshot() as snapshot:
+            plan = Planner().plan_sharded(snapshot, _graph("A0 & A1", 2))
+        assert plan.algorithm == "sharded-serial"
+
+    def test_large_snapshots_scatter_gather(self, nrng):
+        ranks = nrng.normal(size=(3000, 2))
+        relation = ShardedRelation.from_array(ranks, names=["A0", "A1"],
+                                              shards=2)
+        planner = Planner(sharded_threshold=1000)
+        with relation.snapshot() as snapshot:
+            plan = planner.plan_sharded(snapshot, _graph("A0 & A1", 2))
+        assert plan.algorithm == "sharded-scatter-gather"
+        # end to end: the plan is recorded in stats and the trace ring,
+        # and the pooled scatter/gather answer matches serial OSDC
+        stats = Stats()
+        context = ExecutionContext.create(stats=stats, trace=16)
+        with WorkerPool(2) as pool:
+            result = relation.p_skyline("A0 & A1", planner=planner,
+                                        pool=pool, context=context)
+        assert stats.extra["plan"]["algorithm"] == \
+            "sharded-scatter-gather"
+        phases = [event.phase for event in context.trace.events()]
+        assert "plan" in phases and "shard-query" in phases
+        expected = osdc(ranks, _graph("A0 & A1", 2))
+        assert np.array_equal(result.ranks, ranks[np.sort(expected)])
+
+
+class TestPreferenceSqlOverShards:
+    def test_statement_over_sharded_relation(self, nrng):
+        ranks = np.round(np.abs(nrng.normal(size=(80, 2))) * 10, 1)
+        schema = [lowest("price"), lowest("mileage")]
+        flat = Relation.from_array(ranks, schema=schema)
+        sharded = ShardedRelation.from_relation(flat, shards=3)
+        engine = PreferenceSQL()
+        engine.register("cars", flat)
+        engine.register("shard_cars", sharded)
+        statement = ("SELECT price, mileage FROM {} WHERE price < 12 "
+                     "PREFERRING price & mileage")
+        expected = engine.execute(statement.format("cars"))
+        stats = Stats()
+        got = engine.execute(statement.format("shard_cars"), stats=stats)
+        assert np.array_equal(got.ranks, expected.ranks)
+        assert stats.extra["relation_version"] == sharded.version
+
+    def test_writes_between_statements_are_visible(self):
+        sharded = ShardedRelation.from_records(
+            [{"a": 2.0}, {"a": 3.0}], [lowest("a")], shards=2)
+        engine = PreferenceSQL()
+        engine.register("t", sharded)
+        first = engine.execute("SELECT a FROM t PREFERRING a")
+        assert len(first) == 1 and first.ranks[0, 0] == 2.0
+        sharded.insert({"a": 1.0})
+        second = engine.execute("SELECT a FROM t PREFERRING a")
+        assert len(second) == 1 and second.ranks[0, 0] == 1.0
+
+
+class TestSlidingWindowShards:
+    def test_sharded_window_equals_flat(self, nrng):
+        graph = _graph("A0 * (A1 & A2)", 3)
+        flat = SlidingWindowPSkyline(graph, window=40)
+        sharded = SlidingWindowPSkyline(graph, window=40, shards=3)
+        for row in nrng.integers(0, 9, size=(150, 3)).astype(float):
+            flat.append(row)
+            sharded.append(row)
+            assert np.array_equal(flat.skyline_ids(),
+                                  sharded.skyline_ids())
+        assert np.array_equal(flat.contents(), sharded.contents())
+
+
+class TestConcurrentWriteWhileQuery:
+    def test_queries_stay_consistent_under_writes(self, nrng):
+        """Writer thread churns the relation while pooled queries run;
+        every query must equal serial OSDC over its own pinned
+        snapshot, and no shared-memory segments may leak."""
+        before = set(pool_segments())
+        ranks = nrng.normal(size=(4000, 3))
+        names = ["A0", "A1", "A2"]
+        graph = _graph("A0 & (A1 * A2)", 3)
+        relation = ShardedRelation.from_array(ranks, names=names,
+                                              shards=4)
+        relation.track(graph)
+        stop = threading.Event()
+        writer_error: list[BaseException] = []
+
+        def churn():
+            writer_rng = np.random.default_rng(7)
+            gid = None
+            try:
+                while not stop.is_set():
+                    gid = relation.insert_ranks(
+                        writer_rng.normal(size=3))
+                    if writer_rng.random() < 0.5:
+                        relation.delete(gid)
+            except BaseException as error:  # pragma: no cover
+                writer_error.append(error)
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            with WorkerPool(2) as pool:
+                for _ in range(8):
+                    with relation.snapshot() as snapshot:
+                        served = relation.p_skyline(
+                            graph, snapshot=snapshot, pool=pool)
+                        local = osdc(snapshot.relation.ranks, graph)
+                        gids = np.sort(snapshot.global_ids[local])
+                        expected = snapshot.take_gids(gids)
+                    assert np.array_equal(served.ranks, expected.ranks)
+        finally:
+            stop.set()
+            writer.join()
+        assert not writer_error
+        assert relation.version > 1  # the writer actually interleaved
+        assert set(pool_segments()) <= before  # nothing leaked
