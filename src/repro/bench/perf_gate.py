@@ -39,6 +39,18 @@ single flat maintainer (:mod:`repro.bench.shard_bench`).  The serve
 speedup degrades to the same bounded-overhead waiver as the pool gate
 on hosts with fewer cores than workers; the insert-overhead ratio is
 core-count independent and gates everywhere.
+
+A fourth artifact, ``BENCH_7.json``, gates the query server
+(:mod:`repro.server`): a pinned correlated workload of 64
+elicitation-derived statements is replayed by 4 concurrent clients with
+the result cache disabled and then warm (:mod:`repro.bench.
+server_bench`).  Warm serving must beat cache-disabled serving by
+``MIN_CACHE_SPEEDUP`` (core-count independent -- a hit skips
+evaluation entirely), cache counters must be exact after a clear (one
+miss per distinct statement), forced shedding must flag every answer
+partial, and p99 latency is recorded; baseline qps/p99 comparisons are
+advisory on hosts with fewer cores than clients (waiver recorded in
+the artifact).
 """
 
 from __future__ import annotations
@@ -55,11 +67,13 @@ from ..core.bitsets import iter_bits
 
 __all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
            "run_gate", "compare", "run_parallel_gate", "compare_parallel",
-           "run_sharded_gate", "compare_sharded", "main"]
+           "run_sharded_gate", "compare_sharded", "run_server_gate",
+           "compare_server", "main"]
 
 SCHEMA = "repro-perf-gate/1"
 PARALLEL_SCHEMA = "repro-perf-gate-parallel/1"
 SHARDED_SCHEMA = "repro-perf-gate-sharded/1"
+SERVER_SCHEMA = "repro-perf-gate-server/1"
 
 #: Pinned workload parameters.  Changing any of these invalidates the
 #: committed baseline -- regenerate it in the same commit.
@@ -114,6 +128,26 @@ INSERT_STREAM = 2_000
 #: everywhere.
 MIN_SHARDED_SPEEDUP = 1.3
 MAX_INSERT_OVERHEAD = 1.2
+
+#: Pinned workload of the query-server gate (``BENCH_7.json``): a
+#: correlated, elicitation-derived 64-statement workload replayed by 4
+#: concurrent clients (:mod:`repro.bench.server_bench`).
+SERVER_ROWS = 20_000
+SERVER_DIMS = 5
+SERVER_STATEMENTS = 64
+SERVER_CLIENTS = 4
+
+#: Query-server gate thresholds.  A warm result cache answers repeated
+#: statements with a dictionary lookup instead of a skyline evaluation,
+#: so the cached-over-uncached throughput ratio is core-count
+#: *independent* and gates everywhere
+#: (``MIN_CACHE_SPEEDUP``).  Cache counters after a clear and one
+#: sequential pass are deterministic -- exactly one miss per distinct
+#: statement -- and must match exactly.  Wall-clock qps/p99 comparisons
+#: against the committed baseline only engage on hosts with at least
+#: ``SERVER_CLIENTS`` cores; below that they are advisory (waiver
+#: recorded in the artifact).
+MIN_CACHE_SPEEDUP = 2.0
 
 
 def _pinned_case(rows: int, dims: int, seed: int):
@@ -541,6 +575,129 @@ def compare_sharded(current: dict, baseline: dict | None, *,
     return violations
 
 
+def run_server_gate(*, seed: int = SEED, quick: bool = False) -> dict:
+    """Run the query-server workload; returns the ``BENCH_7``
+    artifact."""
+    import os
+
+    from .server_bench import measure_server
+
+    rows = 4_000 if quick else SERVER_ROWS
+    repeat = 1 if quick else 2
+    cores = os.cpu_count() or 1
+    server = measure_server(rows, SERVER_DIMS,
+                            statements=SERVER_STATEMENTS,
+                            clients=SERVER_CLIENTS, repeat=repeat,
+                            seed=seed)
+    artifact = {
+        "schema": SERVER_SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "rows": rows,
+            "dims": SERVER_DIMS,
+            "statements": SERVER_STATEMENTS,
+            "clients": SERVER_CLIENTS,
+            "repeat": repeat,
+        },
+        "cores": cores,
+        "server": server,
+    }
+    if cores < SERVER_CLIENTS:
+        artifact["waivers"] = [
+            f"host has {cores} core(s) < {SERVER_CLIENTS} clients: "
+            "baseline qps/p99 comparisons are advisory; the "
+            f"{MIN_CACHE_SPEEDUP:.1f}x cache speedup and the exact "
+            "counter checks still gate"]
+    return artifact
+
+
+def compare_server(current: dict, baseline: dict | None, *,
+                   min_cache_speedup: float = MIN_CACHE_SPEEDUP,
+                   time_factor: float = TIME_FACTOR) -> list[str]:
+    """Gate a fresh ``BENCH_7`` artifact (see :data:`MIN_CACHE_SPEEDUP`);
+    returns the violations (empty = ok)."""
+    violations: list[str] = []
+    server = current["server"]
+    cores = current.get("cores", 1)
+    clients = current["workload"]["clients"]
+
+    # -- within-run checks (no baseline needed) -----------------------------
+    if server["speedup_cached_over_uncached"] < min_cache_speedup:
+        violations.append(
+            f"{server['name']}: warm-cache serving is only "
+            f"{server['speedup_cached_over_uncached']:.2f}x the "
+            f"cache-disabled throughput, below the "
+            f"{min_cache_speedup:.2f}x gate")
+    if server["cold_misses"] != server["distinct_statements"]:
+        violations.append(
+            f"{server['name']}: a sequential pass after a cache clear "
+            f"took {server['cold_misses']} misses, expected exactly "
+            f"{server['distinct_statements']} (one per distinct "
+            "statement)")
+    expected_hits = server["cold_queries"] - server["distinct_statements"]
+    if server["cold_hits"] != expected_hits:
+        violations.append(
+            f"{server['name']}: the sequential pass took "
+            f"{server['cold_hits']} hits, expected exactly "
+            f"{expected_hits} (one per repeated statement)")
+    if server["shed_partial"] != server["shed_queries"]:
+        violations.append(
+            f"{server['name']}: under forced shedding only "
+            f"{server['shed_partial']} of {server['shed_queries']} "
+            "answers were partial")
+    if server["errors"]:
+        violations.append(
+            f"{server['name']}: {server['errors']} request(s) errored")
+
+    # -- baseline checks ----------------------------------------------------
+    if baseline is not None:
+        base_server = baseline["server"]
+        if server["distinct_statements"] != \
+                base_server["distinct_statements"]:
+            violations.append(
+                f"{server['name']}: distinct_statements "
+                f"{server['distinct_statements']} != baseline "
+                f"{base_server['distinct_statements']}")
+        if cores >= clients:
+            for key in ("uncached_p99_ms", "warm_p99_ms"):
+                if base_server.get(key) and \
+                        server[key] > base_server[key] * time_factor:
+                    violations.append(
+                        f"{server['name']}/{key}: {server[key]:.2f}ms "
+                        f"is more than {time_factor:.1f}x the baseline "
+                        f"{base_server[key]:.2f}ms")
+            if base_server.get("warm_qps") and \
+                    server["warm_qps"] < \
+                    base_server["warm_qps"] / time_factor:
+                violations.append(
+                    f"{server['name']}/warm_qps: {server['warm_qps']:.0f} "
+                    f"is less than 1/{time_factor:.1f} of the baseline "
+                    f"{base_server['warm_qps']:.0f}")
+    return violations
+
+
+def _render_server(artifact: dict) -> str:
+    server = artifact["server"]
+    lines = [f"query-server gate ({artifact['cores']} core(s)):"]
+    lines.append(
+        f"  {server['name']:>28}: uncached {server['uncached_qps']:8.0f} "
+        f"qps (p99 {server['uncached_p99_ms']:7.2f}ms)  warm "
+        f"{server['warm_qps']:8.0f} qps (p99 "
+        f"{server['warm_p99_ms']:7.2f}ms)  "
+        f"(cache {server['speedup_cached_over_uncached']:.2f}x, "
+        f"hit ratio {server['hit_ratio']:.2f})")
+    lines.append(
+        f"  {'counters':>28}: {server['cold_misses']} misses / "
+        f"{server['cold_hits']} hits over "
+        f"{server['distinct_statements']} distinct statements; "
+        f"shed {server['shed_partial']}/{server['shed_queries']} "
+        f"partial; errors={server['errors']}")
+    for waiver in artifact.get("waivers", []):
+        lines.append(f"  waiver: {waiver}")
+    return "\n".join(lines)
+
+
 def _render_sharded(artifact: dict) -> str:
     sharded = artifact["sharded"]
     insert = artifact["insert"]
@@ -636,6 +793,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                         default=MIN_SHARDED_SPEEDUP)
     parser.add_argument("--max-insert-overhead", type=float,
                         default=MAX_INSERT_OVERHEAD)
+    parser.add_argument("--server-out", default="BENCH_7.json",
+                        help="path of the query-server artifact to "
+                             "write")
+    parser.add_argument("--server-baseline", default="BENCH_7.json",
+                        help="committed query-server baseline to "
+                             "compare against with --check")
+    parser.add_argument("--skip-server", action="store_true",
+                        help="skip the query-server gate")
+    parser.add_argument("--min-cache-speedup", type=float,
+                        default=MIN_CACHE_SPEEDUP)
     arguments = parser.parse_args(argv)
 
     def load_baseline(path: str, workload_quick: bool) -> dict | None:
@@ -708,6 +875,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 max_insert_overhead=arguments.max_insert_overhead,
                 time_factor=arguments.time_factor))
         write(arguments.sharded_out, sharded_artifact)
+
+    if not arguments.skip_server:
+        server_artifact = run_server_gate(seed=arguments.seed,
+                                          quick=arguments.quick)
+        print(_render_server(server_artifact))
+        if arguments.check:
+            baseline = load_baseline(
+                arguments.server_baseline,
+                server_artifact["workload"]["quick"])
+            status |= report("query server", compare_server(
+                server_artifact, baseline,
+                min_cache_speedup=arguments.min_cache_speedup,
+                time_factor=arguments.time_factor))
+        write(arguments.server_out, server_artifact)
     return status
 
 

@@ -47,6 +47,18 @@ Sub-commands:
 
         repro-skyline shard-bench --rows 100000 --shards 4
 
+``serve``
+    Run the asyncio Preference SQL server (result cache, admission
+    control, per-request deadlines; see ``docs/server.md``)::
+
+        repro-skyline serve --synthetic 20000 --dims 5 --port 7654
+
+``load-gen``
+    Drive a running server with concurrent clients replaying a
+    correlated, elicitation-derived workload::
+
+        repro-skyline load-gen --port 7654 --clients 4 --repeat 4
+
 ``verify``
     Run the differential/metamorphic correctness fuzzer (delegates to
     ``python -m repro.verify``)::
@@ -177,6 +189,59 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also time the serve path at these shard "
                             "counts")
     shard.add_argument("--seed", type=int, default=2015)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio Preference SQL server over CSV tables "
+             "(or a generated data set)")
+    serve.add_argument("--load", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="register a CSV file as a table "
+                            "(repeatable)")
+    serve.add_argument("--synthetic", type=int, default=None,
+                       metavar="ROWS",
+                       help="also register ROWS gaussian rows as table "
+                            "'data' (demo/bench mode)")
+    serve.add_argument("--dims", type=int, default=5,
+                       help="columns of the synthetic table")
+    serve.add_argument("--sharded", action="store_true",
+                       help="register the synthetic table as a mutable "
+                            "sharded relation")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7654)
+    serve.add_argument("--cache", type=int, default=256,
+                       help="result-cache entries (0 disables)")
+    serve.add_argument("--max-inflight", type=int, default=4)
+    serve.add_argument("--max-queue", type=int, default=8)
+    serve.add_argument("--shed-prefix", type=int, default=32)
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-request timeout in seconds")
+    serve.add_argument("--algorithm", default="osdc",
+                       choices=sorted(REGISTRY))
+    serve.add_argument("--seed", type=int, default=2015)
+
+    loadgen = commands.add_parser(
+        "load-gen",
+        help="drive a running server with concurrent clients and a "
+             "correlated elicitation-derived workload")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7654)
+    loadgen.add_argument("--table", default="data")
+    loadgen.add_argument("--columns", nargs="+", default=None,
+                         help="attribute names for the workload "
+                              "(default: ask the server's table)")
+    loadgen.add_argument("--statements", type=int, default=64,
+                         help="distinct workload statements")
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--repeat", type=int, default=4,
+                         help="passes over the workload per client")
+    loadgen.add_argument("--seed", type=int, default=2015)
+    loadgen.add_argument("--no-cache", action="store_true",
+                         help="ask the server to bypass its result "
+                              "cache")
+    loadgen.add_argument("--timeout", type=float, default=30.0)
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
 
     shell = commands.add_parser(
         "shell", help="interactive Preference SQL over CSV files")
@@ -395,6 +460,102 @@ def _load_csv_as_relation(path: str) -> Relation:
                                            for name in names])
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from .server import SkylineServer
+
+    server = SkylineServer(
+        host=arguments.host, port=arguments.port,
+        cache=arguments.cache if arguments.cache > 0 else None,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        shed_prefix=arguments.shed_prefix,
+        default_timeout=arguments.timeout,
+        algorithm=arguments.algorithm)
+    for spec in arguments.load:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--load expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 1
+        server.register(name, _load_csv_as_relation(path))
+        print(f"loaded {name} from {path}")
+    if arguments.synthetic is not None:
+        names = [f"a{j}" for j in range(arguments.dims)]
+        matrix = equicorrelated_gaussian(
+            arguments.synthetic, arguments.dims, 0.2,
+            np.random.default_rng(arguments.seed))
+        relation = Relation.from_array(matrix, names=names)
+        if arguments.sharded:
+            from .core.sharding import ShardedRelation
+            server.register("data",
+                            ShardedRelation.from_relation(relation))
+        else:
+            server.register("data", relation)
+        print(f"registered synthetic table 'data' "
+              f"({arguments.synthetic} x {arguments.dims}"
+              f"{', sharded' if arguments.sharded else ''})")
+    if not server.tables():
+        print("no tables registered; use --load and/or --synthetic",
+              file=sys.stderr)
+        return 1
+    from .server.service import serve_in_thread
+    handle = serve_in_thread(server)
+    host, port = handle.address
+    print(f"serving {', '.join(server.tables())} on {host}:{port} "
+          f"(ctrl-c to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining ...")
+    finally:
+        handle.stop()
+    return 0
+
+
+def _cmd_load_gen(arguments: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .server import SkylineClient
+    from .server.loadgen import correlated_statements, run_load
+
+    address = (arguments.host, arguments.port)
+    columns = arguments.columns
+    if columns is None:
+        # the workload needs attribute names: probe the table
+        with SkylineClient(address) as client:
+            probe = client.query(
+                f"SELECT * FROM {arguments.table} TOP 1")
+            columns = probe["columns"]
+    statements = correlated_statements(
+        columns, arguments.statements, table=arguments.table,
+        seed=arguments.seed)
+    report = run_load(address, statements, clients=arguments.clients,
+                      repeat=arguments.repeat,
+                      timeout=arguments.timeout,
+                      no_cache=arguments.no_cache)
+    if arguments.json:
+        print(json_module.dumps(report.to_dict(), indent=2,
+                                sort_keys=True))
+        return 0
+    print(f"clients={arguments.clients} statements="
+          f"{len(statements)} repeat={arguments.repeat} "
+          f"no_cache={arguments.no_cache}")
+    print(f"  {report.queries} queries in {report.elapsed_s:.2f}s "
+          f"-> {report.qps:.0f} qps")
+    print(f"  latency ms: mean={report.mean_ms:.2f} "
+          f"p50={report.p50_ms:.2f} p99={report.p99_ms:.2f} "
+          f"max={report.max_ms:.2f}")
+    print(f"  cached={report.cached} shed={report.shed} "
+          f"errors={report.errors}")
+    if report.server and report.server.get("cache"):
+        cache = report.server["cache"]
+        print(f"  server cache: hit_ratio={cache['hit_ratio']:.2f} "
+              f"size={cache['size']} "
+              f"invalidations={cache['invalidations']}")
+    return 0
+
+
 def _cmd_shell(arguments: argparse.Namespace) -> int:
     from .sql import PreferenceSQL, SqlExecutionError, SqlSyntaxError
     engine = PreferenceSQL()
@@ -447,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-kernels": _cmd_bench_kernels,
         "pool-bench": _cmd_pool_bench,
         "shard-bench": _cmd_shard_bench,
+        "serve": _cmd_serve,
+        "load-gen": _cmd_load_gen,
         "shell": _cmd_shell,
     }
     return handlers[arguments.command](arguments)

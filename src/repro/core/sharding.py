@@ -579,6 +579,7 @@ class ShardedRelation:
         self._tracked: dict[tuple, _TrackedGraph] = {}
         self._readers: dict[int, int] = {}
         self._lock = threading.RLock()
+        self._write_listeners: list = []
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -667,6 +668,35 @@ class ShardedRelation:
             order = np.argsort(snap.global_ids, kind="stable")
             return snap.relation.take(order).to_records()
 
+    # -- write listeners -----------------------------------------------------
+    def add_write_listener(self, listener) -> None:
+        """Register ``listener(relation, version)`` to run after every
+        committed write (version bump).
+
+        Listeners fire *outside* the relation lock -- by the time one
+        runs, :attr:`version` may already have advanced further, so
+        they are suited to invalidation-style hooks (e.g. the server's
+        result cache), not to observing individual writes.
+        """
+        with self._lock:
+            self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener) -> None:
+        """Unregister a listener added by :meth:`add_write_listener`
+        (a no-op if it is not registered)."""
+        with self._lock:
+            try:
+                self._write_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_write(self) -> None:
+        with self._lock:
+            listeners = list(self._write_listeners)
+            version = self._version
+        for listener in listeners:
+            listener(self, version)
+
     # -- mutation ------------------------------------------------------------
     def insert(self, record: Mapping[str, Any] | Sequence[Any]) -> int:
         """Insert one record (dict or schema-ordered sequence); returns
@@ -714,7 +744,8 @@ class ShardedRelation:
                     vector[tracked.columns])
                 assert maintainer_slot == slot
             self._version += 1
-            return gid
+        self._notify_write()
+        return gid
 
     def delete(self, gid: int) -> None:
         """Delete a row by global id."""
@@ -727,6 +758,7 @@ class ShardedRelation:
                 tracked.maintainers[shard_index].delete(slot)
             self._shards[shard_index].kill(slot)
             self._version += 1
+        self._notify_write()
 
     def _bulk_insert(self, ranks: np.ndarray,
                      values: np.ndarray | None) -> np.ndarray:
@@ -752,7 +784,8 @@ class ShardedRelation:
             self._gid_shard.extend(int(s) for s in assignment)
             self._gid_slot.extend(int(s) for s in slot_of)
             self._version += 1
-            return gids
+        self._notify_write()
+        return gids
 
     @staticmethod
     def _tracked_bulk_load(tracked: _TrackedGraph, shard_index: int,

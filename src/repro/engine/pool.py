@@ -419,6 +419,7 @@ class WorkerPool:
         #: id(array) -> (weakref to the array, SharedRegistration)
         self._registrations: dict = {}
         self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._query_ids = itertools.count(1)
         self._closed = False
         atexit.register(self.close)
@@ -429,29 +430,50 @@ class WorkerPool:
         return self._closed
 
     def close(self) -> None:
-        """Join the workers and unlink every registration (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        atexit.unregister(self.close)
-        self._cancel_event.set()
-        for _ in self._workers:
+        """Join the workers and unlink every registration.
+
+        Idempotent *and* thread-safe: with the server's atexit hook,
+        the pool's own atexit hook and explicit ``shutdown_default_pool``
+        calls all racing at interpreter exit, the first caller tears the
+        pool down under ``_close_lock`` while later callers block until
+        teardown finishes, then return without re-running it.  In-flight
+        queries observe the cancel event (or the ``closed`` flag) and
+        fail with :class:`~repro.engine.errors.QueryCancelled` before
+        their shared segments are unlinked.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
             try:
-                self._tasks.put(None)
-            except Exception:  # pragma: no cover - queue already broken
-                break
-        for process in self._workers:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1.0)
-        for q in (self._tasks, self._results):
-            try:
-                q.close()
-                q.cancel_join_thread()
-            except Exception:  # pragma: no cover - shutdown best effort
+                atexit.unregister(self.close)
+            except Exception:  # pragma: no cover - interpreter tear-down
                 pass
-        self._release_registrations()
+            self._cancel_event.set()
+            for _ in self._workers:
+                try:
+                    self._tasks.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    break
+            for process in self._workers:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=1.0)
+            for q in (self._tasks, self._results):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            # Wait for any in-flight run_query to notice the cancel and
+            # bail out before its shared segments are unlinked.
+            acquired = self._lock.acquire(timeout=5.0)
+            try:
+                self._release_registrations()
+            finally:
+                if acquired:
+                    self._lock.release()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -725,8 +747,17 @@ class WorkerPool:
     def _execute_tasks(self, query_id: int, specs: list[dict],
                        context: ExecutionContext, phase: str):
         """Dispatch ``specs`` and gather their results in task order."""
-        for task_id, spec in enumerate(specs):
-            self._tasks.put((query_id, task_id, spec))
+        from .errors import QueryCancelled
+
+        if self._closed:
+            raise QueryCancelled("worker pool closed during query")
+        try:
+            for task_id, spec in enumerate(specs):
+                self._tasks.put((query_id, task_id, spec))
+        except Exception:
+            if self._closed:
+                raise QueryCancelled("worker pool closed during query")
+            raise
         results: list = [None] * len(specs)
         stats: list = []
         pending = set(range(len(specs)))
@@ -735,6 +766,8 @@ class WorkerPool:
             try:
                 item = self._results.get(timeout=_POLL_INTERVAL)
             except queue_module.Empty:
+                if self._closed:
+                    raise QueryCancelled("worker pool closed during query")
                 self._ensure_workers_alive()
                 continue
             item_query, task_id, worker_id, ok, payload, task_stats = item

@@ -1,0 +1,131 @@
+"""The server-side result cache.
+
+A loaded service sees thousands of *similar* queries over a handful of
+relations; once a statement's answer is computed (and serialised), the
+next identical statement should cost a dictionary lookup.  The cache is
+an LRU keyed on
+
+* the **relation identity and write version** -- ``id()`` of the
+  relation object plus :attr:`~repro.core.sharding.ShardedRelation.
+  version` (immutable :class:`~repro.core.relation.Relation` objects
+  pin version 0 forever);
+* the **compiled-preference key** of the statement's PREFERRING graph
+  (:func:`repro.engine.compiled.graph_key` -- names, closure, orders),
+  so two textual statements denoting the same preference share a slot;
+* the remaining **query shape** (WHERE / SELECT / ORDER BY / TOP,
+  algorithm, mode), canonicalised from the parsed AST.
+
+Staleness is impossible by construction: entries remember the write
+version they were computed at, every lookup passes the relation's
+*current* version, and a mismatch is treated as a miss (the dead entry
+is dropped).  On top of that safety net, the server registers a
+:meth:`~repro.core.sharding.ShardedRelation.add_write_listener` hook so
+a write-heavy relation proactively evicts its entries instead of
+letting them rot until their LRU slot is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass
+class CachedResult:
+    """One cached answer: the serialised payload plus its provenance."""
+
+    payload: dict
+    source_id: int
+    version: int
+    #: Work-counter snapshot of the miss that produced the entry
+    #: (reported back on hits so clients can see what the answer cost).
+    extra: dict = field(default_factory=dict)
+
+
+class ResultCache:
+    """A thread-safe LRU of serialised query answers.
+
+    ``hits`` / ``misses`` / ``evictions`` / ``invalidations`` expose the
+    cache's effectiveness; the bench gate reports the hit ratio and the
+    tests pin the eviction bound.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: OrderedDict[Hashable, CachedResult] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable, version: int) -> CachedResult | None:
+        """The entry under ``key`` if it was computed at ``version``.
+
+        A version mismatch means the relation has been written since the
+        entry was computed: the entry is dropped and the lookup counts
+        as a miss -- a cache hit can therefore never serve a stale
+        answer, even if an invalidation hook was lost.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.version != version:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Hashable, entry: CachedResult) -> None:
+        """Insert (or refresh) an entry, evicting LRU slots beyond
+        ``maxsize``."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_source(self, source_id: int) -> int:
+        """Drop every entry computed from the given relation identity
+        (the write-listener hook); returns how many were dropped."""
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.source_id == source_id]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot (JSON-serialisable)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_ratio": (self.hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,101 @@
+"""A small blocking client for the skyline query server.
+
+Used by the test suite, the ``repro-skyline query`` paths and the load
+generator; one socket, synchronous request/response::
+
+    with SkylineClient(("127.0.0.1", 7654)) as client:
+        answer = client.query("SELECT * FROM cars PREFERRING price")
+        print(answer["columns"], answer["rows"])
+
+A failed query raises :class:`ServerError` carrying the structured
+error ``code``; pass ``raise_errors=False`` to get the raw response
+dict instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any
+
+from .protocol import read_frame, write_frame
+
+__all__ = ["ServerError", "SkylineClient"]
+
+
+class ServerError(RuntimeError):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class SkylineClient:
+    """A blocking, single-connection client."""
+
+    def __init__(self, address: tuple[str, int], *,
+                 connect_timeout: float = 10.0,
+                 socket_timeout: float | None = 60.0):
+        self.address = tuple(address)
+        self._sock = socket.create_connection(
+            self.address, timeout=connect_timeout)
+        self._sock.settimeout(socket_timeout)
+        self._ids = itertools.count(1)
+
+    # -- plumbing ------------------------------------------------------------
+    def request(self, message: dict, *,
+                raise_errors: bool = True) -> dict:
+        """Send one request and wait for its response."""
+        if "id" not in message:
+            message = dict(message, id=next(self._ids))
+        write_frame(self._sock, message)
+        response = read_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if raise_errors and not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServerError(error.get("code", "internal"),
+                              error.get("message", "unknown error"))
+        return response
+
+    def send_only(self, message: dict) -> None:
+        """Send a request without waiting (disconnect tests)."""
+        if "id" not in message:
+            message = dict(message, id=next(self._ids))
+        write_frame(self._sock, message)
+
+    # -- operations ----------------------------------------------------------
+    def query(self, statement: str, *, timeout: float | None = None,
+              algorithm: str | None = None, no_cache: bool = False,
+              raise_errors: bool = True) -> dict:
+        message: dict[str, Any] = {"statement": statement}
+        if timeout is not None:
+            message["timeout"] = timeout
+        if algorithm is not None:
+            message["algorithm"] = algorithm
+        if no_cache:
+            message["no_cache"] = True
+        return self.request(message, raise_errors=raise_errors)
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["server"]
+
+    def tables(self) -> list[str]:
+        return self.request({"op": "tables"})["tables"]
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SkylineClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

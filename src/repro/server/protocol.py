@@ -1,0 +1,116 @@
+"""The wire format: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The format is deliberately minimal -- any language
+with sockets and a JSON parser can speak it -- and framing errors are
+distinguishable from query errors: a malformed frame kills the
+connection (the stream offset is lost), while a malformed *request*
+inside a well-formed frame gets a structured error response and the
+connection lives on.
+
+Requests are JSON objects.  A **query** request::
+
+    {"id": 7, "statement": "SELECT * FROM cars PREFERRING price",
+     "timeout": 2.5, "algorithm": "osdc", "no_cache": false}
+
+An **operational** request replaces ``statement`` with ``op``:
+``{"op": "ping"}``, ``{"op": "stats"}``, ``{"op": "tables"}``.
+
+Responses echo ``id`` and carry either a result payload::
+
+    {"id": 7, "ok": true, "columns": [...], "rows": [[...], ...],
+     "partial": false, "cached": true, "version": 12, "elapsed_ms": 1.9}
+
+or a structured error ``{"id": 7, "ok": false, "error": {"code":
+"timeout", "message": "..."}}`` where ``code`` is one of ``parse``,
+``execution``, ``timeout``, ``cancelled``, ``protocol`` or ``internal``.
+A shed response additionally sets ``"partial": true`` and a ``"reason"``
+string (see :class:`~repro.server.service.SkylineServer`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = ["MAX_FRAME", "ProtocolError", "encode_frame", "decode_frame",
+           "read_frame", "write_frame", "recv_exactly"]
+
+#: Upper bound on one frame's payload; a peer announcing more is
+#: protocol-broken (or hostile) and the connection is dropped.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not a valid frame sequence."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to its framed wire form."""
+    payload = json.dumps(message, separators=(",", ":"),
+                         allow_nan=False).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse one frame payload (the bytes after the length header)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def check_length(length: int) -> int:
+    """Validate an announced payload length."""
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame, beyond the "
+            f"{MAX_FRAME}-byte limit")
+    return length
+
+
+def recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Blocking read of exactly ``count`` bytes (or raise on EOF)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """Blocking read of one frame; ``None`` on a clean EOF between
+    frames."""
+    header = b""
+    while len(header) < _HEADER.size:
+        chunk = sock.recv(_HEADER.size - len(header))
+        if not chunk:
+            if header:
+                raise ConnectionError("connection closed mid-header")
+            return None
+        header += chunk
+    (length,) = _HEADER.unpack(header)
+    return decode_frame(recv_exactly(sock, check_length(length)))
+
+
+def write_frame(sock: socket.socket, message: dict) -> None:
+    """Blocking write of one framed message."""
+    sock.sendall(encode_frame(message))

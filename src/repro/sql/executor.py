@@ -61,6 +61,14 @@ class PreferenceSQL:
     def tables(self) -> list[str]:
         return sorted(self._catalog)
 
+    def relation(self, name: str) -> Relation:
+        """The relation registered under ``name``."""
+        if name not in self._catalog:
+            known = ", ".join(self.tables()) or "(none)"
+            raise SqlExecutionError(
+                f"unknown table {name!r}; registered: {known}")
+        return self._catalog[name]
+
     # -- execution ----------------------------------------------------------
     def execute(self, statement: str, *,
                 algorithm: str = "osdc",
@@ -108,6 +116,27 @@ class PreferenceSQL:
         return [self._execute_parsed(query, algorithm=algorithm,
                                      context=context)
                 for query in queries]
+
+    def execute_parsed(self, query: Query, *,
+                       algorithm: str = "osdc",
+                       stats: Stats | None = None,
+                       context: ExecutionContext | None = None,
+                       timeout: float | None = None) -> Relation:
+        """Run an already-parsed :class:`~repro.sql.ast.Query`.
+
+        The parse-once entry point for callers that hold on to an AST
+        and execute it repeatedly (the query server parses each
+        statement a single time, then replays the AST per request);
+        semantics are identical to :meth:`execute` on the statement the
+        AST was parsed from.
+        """
+        if timeout is not None:
+            if context is not None:
+                raise ValueError("pass either timeout or context, not both")
+            context = ExecutionContext.create(stats=stats, timeout=timeout)
+        context = ensure_context(context, stats)
+        return self._execute_parsed(query, algorithm=algorithm,
+                                    context=context)
 
     def _execute_parsed(self, query: Query, *, algorithm: str,
                         context: ExecutionContext) -> Relation:

@@ -1,0 +1,239 @@
+"""The result cache: staleness-impossibility, LRU bounds, write storms.
+
+The load-bearing property is **snapshot consistency**: a cache hit may
+serve an answer computed at an older write version only if the relation
+has not changed since -- equivalently, every response's ``version``
+field must pin exactly the answer a fresh ``p_skyline`` would give at
+that version.  The concurrency test engineers a relation where the
+skyline at every version is a *single known row* (each insert strictly
+dominates everything before it), so any stale answer is immediately
+visible no matter how reads and writes interleave.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import lowest
+from repro.core.sharding import ShardedRelation
+from repro.server import SkylineClient, SkylineServer, serve_in_thread
+from repro.server.cache import CachedResult, ResultCache
+
+
+# -- ResultCache unit properties ---------------------------------------------
+
+def _entry(source: int = 1, version: int = 0) -> CachedResult:
+    return CachedResult(payload={"rows": []}, source_id=source,
+                        version=version)
+
+
+def test_lru_eviction_bound():
+    cache = ResultCache(maxsize=8)
+    for key in range(30):
+        cache.put(key, _entry())
+    assert len(cache) == 8
+    assert cache.evictions == 22
+    # the survivors are the most recently inserted keys
+    assert all(cache.get(key, 0) is not None for key in range(22, 30))
+    assert cache.get(0, 0) is None
+
+
+def test_lru_recency_refresh():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", _entry())
+    cache.put("b", _entry())
+    assert cache.get("a", 0) is not None  # refresh "a"
+    cache.put("c", _entry())              # evicts "b", not "a"
+    assert cache.get("a", 0) is not None
+    assert cache.get("b", 0) is None
+
+
+def test_version_mismatch_is_a_miss_and_drops_the_entry():
+    cache = ResultCache(maxsize=4)
+    cache.put("k", _entry(version=3))
+    assert cache.get("k", 3) is not None
+    assert cache.get("k", 4) is None      # stale: dropped
+    assert cache.invalidations == 1
+    assert cache.get("k", 3) is None      # really gone
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 2
+
+
+def test_invalidate_source_scoped():
+    cache = ResultCache(maxsize=16)
+    for key in range(4):
+        cache.put(("a", key), _entry(source=1))
+        cache.put(("b", key), _entry(source=2))
+    assert cache.invalidate_source(1) == 4
+    assert len(cache) == 4
+    assert all(cache.get(("b", key), 0) is not None for key in range(4))
+
+
+def test_rejects_bad_maxsize():
+    with pytest.raises(ValueError):
+        ResultCache(maxsize=0)
+
+
+# -- served staleness property under concurrent writes -----------------------
+
+MARKER_COLUMNS = ["x", "y", "z"]
+
+
+def _marker_relation() -> ShardedRelation:
+    relation = ShardedRelation([lowest(name) for name in MARKER_COLUMNS],
+                               shards=3)
+    # base rows strictly dominated by every marker to come
+    rng = np.random.default_rng(5)
+    for row in rng.uniform(1.0, 2.0, size=(40, 3)):
+        relation.insert_ranks(row)
+    return relation
+
+
+def test_hits_never_serve_stale_answers_across_writes():
+    """Write storm vs concurrent readers: every response's pinned
+    version must contain exactly the row that is the skyline at that
+    version."""
+    relation = _marker_relation()
+    server = SkylineServer(port=0, max_inflight=3)
+    server.register("m", relation)
+    statement = "SELECT * FROM m PREFERRING x & y & z"
+
+    # marker value per version: after the i-th marker insert the whole
+    # skyline is exactly that marker row
+    expected: dict[int, float] = {}
+    expected_lock = threading.Lock()
+    base_version = relation.version
+
+    stop = threading.Event()
+    failures: list[str] = []
+
+    import time as time_module
+
+    started = threading.Barrier(4)
+
+    def writer() -> None:
+        started.wait(timeout=30)
+        for step in range(60):
+            value = -float(step + 1)
+            relation.insert_ranks(np.array([value, value, value]))
+            with expected_lock:
+                expected[relation.version] = value
+            time_module.sleep(0.002)  # let readers race the storm
+        stop.set()
+
+    def reader() -> None:
+        import time as time_module
+
+        with SkylineClient(handle.address) as client:
+            started.wait(timeout=30)
+            while True:
+                response = client.query(statement)
+                version = response["version"]
+                if version > base_version:
+                    value = None
+                    for _ in range(100):
+                        # the writer records the version right after the
+                        # insert returns; wait out that tiny window
+                        with expected_lock:
+                            value = expected.get(version)
+                        if value is not None:
+                            break
+                        time_module.sleep(0.005)
+                    if value is None:
+                        failures.append(f"unknown version {version}")
+                        break
+                    rows = response["rows"]
+                    if rows != [[value, value, value]]:
+                        failures.append(
+                            f"version {version}: got {rows}, expected "
+                            f"[[{value}] * 3] (cached="
+                            f"{response['cached']})")
+                        break
+                if stop.is_set():
+                    break
+
+    with serve_in_thread(server) as handle:
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        for thread in threads:
+            thread.join(timeout=60)
+    assert not failures, failures[:3]
+    # the storm actually exercised the invalidation hook
+    assert server.cache.stats()["invalidations"] > 0
+
+
+def test_write_storm_invalidation_counters():
+    relation = _marker_relation()
+    server = SkylineServer(port=0)
+    server.register("m", relation)
+    statement = "SELECT * FROM m PREFERRING x & y & z"
+    with serve_in_thread(server) as handle:
+        with SkylineClient(handle.address) as client:
+            for step in range(10):
+                first = client.query(statement)
+                second = client.query(statement)
+                # no write in between: the second answer is a hit
+                assert second["cached"] is True
+                assert second["rows"] == first["rows"]
+                relation.insert_ranks(
+                    np.array([-(step + 1.0)] * 3))
+                after = client.query(statement)
+                # the write invalidated the entry: fresh answer
+                assert after["cached"] is False
+                assert after["rows"] == [[-(step + 1.0)] * 3]
+    stats = server.cache.stats()
+    assert stats["invalidations"] >= 10
+    assert stats["hits"] >= 10
+
+
+def test_cached_equals_fresh_at_pinned_version():
+    """Snapshot-isolation differential: a hit's payload equals a fresh
+    evaluation when no write intervened."""
+    relation = _marker_relation()
+    server = SkylineServer(port=0)
+    server.register("m", relation)
+    statement = "SELECT * FROM m PREFERRING x * y * z"
+    with serve_in_thread(server) as handle:
+        with SkylineClient(handle.address) as client:
+            cached = client.query(statement)
+            cached = client.query(statement)
+            assert cached["cached"] is True
+            fresh = client.query(statement, no_cache=True)
+            assert cached["rows"] == fresh["rows"]
+            assert cached["version"] == fresh["version"]
+
+
+def test_no_cache_bypasses_but_does_not_pollute():
+    relation = _marker_relation()
+    server = SkylineServer(port=0)
+    server.register("m", relation)
+    statement = "SELECT * FROM m PREFERRING x & y"
+    with serve_in_thread(server) as handle:
+        with SkylineClient(handle.address) as client:
+            client.query(statement, no_cache=True)
+            first = client.query(statement)
+            assert first["cached"] is False  # bypass did not populate
+            second = client.query(statement)
+            assert second["cached"] is True
+
+
+def test_cache_disabled_server():
+    relation = _marker_relation()
+    server = SkylineServer(port=0, cache=None)
+    server.register("m", relation)
+    with serve_in_thread(server) as handle:
+        with SkylineClient(handle.address) as client:
+            statement = "SELECT * FROM m PREFERRING x & y & z"
+            first = client.query(statement)
+            second = client.query(statement)
+            assert first["cached"] is False
+            assert second["cached"] is False
+            assert second["rows"] == first["rows"]
+            assert client.stats()["cache"] is None
