@@ -51,6 +51,18 @@ miss per distinct statement), forced shedding must flag every answer
 partial, and p99 latency is recorded; baseline qps/p99 comparisons are
 advisory on hosts with fewer cores than clients (waiver recorded in
 the artifact).
+
+A fifth artifact, ``BENCH_8.json``, gates cross-query batch fusion
+(:mod:`repro.core.fusion`): a pinned correlated batch of 64
+elicitation-derived statements answered by the fused
+:meth:`~repro.sql.PreferenceSQL.execute_batch` versus the pre-fusion
+sequential path (:mod:`repro.bench.batch_bench`).  The fused run must
+be ``MIN_FUSED_SPEEDUP`` times faster -- core-count independent, the
+ratio measures work removed, not parallelism -- its fusion counters
+(dedup hits, groups, base evaluations, shared-mask hits/misses) are
+deterministic and must match the baseline exactly, and every committed
+regression-corpus entry must survive the ``fused-batch`` metamorphic
+axis (fused == unfused) with zero mismatches.
 """
 
 from __future__ import annotations
@@ -68,12 +80,13 @@ from ..core.bitsets import iter_bits
 __all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
            "run_gate", "compare", "run_parallel_gate", "compare_parallel",
            "run_sharded_gate", "compare_sharded", "run_server_gate",
-           "compare_server", "main"]
+           "compare_server", "run_batch_gate", "compare_batch", "main"]
 
 SCHEMA = "repro-perf-gate/1"
 PARALLEL_SCHEMA = "repro-perf-gate-parallel/1"
 SHARDED_SCHEMA = "repro-perf-gate-sharded/1"
 SERVER_SCHEMA = "repro-perf-gate-server/1"
+FUSION_SCHEMA = "repro-perf-gate-fusion/1"
 
 #: Pinned workload parameters.  Changing any of these invalidates the
 #: committed baseline -- regenerate it in the same commit.
@@ -148,6 +161,25 @@ SERVER_CLIENTS = 4
 #: ``SERVER_CLIENTS`` cores; below that they are advisory (waiver
 #: recorded in the artifact).
 MIN_CACHE_SPEEDUP = 2.0
+
+#: Pinned workload of the batch-fusion gate (``BENCH_8.json``): a
+#: correlated, elicitation-derived 64-statement batch -- including a
+#: fraction of unrefined Pareto intents, the contained base members the
+#: shared-mask screening path refines from -- answered fused versus
+#: sequentially (:mod:`repro.bench.batch_bench`).
+FUSION_ROWS = 40_000
+FUSION_DIMS = 6
+FUSION_QUERIES = 64
+FUSION_INTENTS = 6
+FUSION_CORPUS = "tests/corpus"
+
+#: Batch-fusion gate threshold.  The speedup compares two runs of the
+#: same single-process engine on the same workload, so it measures work
+#: removed by deduplication and shared-base screening -- core-count
+#: independent, it gates everywhere.  The fusion counters are
+#: deterministic given the pinned seed and must match the baseline
+#: exactly.
+MIN_FUSED_SPEEDUP = 2.0
 
 
 def _pinned_case(rows: int, dims: int, seed: int):
@@ -677,6 +709,105 @@ def compare_server(current: dict, baseline: dict | None, *,
     return violations
 
 
+def run_batch_gate(*, seed: int = SEED, quick: bool = False,
+                   corpus: str = FUSION_CORPUS) -> dict:
+    """Run the batch-fusion workload; returns the ``BENCH_8``
+    artifact."""
+    import os
+
+    from .batch_bench import measure_fused_batch, replay_fused_batch_corpus
+
+    rows = 4_000 if quick else FUSION_ROWS
+    # keep the full batch width even in quick mode: the speedup is
+    # driven by the dedup/sharing ratio of the workload, not its size
+    queries = FUSION_QUERIES
+    batch = measure_fused_batch(rows, FUSION_DIMS, queries=queries,
+                                intents=FUSION_INTENTS, seed=seed)
+    replay = replay_fused_batch_corpus(corpus)
+    return {
+        "schema": FUSION_SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "rows": rows,
+            "dims": FUSION_DIMS,
+            "queries": queries,
+            "intents": FUSION_INTENTS,
+        },
+        "cores": os.cpu_count() or 1,
+        "batch": batch,
+        "corpus": replay,
+    }
+
+
+def compare_batch(current: dict, baseline: dict | None, *,
+                  min_fused_speedup: float = MIN_FUSED_SPEEDUP,
+                  time_factor: float = TIME_FACTOR) -> list[str]:
+    """Gate a fresh ``BENCH_8`` artifact (see :data:`MIN_FUSED_SPEEDUP`);
+    returns the violations (empty = ok)."""
+    violations: list[str] = []
+    batch = current["batch"]
+    corpus = current["corpus"]
+
+    # -- within-run checks (no baseline needed) -----------------------------
+    if batch["speedup_fused_over_unfused"] < min_fused_speedup:
+        violations.append(
+            f"{batch['name']}: the fused batch is only "
+            f"{batch['speedup_fused_over_unfused']:.2f}x the sequential "
+            f"path, below the {min_fused_speedup:.2f}x gate")
+    if batch["dedup_hits"] != batch["queries"] - batch["distinct"]:
+        violations.append(
+            f"{batch['name']}: dedup_hits {batch['dedup_hits']} != "
+            f"queries - distinct "
+            f"({batch['queries']} - {batch['distinct']})")
+    if not corpus["cases"]:
+        violations.append(
+            "fused-batch corpus replay covered zero cases")
+    for mismatch in corpus["mismatches"]:
+        violations.append(f"fused-batch metamorphic mismatch: {mismatch}")
+
+    # -- baseline checks ----------------------------------------------------
+    if baseline is not None:
+        base_batch = baseline["batch"]
+        for key in ("queries", "distinct", "groups", "dedup_hits",
+                    "base_evaluations", "screened", "fallbacks",
+                    "mask_hits", "mask_misses", "output_sizes"):
+            if batch[key] != base_batch[key]:
+                violations.append(
+                    f"{batch['name']}: {key} {batch[key]} != baseline "
+                    f"{base_batch[key]}")
+        for key in ("unfused_seconds", "fused_seconds"):
+            if base_batch.get(key) and \
+                    batch[key] > base_batch[key] * time_factor:
+                violations.append(
+                    f"{batch['name']}/{key}: {batch[key]:.4f}s is more "
+                    f"than {time_factor:.1f}x the baseline "
+                    f"{base_batch[key]:.4f}s")
+    return violations
+
+
+def _render_batch(artifact: dict) -> str:
+    batch = artifact["batch"]
+    corpus = artifact["corpus"]
+    lines = [f"batch-fusion gate ({artifact['cores']} core(s)):"]
+    lines.append(
+        f"  {batch['name']:>28}: sequential "
+        f"{batch['unfused_seconds'] * 1000:8.2f}ms  fused "
+        f"{batch['fused_seconds'] * 1000:8.2f}ms  "
+        f"({batch['speedup_fused_over_unfused']:.2f}x)")
+    lines.append(
+        f"  {'fusion':>28}: {batch['queries']} queries -> "
+        f"{batch['distinct']} distinct in {batch['groups']} group(s); "
+        f"{batch['base_evaluations']} evaluation(s), "
+        f"{batch['screened']} screened, masks {batch['mask_hits']} "
+        f"hit / {batch['mask_misses']} miss, "
+        f"fallbacks {batch['fallbacks']}")
+    lines.append(
+        f"  {'corpus':>28}: fused-batch axis over {corpus['cases']} "
+        f"case(s), {len(corpus['mismatches'])} mismatch(es)")
+    return "\n".join(lines)
+
+
 def _render_server(artifact: dict) -> str:
     server = artifact["server"]
     lines = [f"query-server gate ({artifact['cores']} core(s)):"]
@@ -803,6 +934,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="skip the query-server gate")
     parser.add_argument("--min-cache-speedup", type=float,
                         default=MIN_CACHE_SPEEDUP)
+    parser.add_argument("--batch-out", default="BENCH_8.json",
+                        help="path of the batch-fusion artifact to "
+                             "write")
+    parser.add_argument("--batch-baseline", default="BENCH_8.json",
+                        help="committed batch-fusion baseline to "
+                             "compare against with --check")
+    parser.add_argument("--skip-batch", action="store_true",
+                        help="skip the batch-fusion gate")
+    parser.add_argument("--min-fused-speedup", type=float,
+                        default=MIN_FUSED_SPEEDUP)
+    parser.add_argument("--corpus", default=FUSION_CORPUS,
+                        help="regression corpus directory for the "
+                             "fused-batch metamorphic replay")
     arguments = parser.parse_args(argv)
 
     def load_baseline(path: str, workload_quick: bool) -> dict | None:
@@ -889,6 +1033,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 min_cache_speedup=arguments.min_cache_speedup,
                 time_factor=arguments.time_factor))
         write(arguments.server_out, server_artifact)
+
+    if not arguments.skip_batch:
+        batch_artifact = run_batch_gate(seed=arguments.seed,
+                                        quick=arguments.quick,
+                                        corpus=arguments.corpus)
+        print(_render_batch(batch_artifact))
+        if arguments.check:
+            baseline = load_baseline(
+                arguments.batch_baseline,
+                batch_artifact["workload"]["quick"])
+            status |= report("batch fusion", compare_batch(
+                batch_artifact, baseline,
+                min_fused_speedup=arguments.min_fused_speedup,
+                time_factor=arguments.time_factor))
+        write(arguments.batch_out, batch_artifact)
     return status
 
 

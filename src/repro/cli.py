@@ -47,6 +47,13 @@ Sub-commands:
 
         repro-skyline shard-bench --rows 100000 --shards 4
 
+``batch-bench``
+    Benchmark cross-query batch fusion: a correlated,
+    elicitation-derived statement batch answered by the fused
+    ``execute_batch`` versus the sequential per-statement path::
+
+        repro-skyline batch-bench --rows 40000 --queries 64
+
 ``serve``
     Run the asyncio Preference SQL server (result cache, admission
     control, per-request deadlines; see ``docs/server.md``)::
@@ -190,6 +197,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "counts")
     shard.add_argument("--seed", type=int, default=2015)
 
+    batch = commands.add_parser(
+        "batch-bench",
+        help="benchmark cross-query batch fusion (fused vs sequential "
+             "execute_batch on a correlated statement workload)")
+    batch.add_argument("--rows", type=int, default=40_000)
+    batch.add_argument("--dims", type=int, default=6)
+    batch.add_argument("--queries", type=int, default=64,
+                       help="statements in the batch")
+    batch.add_argument("--intents", type=int, default=6,
+                       help="hidden priority chains behind the workload")
+    batch.add_argument("--algorithm", default="osdc",
+                       choices=sorted(REGISTRY))
+    batch.add_argument("--corpus", default=None, metavar="DIR",
+                       help="also replay this regression corpus through "
+                            "the fused-batch metamorphic axis")
+    batch.add_argument("--seed", type=int, default=2015)
+
     serve = commands.add_parser(
         "serve",
         help="run the asyncio Preference SQL server over CSV tables "
@@ -239,6 +263,10 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--no-cache", action="store_true",
                          help="ask the server to bypass its result "
                               "cache")
+    loadgen.add_argument("--batch", type=int, default=0, metavar="N",
+                         help="send N statements per request through "
+                              "the server's fused batch path (0 = one "
+                              "request per statement)")
     loadgen.add_argument("--timeout", type=float, default=30.0)
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON")
@@ -447,6 +475,36 @@ def _cmd_shard_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_bench(arguments: argparse.Namespace) -> int:
+    from .bench.batch_bench import (measure_fused_batch,
+                                    replay_fused_batch_corpus)
+    record = measure_fused_batch(arguments.rows, arguments.dims,
+                                 queries=arguments.queries,
+                                 intents=arguments.intents,
+                                 algorithm=arguments.algorithm,
+                                 seed=arguments.seed)
+    print(f"{record['name']}: {record['queries']} queries -> "
+          f"{record['distinct']} distinct in {record['groups']} "
+          "group(s)")
+    print(f"  sequential {record['unfused_seconds'] * 1000:8.2f}ms   "
+          f"fused {record['fused_seconds'] * 1000:8.2f}ms   "
+          f"({record['speedup_fused_over_unfused']:.2f}x)")
+    print(f"  dedup_hits={record['dedup_hits']} "
+          f"evaluations={record['base_evaluations']} "
+          f"screened={record['screened']} "
+          f"masks={record['mask_hits']}hit/{record['mask_misses']}miss "
+          f"fallbacks={record['fallbacks']}")
+    if arguments.corpus:
+        replay = replay_fused_batch_corpus(arguments.corpus)
+        print(f"  corpus: fused-batch axis over {replay['cases']} "
+              f"case(s), {len(replay['mismatches'])} mismatch(es)")
+        for mismatch in replay["mismatches"]:
+            print(f"    {mismatch}")
+        if replay["mismatches"]:
+            return 1
+    return 0
+
+
 def _load_csv_as_relation(path: str) -> Relation:
     """All-numeric CSV -> relation with lowest-preferred columns."""
     with open(path, newline="") as handle:
@@ -533,14 +591,15 @@ def _cmd_load_gen(arguments: argparse.Namespace) -> int:
     report = run_load(address, statements, clients=arguments.clients,
                       repeat=arguments.repeat,
                       timeout=arguments.timeout,
-                      no_cache=arguments.no_cache)
+                      no_cache=arguments.no_cache,
+                      batch=arguments.batch)
     if arguments.json:
         print(json_module.dumps(report.to_dict(), indent=2,
                                 sort_keys=True))
         return 0
     print(f"clients={arguments.clients} statements="
           f"{len(statements)} repeat={arguments.repeat} "
-          f"no_cache={arguments.no_cache}")
+          f"no_cache={arguments.no_cache} batch={arguments.batch}")
     print(f"  {report.queries} queries in {report.elapsed_s:.2f}s "
           f"-> {report.qps:.0f} qps")
     print(f"  latency ms: mean={report.mean_ms:.2f} "
@@ -608,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-kernels": _cmd_bench_kernels,
         "pool-bench": _cmd_pool_bench,
         "shard-bench": _cmd_shard_bench,
+        "batch-bench": _cmd_batch_bench,
         "serve": _cmd_serve,
         "load-gen": _cmd_load_gen,
         "shell": _cmd_shell,

@@ -46,7 +46,7 @@ from .pgraph import PGraph
 
 __all__ = ["Dominance", "KERNELS", "DENSE_TABLE_LIMIT",
            "BITMASK_WIDTH_LIMIT", "select_kernel", "forced_kernel",
-           "current_forced_kernel"]
+           "current_forced_kernel", "screen_block_multi"]
 
 #: The concrete kernel families (``"auto"`` additionally resolves to one
 #: of these through :func:`select_kernel`).
@@ -182,6 +182,45 @@ def _workspace() -> _Workspace:
         workspace = _Workspace()
         _WORKSPACES.arena = workspace
     return workspace
+
+
+def _pack_better_masks(block: np.ndarray, against: np.ndarray,
+                       mdtype: np.dtype,
+                       arena: _Workspace) -> tuple[np.ndarray, np.ndarray]:
+    """Pack the pairwise ``Better`` sets of a comparison block.
+
+    Returns workspace-backed ``(buv, bvu)`` mask matrices of shape
+    ``(b, a)``: ``buv[i, j] = Better(against[j], block[i])`` and
+    ``bvu[i, j] = Better(block[i], against[j])`` as packed attribute
+    bitmasks.  The packing depends only on the rank columns, never on a
+    p-graph, so one packed pair serves every graph over the same columns
+    (see :func:`screen_block_multi`).  The views stay valid across
+    :meth:`Dominance._eval_packed` calls (evaluation reads but never
+    writes them) and are invalidated by the next packing on this thread.
+    """
+    d = block.shape[1]
+    b = block.shape[0]
+    a = against.shape[0]
+    buv = arena.get("buv", (b, a), mdtype)      # Better(against, block)
+    bvu = arena.get("bvu", (b, a), mdtype)      # Better(block, against)
+    utmp = arena.get("utmp", (b, a), mdtype)
+    bool_tmp = arena.get("btmp", (b, a), np.bool_)
+    buv[...] = 0
+    bvu[...] = 0
+    # column-wise packing: per attribute, two comparisons against the
+    # broadcast column, weighted by the attribute's bit -- no (b, a, d)
+    # tensor is ever materialised
+    for i in range(d):
+        bit = mdtype.type(1 << i)
+        block_col = block[:, i:i + 1]           # (b, 1)
+        against_col = against[None, :, i]       # (1, a)
+        np.greater(block_col, against_col, out=bool_tmp)
+        np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
+        np.bitwise_or(buv, utmp, out=buv)
+        np.less(block_col, against_col, out=bool_tmp)
+        np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
+        np.bitwise_or(bvu, utmp, out=bvu)
+    return buv, bvu
 
 
 class Dominance:
@@ -346,32 +385,28 @@ class Dominance:
         the next kernel call on this thread, so callers either consume
         it immediately or copy.
         """
+        arena = _workspace()
+        buv, bvu = _pack_better_masks(block, against, self._mask_dtype,
+                                      arena)
+        return self._eval_packed(buv, bvu, arena)
+
+    def _eval_packed(self, buv: np.ndarray, bvu: np.ndarray,
+                     arena: _Workspace) -> np.ndarray:
+        """Evaluate Proposition 1 on pre-packed ``Better`` masks.
+
+        ``buv``/``bvu`` come from :func:`_pack_better_masks` (possibly
+        packed for a *different* graph over the same columns: the masks
+        depend only on the ranks).  Reads the packed masks but never
+        writes them, so a single packing can be replayed against many
+        p-graphs.  The returned boolean array is workspace-backed.
+        """
         d = self.graph.d
         mdtype = self._mask_dtype
-        b = block.shape[0]
-        a = against.shape[0]
-        arena = _workspace()
-        buv = arena.get("buv", (b, a), mdtype)      # Better(against, block)
-        bvu = arena.get("bvu", (b, a), mdtype)      # Better(block, against)
+        b, a = buv.shape
         utmp = arena.get("utmp", (b, a), mdtype)
         union = arena.get("union", (b, a), mdtype)
         bool_tmp = arena.get("btmp", (b, a), np.bool_)
         out = arena.get("out", (b, a), np.bool_)
-        buv[...] = 0
-        bvu[...] = 0
-        # column-wise packing: per attribute, two comparisons against the
-        # broadcast column, weighted by the attribute's bit -- no (b, a, d)
-        # tensor is ever materialised
-        for i in range(d):
-            bit = mdtype.type(1 << i)
-            block_col = block[:, i:i + 1]           # (b, 1)
-            against_col = against[None, :, i]       # (1, a)
-            np.greater(block_col, against_col, out=bool_tmp)
-            np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
-            np.bitwise_or(buv, utmp, out=buv)
-            np.less(block_col, against_col, out=bool_tmp)
-            np.multiply(bool_tmp, bit, out=utmp, casting="unsafe")
-            np.bitwise_or(bvu, utmp, out=bvu)
         table = self._dense_table()
         if table is not None:
             indices = arena.get("idx", (b, a), np.intp)
@@ -488,3 +523,63 @@ class Dominance:
                     break
             survivors[start:stop] = ~dominated
         return survivors
+
+
+def screen_block_multi(dominances, rows: np.ndarray, *, chunk: int = 256,
+                       check=None, counters=None) -> list:
+    """Self-screen ``rows`` under many p-graphs, packing each block once.
+
+    ``dominances`` is a sequence of :class:`Dominance` oracles whose
+    graphs all span the same ``rows`` columns.  Returns one boolean
+    survivors mask per oracle -- ``masks[k][i]`` is True iff no row of
+    ``rows`` dominates ``rows[i]`` under graph ``k`` -- exactly
+    ``[dom.screen_block(rows, rows) for dom in dominances]`` but with
+    the packed ``Better``-mask matrices shared: each
+    ``(block, against)`` pair is packed once (a *mask miss*) and then
+    replayed through :meth:`Dominance._eval_packed` for every graph
+    that still has undominated rows in the block (each replay after the
+    first is a *mask hit*).
+
+    ``counters`` (a mutable mapping) accumulates exact ``"mask_hits"``
+    and ``"mask_misses"`` counts.  Falls back to independent
+    :meth:`~Dominance.screen_block` calls when the dimensionality
+    exceeds :data:`BITMASK_WIDTH_LIMIT` (no packed representation
+    exists there).
+    """
+    dominances = list(dominances)
+    n = rows.shape[0]
+    k = len(dominances)
+    if k == 0:
+        return []
+    d = rows.shape[1]
+    if d > BITMASK_WIDTH_LIMIT or n == 0:
+        return [dom.screen_block(rows, rows, chunk=chunk, check=check)
+                for dom in dominances]
+    mdtype = _mask_dtype_for(d)
+    arena = _workspace()
+    for dom in dominances:
+        dom._dense_table()  # build outside the hot loop
+    dominated = [np.zeros(n, dtype=bool) for _ in range(k)]
+    for start in range(0, n, chunk):
+        if check is not None:
+            check("screen-multi")
+        stop = min(start + chunk, n)
+        block = rows[start:stop]
+        for a_start in range(0, n, AGAINST_CHUNK):
+            if a_start and check is not None:
+                check("screen-multi")
+            active = [idx for idx in range(k)
+                      if not dominated[idx][start:stop].all()]
+            if not active:
+                break
+            part = rows[a_start:a_start + AGAINST_CHUNK]
+            buv, bvu = _pack_better_masks(block, part, mdtype, arena)
+            if counters is not None:
+                counters["mask_misses"] = \
+                    counters.get("mask_misses", 0) + 1
+                counters["mask_hits"] = \
+                    counters.get("mask_hits", 0) + len(active) - 1
+            for idx in active:
+                flags = dominances[idx]._eval_packed(buv, bvu, arena)
+                dominated[idx][start:stop] |= flags.any(axis=1)
+    return [~mask for mask in dominated]

@@ -36,7 +36,8 @@ from .parser import ParseError
 from .pgraph import PGraph
 from .relation import Relation
 
-__all__ = ["PreferringClause", "parse_preferring", "evaluate_preferring"]
+__all__ = ["PreferringClause", "parse_preferring", "evaluate_preferring",
+           "resolve_preferring", "encode_columns"]
 
 
 @dataclass(frozen=True)
@@ -164,6 +165,61 @@ def parse_preferring(text: str) -> PreferringClause:
     return _ClauseParser(text).parse()
 
 
+def resolve_preferring(relation: Relation,
+                       clause: PreferringClause | str
+                       ) -> tuple[PGraph, tuple]:
+    """Resolve a clause to ``(graph, items)`` without touching rows.
+
+    ``graph`` carries the order signature the clause induces; ``items``
+    is the per-attribute *encoding signature* -- one
+    ``(column_index, code)`` pair per attribute, where ``code`` is
+    ``"+"`` (schema direction kept), ``"-"`` (column negated) or
+    ``"ranked"``.  Two clauses whose items agree read identical encoded
+    columns, which is what the batch fusion layer keys on; feed the
+    items to :func:`encode_columns` to materialise the matrix.
+    """
+    if isinstance(clause, str):
+        clause = parse_preferring(clause)
+    names = clause.attributes
+    items = []
+    orders = []
+    for name in names:
+        if name not in relation.names:
+            raise KeyError(f"unknown attribute {name!r} in PREFERRING")
+        index = relation.names.index(name)
+        attribute: Attribute = relation.schema[index]
+        wanted = clause.directions[name]
+        if attribute.direction is Direction.RANKED:
+            if wanted is Direction.MAX:
+                raise ParseError(
+                    f"highest({name}) is not allowed on a ranked attribute"
+                )
+            items.append((index, "ranked"))
+            orders.append(attribute.order_token())
+        elif wanted is attribute.direction:
+            items.append((index, "+"))
+            orders.append(wanted.value)
+        else:
+            items.append((index, "-"))
+            orders.append(wanted.value)
+    graph = PGraph.from_expression(clause.expression, names=names) \
+        .with_orders(orders)
+    return graph, tuple(items)
+
+
+def encode_columns(relation: Relation, items) -> np.ndarray:
+    """The encoded rank matrix for a :func:`resolve_preferring`
+    signature (one column per item, negated where the clause flips the
+    schema direction)."""
+    columns = []
+    for index, code in items:
+        ranks = relation.ranks[:, index]
+        columns.append(-ranks if code == "-" else ranks)
+    if not columns:
+        return np.empty((len(relation), 0))
+    return np.ascontiguousarray(np.column_stack(columns))
+
+
 def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
                         *, algorithm: str = "osdc",
                         stats: Stats | None = None,
@@ -176,35 +232,8 @@ def evaluate_preferring(relation: Relation, clause: PreferringClause | str,
     (ranked attributes reject ``highest``, as reversing an explicit
     ranking is more likely a mistake than an intent).
     """
-    if isinstance(clause, str):
-        clause = parse_preferring(clause)
-    names = clause.attributes
-    columns = []
-    orders = []
-    for name in names:
-        if name not in relation.names:
-            raise KeyError(f"unknown attribute {name!r} in PREFERRING")
-        index = relation.names.index(name)
-        attribute: Attribute = relation.schema[index]
-        wanted = clause.directions[name]
-        ranks = relation.ranks[:, index]
-        if attribute.direction is Direction.RANKED:
-            if wanted is Direction.MAX:
-                raise ParseError(
-                    f"highest({name}) is not allowed on a ranked attribute"
-                )
-            columns.append(ranks)
-            orders.append(attribute.order_token())
-        elif wanted is attribute.direction:
-            columns.append(ranks)
-            orders.append(wanted.value)
-        else:
-            columns.append(-ranks)
-            orders.append(wanted.value)
-    matrix = np.column_stack(columns) if names else \
-        np.empty((len(relation), 0))
-    graph = PGraph.from_expression(clause.expression, names=names) \
-        .with_orders(orders)
+    graph, items = resolve_preferring(relation, clause)
+    matrix = encode_columns(relation, items)
     function = get_algorithm(algorithm)
     context = ensure_context(context, stats)
     indices = function(matrix, graph, context=context)

@@ -148,9 +148,19 @@ def p_skyline_batch(data: Relation | np.ndarray,
     *per-chunk* evaluator (``osdc`` by default).  Stats from every
     worker of every query are merged into ``stats``/``context.stats``.
 
-    Falls back to sequential :func:`p_skyline` calls when the process
-    cannot host a pool (daemonic) or the input is too small to be
-    worth dispatching.
+    Every batch is first planned by
+    :class:`~repro.core.fusion.FusionPlan`: duplicate preferences are
+    evaluated once, and distinct preferences over a shared column
+    signature are refined from their common base skyline with shared
+    packed ``Better`` masks (``stats.extra["fusion"]`` reports the
+    exact hit/miss counters).  ``algorithm="auto"`` resolves the
+    execution strategy once per fused group through the planner --
+    large auto batches reach the pool's shared-memory path instead of
+    degrading to one-by-one sequential evaluation.  Sharded relations
+    pin ONE snapshot for the whole batch and serve the fused plan
+    through the pool's per-shard registrations
+    (:meth:`~repro.engine.pool.WorkerPool.run_sharded`) -- no stable
+    sorted copy of the snapshot is ever materialised.
 
     Returns one result per expression, in order: a :class:`Relation`
     when ``data`` is a relation, else a sorted index array.
@@ -158,41 +168,142 @@ def p_skyline_batch(data: Relation | np.ndarray,
     from ..engine.pool import get_default_pool, pool_available
     from .sharding import ShardedRelation
 
-    if isinstance(data, ShardedRelation):
-        # pin ONE snapshot for the whole batch: every expression sees
-        # the same version even while writes land concurrently
-        with data.snapshot() as snap:
-            order = np.argsort(snap.global_ids, kind="stable")
-            stable = snap.relation.take(order)
-        return p_skyline_batch(stable, expressions,
-                               algorithm=algorithm, stats=stats,
-                               context=context, timeout=timeout,
-                               processes=processes,
-                               min_chunk=min_chunk, **options)
     expressions = list(expressions)
     if timeout is not None:
         if context is not None:
             raise ValueError("pass either timeout or context, not both")
         context = ExecutionContext.create(stats=stats, timeout=timeout)
     context = ensure_context(context, stats)
-    n = len(data) if isinstance(data, Relation) else \
-        np.asarray(data).shape[0]
     if min_chunk < 1:
         raise ValueError("min_chunk must be at least 1")
-    if not pool_available() or n < 2 * min_chunk \
-            or algorithm == "auto":
-        return [p_skyline(data, expression, algorithm=algorithm,
-                          context=context, **options)
-                for expression in expressions]
-    pool = get_default_pool()
-    chunks = None if processes is None else \
-        max(1, min(processes, n // min_chunk))
-    indices = pool.map_queries(data, expressions, algorithm=algorithm,
-                               chunks=chunks, min_chunk=min_chunk,
-                               options=options, context=context)
+    if isinstance(data, ShardedRelation):
+        return _sharded_batch(data, expressions, algorithm=algorithm,
+                              context=context, min_chunk=min_chunk,
+                              options=options)
+    n = len(data) if isinstance(data, Relation) else \
+        np.asarray(data).shape[0]
+    if pool_available() and n >= 2 * min_chunk and algorithm != "auto":
+        pool = get_default_pool()
+        chunks = None if processes is None else \
+            max(1, min(processes, n // min_chunk))
+        indices = pool.map_queries(data, expressions,
+                                   algorithm=algorithm, chunks=chunks,
+                                   min_chunk=min_chunk, options=options,
+                                   context=context)
+    else:
+        indices = _serial_fused_batch(data, expressions,
+                                      algorithm=algorithm,
+                                      context=context, options=options)
     if isinstance(data, Relation):
         return [data.take(index) for index in indices]
     return indices
+
+
+def _batch_function(algorithm: str, options: dict):
+    """The per-evaluation callable for a fused batch.
+
+    ``"auto"`` goes through the planner *per fused group*, so one batch
+    resolves its strategy once per distinct base preference -- the
+    planner's parallel rule can still send a large group to the pool.
+    """
+    if algorithm == "auto":
+        from ..planner import DEFAULT_PLANNER
+
+        def function(ranks, graph, *, context=None, **opts):
+            return DEFAULT_PLANNER.execute(ranks, graph, context=context)
+
+        return function
+    concrete = get_algorithm(algorithm)
+
+    def function(ranks, graph, *, context=None, **opts):
+        return concrete(ranks, graph, context=context, **options)
+
+    return function
+
+
+def _column_matrix(ranks: np.ndarray, key: tuple) -> np.ndarray:
+    if tuple(key) == tuple(range(ranks.shape[1])):
+        return ranks
+    return np.ascontiguousarray(ranks[:, list(key)])
+
+
+def _serial_fused_batch(data, expressions, *, algorithm: str,
+                        context: ExecutionContext, options: dict) -> list:
+    """Fused evaluation without the pool dispatcher (small inputs,
+    daemonic processes, or planner-driven ``auto`` batches)."""
+    from ..engine.pool import _resolve_batch
+    from .fusion import FusionPlan
+
+    ranks, resolved = _resolve_batch(data, expressions)
+    plan = FusionPlan.build(
+        (graph, tuple(columns) if columns is not None
+         else tuple(range(graph.d)))
+        for graph, columns in resolved)
+    function = _batch_function(algorithm, options)
+
+    def evaluate(graph, key):
+        return function(_column_matrix(ranks, key), graph,
+                        context=context)
+
+    def candidates(indices, key):
+        return ranks[np.ix_(indices, list(key))]
+
+    return plan.execute(evaluate=evaluate, candidates=candidates,
+                        context=context)
+
+
+def _sharded_batch(data, expressions, *, algorithm: str,
+                   context: ExecutionContext, min_chunk: int,
+                   options: dict) -> list:
+    """One pinned snapshot, fused plan, per-shard pool registrations.
+
+    Pool evaluation goes through
+    :meth:`~repro.engine.pool.WorkerPool.run_sharded` against the
+    snapshot's shard arrays -- the virtual concatenated coordinate
+    space coincides with the snapshot's row order because empty shards
+    contribute no rows to either -- and results map back to rows via
+    global ids, so no sorted copy of the snapshot is materialised.
+    """
+    from ..engine.pool import get_default_pool, pool_available
+    from .fusion import FusionPlan
+
+    with data.snapshot() as snap:
+        resolved = [data._resolve(expression)
+                    for expression in expressions]
+        plan = FusionPlan.build((graph, tuple(columns))
+                                for graph, columns in resolved)
+        n = len(snap)
+        use_pool = pool_available() and n >= 2 * min_chunk \
+            and algorithm != "auto"
+        if use_pool:
+            pool = get_default_pool()
+            arrays = [shard.ranks for shard in snap.shards
+                      if len(shard)]
+
+            def evaluate(graph, key):
+                return pool.run_sharded(arrays, graph,
+                                        algorithm=algorithm,
+                                        columns=list(key),
+                                        options=options,
+                                        context=context)
+        else:
+            function = _batch_function(algorithm, options)
+
+            def evaluate(graph, key):
+                return function(_column_matrix(snap.relation.ranks, key),
+                                graph, context=context)
+
+        def candidates(indices, key):
+            # lazy: the concatenated snapshot relation materialises only
+            # when a group actually needs screening rows
+            return snap.relation.ranks[np.ix_(indices, list(key))]
+
+        indices_list = plan.execute(evaluate=evaluate,
+                                    candidates=candidates,
+                                    context=context)
+        gids = snap.global_ids
+        return [snap.take_gids(gids[indices])
+                for indices in indices_list]
 
 
 def skyline(data: Relation | np.ndarray, *, algorithm: str = "osdc",

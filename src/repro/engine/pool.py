@@ -710,10 +710,20 @@ class WorkerPool:
         (AST or text), p-graphs, or pre-resolved ``(graph, columns)``
         pairs.  The rank matrix is registered into shared memory
         **once** and every query ships only descriptors -- the "many
-        users, one data set" batch shape.  Returns one sorted index
-        array per query.
+        users, one data set" batch shape.
+
+        The batch is fused by :class:`~repro.core.fusion.FusionPlan`
+        before it reaches the workers: duplicate preferences dispatch
+        one pooled scatter/gather, and distinct preferences sharing a
+        column signature dispatch only their common *base* -- the
+        members are refined parent-side by replaying shared packed
+        ``Better`` masks over the base survivors, so workers receive
+        one mask-reuse descriptor set per fused group instead of
+        re-deriving every query.  Returns one sorted index array per
+        query.
         """
         from ..algorithms.base import ensure_context
+        from ..core.fusion import FusionPlan
 
         context = ensure_context(context)
         ranks, resolved = _resolve_batch(data, queries)
@@ -722,12 +732,21 @@ class WorkerPool:
             if min_chunk < 1:
                 raise ValueError("min_chunk must be at least 1")
             chunks = max(1, min(self.processes, n // max(1, min_chunk)))
-        results = []
-        for graph, columns in resolved:
-            results.append(self.run_query(
-                ranks, graph, algorithm=algorithm, chunks=chunks,
-                columns=columns, options=options, context=context))
-        return results
+        plan = FusionPlan.build(
+            (graph, tuple(columns) if columns is not None
+             else tuple(range(graph.d)))
+            for graph, columns in resolved)
+
+        def evaluate(graph, key):
+            return self.run_query(ranks, graph, algorithm=algorithm,
+                                  chunks=chunks, columns=list(key),
+                                  options=options, context=context)
+
+        def candidates(indices, key):
+            return ranks[np.ix_(indices, list(key))]
+
+        return plan.execute(evaluate=evaluate, candidates=candidates,
+                            context=context)
 
     # -- internals -----------------------------------------------------------
     def _drain_stale(self) -> None:

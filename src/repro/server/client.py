@@ -79,6 +79,27 @@ class SkylineClient:
             message["no_cache"] = True
         return self.request(message, raise_errors=raise_errors)
 
+    def query_batch(self, statements, *, timeout: float | None = None,
+                    algorithm: str | None = None, no_cache: bool = False,
+                    raise_errors: bool = True) -> dict:
+        """Send a whole batch of statements in one request.
+
+        The server answers every statement in a single frame
+        (``response["results"]``, one payload per statement, in
+        order), running cache misses through the fused batch path --
+        correlated batches share preference canonicalisation and
+        packed dominance masks server-side.  On a mid-batch failure
+        the error response still carries the completed per-statement
+        payloads."""
+        message: dict[str, Any] = {"statements": list(statements)}
+        if timeout is not None:
+            message["timeout"] = timeout
+        if algorithm is not None:
+            message["algorithm"] = algorithm
+        if no_cache:
+            message["no_cache"] = True
+        return self.request(message, raise_errors=raise_errors)
+
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 

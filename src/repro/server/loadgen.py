@@ -49,9 +49,19 @@ def _chain_pairs(chain: list[str]) -> list[ExamplePair]:
 def correlated_statements(names, count: int, *, table: str = "data",
                           seed: int = 0, intents: int = 6,
                           where_fraction: float = 0.25,
-                          top_fraction: float = 0.25) -> list[str]:
+                          top_fraction: float = 0.25,
+                          pareto_fraction: float = 0.0) -> list[str]:
     """``count`` Preference SQL statements drawn from ``intents`` hidden
-    priority chains over ``names`` (see the module docstring)."""
+    priority chains over ``names`` (see the module docstring).
+
+    ``pareto_fraction`` statements ask the plain Pareto of their
+    intent's chain -- the elicitation starting point of a user who has
+    given no example pairs yet.  A Pareto spelling is contained in
+    every elicited refinement of the same chain, which is exactly the
+    shared-base shape the batch fusion layer screens from.  (The extra
+    random draw only happens when the fraction is positive, so seeded
+    streams of existing callers are unchanged.)
+    """
     rng = np.random.default_rng(seed)
     names = list(names)
     chains = []
@@ -62,6 +72,8 @@ def correlated_statements(names, count: int, *, table: str = "data",
     statements = []
     for _ in range(count):
         chain, pairs = chains[int(rng.integers(len(chains)))]
+        if pareto_fraction and rng.random() < pareto_fraction:
+            pairs = []  # ask the unrefined intent itself
         if len(pairs) > 1:
             keep = sorted(
                 rng.choice(len(pairs),
@@ -120,13 +132,20 @@ class LoadReport:
 
 def run_load(address, statements, *, clients: int = 4, repeat: int = 1,
              timeout: float | None = 30.0,
-             no_cache: bool = False) -> LoadReport:
+             no_cache: bool = False, batch: int = 0) -> LoadReport:
     """Replay ``statements`` against a server from ``clients`` threads.
 
     Each client walks the whole statement list ``repeat`` times starting
     at its own offset (so concurrent clients hit overlapping statements
     at different moments -- the cache-friendly pattern of a shared
     workload).  Latencies are measured per request, client-side.
+
+    With ``batch > 0`` each client sends its walk as ``"statements"``
+    batch requests of that size instead of one request per statement --
+    the server answers cache hits per statement and runs the misses
+    through the fused batch path.  Per-statement latencies are then the
+    batch round-trip amortised over its statements; outcomes are still
+    counted per statement from the per-statement payloads.
     """
     statements = list(statements)
     if not statements:
@@ -136,27 +155,47 @@ def run_load(address, statements, *, clients: int = 4, repeat: int = 1,
     latencies: list[float] = []
     outcome = {"cached": 0, "shed": 0, "errors": 0}
 
+    def _tally(local: dict, response: dict) -> None:
+        if not response.get("ok"):
+            local["errors"] += 1
+        elif response.get("partial"):
+            local["shed"] += 1
+        elif response.get("cached"):
+            local["cached"] += 1
+
     def _client(offset: int) -> None:
         with SkylineClient(address, socket_timeout=timeout) as client:
             barrier.wait()
             local_lat = []
             local = {"cached": 0, "shed": 0, "errors": 0}
             for round_ in range(repeat):
-                for position in range(len(statements)):
-                    statement = statements[(offset + position)
-                                           % len(statements)]
+                walk = [statements[(offset + position) % len(statements)]
+                        for position in range(len(statements))]
+                if batch > 0:
+                    for start in range(0, len(walk), batch):
+                        chunk = walk[start:start + batch]
+                        started = time.perf_counter()
+                        response = client.query_batch(
+                            chunk, timeout=timeout, no_cache=no_cache,
+                            raise_errors=False)
+                        per_ms = ((time.perf_counter() - started) * 1e3
+                                  / len(chunk))
+                        local_lat.extend([per_ms] * len(chunk))
+                        results = response.get("results") \
+                            or [None] * len(chunk)
+                        for entry in results:
+                            if entry is None:
+                                entry = {"ok": response.get("ok", False)}
+                            _tally(local, entry)
+                    continue
+                for statement in walk:
                     started = time.perf_counter()
                     response = client.query(
                         statement, timeout=timeout, no_cache=no_cache,
                         raise_errors=False)
                     local_lat.append(
                         (time.perf_counter() - started) * 1e3)
-                    if not response.get("ok"):
-                        local["errors"] += 1
-                    elif response.get("partial"):
-                        local["shed"] += 1
-                    elif response.get("cached"):
-                        local["cached"] += 1
+                    _tally(local, response)
             with lock:
                 latencies.extend(local_lat)
                 for key in outcome:

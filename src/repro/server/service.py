@@ -29,7 +29,14 @@ tests pin this).  Around that core:
   progressive SFS scan -- by construction a ``≻ext``-sorted prefix of
   the exact skyline -- flagged ``"partial": true`` with a reason.  The
   paper's output-sensitive, progressive evaluation model is what makes
-  this degraded answer principled rather than arbitrary.
+  this degraded answer principled rather than arbitrary;
+* **batch fusion** -- a ``"statements"`` request answers a whole
+  correlated batch in one frame: cache hits are served per statement,
+  and the misses run through
+  :meth:`~repro.sql.PreferenceSQL.execute_batch`, whose fusion layer
+  (:mod:`repro.core.fusion`) deduplicates canonically-equal
+  preferences and evaluates each packed Better-mask block once for
+  every query in the batch that needs it.
 """
 
 from __future__ import annotations
@@ -58,8 +65,8 @@ from ..engine.compiled import graph_key
 from ..engine.context import CancellationToken, ExecutionContext
 from ..engine.errors import (MemoryBudgetExceeded, QueryCancelled,
                              QueryTimeout)
-from ..sql import (PreferenceSQL, Query, SqlExecutionError, SqlSyntaxError,
-                   parse_query)
+from ..sql import (BatchExecutionError, PreferenceSQL, Query,
+                   SqlExecutionError, SqlSyntaxError, parse_query)
 from .cache import CachedResult, ResultCache
 from .protocol import MAX_FRAME, ProtocolError, check_length, encode_frame
 
@@ -69,6 +76,9 @@ _HEADER = struct.Struct(">I")
 
 #: Statement-text -> parsed AST cache bound.
 _PARSE_CACHE = 1024
+
+#: Upper bound on statements per batch request.
+_MAX_BATCH = 256
 
 
 def _json_value(value: Any) -> Any:
@@ -177,7 +187,7 @@ class SkylineServer:
         self._metrics_lock = threading.Lock()
         self._counters = {"requests": 0, "queries": 0, "hits": 0,
                           "misses": 0, "shed": 0, "errors": 0,
-                          "cancelled": 0, "timeouts": 0}
+                          "cancelled": 0, "timeouts": 0, "batches": 0}
         self._tokens: set[CancellationToken] = set()
         self._listeners: list[tuple[ShardedRelation, Any]] = []
         self._server: asyncio.AbstractServer | None = None
@@ -299,9 +309,13 @@ class SkylineServer:
             self._counters["requests"] += 1
         if "op" in message:
             return self._handle_op(message, request_id)
+        if "statements" in message:
+            return await self._handle_batch(message, request_id, reader,
+                                            conn)
         if "statement" not in message:
             return self._error(request_id, "protocol",
-                               "request needs a 'statement' or an 'op'")
+                               "request needs a 'statement', 'statements' "
+                               "or an 'op'")
         return await self._handle_query(message, request_id, reader, conn)
 
     def _handle_op(self, message: dict, request_id) -> dict:
@@ -339,6 +353,50 @@ class SkylineServer:
         exec_task = asyncio.ensure_future(loop.run_in_executor(
             executor, self._run_request, statement, request_id,
             timeout, algorithm, no_cache, shed, token))
+        try:
+            await self._watch(exec_task, reader, conn, token)
+            return exec_task.result()
+        finally:
+            with self._metrics_lock:
+                self._active -= 1
+                self._tokens.discard(token)
+
+    async def _handle_batch(self, message: dict, request_id,
+                            reader: asyncio.StreamReader,
+                            conn: _Connection) -> dict | None:
+        """A ``"statements"`` request: many statements answered in one
+        frame.  Cache hits are served per statement; the misses run
+        through :meth:`~repro.sql.PreferenceSQL.execute_batch`, whose
+        fusion layer deduplicates preferences and shares packed
+        Better-masks across the batch.  Batch requests always run on
+        the main executor (the shed lane answers single statements)."""
+        statements = message.get("statements")
+        if (not isinstance(statements, list) or not statements
+                or not all(isinstance(s, str) for s in statements)):
+            return self._error(
+                request_id, "protocol",
+                "'statements' must be a non-empty list of strings")
+        if len(statements) > _MAX_BATCH:
+            return self._error(
+                request_id, "protocol",
+                f"batch too large ({len(statements)} statements; "
+                f"max {_MAX_BATCH})")
+        timeout = message.get("timeout", self.default_timeout)
+        if timeout is not None and (not isinstance(timeout, (int, float))
+                                    or timeout <= 0):
+            return self._error(request_id, "protocol",
+                               "'timeout' must be positive seconds")
+        algorithm = message.get("algorithm", self.algorithm)
+        no_cache = bool(message.get("no_cache", False))
+
+        token = CancellationToken()
+        with self._metrics_lock:
+            self._active += 1
+            self._tokens.add(token)
+        loop = asyncio.get_running_loop()
+        exec_task = asyncio.ensure_future(loop.run_in_executor(
+            self._executor, self._run_batch, statements, request_id,
+            timeout, algorithm, no_cache, token))
         try:
             await self._watch(exec_task, reader, conn, token)
             return exec_task.result()
@@ -505,6 +563,110 @@ class SkylineServer:
              "stats": counters,
              "elapsed_ms": (time.perf_counter() - started) * 1e3})
         return response
+
+    def _run_batch(self, statements: list, request_id, timeout,
+                   algorithm: str, no_cache: bool,
+                   token: CancellationToken) -> dict:
+        try:
+            return self._run_batch_inner(statements, request_id, timeout,
+                                         algorithm, no_cache, token)
+        except Exception as error:  # pragma: no cover - defensive net
+            return self._map_error(request_id, error)
+
+    def _run_batch_inner(self, statements: list, request_id, timeout,
+                         algorithm: str, no_cache: bool,
+                         token: CancellationToken) -> dict:
+        started = time.perf_counter()
+        responses: list[dict | None] = [None] * len(statements)
+        misses: list[int] = []
+        puts: dict[int, tuple[Any, int]] = {}
+        use_cache = self.cache is not None and not no_cache
+        for index, statement in enumerate(statements):
+            try:
+                query = self._parse(statement)
+                relation, source_id, version = self._source(query)
+            except Exception as error:
+                mapped = self._map_error(request_id, error)
+                mapped["failed_statement"] = index
+                mapped["results"] = responses
+                return mapped
+            if use_cache:
+                try:
+                    key = self._cache_key(query, source_id, relation,
+                                          algorithm)
+                except Exception as error:
+                    mapped = self._map_error(request_id, error)
+                    mapped["failed_statement"] = index
+                    mapped["results"] = responses
+                    return mapped
+                entry = self.cache.get(key, version)
+                if entry is not None:
+                    with self._metrics_lock:
+                        self._counters["hits"] += 1
+                        self._counters["queries"] += 1
+                    payload = dict(entry.payload)
+                    payload.update({"ok": True, "cached": True,
+                                    "version": entry.version,
+                                    "stats": dict(entry.extra)})
+                    responses[index] = payload
+                    continue
+                if not isinstance(relation, ShardedRelation):
+                    # plain relations are version-0 sources, so batch
+                    # answers can be cached without staleness risk;
+                    # sharded misses are recomputed (their version may
+                    # move mid-batch)
+                    puts[index] = (key, source_id)
+            misses.append(index)
+
+        stats = Stats()
+        fusion = None
+        if misses:
+            context = ExecutionContext.create(stats=stats,
+                                              timeout=timeout,
+                                              cancel=token)
+            try:
+                results = self.sql.execute_batch(
+                    [statements[i] for i in misses],
+                    algorithm=algorithm, context=context)
+            except BatchExecutionError as error:
+                # keep the per-statement answers that completed before
+                # the failure -- the client sees exactly which ones
+                for offset, result in enumerate(error.results):
+                    if result is None:
+                        continue
+                    payload = serialize_relation(result)
+                    payload.update({"ok": True, "cached": False})
+                    responses[misses[offset]] = payload
+                cause = error.cause if error.cause is not None else error
+                mapped = self._map_error(request_id, cause)
+                mapped["failed_statement"] = misses[error.failed_index]
+                mapped["results"] = responses
+                return mapped
+            except Exception as error:
+                return self._map_error(request_id, error)
+            fusion = stats.extra.get("fusion")
+            for index, result in zip(misses, results):
+                payload = serialize_relation(result)
+                if use_cache and index in puts:
+                    key, source_id = puts[index]
+                    self.cache.put(key, CachedResult(
+                        payload=dict(payload), source_id=source_id,
+                        version=0, extra={}))
+                payload.update({"ok": True, "cached": False})
+                responses[index] = payload
+            with self._metrics_lock:
+                self._counters["misses"] += len(misses) if use_cache \
+                    else 0
+                self._counters["queries"] += len(misses)
+        with self._metrics_lock:
+            self._counters["batches"] += 1
+        return {"id": request_id, "ok": True,
+                "count": len(statements), "results": responses,
+                "fusion": fusion,
+                "stats": {"dominance_tests": stats.dominance_tests,
+                          "comparisons": stats.comparisons,
+                          "passes": stats.passes},
+                "elapsed_ms": (time.perf_counter() - started) * 1e3}
 
     def _run_shed(self, query: Query, relation, request_id, timeout,
                   token: CancellationToken) -> dict:

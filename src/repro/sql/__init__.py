@@ -3,13 +3,14 @@
 relations, with prioritized/Pareto preference clauses."""
 
 from .ast import Comparison, Logical, Not, Query
-from .executor import PreferenceSQL, SqlExecutionError
+from .executor import BatchExecutionError, PreferenceSQL, SqlExecutionError
 from .lexer import SqlSyntaxError, Token, tokenize
 from .parser import parse_query
 
 __all__ = [
     "PreferenceSQL",
     "SqlExecutionError",
+    "BatchExecutionError",
     "SqlSyntaxError",
     "parse_query",
     "tokenize",

@@ -20,16 +20,17 @@ from typing import Any
 
 import numpy as np
 
-from ..algorithms.base import Stats, ensure_context
+from ..algorithms.base import Stats, ensure_context, get_algorithm
 from ..core.attributes import Direction
 from ..core.pgraph import PGraph
-from ..core.preferring import evaluate_preferring
+from ..core.preferring import (encode_columns, evaluate_preferring,
+                               resolve_preferring)
 from ..core.relation import Relation
 from ..engine.context import ExecutionContext
 from .ast import Comparison, Condition, Logical, Not, Query
 from .parser import parse_query
 
-__all__ = ["PreferenceSQL", "SqlExecutionError"]
+__all__ = ["PreferenceSQL", "SqlExecutionError", "BatchExecutionError"]
 
 _OPERATORS = {
     "=": operator.eq,
@@ -44,6 +45,30 @@ _OPERATORS = {
 class SqlExecutionError(ValueError):
     """Semantic error while executing a statement (unknown table/column,
     type mismatch, ...)."""
+
+
+class BatchExecutionError(SqlExecutionError):
+    """A statement failed mid-batch; completed answers are preserved.
+
+    ``results`` has one slot per statement of the batch: the result
+    :class:`~repro.core.relation.Relation` for every statement that
+    completed before the failure, ``None`` for the failing statement
+    and any not yet executed.  ``failed_index`` is the 0-based position
+    of the statement whose execution raised, ``completed`` counts the
+    preserved results, and the original exception is both ``cause`` and
+    ``__cause__``.
+    """
+
+    def __init__(self, failed_index: int, total: int, results,
+                 cause: BaseException):
+        self.failed_index = failed_index
+        self.results = list(results)
+        self.completed = sum(result is not None for result in self.results)
+        self.cause = cause
+        super().__init__(
+            f"statement {failed_index + 1} of {total} failed with "
+            f"{type(cause).__name__} after {self.completed} completed "
+            f"result(s): {cause}")
 
 
 class PreferenceSQL:
@@ -95,17 +120,28 @@ class PreferenceSQL:
                       algorithm: str = "osdc",
                       stats: Stats | None = None,
                       context: ExecutionContext | None = None,
-                      timeout: float | None = None) -> list[Relation]:
+                      timeout: float | None = None,
+                      fuse: bool = True) -> list[Relation]:
         """Run many statements as one batch; returns one relation each.
 
         All statements share a single :class:`ExecutionContext` (one
         deadline and cancellation token covering the whole batch, work
-        counters accumulated across statements).  With a pool-backed
-        algorithm (``parallel-osdc``) the persistent worker pool stays
-        warm across the batch and its shared-memory registration cache
-        is reused whenever statements hit the same relation object, so
-        a batch of ``k`` preference queries costs one pool start-up
-        instead of ``k``.
+        counters accumulated across statements).  With ``fuse`` (the
+        default), ``PREFERRING``-only statements over the same plain
+        relation are planned together by
+        :class:`~repro.core.fusion.FusionPlan`: duplicate preferences
+        evaluate once, and distinct preferences over a shared encoded
+        column signature are refined from their common base skyline
+        with shared packed ``Better`` masks
+        (``stats.extra["fusion"]`` carries the exact counters).
+        Statements with ``WHERE`` clauses or sharded tables keep their
+        independent per-statement path; ``TOP`` / ``ORDER BY`` /
+        ``SELECT`` post-processing always applies per statement.
+
+        A statement failing mid-batch raises
+        :class:`BatchExecutionError`, which carries every already
+        completed result -- a timeout at statement ``k`` of ``n`` no
+        longer discards the ``k`` finished answers.
         """
         if timeout is not None:
             if context is not None:
@@ -113,9 +149,105 @@ class PreferenceSQL:
             context = ExecutionContext.create(stats=stats, timeout=timeout)
         context = ensure_context(context, stats)
         queries = [parse_query(statement) for statement in statements]
-        return [self._execute_parsed(query, algorithm=algorithm,
-                                     context=context)
-                for query in queries]
+        results: list[Relation | None] = [None] * len(queries)
+        fused = self._fusable_groups(queries) if fuse else {}
+        member: dict[int, str] = {
+            position: table
+            for table, positions in fused.items()
+            for position in positions}
+        position = 0
+        try:
+            for position, query in enumerate(queries):
+                if results[position] is not None:
+                    continue  # already answered by a fused group
+                table = member.get(position)
+                if table is not None:
+                    batch = [(p, queries[p]) for p in fused[table]]
+                    self._execute_fused(
+                        self._catalog[table], batch, results,
+                        algorithm=algorithm, context=context)
+                else:
+                    results[position] = self._execute_parsed(
+                        query, algorithm=algorithm, context=context)
+        except Exception as error:
+            # a failure inside a fused group is pinned to the member
+            # that raised, not the position the group ran at
+            failed = getattr(error, "_batch_position", position)
+            raise BatchExecutionError(failed, len(queries), results,
+                                      error) from error
+        return results
+
+    def _fusable_groups(self, queries) -> dict[str, list[int]]:
+        """Positions of fusable statements, grouped by table.
+
+        A statement fuses when it has a ``PREFERRING`` clause, no
+        ``WHERE`` filter, and its table is a plain in-memory
+        :class:`~repro.core.relation.Relation` (sharded tables pin a
+        snapshot per statement and stay on the independent path).  Only
+        groups of two or more are worth a fused plan.
+        """
+        from ..core.sharding import ShardedRelation
+
+        groups: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            if query.preferring is None or query.where is not None:
+                continue
+            relation = self._catalog.get(query.table)
+            if relation is None or isinstance(relation, ShardedRelation):
+                continue
+            groups.setdefault(query.table, []).append(position)
+        return {table: positions for table, positions in groups.items()
+                if len(positions) >= 2}
+
+    def _execute_fused(self, relation: Relation, batch, results, *,
+                       algorithm: str,
+                       context: ExecutionContext) -> None:
+        """Evaluate fused ``(position, query)`` statements on one
+        relation, writing each answer into ``results`` as it lands.
+
+        Per-statement failures (a bad ``PREFERRING`` attribute, a bad
+        ``SELECT`` projection) are annotated with the offending batch
+        position so :meth:`execute_batch` reports the right statement;
+        answers post-processed before the failure stay in ``results``.
+        """
+        from ..core.fusion import FusionPlan
+
+        resolved = []
+        for position, query in batch:
+            try:
+                resolved.append(
+                    resolve_preferring(relation, query.preferring))
+            except Exception as error:
+                error._batch_position = position
+                raise
+        plan = FusionPlan.build(resolved)
+        matrices: dict[tuple, np.ndarray] = {}
+
+        def data_for(key: tuple) -> np.ndarray:
+            matrix = matrices.get(key)
+            if matrix is None:
+                matrix = encode_columns(relation, key)
+                matrices[key] = matrix
+            return matrix
+
+        function = get_algorithm(algorithm)
+
+        def evaluate(graph, key):
+            return function(data_for(key), graph, context=context)
+
+        def candidates(indices, key):
+            return data_for(key)[indices]
+
+        index_lists = plan.execute(evaluate=evaluate,
+                                   candidates=candidates,
+                                   context=context)
+        for (position, query), indices in zip(batch, index_lists):
+            try:
+                results[position] = self._post_process(
+                    relation.take(indices), query, context)
+            except Exception as error:
+                error._batch_position = position
+                raise
 
     def execute_parsed(self, query: Query, *,
                        algorithm: str = "osdc",
@@ -177,6 +309,15 @@ class PreferenceSQL:
             relation = evaluate_preferring(relation, query.preferring,
                                            algorithm=algorithm,
                                            context=context)
+        return self._post_process(relation, query, context)
+
+    def _post_process(self, relation: Relation, query: Query,
+                      context: ExecutionContext) -> Relation:
+        """``TOP`` / ``ORDER BY`` / ``SELECT`` on an evaluated
+        preference result (shared by the per-statement and fused batch
+        paths; ``relation`` already holds the ``PREFERRING``
+        survivors)."""
+        if query.preferring is not None:
             if query.order_by is None and query.top is not None:
                 relation = self._take_top(relation, query, context)
                 if query.columns is None:

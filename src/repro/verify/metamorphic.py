@@ -245,6 +245,46 @@ def _snapshot_isolation_executor(ranks: np.ndarray, graph: PGraph,
         snapshot.close()
 
 
+def _fused_batch_executor(ranks: np.ndarray, graph: PGraph,
+                          function, rng: random.Random):
+    """Answer the case from inside a fused correlated batch.
+
+    The case graph is batched with a duplicate of itself, the empty
+    graph (Pareto -- contained in every p-graph) and the full priority
+    chain over the same attributes, then the whole batch runs through
+    :class:`~repro.core.fusion.FusionPlan`: one shared-base evaluation
+    plus packed-mask screening must reproduce exactly what the
+    algorithm under test answers for the case graph alone (fused ==
+    unfused).
+    """
+    from ..core.fusion import FusionPlan
+
+    d = graph.d
+    if d == 0:
+        return function(ranks, graph)
+    empty = PGraph(graph.names, (0,) * d, graph.orders)
+    chain_closure = tuple((((1 << d) - 1) >> (i + 1)) << (i + 1)
+                          for i in range(d))
+    chain = PGraph(graph.names, chain_closure, graph.orders)
+    key = tuple(range(d))
+    plan = FusionPlan.build([(graph, key), (empty, key), (chain, key),
+                             (graph, key)])
+
+    def evaluate(g: PGraph, k: tuple):
+        return function(ranks, g)
+
+    def candidates(indices: np.ndarray, k: tuple):
+        return ranks[indices]
+
+    results = plan.execute(evaluate=evaluate, candidates=candidates)
+    if not np.array_equal(np.asarray(results[0]),
+                          np.asarray(results[3])):
+        raise AssertionError(
+            "duplicate spellings of one preference diverged in the "
+            "fused batch")
+    return results[0]
+
+
 TRANSFORMS: dict[str, MetamorphicTransform] = {
     transform.name: transform for transform in (
         MetamorphicTransform(
@@ -281,6 +321,12 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
             "answer from a pinned MVCC snapshot after writes land at "
             "later versions; the result is unchanged",
             _identity, executor=_snapshot_isolation_executor),
+        MetamorphicTransform(
+            "fused-batch",
+            "evaluate inside a fused correlated batch (duplicate, "
+            "empty and chain companions share one base skyline and "
+            "packed Better masks); the result is unchanged",
+            _identity, executor=_fused_batch_executor),
     )
 }
 
