@@ -112,6 +112,7 @@ def measure_fused_batch(rows: int, dims: int, *, queries: int = 64,
         "fallbacks": int(fusion["fallbacks"]),
         "mask_hits": int(fusion["mask_hits"]),
         "mask_misses": int(fusion["mask_misses"]),
+        "kernel": fusion["kernel"],
         "output_sizes": [len(result) for result in fused],
         "unfused_seconds": unfused_seconds,
         "fused_seconds": fused_seconds,

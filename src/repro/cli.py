@@ -159,6 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--scalar", action="store_true",
                          help="also time the scalar kernel (slow; keep "
                               "--rows small)")
+    kernels.add_argument("--list-backends", action="store_true",
+                         help="print per-backend availability (and why "
+                              "an optional backend is off) and exit")
 
     pool = commands.add_parser(
         "pool-bench",
@@ -383,19 +386,58 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_backends() -> list[tuple[str, bool, str | None]]:
+    """``(name, available, reason)`` per registered kernel family.
+
+    Enumerated from :data:`repro.core.dominance.KERNELS` so newly
+    registered backends show up without touching the CLI; only the
+    optional compiled backend can currently be unavailable, with the
+    precise reason (``numba missing`` vs ``JIT compile failed``)
+    reported by :func:`repro.core.native.availability`.
+    """
+    from .core import native
+    from .core.dominance import KERNELS
+
+    backends = []
+    for name in KERNELS:
+        if name == "native":
+            ok, reason = native.availability()
+        else:
+            ok, reason = True, None
+        backends.append((name, ok, reason))
+    return backends
+
+
 def _cmd_bench_kernels(arguments: argparse.Namespace) -> int:
     from .bench.perf_gate import run_kernel_bench
-    kernels = ("bitmask", "gemm", "scalar") if arguments.scalar \
-        else ("bitmask", "gemm")
+    backends = _kernel_backends()
+    if arguments.list_backends:
+        for name, ok, reason in backends:
+            state = "available" if ok else f"unavailable ({reason})"
+            print(f"{name:>8}: {state}")
+        return 0
+    kernels = []
+    for name, ok, reason in backends:
+        if not ok:
+            print(f"note: skipping {name}: {reason}")
+        elif name == "scalar" and not arguments.scalar:
+            continue  # slow reference kernel is opt-in
+        else:
+            kernels.append(name)
     for dims in arguments.dims:
         record = run_kernel_bench(dims, arguments.rows, arguments.seed,
-                                  kernels=kernels)
+                                  kernels=tuple(kernels))
         timings = "  ".join(
             f"{kernel} {seconds * 1000:8.2f}ms"
             for kernel, seconds in record["timings"].items())
+        suffixes = []
+        speedup = record.get("speedup_native_over_bitmask")
+        if speedup is not None:
+            suffixes.append(f"{speedup:.2f}x native over bitmask")
         speedup = record.get("speedup_bitmask_over_gemm")
-        suffix = f"  ({speedup:.2f}x bitmask over gemm)" \
-            if speedup is not None else ""
+        if speedup is not None:
+            suffixes.append(f"{speedup:.2f}x bitmask over gemm")
+        suffix = f"  ({', '.join(suffixes)})" if suffixes else ""
         print(f"d={dims:2d} block={record['block_rows']} "
               f"against={record['against_rows']} "
               f"survivors={record['survivors']}: {timings}{suffix}")

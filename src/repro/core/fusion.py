@@ -177,7 +177,10 @@ class FusionPlan:
             "queries": self.count, "distinct": self.distinct,
             "groups": len(self.groups), "dedup_hits": self.dedup_hits,
             "base_evaluations": 0, "screened": 0, "fallbacks": 0,
-            "mask_hits": 0, "mask_misses": 0})
+            "mask_hits": 0, "mask_misses": 0,
+            # which backend served the fused groups; filled by
+            # screen_block_multi, None when nothing was screened
+            "kernel": None})
         check = context.check if context is not None else None
         for group in self.groups:
             base = group.base

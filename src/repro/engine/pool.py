@@ -341,6 +341,15 @@ def _run_task(spec: dict, attachments: dict, cancel_event):
 
 def _worker_main(worker_id: int, tasks, results, cancel_event) -> None:
     """The worker loop: pull task specs until the ``None`` sentinel."""
+    # JIT-warm the compiled native kernel backend once at spawn (a no-op
+    # when numba is absent) so queries never pay compile latency and the
+    # compiled speedup compounds across workers
+    try:
+        from ..core.native import availability
+
+        availability()
+    except Exception:  # pragma: no cover - warmup is best effort
+        pass
     attachments: dict = {}
     try:
         while True:

@@ -20,13 +20,15 @@ p-skyline is *exactly predictable* from the original answer:
     Appending tuples strictly worse than an existing tuple on every
     attribute adds nothing: the new tuples are dominated, and by
     transitivity of ``≻`` anything they dominate was already dominated.
-``kernel-bitmask`` / ``kernel-gemm`` / ``kernel-scalar``
+``kernel-native`` / ``kernel-bitmask`` / ``kernel-gemm`` / ``kernel-scalar``
     Identity transforms that re-run the algorithm with the named
     dominance kernel forced (:func:`repro.core.dominance.forced_kernel`):
-    the three kernel families implement the same Proposition 1 test, so
+    the four kernel families implement the same Proposition 1 test, so
     the result must be identical.  Registering the kernel choice as a
     metamorphic axis makes the differential fuzzer cross-check kernels
-    on every rotating case with no algorithm-specific plumbing.
+    on every rotating case with no algorithm-specific plumbing (the
+    ``native`` axis degrades to the bitmask fallback on hosts without
+    numba, which is itself a path worth covering).
 ``pool-chunked``
     Identity transform executed on the persistent worker pool: the
     case is partitioned into chunks, evaluated by worker processes
@@ -306,6 +308,10 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
             "append-dominated",
             "append tuples strictly worse than an existing tuple; the "
             "result is unchanged", _append_dominated),
+        # forcing "native" exercises the compiled backend when numba is
+        # importable and the graceful bitmask fallback otherwise -- both
+        # must reproduce the oracle bit for bit
+        _kernel_transform("native"),
         _kernel_transform("bitmask"),
         _kernel_transform("gemm"),
         _kernel_transform("scalar"),
