@@ -72,6 +72,21 @@ single-core hosts); without it the same artifact instead certifies the
 graceful fallback -- ``select_kernel("native")`` resolves to
 ``"bitmask"``, the recorded reason is precise, and survivor counters
 stay exact -- so the gate passes on any machine, compiled or not.
+
+A seventh artifact, ``BENCH_10.json``, gates the intra-worker thread
+layer (:mod:`repro.engine.threads` + the tiled/``prange`` screening in
+:mod:`repro.core.dominance`): the BENCH_4 screening workloads re-timed
+at a thread budget of 1 versus :data:`THREAD_GATE_BUDGET`.  On hosts
+with at least :data:`THREAD_GATE_MIN_CORES` cores and the compiled
+parallel layer up, the threaded screen must win by
+:data:`MIN_THREADED_SPEEDUP`; everywhere else the same runs instead
+certify bit-exact survivor parity across budgets (the tiled path still
+executes -- an explicit budget forces it), plus the pool topology
+invariant: a pooled query records a per-worker budget of exactly 1 in
+``stats.extra["pool"]["thread_budget"]``.  Timing-drift comparisons
+only engage when current and baseline carry the same ``host`` shape
+tag (``cpu_count`` + ``thread_budget``), so baselines travel across
+machines without false alarms.
 """
 
 from __future__ import annotations
@@ -90,7 +105,8 @@ __all__ = ["kernel_workload", "run_kernel_bench", "run_algorithm_bench",
            "run_gate", "compare", "run_parallel_gate", "compare_parallel",
            "run_sharded_gate", "compare_sharded", "run_server_gate",
            "compare_server", "run_batch_gate", "compare_batch",
-           "run_native_gate", "compare_native", "main"]
+           "run_native_gate", "compare_native", "run_threaded_bench",
+           "run_threaded_gate", "compare_threaded", "main"]
 
 SCHEMA = "repro-perf-gate/1"
 PARALLEL_SCHEMA = "repro-perf-gate-parallel/1"
@@ -98,6 +114,7 @@ SHARDED_SCHEMA = "repro-perf-gate-sharded/1"
 SERVER_SCHEMA = "repro-perf-gate-server/1"
 FUSION_SCHEMA = "repro-perf-gate-fusion/1"
 NATIVE_SCHEMA = "repro-perf-gate-native/1"
+THREADS_SCHEMA = "repro-perf-gate-threads/1"
 
 #: Pinned workload parameters.  Changing any of these invalidates the
 #: committed baseline -- regenerate it in the same commit.
@@ -204,6 +221,42 @@ MIN_FUSED_SPEEDUP = 2.0
 #: baseline exactly -- so the suite passes identically, via fallback,
 #: on a machine without numba.
 MIN_NATIVE_SPEEDUP = 2.0
+
+#: Thread-layer gate (``BENCH_10.json``): the screen budget the
+#: threaded pass runs at, the core floor below which the speedup check
+#: degrades to a parity waiver, and the required threaded-over-serial
+#: ratio on compiled multi-core hosts.  Parity (bit-exact survivors at
+#: every budget) and the 1-thread-per-pool-worker invariant are
+#: core-count independent and gate everywhere.
+THREAD_GATE_BUDGET = 4
+THREAD_GATE_MIN_CORES = 4
+MIN_THREADED_SPEEDUP = 1.5
+
+
+def _host_shape() -> dict:
+    """The ``host`` tag stamped into BENCH artifacts: timing-drift
+    comparisons only engage between identically shaped hosts."""
+    import os
+
+    from ..engine.threads import effective_budget
+
+    return {"cpu_count": os.cpu_count() or 1,
+            "thread_budget": effective_budget()}
+
+
+def _same_host_shape(current: dict, baseline: dict | None) -> bool:
+    """True when baseline timings are comparable to the current run.
+
+    Untagged artifacts (committed before the tag existed) keep the old
+    always-compare behavior; once both sides carry a ``host`` tag, a
+    mismatch in ``cpu_count`` / ``thread_budget`` skips wall-clock
+    drift checks (counters still gate exactly).
+    """
+    shape = current.get("host")
+    base = (baseline or {}).get("host")
+    if not shape or not base:
+        return True
+    return shape == base
 
 
 def _pinned_case(rows: int, dims: int, seed: int):
@@ -325,6 +378,7 @@ def run_gate(*, seed: int = SEED, quick: bool = False) -> dict:
     return {
         "schema": SCHEMA,
         "native_available": native_available(),
+        "host": _host_shape(),
         "workload": {
             "seed": seed,
             "quick": quick,
@@ -364,6 +418,9 @@ def compare(current: dict, baseline: dict | None, *,
     # a kernel-name difference is expected, not drift
     same_backend = (current.get("native_available", False)
                     == (baseline or {}).get("native_available", False))
+    # wall-clock drift checks only engage between identically shaped
+    # hosts (cpu_count + thread_budget); counters always gate
+    same_shape = _same_host_shape(current, baseline)
     for record in current.get("kernels", []):
         speedup = record.get("speedup_bitmask_over_gemm")
         if speedup is not None and speedup < min_speedup:
@@ -379,7 +436,8 @@ def compare(current: dict, baseline: dict | None, *,
                 f"baseline {base['survivors']}")
         for kernel, seconds in record["timings"].items():
             base_seconds = base.get("timings", {}).get(kernel)
-            if base_seconds and seconds > base_seconds * time_factor:
+            if same_shape and base_seconds and \
+                    seconds > base_seconds * time_factor:
                 violations.append(
                     f"{record['name']}/{kernel}: {seconds:.4f}s is more "
                     f"than {time_factor:.1f}x the baseline "
@@ -404,7 +462,8 @@ def compare(current: dict, baseline: dict | None, *,
                     f"drifted more than {counter_tolerance:.0%} from "
                     f"baseline {base[counter]}")
         base_seconds = base.get("seconds")
-        if base_seconds and record["seconds"] > base_seconds * time_factor:
+        if same_shape and base_seconds and \
+                record["seconds"] > base_seconds * time_factor:
             violations.append(
                 f"{record['name']}: {record['seconds']:.4f}s is more than "
                 f"{time_factor:.1f}x the baseline {base_seconds:.4f}s")
@@ -430,6 +489,7 @@ def run_parallel_gate(*, seed: int = SEED, quick: bool = False) -> dict:
     artifact = {
         "schema": PARALLEL_SCHEMA,
         "native_available": native_available(),
+        "host": _host_shape(),
         "workload": {
             "seed": seed,
             "quick": quick,
@@ -528,14 +588,16 @@ def compare_parallel(current: dict, baseline: dict | None, *,
             violations.append(
                 f"{batch['name']}: per-query output sizes differ from "
                 "the baseline")
-        for record, base in ((parallel, base_parallel),
-                             (batch, base_batch)):
-            for key in ("warm_seconds", "cold_seconds"):
-                if base.get(key) and record[key] > base[key] * time_factor:
-                    violations.append(
-                        f"{record['name']}/{key}: {record[key]:.4f}s is "
-                        f"more than {time_factor:.1f}x the baseline "
-                        f"{base[key]:.4f}s")
+        if _same_host_shape(current, baseline):
+            for record, base in ((parallel, base_parallel),
+                                 (batch, base_batch)):
+                for key in ("warm_seconds", "cold_seconds"):
+                    if base.get(key) and \
+                            record[key] > base[key] * time_factor:
+                        violations.append(
+                            f"{record['name']}/{key}: {record[key]:.4f}s "
+                            f"is more than {time_factor:.1f}x the "
+                            f"baseline {base[key]:.4f}s")
     return violations
 
 
@@ -569,6 +631,7 @@ def run_sharded_gate(*, seed: int = SEED, quick: bool = False) -> dict:
             "workers": SHARDED_WORKERS,
         },
         "cores": cores,
+        "host": _host_shape(),
         "sharded": sharded,
         "insert": insert,
     }
@@ -630,18 +693,20 @@ def compare_sharded(current: dict, baseline: dict | None, *,
                 violations.append(
                     f"{insert['name']}: {key} {insert[key]} != "
                     f"baseline {base_insert[key]}")
-        for record, base, keys in (
-                (sharded, base_sharded,
-                 ("monolithic_seconds", "scatter_seconds",
-                  "serve_seconds")),
-                (insert, base_insert,
-                 ("single_seconds", "sharded_seconds"))):
-            for key in keys:
-                if base.get(key) and record[key] > base[key] * time_factor:
-                    violations.append(
-                        f"{record['name']}/{key}: {record[key]:.4f}s is "
-                        f"more than {time_factor:.1f}x the baseline "
-                        f"{base[key]:.4f}s")
+        if _same_host_shape(current, baseline):
+            for record, base, keys in (
+                    (sharded, base_sharded,
+                     ("monolithic_seconds", "scatter_seconds",
+                      "serve_seconds")),
+                    (insert, base_insert,
+                     ("single_seconds", "sharded_seconds"))):
+                for key in keys:
+                    if base.get(key) and \
+                            record[key] > base[key] * time_factor:
+                        violations.append(
+                            f"{record['name']}/{key}: {record[key]:.4f}s "
+                            f"is more than {time_factor:.1f}x the "
+                            f"baseline {base[key]:.4f}s")
     return violations
 
 
@@ -671,6 +736,7 @@ def run_server_gate(*, seed: int = SEED, quick: bool = False) -> dict:
             "repeat": repeat,
         },
         "cores": cores,
+        "host": _host_shape(),
         "server": server,
     }
     if cores < SERVER_CLIENTS:
@@ -729,7 +795,7 @@ def compare_server(current: dict, baseline: dict | None, *,
                 f"{server['name']}: distinct_statements "
                 f"{server['distinct_statements']} != baseline "
                 f"{base_server['distinct_statements']}")
-        if cores >= clients:
+        if cores >= clients and _same_host_shape(current, baseline):
             for key in ("uncached_p99_ms", "warm_p99_ms"):
                 if base_server.get(key) and \
                         server[key] > base_server[key] * time_factor:
@@ -773,6 +839,7 @@ def run_batch_gate(*, seed: int = SEED, quick: bool = False,
             "intents": FUSION_INTENTS,
         },
         "cores": os.cpu_count() or 1,
+        "host": _host_shape(),
         "batch": batch,
         "corpus": replay,
     }
@@ -814,13 +881,14 @@ def compare_batch(current: dict, baseline: dict | None, *,
                 violations.append(
                     f"{batch['name']}: {key} {batch[key]} != baseline "
                     f"{base_batch[key]}")
-        for key in ("unfused_seconds", "fused_seconds"):
-            if base_batch.get(key) and \
-                    batch[key] > base_batch[key] * time_factor:
-                violations.append(
-                    f"{batch['name']}/{key}: {batch[key]:.4f}s is more "
-                    f"than {time_factor:.1f}x the baseline "
-                    f"{base_batch[key]:.4f}s")
+        if _same_host_shape(current, baseline):
+            for key in ("unfused_seconds", "fused_seconds"):
+                if base_batch.get(key) and \
+                        batch[key] > base_batch[key] * time_factor:
+                    violations.append(
+                        f"{batch['name']}/{key}: {batch[key]:.4f}s is "
+                        f"more than {time_factor:.1f}x the baseline "
+                        f"{base_batch[key]:.4f}s")
     return violations
 
 
@@ -857,6 +925,7 @@ def run_native_gate(*, seed: int = SEED, quick: bool = False) -> dict:
             "kernel_dims": list(KERNEL_DIMS),
         },
         "cores": os.cpu_count() or 1,
+        "host": _host_shape(),
         "native_available": available,
         "native_reason": reason,
         "fallback_kernel": select_kernel("native", d=KERNEL_DIMS[0],
@@ -911,6 +980,7 @@ def compare_native(current: dict, baseline: dict | None, *,
                         for record in baseline.get("screens", [])}
         same_backend = available == baseline.get("native_available",
                                                  False)
+        same_shape = _same_host_shape(current, baseline)
         for record in current.get("screens", []):
             base = base_screens.get(record["name"])
             if base is None:
@@ -919,8 +989,8 @@ def compare_native(current: dict, baseline: dict | None, *,
                 violations.append(
                     f"{record['name']}: survivors {record['survivors']} "
                     f"!= baseline {base['survivors']}")
-            if not same_backend:
-                continue  # timings are not comparable across backends
+            if not (same_backend and same_shape):
+                continue  # timings not comparable across backends/hosts
             for kernel, seconds in record["timings"].items():
                 base_seconds = base.get("timings", {}).get(kernel)
                 if base_seconds and seconds > base_seconds * time_factor:
@@ -929,6 +999,236 @@ def compare_native(current: dict, baseline: dict | None, *,
                         f"more than {time_factor:.1f}x the baseline "
                         f"{base_seconds:.4f}s")
     return violations
+
+
+def run_threaded_bench(dims: int, rows: int, seed: int = SEED,
+                       budget: int = THREAD_GATE_BUDGET) -> dict:
+    """Time one BENCH_4 screening workload at budgets 1 and ``budget``.
+
+    Both passes run the same resolved kernel (``native`` where compiled,
+    its ``bitmask`` fallback otherwise); the threaded pass engages the
+    parallel layer through an explicit
+    :func:`repro.engine.threads.thread_budget` scope, which forces the
+    tiled path even on quick-mode workloads.  Survivor masks must be
+    bit-identical -- the record carries the parity verdict, not just
+    counts.
+    """
+    from ..core import native as native_backend
+    from ..core.dominance import Dominance, select_kernel
+    from ..engine.threads import thread_budget
+
+    ranks, graph = _pinned_case(rows, dims, seed)
+    dominance = Dominance(graph).prepare()
+    block, against = kernel_workload(ranks, graph)
+    kernel = select_kernel("native", d=dims, pairs=1 << 20)
+    record = {
+        "name": f"threaded-screen-d{dims}",
+        "d": dims,
+        "rows": int(rows),
+        "block_rows": int(block.shape[0]),
+        "against_rows": int(against.shape[0]),
+        "kernel": kernel,
+        "budget": int(budget),
+        "layer": ("prange-native"
+                  if kernel == "native"
+                  and native_backend.parallel_available()
+                  else "tiled"),
+        "timings": {},
+    }
+    # warm kernels, workspaces and the tile executor off the clock
+    with thread_budget(1):
+        dominance.screen_block(block[:512], against[:512], kernel=kernel)
+    with thread_budget(budget):
+        dominance.screen_block(block[:512], against[:512], kernel=kernel)
+    with thread_budget(1):
+        start = time.perf_counter()
+        serial = dominance.screen_block(block, against, kernel=kernel)
+        record["timings"]["serial"] = time.perf_counter() - start
+    serial = np.array(serial, copy=True)
+    with thread_budget(budget):
+        start = time.perf_counter()
+        threaded = dominance.screen_block(block, against, kernel=kernel)
+        record["timings"]["threaded"] = time.perf_counter() - start
+    record["parity"] = bool(np.array_equal(serial, threaded))
+    record["survivors"] = int(serial.sum())
+    record["speedup_threaded_over_serial"] = (
+        record["timings"]["serial"] / record["timings"]["threaded"])
+    return record
+
+
+def _pool_thread_budget_probe(seed: int, quick: bool) -> dict:
+    """One pooled query asserting the pool x threads topology.
+
+    Pool workers own the cores; each must screen single-threaded.  The
+    probe runs a small ``parallel-osdc`` query on a fresh 2-worker pool
+    and reads the per-worker budget the pool recorded in
+    ``stats.extra["pool"]["thread_budget"]``.
+    """
+    from ..algorithms.base import Stats
+    from ..algorithms.parallel import parallel_osdc
+    from ..engine import ExecutionContext
+    from ..engine.pool import WORKER_THREAD_BUDGET, pool_available
+
+    if not pool_available():
+        return {"available": False, "worker_thread_budget": None,
+                "expected_budget": WORKER_THREAD_BUDGET}
+    rows = 4_000 if quick else 20_000
+    ranks, graph = _pinned_case(rows, PARALLEL_DIMS, seed)
+    stats = Stats()
+    context = ExecutionContext.create(stats=stats)
+    result = parallel_osdc(ranks, graph, context=context, processes=2,
+                           min_chunk=rows // 4, fresh_pool=True)
+    pool_stats = stats.extra.get("pool", {})
+    return {
+        "available": True,
+        "rows": rows,
+        "output_size": int(np.asarray(result).size),
+        "worker_thread_budget": pool_stats.get("thread_budget"),
+        "expected_budget": WORKER_THREAD_BUDGET,
+    }
+
+
+def run_threaded_gate(*, seed: int = SEED, quick: bool = False) -> dict:
+    """Run the thread-layer workloads; returns the ``BENCH_10``
+    artifact."""
+    import os
+
+    from ..core import native as native_backend
+
+    rows = 4_000 if quick else KERNEL_ROWS
+    cores = os.cpu_count() or 1
+    available, reason = native_backend.availability()
+    parallel_native, parallel_reason = \
+        native_backend.parallel_availability()
+    screens = [run_threaded_bench(dims, rows, seed)
+               for dims in KERNEL_DIMS]
+    pool_probe = _pool_thread_budget_probe(seed, quick)
+    artifact = {
+        "schema": THREADS_SCHEMA,
+        "workload": {
+            "seed": seed,
+            "quick": quick,
+            "kernel_rows": rows,
+            "kernel_dims": list(KERNEL_DIMS),
+            "budget": THREAD_GATE_BUDGET,
+        },
+        "cores": cores,
+        "host": _host_shape(),
+        "native_available": available,
+        "native_reason": reason,
+        "parallel_native": parallel_native,
+        "parallel_reason": parallel_reason,
+        "screens": screens,
+        "pool": pool_probe,
+    }
+    waivers = []
+    if not (available and parallel_native):
+        waivers.append(
+            f"compiled parallel layer unavailable "
+            f"({parallel_reason or reason}): the "
+            f"{MIN_THREADED_SPEEDUP:.1f}x threaded-over-serial check is "
+            "replaced by bit-exact survivor parity across budgets")
+    elif cores < THREAD_GATE_MIN_CORES:
+        waivers.append(
+            f"host has {cores} core(s) < {THREAD_GATE_MIN_CORES}: the "
+            f"{MIN_THREADED_SPEEDUP:.1f}x threaded-over-serial check is "
+            "advisory; parity and the pool budget invariant still gate")
+    if waivers:
+        artifact["waivers"] = waivers
+    return artifact
+
+
+def compare_threaded(current: dict, baseline: dict | None, *,
+                     min_threaded_speedup: float = MIN_THREADED_SPEEDUP,
+                     time_factor: float = TIME_FACTOR) -> list[str]:
+    """Gate a fresh ``BENCH_10`` artifact (see
+    :data:`MIN_THREADED_SPEEDUP` for when the speedup engages); returns
+    the violations (empty = ok)."""
+    violations: list[str] = []
+    cores = current.get("cores", 1)
+    compiled = (current.get("native_available", False)
+                and current.get("parallel_native", False))
+    enforce_speedup = compiled and cores >= THREAD_GATE_MIN_CORES
+
+    # -- within-run checks (no baseline needed) -----------------------------
+    for record in current.get("screens", []):
+        if not record.get("parity", False):
+            violations.append(
+                f"{record['name']}: threaded survivors differ from "
+                f"serial at budget {record.get('budget')} -- the thread "
+                "layer must be bit-exact")
+        speedup = record.get("speedup_threaded_over_serial")
+        if enforce_speedup and (speedup is None
+                                or speedup < min_threaded_speedup):
+            shown = "missing" if speedup is None else f"{speedup:.2f}x"
+            violations.append(
+                f"{record['name']}: threaded-over-serial speedup is "
+                f"{shown} on {cores} cores, below the "
+                f"{min_threaded_speedup:.2f}x gate")
+    pool = current.get("pool") or {}
+    if pool.get("available") and \
+            pool.get("worker_thread_budget") != pool.get("expected_budget"):
+        violations.append(
+            f"pooled query recorded a per-worker thread budget of "
+            f"{pool.get('worker_thread_budget')!r}, expected "
+            f"{pool.get('expected_budget')!r} (pool x threads must not "
+            "multiply)")
+
+    # -- baseline checks ----------------------------------------------------
+    if baseline is not None:
+        base_screens = {record["name"]: record
+                        for record in baseline.get("screens", [])}
+        same_backend = (
+            current.get("native_available", False)
+            == baseline.get("native_available", False)
+            and current.get("parallel_native", False)
+            == baseline.get("parallel_native", False))
+        same_shape = _same_host_shape(current, baseline)
+        for record in current.get("screens", []):
+            base = base_screens.get(record["name"])
+            if base is None:
+                continue
+            if record["survivors"] != base["survivors"]:
+                violations.append(
+                    f"{record['name']}: survivors {record['survivors']} "
+                    f"!= baseline {base['survivors']}")
+            if not (same_backend and same_shape):
+                continue  # timings not comparable across hosts/backends
+            for key, seconds in record["timings"].items():
+                base_seconds = base.get("timings", {}).get(key)
+                if base_seconds and seconds > base_seconds * time_factor:
+                    violations.append(
+                        f"{record['name']}/{key}: {seconds:.4f}s is "
+                        f"more than {time_factor:.1f}x the baseline "
+                        f"{base_seconds:.4f}s")
+    return violations
+
+
+def _render_threaded(artifact: dict) -> str:
+    layer = ("prange-native" if artifact.get("parallel_native")
+             else f"tiled fallback "
+                  f"({artifact.get('parallel_reason') or artifact.get('native_reason')})")
+    lines = [f"thread-layer gate ({artifact['cores']} core(s), "
+             f"budget {artifact['workload']['budget']}, {layer}):"]
+    for record in artifact["screens"]:
+        timings = "  ".join(
+            f"{key} {seconds * 1000:8.2f}ms"
+            for key, seconds in record["timings"].items())
+        speedup = record.get("speedup_threaded_over_serial")
+        parity = "exact" if record.get("parity") else "MISMATCH"
+        lines.append(
+            f"  {record['name']:>22}: {timings}  "
+            f"({speedup:.2f}x, parity {parity}, "
+            f"kernel={record['kernel']})")
+    pool = artifact.get("pool") or {}
+    if pool.get("available"):
+        lines.append(
+            f"  {'pool topology':>22}: per-worker thread budget "
+            f"{pool.get('worker_thread_budget')} "
+            f"(expected {pool.get('expected_budget')})")
+    for waiver in artifact.get("waivers", []):
+        lines.append(f"  waiver: {waiver}")
+    return "\n".join(lines)
 
 
 def _render_native(artifact: dict) -> str:
@@ -1126,6 +1426,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="skip the compiled-backend gate")
     parser.add_argument("--min-native-speedup", type=float,
                         default=MIN_NATIVE_SPEEDUP)
+    parser.add_argument("--threads-out", default="BENCH_10.json",
+                        help="path of the thread-layer artifact to "
+                             "write")
+    parser.add_argument("--threads-baseline", default="BENCH_10.json",
+                        help="committed thread-layer baseline to "
+                             "compare against with --check")
+    parser.add_argument("--skip-threads", action="store_true",
+                        help="skip the thread-layer gate")
+    parser.add_argument("--min-threaded-speedup", type=float,
+                        default=MIN_THREADED_SPEEDUP)
     arguments = parser.parse_args(argv)
 
     def load_baseline(path: str, workload_quick: bool) -> dict | None:
@@ -1183,6 +1493,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 min_native_speedup=arguments.min_native_speedup,
                 time_factor=arguments.time_factor))
         write(arguments.native_out, native_artifact)
+
+    if not arguments.skip_threads:
+        threads_artifact = run_threaded_gate(seed=arguments.seed,
+                                             quick=arguments.quick)
+        print(_render_threaded(threads_artifact))
+        if arguments.check:
+            baseline = load_baseline(
+                arguments.threads_baseline,
+                threads_artifact["workload"]["quick"])
+            status |= report("thread layer", compare_threaded(
+                threads_artifact, baseline,
+                min_threaded_speedup=arguments.min_threaded_speedup,
+                time_factor=arguments.time_factor))
+        write(arguments.threads_out, threads_artifact)
 
     if not arguments.skip_parallel:
         parallel_artifact = run_parallel_gate(seed=arguments.seed,

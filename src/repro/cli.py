@@ -161,7 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "--rows small)")
     kernels.add_argument("--list-backends", action="store_true",
                          help="print per-backend availability (and why "
-                              "an optional backend is off) and exit")
+                              "an optional backend is off), the thread "
+                              "layer and effective budget, and exit")
+    kernels.add_argument("--threads", type=int, default=None,
+                         help="force this screen thread budget for the "
+                              "timed runs (default: the engine policy)")
 
     pool = commands.add_parser(
         "pool-bench",
@@ -408,13 +412,32 @@ def _kernel_backends() -> list[tuple[str, bool, str | None]]:
     return backends
 
 
+def _thread_layer_line() -> str:
+    """The ``threads:`` row of ``--list-backends``: which parallel layer
+    serves a multi-thread budget, and the effective budget + source."""
+    from .core import native
+    from .engine.threads import budget_source
+
+    budget, source = budget_source()
+    parallel_ok, parallel_reason = native.parallel_availability()
+    layer = ("prange-native" if parallel_ok
+             else f"tiled (compiled parallel layer unavailable: "
+                  f"{parallel_reason})")
+    return f"budget {budget} ({source}), layer {layer}"
+
+
 def _cmd_bench_kernels(arguments: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .bench.perf_gate import run_kernel_bench
+    from .engine.threads import thread_budget
+
     backends = _kernel_backends()
     if arguments.list_backends:
         for name, ok, reason in backends:
             state = "available" if ok else f"unavailable ({reason})"
             print(f"{name:>8}: {state}")
+        print(f"{'threads':>8}: {_thread_layer_line()}")
         return 0
     kernels = []
     for name, ok, reason in backends:
@@ -425,8 +448,12 @@ def _cmd_bench_kernels(arguments: argparse.Namespace) -> int:
         else:
             kernels.append(name)
     for dims in arguments.dims:
-        record = run_kernel_bench(dims, arguments.rows, arguments.seed,
-                                  kernels=tuple(kernels))
+        scope = (thread_budget(arguments.threads)
+                 if arguments.threads is not None else nullcontext())
+        with scope:
+            record = run_kernel_bench(dims, arguments.rows,
+                                      arguments.seed,
+                                      kernels=tuple(kernels))
         timings = "  ".join(
             f"{kernel} {seconds * 1000:8.2f}ms"
             for kernel, seconds in record["timings"].items())

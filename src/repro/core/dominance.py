@@ -38,6 +38,19 @@ context manager that overrides every selection on the current thread,
 which the verification harness uses to cross-check kernels without
 touching algorithm signatures.
 
+Screening additionally carries an *intra-worker thread layer* under the
+same seam: when the budget resolved through
+:mod:`repro.engine.threads` exceeds 1, :meth:`Dominance.screen_block`
+runs the compiled ``prange`` kernels (native family) or dispatches
+contiguous row tiles onto a shared thread pool (bitmask family; the
+kernels release the GIL in their hot sections).  Rows are screened
+independently, so every budget produces bit-identical survivors, and
+``check`` fires between tiles/chunks so deadline/cancel semantics are
+unchanged.  Workspace arenas are *leased* per kernel entry from
+per-thread free lists (:func:`_lease_workspace`), so concurrent tiles
+-- and screens nested inside a tile or ``check`` callback -- never
+share scratch buffers.
+
 All kernels operate on *rank* matrices produced by
 :class:`~repro.core.relation.Relation`.
 """
@@ -54,8 +67,8 @@ from .bitsets import iter_bits
 from .pgraph import PGraph
 
 __all__ = ["Dominance", "KERNELS", "DENSE_TABLE_LIMIT",
-           "BITMASK_WIDTH_LIMIT", "select_kernel", "forced_kernel",
-           "current_forced_kernel", "native_available",
+           "BITMASK_WIDTH_LIMIT", "THREAD_MIN_ROWS", "select_kernel",
+           "forced_kernel", "current_forced_kernel", "native_available",
            "screen_block_multi"]
 
 #: The concrete kernel families (``"auto"`` additionally resolves to one
@@ -81,6 +94,80 @@ SMALL_BLOCK_PAIRS = 256
 #: Rows of ``against`` processed per inner screening block; bounds the
 #: workspace footprint at ``chunk x AGAINST_CHUNK`` masks.
 AGAINST_CHUNK = 4096
+
+#: Smallest ``block`` the *auto* thread policy tiles across screen
+#: threads; below it the tile dispatch overhead dominates.  An explicit
+#: budget (``threads=`` argument or
+#: :func:`repro.engine.threads.thread_budget` scope) engages the tiled
+#: path regardless of size -- the verification harness relies on that
+#: to tile tiny fuzz cases.
+THREAD_MIN_ROWS = 2048
+
+
+def _thread_policy():
+    """Lazy accessor for :mod:`repro.engine.threads` (imported on first
+    use -- the engine package imports this module at load time)."""
+    from ..engine import threads
+
+    return threads
+
+
+def _resolve_screen_threads(threads: int | None,
+                            d: int) -> tuple[int, bool]:
+    """``(budget, forced)`` for one screening call.
+
+    ``forced`` is True when the budget came from an explicit request
+    (argument or thread-local scope), which bypasses
+    :data:`THREAD_MIN_ROWS`.
+    """
+    if getattr(_TILE_STATE, "active", False):
+        # a screen nested inside a running tile never re-tiles: tiles
+        # would submit to the executor they occupy (deadlock risk) and
+        # the outer screen already owns the budget
+        return 1, False
+    if threads is not None:
+        return max(1, int(threads)), True
+    policy = _thread_policy()
+    override = policy.current_override()
+    if override is not None:
+        return override, True
+    return policy.effective_budget(d), False
+
+
+_TILE_STATE = threading.local()
+_TILE_POOL = None
+_TILE_POOL_SIZE = 0
+_TILE_POOL_LOCK = threading.Lock()
+
+
+def _tile_executor(threads: int):
+    """The shared screen-tile thread pool, grown on demand.
+
+    One process-wide :class:`~concurrent.futures.ThreadPoolExecutor`
+    serves every tiled screen (tiles are short-lived and the budget
+    policy bounds concurrent demand); it is recreated larger when a
+    bigger budget arrives.
+    """
+    global _TILE_POOL, _TILE_POOL_SIZE
+    from concurrent.futures import ThreadPoolExecutor
+
+    with _TILE_POOL_LOCK:
+        if _TILE_POOL is None or _TILE_POOL_SIZE < threads:
+            if _TILE_POOL is not None:
+                _TILE_POOL.shutdown(wait=False)
+            _TILE_POOL_SIZE = max(threads, _TILE_POOL_SIZE, 4)
+            _TILE_POOL = ThreadPoolExecutor(
+                max_workers=_TILE_POOL_SIZE,
+                thread_name_prefix="repro-screen-tile")
+        return _TILE_POOL
+
+
+def _tile_bounds(n: int, tiles: int) -> list[tuple[int, int]]:
+    """Balanced contiguous row tiles (never empty, at most ``tiles``)."""
+    tiles = max(1, min(tiles, n))
+    edges = [round(i * n / tiles) for i in range(tiles + 1)]
+    return [(edges[i], edges[i + 1]) for i in range(tiles)
+            if edges[i + 1] > edges[i]]
 
 
 def _mask_dtype_for(d: int) -> np.dtype:
@@ -201,15 +288,39 @@ class _Workspace:
         return backing[:size].reshape(shape)
 
 
+#: Per-thread free lists of workspace arenas.  Thread tiles each see
+#: their own list (so tiles never share scratch buffers), and *leasing*
+#: -- rather than handing every caller the one arena of its thread --
+#: keeps nested kernel entries safe: a tile that re-enters
+#: ``screen_block`` mid-loop (e.g. a fusion replay inside a tile, or a
+#: ``check`` callback that runs another screen) pops a *distinct* arena
+#: because the outer entry still holds its lease.
 _WORKSPACES = threading.local()
 
 
-def _workspace() -> _Workspace:
-    workspace = getattr(_WORKSPACES, "arena", None)
-    if workspace is None:
-        workspace = _Workspace()
-        _WORKSPACES.arena = workspace
-    return workspace
+def _workspace_pool() -> list:
+    pool = getattr(_WORKSPACES, "pool", None)
+    if pool is None:
+        pool = []
+        _WORKSPACES.pool = pool
+    return pool
+
+
+@contextmanager
+def _lease_workspace():
+    """Lease an arena for the duration of one kernel entry point.
+
+    LIFO per thread: the steady state re-leases the same warm arena
+    (zero allocation), while nested entries get a fresh one.  Views
+    handed out under a lease follow the usual contract -- valid until
+    the next kernel call on this thread after the lease is released.
+    """
+    pool = _workspace_pool()
+    arena = pool.pop() if pool else _Workspace()
+    try:
+        yield arena
+    finally:
+        pool.append(arena)
 
 
 def _pack_better_masks(block: np.ndarray, against: np.ndarray,
@@ -429,15 +540,14 @@ class Dominance:
         distinguishable = ((lt_flat + gt_flat) @ self._ones)[:, 0] > 0
         return (distinguishable & ~fatal_any).reshape(shape)
 
-    def _bitmask_flags(self, block: np.ndarray,
-                       against: np.ndarray) -> np.ndarray:
+    def _bitmask_flags(self, block: np.ndarray, against: np.ndarray,
+                       arena: _Workspace) -> np.ndarray:
         """``(b, a)`` booleans: ``against[j] ≻_pi block[i]``.
 
-        The returned array is workspace-backed: it is only valid until
-        the next kernel call on this thread, so callers either consume
-        it immediately or copy.
+        The returned array is backed by ``arena``: it is only valid
+        until the next kernel call on that arena, so callers either
+        consume it immediately or copy.
         """
-        arena = _workspace()
         buv, bvu = _pack_better_masks(block, against, self._mask_dtype,
                                       arena)
         return self._eval_packed(buv, bvu, arena)
@@ -482,13 +592,12 @@ class Dominance:
         np.logical_and(out, bool_tmp, out=out)
         return out
 
-    def _native_flags(self, block: np.ndarray,
-                      against: np.ndarray) -> np.ndarray:
-        """``(b, a)`` booleans via the compiled backend (workspace-backed,
+    def _native_flags(self, block: np.ndarray, against: np.ndarray,
+                      arena: _Workspace) -> np.ndarray:
+        """``(b, a)`` booleans via the compiled backend (arena-backed,
         same contract as :meth:`_bitmask_flags`)."""
         block = np.ascontiguousarray(block, dtype=np.float64)
         against = np.ascontiguousarray(against, dtype=np.float64)
-        arena = _workspace()
         closures, table, use_table = self._native_tables()
         out = arena.get("out", (block.shape[0], against.shape[0]),
                         np.bool_)
@@ -507,16 +616,25 @@ class Dominance:
         return out
 
     def _pair_flags(self, block: np.ndarray, against: np.ndarray,
-                    kernel: str) -> np.ndarray:
+                    kernel: str,
+                    arena: _Workspace | None = None) -> np.ndarray:
         """Dispatch ``(b, a)`` pairwise flags to a concrete kernel.
 
         ``kernel`` must already be concrete (see :func:`select_kernel`).
-        The result may be workspace-backed (bitmask family).
+        The result may be arena-backed (bitmask/native families): loops
+        pass their leased ``arena`` down; one-shot callers may leave it
+        ``None`` to lease per call.
         """
-        if kernel == "native":
-            return self._native_flags(block, against)
-        if kernel == "bitmask":
-            return self._bitmask_flags(block, against)
+        if kernel in ("native", "bitmask"):
+            if arena is None:
+                with _lease_workspace() as arena:
+                    return (self._native_flags(block, against, arena)
+                            if kernel == "native"
+                            else self._bitmask_flags(block, against,
+                                                     arena))
+            return (self._native_flags(block, against, arena)
+                    if kernel == "native"
+                    else self._bitmask_flags(block, against, arena))
         if kernel == "scalar":
             return self._scalar_flags(block, against)
         lt = against[None, :, :] < block[:, None, :]  # against better
@@ -556,7 +674,8 @@ class Dominance:
 
     def screen_block(self, block: np.ndarray, against: np.ndarray,
                      chunk: int = 256, check=None,
-                     kernel: str | None = None) -> np.ndarray:
+                     kernel: str | None = None,
+                     threads: int | None = None) -> np.ndarray:
         """Boolean survivors mask: rows of ``block`` not dominated by any
         row of ``against``.
 
@@ -567,6 +686,17 @@ class Dominance:
         invoked once per outer chunk and between inner ``against`` blocks,
         so deadlines and cancellations interrupt long screenings even when
         the early exit below keeps firing on the first inner block.
+
+        ``threads`` overrides the screen thread budget for this call
+        (``None`` resolves through :mod:`repro.engine.threads`).  A
+        budget above 1 engages the intra-worker parallel layer for the
+        native/bitmask families: the compiled ``prange`` screen when
+        available, otherwise contiguous row tiles dispatched onto a
+        shared thread pool (the kernels release the GIL in their hot
+        sections, so tiles genuinely overlap).  Both layers produce
+        bit-identical survivors -- rows are screened independently --
+        and fire ``check`` between tiles/chunks so deadline/cancel
+        semantics are unchanged.
         """
         n = block.shape[0]
         m = against.shape[0]
@@ -575,65 +705,158 @@ class Dominance:
             return survivors
         kernel = select_kernel(kernel, d=self.graph.d,
                                pairs=min(chunk, n) * min(AGAINST_CHUNK, m))
+        budget, forced = _resolve_screen_threads(threads, self.graph.d)
+        budget = min(budget, n)
+        threaded = (budget > 1 and kernel in ("native", "bitmask")
+                    and (forced or n >= THREAD_MIN_ROWS))
         if kernel == "native":
-            return self._native_screen(block, against, survivors,
-                                       chunk=chunk, check=check)
-        for start in range(0, n, chunk):
-            if check is not None:
-                check("screen-block")
-            stop = min(start + chunk, n)
-            sub = block[start:stop]  # (c, d)
-            dominated = np.zeros(stop - start, dtype=bool)
-            for a_start in range(0, m, AGAINST_CHUNK):
-                if a_start and check is not None:
-                    check("screen-block")
-                part = against[a_start:a_start + AGAINST_CHUNK]
-                flags = self._pair_flags(sub, part, kernel)
-                dominated |= flags.any(axis=1)
-                if dominated.all():
-                    break
-            survivors[start:stop] = ~dominated
+            block = np.ascontiguousarray(block, dtype=np.float64)
+            against = np.ascontiguousarray(against, dtype=np.float64)
+            if threaded and _native.parallel_available():
+                return self._native_screen_parallel(
+                    block, against, survivors, chunk=chunk, check=check,
+                    threads=budget)
+        if threaded:
+            return self._screen_tiled(block, against, survivors,
+                                      chunk=chunk, check=check,
+                                      kernel=kernel, threads=budget)
+        self._screen_span(block, against, survivors, 0, n, chunk=chunk,
+                          check=check, kernel=kernel)
         return survivors
 
-    def _native_screen(self, block: np.ndarray, against: np.ndarray,
-                       survivors: np.ndarray, *, chunk: int,
-                       check) -> np.ndarray:
-        """The fused compiled screening loop behind :meth:`screen_block`.
+    def _screen_span(self, block: np.ndarray, against: np.ndarray,
+                     survivors: np.ndarray, lo: int, hi: int, *,
+                     chunk: int, check, kernel: str) -> None:
+        """Screen rows ``[lo, hi)`` of ``block`` into ``survivors``.
 
-        Packing and Proposition 1 are fused per pair inside
-        :func:`repro.core.native.screen_chunk` with a per-row early exit;
-        the only per-chunk temporary is the arena-backed ``dominated``
-        vector, so the steady-state loop performs zero Python-level
-        allocations.  Outer-chunk and inner-block ``check`` calls keep
-        the deadline/cancel semantics of the interpreted kernels.
+        The single-threaded screening loop shared by the serial path
+        (``lo=0, hi=n``) and each thread tile.  Holds one workspace
+        lease for its whole run (:func:`_lease_workspace`), so
+        concurrent tiles -- and screens nested inside a ``check``
+        callback -- each operate on distinct scratch buffers.  For the
+        native family, packing and Proposition 1 are fused per pair
+        inside :func:`repro.core.native.screen_chunk` with a per-row
+        early exit; the only per-chunk temporary is the arena-backed
+        ``dominated`` vector, so the steady-state loop performs zero
+        Python-level allocations.
+        """
+        m = against.shape[0]
+        use_native = kernel == "native"
+        if use_native:
+            closures, table, use_table = self._native_tables()
+        with _lease_workspace() as arena:
+            for start in range(lo, hi, chunk):
+                if check is not None:
+                    check("screen-block")
+                stop = min(start + chunk, hi)
+                sub = block[start:stop]  # (c, d)
+                if use_native:
+                    dominated = arena.get("dom", (stop - start,),
+                                          np.bool_)
+                    dominated[...] = False
+                else:
+                    dominated = np.zeros(stop - start, dtype=bool)
+                for a_start in range(0, m, AGAINST_CHUNK):
+                    if a_start and check is not None:
+                        check("screen-block")
+                    part = against[a_start:a_start + AGAINST_CHUNK]
+                    if use_native:
+                        _native.screen_chunk(sub, part, closures, table,
+                                             use_table, dominated)
+                    else:
+                        flags = self._pair_flags(sub, part, kernel,
+                                                 arena)
+                        dominated |= flags.any(axis=1)
+                    if dominated.all():
+                        break
+                survivors[start:stop] = ~dominated
+
+    def _native_screen_parallel(self, block: np.ndarray,
+                                against: np.ndarray,
+                                survivors: np.ndarray, *, chunk: int,
+                                check, threads: int) -> np.ndarray:
+        """The compiled ``prange`` screening loop behind
+        :meth:`screen_block`.
+
+        Outer blocks grow to ``chunk * threads`` rows so every runtime
+        thread owns a ``chunk``-sized row slice of the ``prange`` loop;
+        rows are independent (each writes only ``dominated[i]`` and
+        keeps its own early exit), so the result is bit-identical to
+        the serial kernel.  ``check`` still fires between outer blocks
+        and inner ``against`` chunks.
         """
         n = block.shape[0]
         m = against.shape[0]
-        block = np.ascontiguousarray(block, dtype=np.float64)
-        against = np.ascontiguousarray(against, dtype=np.float64)
-        arena = _workspace()
+        applied = _native.set_thread_count(threads)
+        step = max(chunk, chunk * applied)
         closures, table, use_table = self._native_tables()
-        for start in range(0, n, chunk):
-            if check is not None:
-                check("screen-block")
-            stop = min(start + chunk, n)
-            sub = block[start:stop]
-            dominated = arena.get("dom", (stop - start,), np.bool_)
-            dominated[...] = False
-            for a_start in range(0, m, AGAINST_CHUNK):
-                if a_start and check is not None:
+        with _lease_workspace() as arena:
+            for start in range(0, n, step):
+                if check is not None:
                     check("screen-block")
-                part = against[a_start:a_start + AGAINST_CHUNK]
-                _native.screen_chunk(sub, part, closures, table,
-                                     use_table, dominated)
-                if dominated.all():
-                    break
-            survivors[start:stop] = ~dominated
+                stop = min(start + step, n)
+                sub = block[start:stop]
+                dominated = arena.get("dom", (stop - start,), np.bool_)
+                dominated[...] = False
+                for a_start in range(0, m, AGAINST_CHUNK):
+                    if a_start and check is not None:
+                        check("screen-block")
+                    part = against[a_start:a_start + AGAINST_CHUNK]
+                    _native.screen_chunk_parallel(sub, part, closures,
+                                                  table, use_table,
+                                                  dominated)
+                    if dominated.all():
+                        break
+                survivors[start:stop] = ~dominated
+        return survivors
+
+    def _screen_tiled(self, block: np.ndarray, against: np.ndarray,
+                      survivors: np.ndarray, *, chunk: int, check,
+                      kernel: str, threads: int) -> np.ndarray:
+        """Thread-tiled screening: contiguous row tiles on the shared
+        executor.
+
+        Each tile runs :meth:`_screen_span` under its own workspace
+        lease (per-thread arena pools), writes a disjoint ``survivors``
+        slice, and fires ``check`` between its chunks -- a deadline or
+        cancellation raised inside any tile propagates here after all
+        tiles settle.  Screens nested inside a tile never re-tile (see
+        :func:`_resolve_screen_threads`).
+        """
+        n = block.shape[0]
+        spans = _tile_bounds(n, threads)
+        if len(spans) <= 1:
+            self._screen_span(block, against, survivors, 0, n,
+                              chunk=chunk, check=check, kernel=kernel)
+            return survivors
+
+        def run_tile(lo: int, hi: int) -> None:
+            _TILE_STATE.active = True
+            try:
+                self._screen_span(block, against, survivors, lo, hi,
+                                  chunk=chunk, check=check,
+                                  kernel=kernel)
+            finally:
+                _TILE_STATE.active = False
+
+        executor = _tile_executor(len(spans))
+        futures = [executor.submit(run_tile, lo, hi)
+                   for lo, hi in spans]
+        error = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:  # deadline/cancel from a tile
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
         return survivors
 
 
 def screen_block_multi(dominances, rows: np.ndarray, *, chunk: int = 256,
-                       check=None, counters=None) -> list:
+                       check=None, counters=None,
+                       threads: int | None = None) -> list:
     """Self-screen ``rows`` under many p-graphs, packing each block once.
 
     ``dominances`` is a sequence of :class:`Dominance` oracles whose
@@ -650,11 +873,19 @@ def screen_block_multi(dominances, rows: np.ndarray, *, chunk: int = 256,
     ``counters`` (a mutable mapping) accumulates exact ``"mask_hits"``
     and ``"mask_misses"`` counts and records the concrete replay backend
     under ``"kernel"`` (``"native"`` when the compiled backend serves
-    the fused group, ``"bitmask"`` otherwise), so batch-bench artifacts
-    show which backend did the work.  Falls back to independent
+    the fused group, ``"bitmask"`` otherwise) plus the applied
+    ``"threads"`` budget, so batch-bench artifacts show which backend
+    did the work.  Falls back to independent
     :meth:`~Dominance.screen_block` calls when the dimensionality
     exceeds :data:`BITMASK_WIDTH_LIMIT` (no packed representation
     exists there).
+
+    ``threads`` above 1 (or an unforced budget resolved through
+    :mod:`repro.engine.threads`) switches the native replay onto the
+    ``prange`` pack/eval kernels when the compiled parallel layer is
+    up.  The chunk structure -- and therefore the exact mask hit/miss
+    counts -- is identical at every budget; only the row loops inside
+    the compiled kernels fan out.
     """
     dominances = list(dominances)
     n = rows.shape[0]
@@ -666,57 +897,74 @@ def screen_block_multi(dominances, rows: np.ndarray, *, chunk: int = 256,
         if counters is not None:
             counters["kernel"] = select_kernel(
                 None, d=d, pairs=n * n if n else None)
-        return [dom.screen_block(rows, rows, chunk=chunk, check=check)
+            counters["threads"] = 1
+        return [dom.screen_block(rows, rows, chunk=chunk, check=check,
+                                 threads=threads)
                 for dom in dominances]
     # the packed replay runs natively when the compiled backend is up
     # and no interpreted kernel is forced on this thread; a forced
     # "native" without the backend degrades to the bitmask replay
     forced = current_forced_kernel()
     use_native = forced in (None, "native") and native_available()
+    budget, _ = _resolve_screen_threads(threads, d)
+    budget = max(1, min(budget, n))
+    parallel_native = (use_native and budget > 1
+                       and _native.parallel_available())
+    if parallel_native:
+        budget = _native.set_thread_count(budget)
+        parallel_native = budget > 1
     if counters is not None:
         counters["kernel"] = "native" if use_native else "bitmask"
+        counters["threads"] = budget if parallel_native else 1
     mdtype = _mask_dtype_for(d)
-    arena = _workspace()
     if use_native:
         rows = np.ascontiguousarray(rows, dtype=np.float64)
         tables = [dom._native_tables() for dom in dominances]
+        pack = (_native.pack_masks_parallel if parallel_native
+                else _native.pack_masks)
+        eval_any = (_native.eval_any_parallel if parallel_native
+                    else _native.eval_any)
     else:
         for dom in dominances:
             dom._dense_table()  # build outside the hot loop
     dominated = [np.zeros(n, dtype=bool) for _ in range(k)]
-    for start in range(0, n, chunk):
-        if check is not None:
-            check("screen-multi")
-        stop = min(start + chunk, n)
-        block = rows[start:stop]
-        for a_start in range(0, n, AGAINST_CHUNK):
-            if a_start and check is not None:
+    with _lease_workspace() as arena:
+        for start in range(0, n, chunk):
+            if check is not None:
                 check("screen-multi")
-            active = [idx for idx in range(k)
-                      if not dominated[idx][start:stop].all()]
-            if not active:
-                break
-            part = rows[a_start:a_start + AGAINST_CHUNK]
-            if use_native:
-                buv = arena.get("nbuv", (block.shape[0], part.shape[0]),
-                                np.uint64)
-                bvu = arena.get("nbvu", (block.shape[0], part.shape[0]),
-                                np.uint64)
-                _native.pack_masks(block, part, buv, bvu)
-            else:
-                buv, bvu = _pack_better_masks(block, part, mdtype, arena)
-            if counters is not None:
-                counters["mask_misses"] = \
-                    counters.get("mask_misses", 0) + 1
-                counters["mask_hits"] = \
-                    counters.get("mask_hits", 0) + len(active) - 1
-            for idx in active:
+            stop = min(start + chunk, n)
+            block = rows[start:stop]
+            for a_start in range(0, n, AGAINST_CHUNK):
+                if a_start and check is not None:
+                    check("screen-multi")
+                active = [idx for idx in range(k)
+                          if not dominated[idx][start:stop].all()]
+                if not active:
+                    break
+                part = rows[a_start:a_start + AGAINST_CHUNK]
                 if use_native:
-                    closures, table, use_table = tables[idx]
-                    _native.eval_any(buv, bvu, closures, table,
-                                     use_table,
-                                     dominated[idx][start:stop])
+                    buv = arena.get("nbuv",
+                                    (block.shape[0], part.shape[0]),
+                                    np.uint64)
+                    bvu = arena.get("nbvu",
+                                    (block.shape[0], part.shape[0]),
+                                    np.uint64)
+                    pack(block, part, buv, bvu)
                 else:
-                    flags = dominances[idx]._eval_packed(buv, bvu, arena)
-                    dominated[idx][start:stop] |= flags.any(axis=1)
+                    buv, bvu = _pack_better_masks(block, part, mdtype,
+                                                  arena)
+                if counters is not None:
+                    counters["mask_misses"] = \
+                        counters.get("mask_misses", 0) + 1
+                    counters["mask_hits"] = \
+                        counters.get("mask_hits", 0) + len(active) - 1
+                for idx in active:
+                    if use_native:
+                        closures, table, use_table = tables[idx]
+                        eval_any(buv, bvu, closures, table, use_table,
+                                 dominated[idx][start:stop])
+                    else:
+                        flags = dominances[idx]._eval_packed(buv, bvu,
+                                                             arena)
+                        dominated[idx][start:stop] |= flags.any(axis=1)
     return [~mask for mask in dominated]

@@ -99,6 +99,16 @@ def p_skyline(data: Relation | np.ndarray, expression: PExpr | str, *,
                                            context=context)
     else:
         function = get_algorithm(algorithm)
+    if getattr(context, "threads", None) is not None:
+        # an explicit per-query budget scopes the whole evaluation: every
+        # screen below resolves to it (see repro.engine.threads)
+        from ..engine.threads import thread_budget
+
+        inner, budget = function, context.threads
+
+        def function(ranks, graph, inner=inner, budget=budget, **kwargs):
+            with thread_budget(budget):
+                return inner(ranks, graph, **kwargs)
     if isinstance(data, Relation):
         missing = [name for name in names if name not in data.names]
         if missing:

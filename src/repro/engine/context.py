@@ -91,14 +91,15 @@ class ExecutionContext:
     """Per-query state shared by every operator the query touches."""
 
     __slots__ = ("stats", "deadline", "cancel", "memory_budget", "trace",
-                 "cache", "_start_ns")
+                 "cache", "threads", "_start_ns")
 
     def __init__(self, *, stats: "Stats | None" = None,
                  deadline: float | None = None,
                  cancel: CancellationToken | None = None,
                  memory_budget: int | None = None,
                  trace: TraceBuffer | None = None,
-                 cache: "PreferenceCache | None" = None):
+                 cache: "PreferenceCache | None" = None,
+                 threads: int | None = None):
         self.stats = stats
         #: Absolute :func:`time.monotonic` instant after which evaluation
         #: raises :class:`QueryTimeout` (``None`` = no deadline).
@@ -107,6 +108,11 @@ class ExecutionContext:
         self.memory_budget = memory_budget
         self.trace = trace
         self.cache = cache
+        #: Explicit screen thread budget for this query (``None`` defers
+        #: to the :mod:`repro.engine.threads` policy).  The query API
+        #: enters a :func:`repro.engine.threads.thread_budget` scope for
+        #: the evaluation when set.
+        self.threads = threads
         self._start_ns = time.monotonic_ns()
 
     # -- construction ----------------------------------------------------------
@@ -117,13 +123,15 @@ class ExecutionContext:
                cancel: CancellationToken | None = None,
                memory_budget: int | None = None,
                trace: "TraceBuffer | bool | int | None" = None,
-               cache: "PreferenceCache | None" = None
+               cache: "PreferenceCache | None" = None,
+               threads: int | None = None
                ) -> "ExecutionContext":
         """Build a context from user-facing knobs.
 
         ``timeout`` is relative seconds from now (converted to an
         absolute monotonic ``deadline``); ``trace`` may be an existing
-        buffer, ``True`` (default capacity) or a capacity in events.
+        buffer, ``True`` (default capacity) or a capacity in events;
+        ``threads`` forces the screen thread budget for this query.
         """
         if timeout is not None:
             if timeout <= 0:
@@ -138,7 +146,8 @@ class ExecutionContext:
         elif trace is False:
             trace = None
         return cls(stats=stats, deadline=deadline, cancel=cancel,
-                   memory_budget=memory_budget, trace=trace, cache=cache)
+                   memory_budget=memory_budget, trace=trace, cache=cache,
+                   threads=threads)
 
     # -- deadline / cancellation -----------------------------------------------
     @property

@@ -59,10 +59,12 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from .context import ExecutionContext
+from .threads import pin_thread_budget, thread_budget
 
 __all__ = ["SharedArraySpec", "ShardedArraySpec", "SharedRegistration",
            "WorkerPool", "get_default_pool", "shutdown_default_pool",
-           "pool_available", "default_worker_count"]
+           "pool_available", "default_worker_count",
+           "WORKER_THREAD_BUDGET"]
 
 #: Shared-memory segments created by this module are named
 #: ``repro-pool-<pid>-<nonce>`` so leak checks can find strays.
@@ -74,6 +76,12 @@ DEFAULT_MAX_WORKERS = 8
 
 #: Seconds between parent-side context checks while waiting on workers.
 _POLL_INTERVAL = 0.02
+
+#: Screen thread budget inside each pool worker.  A pooled query
+#: parallelises across *processes*; pool x threads must not multiply, so
+#: workers pin this at spawn and every task spec ships it explicitly
+#: (see :mod:`repro.engine.threads`).
+WORKER_THREAD_BUDGET = 1
 
 
 def default_worker_count() -> int:
@@ -334,20 +342,34 @@ def _run_task(spec: dict, attachments: dict, cancel_event):
     function = _algorithms.REGISTRY[spec["algorithm"]]
     guard = forced_kernel(spec["forced_kernel"]) \
         if spec["forced_kernel"] else nullcontext()
-    with guard:
+    budget = thread_budget(spec.get("thread_budget")
+                           or WORKER_THREAD_BUDGET)
+    with guard, budget:
         local = function(rows, graph, context=context, **spec["options"])
     return to_global(np.asarray(local, dtype=np.intp)), stats
 
 
 def _worker_main(worker_id: int, tasks, results, cancel_event) -> None:
     """The worker loop: pull task specs until the ``None`` sentinel."""
+    # Pin the screen thread budget *before* anything else: a pooled
+    # query parallelises across processes, never twice, and the pin is
+    # read at every budget resolution -- so later changes to
+    # REPRO_THREAD_BUDGET / NUMBA_NUM_THREADS in the parent can never
+    # oversubscribe an already-running worker.
+    try:
+        pin_thread_budget(WORKER_THREAD_BUDGET)
+    except Exception:  # pragma: no cover - policy is best effort
+        pass
     # JIT-warm the compiled native kernel backend once at spawn (a no-op
     # when numba is absent) so queries never pay compile latency and the
-    # compiled speedup compounds across workers
+    # compiled speedup compounds across workers.  The parallel layer is
+    # warmed too (availability() compiles both), then clamped to the
+    # pinned single-thread budget.
     try:
-        from ..core.native import availability
+        from ..core.native import availability, set_thread_count
 
         availability()
+        set_thread_count(WORKER_THREAD_BUDGET)
     except Exception:  # pragma: no cover - warmup is best effort
         pass
     attachments: dict = {}
@@ -677,6 +699,7 @@ class WorkerPool:
             "deadline": context.deadline,
             "memory_budget": context.memory_budget,
             "forced_kernel": current_forced_kernel(),
+            "thread_budget": WORKER_THREAD_BUDGET,
         }
         worker_stats: list = []
         try:
@@ -851,6 +874,7 @@ class WorkerPool:
             "chunks": chunks,
             "merge_rounds": merge_rounds,
             "tasks": len(worker_stats),
+            "thread_budget": WORKER_THREAD_BUDGET,
             "per_worker_dominance_tests": {
                 str(worker_id): count
                 for worker_id, count in sorted(per_worker.items())},

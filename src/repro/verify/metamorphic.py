@@ -29,6 +29,12 @@ p-skyline is *exactly predictable* from the original answer:
     on every rotating case with no algorithm-specific plumbing (the
     ``native`` axis degrades to the bitmask fallback on hosts without
     numba, which is itself a path worth covering).
+``kernel-threads``
+    Identity transform that re-runs the algorithm with a screen thread
+    budget of 2 forced (:func:`repro.engine.threads.thread_budget`):
+    tiled screening must reproduce the serial result bit for bit, so
+    the fuzzer cross-checks the intra-worker thread layer on every
+    rotating case.
 ``pool-chunked``
     Identity transform executed on the persistent worker pool: the
     case is partitioned into chunks, evaluated by worker processes
@@ -94,6 +100,11 @@ class MetamorphicTransform:
     #: pool with this many partitions instead of calling the algorithm
     #: under test directly.
     pool_chunks: int | None = None
+    #: When set, the transformed run executes under
+    #: :func:`~repro.engine.threads.thread_budget` with this screen
+    #: thread budget forced (an explicit budget engages the tiled
+    #: screening path regardless of input size).
+    threads: int | None = None
     #: When set, the transformed run is delegated entirely to this
     #: callable -- ``executor(new_ranks, new_graph, function, rng)``
     #: returns the result indices (the sharded and snapshot axes).
@@ -316,6 +327,10 @@ TRANSFORMS: dict[str, MetamorphicTransform] = {
         _kernel_transform("gemm"),
         _kernel_transform("scalar"),
         MetamorphicTransform(
+            "kernel-threads",
+            "re-run with a screen thread budget of 2 forced (tiled "
+            "screening); the result is unchanged", _identity, threads=2),
+        MetamorphicTransform(
             "pool-chunked",
             "re-evaluate on the persistent worker pool (2 chunks, "
             "shared memory, tree merge); the result is unchanged",
@@ -355,6 +370,11 @@ def run_transform(transform: MetamorphicTransform, ranks: np.ndarray,
             min_chunk=8))
     elif transform.kernel is not None:
         with forced_kernel(transform.kernel):
+            got = set(int(i) for i in function(new_ranks, new_graph))
+    elif transform.threads is not None:
+        from ..engine.threads import thread_budget
+
+        with thread_budget(transform.threads):
             got = set(int(i) for i in function(new_ranks, new_graph))
     else:
         got = set(int(i) for i in function(new_ranks, new_graph))

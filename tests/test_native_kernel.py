@@ -352,7 +352,10 @@ def test_cli_list_backends(capsys):
     out = capsys.readouterr().out
     lines = dict(line.strip().split(": ", 1)
                  for line in out.strip().splitlines())
-    assert set(lines) == {"native", "bitmask", "gemm", "scalar"}
+    assert set(lines) == {"native", "bitmask", "gemm", "scalar",
+                          "threads"}
+    assert lines["threads"].startswith("budget ")
+    assert "layer" in lines["threads"]
     for name in ("bitmask", "gemm", "scalar"):
         assert lines[name] == "available"
     if native_available():
